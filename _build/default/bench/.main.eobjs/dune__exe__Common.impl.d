@@ -1,0 +1,1 @@
+bench/common.ml: Krsp_bigint Krsp_core Krsp_flow Krsp_gen Krsp_graph Krsp_lp Krsp_util List Option Printf

@@ -1,0 +1,1 @@
+bench/e10_lp_bound.ml: Common Instance Krsp Krsp_util List Table Timer

@@ -1,0 +1,1 @@
+bench/e11_phase1.ml: Common Instance Krsp Krsp_core Krsp_util List Option Table Timer

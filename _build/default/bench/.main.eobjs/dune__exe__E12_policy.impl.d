@@ -1,0 +1,1 @@
+bench/e12_policy.ml: Common Instance Krsp Krsp_util List Option Table Timer

@@ -1,0 +1,1 @@
+bench/e13_isp_case.ml: Common Instance Krsp Krsp_core Krsp_gen Krsp_util List Printf Table

@@ -1,0 +1,1 @@
+bench/e1_figure1.ml: Common Instance Krsp Krsp_core Krsp_gen List Table

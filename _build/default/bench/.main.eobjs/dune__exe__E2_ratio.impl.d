@@ -1,0 +1,1 @@
+bench/e2_ratio.ml: Common Instance Krsp Krsp_core Krsp_util List Printf Table

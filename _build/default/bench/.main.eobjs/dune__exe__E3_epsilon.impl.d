@@ -1,0 +1,1 @@
+bench/e3_epsilon.ml: Common G Instance Krsp_core Krsp_gen Krsp_util List Table Timer

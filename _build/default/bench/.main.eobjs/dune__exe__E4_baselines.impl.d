@@ -1,0 +1,1 @@
+bench/e4_baselines.ml: Common Hashtbl Instance Krsp Krsp_core Krsp_gen Krsp_util List Option Printf Table

@@ -1,0 +1,1 @@
+bench/e5_iterations.ml: Common G Instance Krsp Krsp_gen Krsp_util List Printf Table

@@ -1,0 +1,1 @@
+bench/e6_engines.ml: Common Instance Krsp_core Krsp_gen Krsp_util List Table Timer

@@ -1,0 +1,1 @@
+bench/e7_auxiliary.ml: Array Common G Krsp_core Krsp_graph List Printf Table

@@ -1,0 +1,1 @@
+bench/e8_scalability.ml: Analyze Bechamel Benchmark Common Float G Hashtbl Instance Krsp Krsp_core Krsp_graph List Measure Option Printf Staged Table Test Time Toolkit

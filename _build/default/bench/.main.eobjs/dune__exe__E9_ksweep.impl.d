@@ -1,0 +1,1 @@
+bench/e9_ksweep.ml: Common Instance Krsp Krsp_gen Krsp_util List Option Table Timer

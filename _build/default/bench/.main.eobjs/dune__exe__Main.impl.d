@@ -1,0 +1,1 @@
+bench/main.ml: Array E10_lp_bound E11_phase1 E12_policy E13_isp_case E1_figure1 E2_ratio E3_epsilon E4_baselines E5_iterations E6_engines E7_auxiliary E8_scalability E9_ksweep List Printf String Sys

@@ -1,0 +1,53 @@
+(* Shared helpers for the experiment harness. *)
+
+module G = Krsp_graph.Digraph
+module X = Krsp_util.Xoshiro
+module Table = Krsp_util.Table
+module Timer = Krsp_util.Timer
+module Instance = Krsp_core.Instance
+module Krsp = Krsp_core.Krsp
+module Q = Krsp_bigint.Q
+
+let header id title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s — %s\n" id title;
+  Printf.printf "================================================================\n"
+
+let note fmt = Printf.printf fmt
+
+(* LP lower bound on C_OPT (delay-budgeted fractional k-flow). *)
+let lp_lower_bound t =
+  Option.map
+    (fun f -> Q.to_float f.Krsp_lp.Lp_flow.objective)
+    (Krsp_lp.Lp_flow.solve t.Instance.graph ~src:t.Instance.src ~dst:t.Instance.dst
+       ~k:t.Instance.k ~delay_bound:t.Instance.delay_bound)
+
+(* Cost lower bound that is always available: min-sum disjoint paths. *)
+let min_sum_lower_bound t =
+  Krsp_flow.Suurballe.min_cost t.Instance.graph ~src:t.Instance.src ~dst:t.Instance.dst
+    ~k:t.Instance.k
+
+let ratio num den = if den <= 0. then nan else num /. den
+
+(* Sample [count] feasible random instances of a family; deterministic. *)
+let sample_instances ~seed ~count make =
+  let rng = X.create ~seed in
+  let rec go acc n_left attempts =
+    if n_left = 0 || attempts > count * 30 then List.rev acc
+    else begin
+      match make rng with
+      | Some t -> go (t :: acc) (n_left - 1) (attempts + 1)
+      | None -> go acc n_left (attempts + 1)
+    end
+  in
+  go [] count 0
+
+let erdos_instance ~n ~k ~tightness rng =
+  let g = Krsp_gen.Topology.erdos_renyi rng ~n ~p:0.4 Krsp_gen.Topology.default_weights in
+  Krsp_gen.Instgen.instance rng g { Krsp_gen.Instgen.k; tightness }
+
+let waxman_instance ~n ~k ~tightness rng =
+  let g =
+    Krsp_gen.Topology.waxman rng ~n ~alpha:0.9 ~beta:0.3 Krsp_gen.Topology.default_weights
+  in
+  Krsp_gen.Instgen.instance rng g { Krsp_gen.Instgen.k; tightness }

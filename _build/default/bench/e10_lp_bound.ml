@@ -1,0 +1,48 @@
+(* E10 — mid-size graphs where the exact solver is out of reach: certify the
+   cost ratio against the LP lower bound instead. The LP optimum is ≤ C_OPT,
+   so cost/LP-LB ≥ cost/C_OPT; staying below 2+ε here certifies Lemma 3's
+   factor even without ground truth. *)
+
+open Common
+
+let run () =
+  header "E10" "LP lower-bound certification on mid-size Waxman graphs";
+  let table =
+    Table.create
+      ~columns:
+        [ ("n", Table.Right); ("inst", Table.Right); ("mean cost/LP-LB", Table.Right);
+          ("max cost/LP-LB", Table.Right); ("certified bound", Table.Right);
+          ("mean time ms", Table.Right)
+        ]
+  in
+  List.iter
+    (fun n ->
+      let instances =
+        sample_instances ~seed:(200 + n) ~count:6 (fun rng ->
+            waxman_instance ~n ~k:2 ~tightness:0.35 rng)
+      in
+      let ratios = ref [] and times = ref [] in
+      List.iter
+        (fun t ->
+          let outcome, ms = Timer.time_ms (fun () -> Krsp.solve t ()) in
+          match outcome with
+          | Error _ -> ()
+          | Ok (sol, _) -> (
+            match lp_lower_bound t with
+            | Some lb when lb > 0. ->
+              times := ms :: !times;
+              ratios := (float_of_int sol.Instance.cost /. lb) :: !ratios
+            | _ -> ()))
+        instances;
+      if !ratios <> [] then
+        Table.add_row table
+          [ string_of_int n; string_of_int (List.length !ratios);
+            Table.fmt_ratio (Krsp_util.Stats.mean !ratios);
+            Table.fmt_ratio (Krsp_util.Stats.maximum !ratios); "2.000";
+            Table.fmt_float ~decimals:1 (Krsp_util.Stats.mean !times)
+          ])
+    [ 16; 24; 32 ];
+  Table.print table;
+  note
+    "expected shape: max cost/LP-LB ≤ 2 on every row (usually far below);\n\
+     any excursion above 2 would falsify Lemma 3, since LP-LB ≤ C_OPT.\n"

@@ -1,0 +1,59 @@
+(* E2 — Lemma 3/11: measured bifactor against the exact optimum.
+
+   Random Erdős–Rényi instances small enough for the exact branch-and-bound;
+   the paper claims delay ≤ D (factor 1) and cost ≤ 2·C_OPT (factor 2). *)
+
+open Common
+module Exact = Krsp_core.Exact
+
+let run () =
+  header "E2" "Lemma 3/11 — bifactor (1, 2) against the exact optimum";
+  let table =
+    Table.create
+      ~columns:
+        [ ("n", Table.Right); ("k", Table.Right); ("instances", Table.Right);
+          ("mean cost/OPT", Table.Right); ("max cost/OPT", Table.Right);
+          ("mean delay/D", Table.Right); ("max delay/D", Table.Right);
+          ("exact hits", Table.Right)
+        ]
+  in
+  List.iter
+    (fun (n, k) ->
+      let instances =
+        sample_instances ~seed:(1000 + n + (37 * k)) ~count:20 (fun rng ->
+            erdos_instance ~n ~k ~tightness:0.4 rng)
+      in
+      let cost_ratios = ref [] and delay_ratios = ref [] in
+      let hits = ref 0 and used = ref 0 in
+      List.iter
+        (fun t ->
+          match Exact.solve t with
+          | None -> ()
+          | Some opt -> (
+            match Krsp.solve t () with
+            | Error _ -> ()
+            | Ok (sol, _) ->
+              incr used;
+              if sol.Instance.cost = opt.Exact.cost then incr hits;
+              cost_ratios :=
+                ratio (float_of_int sol.Instance.cost) (float_of_int (max 1 opt.Exact.cost))
+                :: !cost_ratios;
+              delay_ratios :=
+                ratio (float_of_int sol.Instance.delay)
+                  (float_of_int (max 1 t.Instance.delay_bound))
+                :: !delay_ratios))
+        instances;
+      if !used > 0 then
+        Table.add_row table
+          [ string_of_int n; string_of_int k; string_of_int !used;
+            Table.fmt_ratio (Krsp_util.Stats.mean !cost_ratios);
+            Table.fmt_ratio (Krsp_util.Stats.maximum !cost_ratios);
+            Table.fmt_ratio (Krsp_util.Stats.mean !delay_ratios);
+            Table.fmt_ratio (Krsp_util.Stats.maximum !delay_ratios);
+            Printf.sprintf "%d/%d" !hits !used
+          ])
+    [ (6, 1); (6, 2); (8, 2); (8, 3); (10, 2) ];
+  Table.print table;
+  note
+    "expected shape: max delay/D ≤ 1.000 everywhere (the delay factor is\n\
+     strict); max cost/OPT ≤ 2.000, with the mean close to 1.\n"

@@ -1,0 +1,62 @@
+(* E5 — Lemma 13: iteration counts vs the pseudo-polynomial bound.
+
+   The paper bounds Algorithm 1 by O(D · Σc(e) · Σd(e)) cycle cancellations.
+   On the zigzag family the exact count is ceil(levels/2) (one segment
+   upgrade per iteration); on random instances the observed count stays tiny
+   against the bound. *)
+
+open Common
+module Hard = Krsp_gen.Hard
+
+let run () =
+  header "E5" "Lemma 13 — observed iterations vs the pseudo-polynomial bound";
+  let table =
+    Table.create
+      ~columns:
+        [ ("instance", Table.Left); ("iterations", Table.Right);
+          ("predicted", Table.Right); ("paper bound D·Σc·Σd", Table.Right)
+        ]
+  in
+  List.iter
+    (fun levels ->
+      let t = Hard.zigzag ~levels in
+      match Krsp.solve t ~guess_steps:0 () with
+      | Ok (_, stats) ->
+        let g = t.Instance.graph in
+        let bound = t.Instance.delay_bound * G.total_cost g * G.total_delay g in
+        Table.add_row table
+          [ Printf.sprintf "zigzag levels=%d" levels;
+            string_of_int stats.Krsp.iterations;
+            string_of_int ((levels + 1) / 2);
+            Table.fmt_int bound
+          ]
+      | Error _ -> ())
+    [ 4; 8; 16; 32; 64 ];
+  Table.add_separator table;
+  let instances =
+    sample_instances ~seed:55 ~count:12 (fun rng -> erdos_instance ~n:10 ~k:2 ~tightness:0.3 rng)
+  in
+  let iters = ref [] and bounds = ref [] in
+  List.iter
+    (fun t ->
+      match Krsp.solve t () with
+      | Ok (_, stats) ->
+        iters := float_of_int stats.Krsp.iterations :: !iters;
+        let g = t.Instance.graph in
+        bounds :=
+          float_of_int (t.Instance.delay_bound * G.total_cost g * G.total_delay g) :: !bounds
+      | Error _ -> ())
+    instances;
+  if !iters <> [] then
+    Table.add_row table
+      [ Printf.sprintf "erdos n=10 k=2 (mean of %d)" (List.length !iters);
+        Table.fmt_float ~decimals:1 (Krsp_util.Stats.mean !iters);
+        "-";
+        Table.fmt_int (int_of_float (Krsp_util.Stats.mean !bounds))
+      ];
+  Table.print table;
+  note
+    "expected shape: zigzag iterations match ceil(levels/2) exactly; random\n\
+     instances need a handful of cancellations — many orders of magnitude\n\
+     below the worst-case bound (note: iterations are summed over the guess\n\
+     search, so they count several Algorithm-1 runs).\n"

@@ -1,0 +1,127 @@
+(* E8 — scalability micro-benchmarks (bechamel).
+
+   One Test.make per pipeline stage and per problem size: residual-graph
+   construction, one bicameral search, one full solve, measured with
+   bechamel's OLS estimator over the monotonic clock. *)
+
+open Common
+open Bechamel
+
+module Residual = Krsp_core.Residual
+module Bicameral = Krsp_core.Bicameral
+module Dp = Krsp_core.Cycle_search_dp
+module Phase1 = Krsp_core.Phase1
+
+(* one prepared workload per size: instance + infeasible start + context *)
+type prepared = {
+  t : Instance.t;
+  start_paths : Krsp_graph.Path.t list;
+  ctx : Bicameral.context;
+  bound : int;
+}
+
+let prepare n =
+  let candidates =
+    sample_instances ~seed:(900 + n) ~count:5 (fun rng ->
+        waxman_instance ~n ~k:2 ~tightness:0.3 rng)
+  in
+  List.find_map
+    (fun t ->
+      match Phase1.min_sum t with
+      | Phase1.Start s ->
+        let sol = Instance.solution_of_paths t s.Phase1.paths in
+        if sol.Instance.delay <= t.Instance.delay_bound then None
+        else begin
+          let guess = 2 * max 1 sol.Instance.cost in
+          Some
+            {
+              t;
+              start_paths = s.Phase1.paths;
+              ctx =
+                {
+                  Bicameral.delta_d = t.Instance.delay_bound - sol.Instance.delay;
+                  delta_c = guess - sol.Instance.cost;
+                  cost_cap = guess;
+                };
+              bound = max 1 (min guess (G.total_cost t.Instance.graph));
+            }
+        end
+      | _ -> None)
+    candidates
+
+let tests () =
+  let sizes = [ 12; 16; 20 ] in
+  let prepared = List.filter_map (fun n -> Option.map (fun p -> (n, p)) (prepare n)) sizes in
+  let residual_tests =
+    List.map
+      (fun (n, p) ->
+        Test.make
+          ~name:(Printf.sprintf "residual/n=%d" n)
+          (Staged.stage (fun () ->
+               ignore (Residual.build p.t.Instance.graph ~paths:p.start_paths))))
+      prepared
+  in
+  let search_tests =
+    List.map
+      (fun (n, p) ->
+        let res = Residual.build p.t.Instance.graph ~paths:p.start_paths in
+        Test.make
+          ~name:(Printf.sprintf "bicameral-search/n=%d" n)
+          (Staged.stage (fun () ->
+               ignore (Dp.find res ~ctx:p.ctx ~bound:p.bound ()))))
+      prepared
+  in
+  let solve_tests =
+    List.map
+      (fun (n, p) ->
+        Test.make
+          ~name:(Printf.sprintf "full-solve/n=%d" n)
+          (Staged.stage (fun () -> ignore (Krsp.solve p.t ~guess_steps:6 ()))))
+      prepared
+  in
+  Test.make_grouped ~name:"e8" (residual_tests @ search_tests @ solve_tests)
+
+let run () =
+  header "E8" "scalability micro-benchmarks (bechamel, OLS ns/run)";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (x :: _) -> x
+          | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols_result) in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let table =
+    Table.create
+      ~columns:
+        [ ("benchmark", Table.Left); ("time/run", Table.Right); ("r²", Table.Right) ]
+  in
+  let pretty ns =
+    if Float.is_nan ns then "-"
+    else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, ns, r2) ->
+      Table.add_row table
+        [ name; pretty ns; (if Float.is_nan r2 then "single sample" else Table.fmt_float ~decimals:3 r2) ])
+    rows;
+  Table.print table;
+  note
+    "expected shape: residual construction is linear-ish and cheap; the\n\
+     bicameral search dominates the full solve; everything grows smoothly\n\
+     with n (the paper's complexity is pseudo-polynomial, driven by the\n\
+     layered state space, not by n alone).\n"

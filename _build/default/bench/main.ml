@@ -1,0 +1,29 @@
+(* Experiment harness: one labelled experiment per claim of the paper (see
+   DESIGN.md section 5 and EXPERIMENTS.md for the recorded outcomes).
+
+   Usage:
+     dune exec bench/main.exe            # run everything
+     dune exec bench/main.exe e1 e5      # run a subset *)
+
+let experiments =
+  [ ("e1", E1_figure1.run); ("e2", E2_ratio.run); ("e3", E3_epsilon.run);
+    ("e4", E4_baselines.run); ("e5", E5_iterations.run); ("e6", E6_engines.run);
+    ("e7", E7_auxiliary.run); ("e8", E8_scalability.run); ("e9", E9_ksweep.run);
+    ("e10", E10_lp_bound.run); ("e11", E11_phase1.run); ("e12", E12_policy.run); ("e13", E13_isp_case.run)
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as picks) -> List.map String.lowercase_ascii picks
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some run -> run ()
+      | None ->
+        Printf.eprintf "unknown experiment %S (known: %s)\n" id
+          (String.concat ", " (List.map fst experiments));
+        exit 1)
+    requested

@@ -1,0 +1,331 @@
+(* krsp — command-line front end.
+
+   Subcommands:
+     generate   sample a topology and print it in edge-list format
+     solve      run Algorithm 1 (optionally the Theorem 4 scaling) on a file
+     exact      branch-and-bound optimum for small instances
+     compare    run every algorithm on one instance and tabulate
+     dot        render a graph (and optionally a solution) as Graphviz DOT *)
+
+open Cmdliner
+module G = Krsp_graph.Digraph
+module Io = Krsp_graph.Io
+module X = Krsp_util.Xoshiro
+module Instance = Krsp_core.Instance
+module Krsp = Krsp_core.Krsp
+
+(* ---- shared arguments ---------------------------------------------------- *)
+
+let graph_file =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "graph"; "g" ] ~docv:"FILE" ~doc:"Graph in edge-list format (see Io).")
+
+let src_arg =
+  Arg.(required & opt (some int) None & info [ "src"; "s" ] ~docv:"V" ~doc:"Source vertex.")
+
+let dst_arg =
+  Arg.(required & opt (some int) None & info [ "dst"; "t" ] ~docv:"V" ~doc:"Sink vertex.")
+
+let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Number of disjoint paths.")
+
+let delay_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "delay-bound"; "D" ] ~docv:"D" ~doc:"Bound on the paths' total delay.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let load_instance file ~src ~dst ~k ~delay_bound =
+  let g = Io.of_edge_list (Io.read_file file) in
+  Instance.create g ~src ~dst ~k ~delay_bound
+
+let print_solution t sol =
+  Format.printf "%a" (Instance.pp_solution t) sol
+
+(* ---- generate ------------------------------------------------------------- *)
+
+let generate topology n p seed out =
+  let rng = X.create ~seed in
+  let w = Krsp_gen.Topology.default_weights in
+  let g =
+    match topology with
+    | "erdos" -> Krsp_gen.Topology.erdos_renyi rng ~n ~p w
+    | "waxman" -> Krsp_gen.Topology.waxman rng ~n ~alpha:0.9 ~beta:0.3 w
+    | "grid" ->
+      let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Krsp_gen.Topology.grid rng ~rows:side ~cols:side ~bidirectional:true w
+    | "ring" -> Krsp_gen.Topology.ring_chords rng ~n ~chords:(n / 2) w
+    | "fattree" ->
+      let pods = max 2 (2 * (n / 10)) in
+      Krsp_gen.Topology.fat_tree rng ~pods w
+    | "dag" ->
+      Krsp_gen.Topology.layered_dag rng ~layers:(max 2 (n / 4)) ~width:4 ~p:0.4 w
+    | other -> failwith (Printf.sprintf "unknown topology %S" other)
+  in
+  let text = Io.to_edge_list g in
+  (match out with
+  | None -> print_string text
+  | Some path ->
+    Io.write_file path text;
+    Printf.printf "wrote %s (n=%d, m=%d)\n" path (G.n g) (G.m g));
+  0
+
+let generate_cmd =
+  let topology =
+    Arg.(
+      value
+      & opt string "waxman"
+      & info [ "topology" ] ~docv:"NAME"
+          ~doc:"One of erdos, waxman, grid, ring, fattree, dag.")
+  in
+  let n = Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"Size parameter.") in
+  let p =
+    Arg.(value & opt float 0.3 & info [ "p" ] ~docv:"P" ~doc:"Edge probability (erdos).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Sample a topology and print its edge list.")
+    Term.(const generate $ topology $ n $ p $ seed_arg $ out)
+
+(* ---- solve ----------------------------------------------------------------- *)
+
+let solve file src dst k delay_bound epsilon engine dot_out =
+  let t = load_instance file ~src ~dst ~k ~delay_bound in
+  let engine = match engine with "lp" -> Krsp.Lp | _ -> Krsp.Dp in
+  let outcome =
+    match epsilon with
+    | None -> (
+      match Krsp.solve t ~engine () with
+      | Ok (sol, stats) -> Ok (sol, Some stats)
+      | Error e -> Error e)
+    | Some eps -> (
+      match Krsp_core.Scaling.solve t ~epsilon1:eps ~epsilon2:eps ~engine () with
+      | Ok r -> Ok (r.Krsp_core.Scaling.solution, Some r.Krsp_core.Scaling.stats)
+      | Error e -> Error e)
+  in
+  match outcome with
+  | Error Krsp.No_k_disjoint_paths ->
+    Printf.eprintf "infeasible: fewer than %d edge-disjoint paths\n" k;
+    1
+  | Error (Krsp.Delay_bound_unreachable d) ->
+    Printf.eprintf "infeasible: minimum achievable total delay is %d > %d\n" d delay_bound;
+    1
+  | Ok (sol, stats) ->
+    print_solution t sol;
+    (match stats with
+    | Some s ->
+      Printf.printf
+        "cancelled %d cycle(s) (%d type-0, %d type-1, %d type-2) over %d guess(es)%s\n"
+        s.Krsp.iterations s.Krsp.type0 s.Krsp.type1 s.Krsp.type2 s.Krsp.guesses_tried
+        (if s.Krsp.used_fallback then " [fallback]" else "")
+    | None -> ());
+    (match dot_out with
+    | None -> ()
+    | Some path ->
+      let index_of e =
+        let rec go i = function
+          | [] -> None
+          | p :: rest -> if List.mem e p then Some i else go (i + 1) rest
+        in
+        go 0 sol.Instance.paths
+      in
+      Io.write_file path (Io.to_dot ~highlight:index_of t.Instance.graph);
+      Printf.printf "wrote %s\n" path);
+    0
+
+let solve_cmd =
+  let epsilon =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "epsilon"; "e" ] ~docv:"EPS"
+          ~doc:"Run the Theorem 4 scaling at accuracy EPS instead of the exact loop.")
+  in
+  let engine =
+    Arg.(
+      value & opt string "dp"
+      & info [ "engine" ] ~docv:"ENGINE" ~doc:"Bicameral search engine: dp or lp.")
+  in
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Also write a DOT rendering with the paths.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve a kRSP instance with Algorithm 1.")
+    Term.(
+      const solve $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg $ epsilon $ engine
+      $ dot_out)
+
+(* ---- exact ----------------------------------------------------------------- *)
+
+let exact file src dst k delay_bound =
+  let t = load_instance file ~src ~dst ~k ~delay_bound in
+  match Krsp_core.Exact.solve t with
+  | Some r ->
+    Printf.printf "optimum: cost %d, delay %d\n" r.Krsp_core.Exact.cost r.Krsp_core.Exact.delay;
+    let sol = Instance.solution_of_paths t r.Krsp_core.Exact.paths in
+    print_solution t sol;
+    0
+  | None ->
+    Printf.eprintf "infeasible\n";
+    1
+
+let exact_cmd =
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Branch-and-bound optimum (small instances only).")
+    Term.(const exact $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg)
+
+(* ---- compare ---------------------------------------------------------------- *)
+
+let compare_algorithms file src dst k delay_bound =
+  let t = load_instance file ~src ~dst ~k ~delay_bound in
+  let module B = Krsp_core.Baselines in
+  let table =
+    Krsp_util.Table.create
+      ~columns:
+        [ ("algorithm", Krsp_util.Table.Left); ("cost", Krsp_util.Table.Right);
+          ("delay", Krsp_util.Table.Right); ("feasible", Krsp_util.Table.Left)
+        ]
+  in
+  let row name (r : B.run) =
+    match r.B.solution with
+    | Some sol ->
+      Krsp_util.Table.add_row table
+        [ name; string_of_int sol.Instance.cost; string_of_int sol.Instance.delay;
+          (if r.B.feasible then "yes" else "NO")
+        ]
+    | None -> Krsp_util.Table.add_row table [ name; "-"; "-"; "NO" ]
+  in
+  (match Krsp.solve t () with
+  | Ok (sol, _) ->
+    row "kRSP (Algorithm 1)" { B.solution = Some sol; feasible = Instance.is_feasible t sol }
+  | Error _ -> row "kRSP (Algorithm 1)" { B.solution = None; feasible = false });
+  row "min-sum (delay-blind)" (B.min_sum_only t);
+  row "min-delay (cost-blind)" (B.min_delay_only t);
+  row "sequential LARAC" (B.larac_per_path t);
+  row "zero-cost residual [18]" (B.zero_cost_residual t);
+  Krsp_util.Table.print table;
+  0
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every algorithm on one instance and tabulate.")
+    Term.(const compare_algorithms $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg)
+
+(* ---- qos (Definition 1: per-path delay bounds) -------------------------------- *)
+
+let qos file src dst k per_path_delay =
+  let g = Io.of_edge_list (Io.read_file file) in
+  match Krsp_core.Qos_paths.solve g ~src ~dst ~k ~per_path_delay () with
+  | Krsp_core.Qos_paths.Paths (sol, quality) ->
+    let t = Instance.create g ~src ~dst ~k ~delay_bound:(k * per_path_delay) in
+    print_solution t sol;
+    (match quality with
+    | Krsp_core.Qos_paths.Strict ->
+      Printf.printf "every path individually meets the %d bound\n" per_path_delay
+    | Krsp_core.Qos_paths.Average ->
+      Printf.printf
+        "per-path bound not met everywhere (NP-hard to guarantee); total %d <= k*D = %d\n\
+         dispatch urgent traffic on the fastest paths (see the route subcommand)\n"
+        sol.Instance.delay (k * per_path_delay));
+    0
+  | Krsp_core.Qos_paths.No_k_disjoint_paths ->
+    Printf.eprintf "infeasible: fewer than %d edge-disjoint paths\n" k;
+    1
+  | Krsp_core.Qos_paths.Relaxation_infeasible d ->
+    Printf.eprintf "infeasible: even the total-delay relaxation needs %d > k*D = %d\n" d
+      (k * per_path_delay);
+    1
+
+let qos_cmd =
+  let per_path =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "per-path-delay"; "P" ] ~docv:"D" ~doc:"Delay bound on each single path.")
+  in
+  Cmd.v
+    (Cmd.info "qos" ~doc:"Per-path delay bounds (Definition 1) via the kRSP reduction.")
+    Term.(const qos $ graph_file $ src_arg $ dst_arg $ k_arg $ per_path)
+
+(* ---- route ------------------------------------------------------------------ *)
+
+let route file src dst k delay_bound classes_spec =
+  let t = load_instance file ~src ~dst ~k ~delay_bound in
+  match Krsp.solve t () with
+  | Error _ ->
+    Printf.eprintf "no feasible path set\n";
+    1
+  | Ok (sol, _) ->
+    let module PR = Krsp_route.Priority_routing in
+    (* classes_spec: "name:priority:volume,name:priority:volume,..." *)
+    let classes =
+      String.split_on_char ',' classes_spec
+      |> List.filter (fun s -> String.trim s <> "")
+      |> List.map (fun spec ->
+             match String.split_on_char ':' (String.trim spec) with
+             | [ name; prio; vol ] -> (
+               match (int_of_string_opt prio, float_of_string_opt vol) with
+               | Some priority, Some volume -> { PR.name; priority; volume }
+               | _ -> failwith (Printf.sprintf "bad class spec %S" spec))
+             | _ -> failwith (Printf.sprintf "bad class spec %S (want name:prio:volume)" spec))
+    in
+    print_solution t sol;
+    let a = PR.assign t.Instance.graph ~paths:sol.Instance.paths ~classes in
+    List.iter
+      (fun (name, d) -> Printf.printf "class %-10s mean delay %.1f\n" name d)
+      a.PR.class_delay;
+    Printf.printf "overall mean %.1f, urgency respected %b, overflow %.2f\n" (PR.mean_delay a)
+      (PR.urgency_respected a) a.PR.overflow;
+    0
+
+let route_cmd =
+  let classes =
+    Arg.(
+      value
+      & opt string "urgent:0:0.5,normal:1:1.0,bulk:2:0.5"
+      & info [ "classes" ] ~docv:"SPEC"
+          ~doc:"Traffic classes as name:priority:volume, comma separated.")
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Solve, then dispatch traffic classes over the paths by urgency.")
+    Term.(const route $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg $ classes)
+
+(* ---- dot -------------------------------------------------------------------- *)
+
+let dot file out =
+  let g = Io.of_edge_list (Io.read_file file) in
+  let text = Io.to_dot g in
+  (match out with
+  | None -> print_string text
+  | Some path ->
+    Io.write_file path text;
+    Printf.printf "wrote %s\n" path);
+  0
+
+let dot_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render a graph file as Graphviz DOT.")
+    Term.(const dot $ graph_file $ out)
+
+(* ---- main ------------------------------------------------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "krsp" ~version:"1.0.0"
+      ~doc:"k disjoint restricted shortest paths (Guo, Liao, Shen & Li, SPAA 2015)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ generate_cmd; solve_cmd; exact_cmd; compare_cmd; qos_cmd; route_cmd; dot_cmd ]))

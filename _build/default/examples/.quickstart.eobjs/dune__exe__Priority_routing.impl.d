@@ -1,0 +1,1 @@
+examples/priority_routing.ml: Krsp_core Krsp_gen Krsp_graph Krsp_route Krsp_util List Printf

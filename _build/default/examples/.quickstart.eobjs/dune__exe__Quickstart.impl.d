@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Krsp_core Krsp_graph Printf

@@ -1,0 +1,1 @@
+examples/sdn_multipath.ml: Krsp_core Krsp_gen Krsp_graph Krsp_util List Printf

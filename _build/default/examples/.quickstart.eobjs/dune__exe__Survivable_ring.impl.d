@@ -1,0 +1,1 @@
+examples/survivable_ring.ml: Format Krsp_core Krsp_gen Krsp_graph Krsp_util List Printf

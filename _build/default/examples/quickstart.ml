@@ -1,0 +1,57 @@
+(* Quickstart: build a small network by hand, ask for k = 2 edge-disjoint
+   paths whose total delay fits a budget, and print what each algorithm in
+   the library has to say about it.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+module Instance = Krsp_core.Instance
+module Krsp = Krsp_core.Krsp
+
+let () =
+  (* A five-node network. Edge annotations are (cost, delay): think of cost
+     as a monetary tariff and delay in milliseconds.
+
+         0 ──(1,10)── 1 ──(1,10)── 3
+         0 ──(2, 1)── 2 ──(2, 1)── 3
+         0 ─────────(10, 5)─────── 3
+  *)
+  let g = G.create ~n:4 () in
+  let add src dst cost delay = ignore (G.add_edge g ~src ~dst ~cost ~delay) in
+  add 0 1 1 10;
+  add 1 3 1 10;
+  add 0 2 2 1;
+  add 2 3 2 1;
+  add 0 3 10 5;
+
+  (* Two disjoint paths from 0 to 3, total delay at most 8 ms. *)
+  let t = Instance.create g ~src:0 ~dst:3 ~k:2 ~delay_bound:8 in
+
+  print_endline "kRSP quickstart: k=2 disjoint paths from 0 to 3, delay budget 8";
+  print_newline ();
+
+  (match Krsp.solve t () with
+  | Ok (sol, stats) ->
+    Format.printf "Algorithm 1 (bicameral cycle cancellation):@.%a"
+      (Instance.pp_solution t) sol;
+    Format.printf "  cancelled %d cycle(s): %d type-0, %d type-1, %d type-2@."
+      stats.Krsp.iterations stats.Krsp.type0 stats.Krsp.type1 stats.Krsp.type2
+  | Error Krsp.No_k_disjoint_paths ->
+    print_endline "the network does not carry 2 disjoint paths"
+  | Error (Krsp.Delay_bound_unreachable d) ->
+    Printf.printf "infeasible: even the fastest disjoint pair needs %d ms\n" d);
+  print_newline ();
+
+  (* What would ignoring the delay budget have cost us? *)
+  (match Krsp_core.Baselines.min_sum_only t with
+  | { Krsp_core.Baselines.solution = Some sol; feasible } ->
+    Printf.printf "cheapest disjoint pair: cost %d, delay %d -> %s\n" sol.Instance.cost
+      sol.Instance.delay
+      (if feasible then "feasible" else "VIOLATES the delay budget")
+  | _ -> print_endline "no disjoint pair at all");
+
+  (* And the brute-force optimum, for reference (tiny graph, so it's cheap): *)
+  match Krsp_core.Exact.solve t with
+  | Some opt -> Printf.printf "exact optimum: cost %d, delay %d\n" opt.Krsp_core.Exact.cost opt.Krsp_core.Exact.delay
+  | None -> print_endline "exact solver: infeasible"

@@ -1,0 +1,74 @@
+(* SDN multipath provisioning on a data-center fat-tree.
+
+   The paper's introduction motivates kRSP with software-defined networks: a
+   controller with a global view provisions several disjoint tunnels between
+   two endpoints so that traffic can be spread (or survive failures), while
+   the *total* latency budget across the tunnel set is kept and the total
+   link-cost (e.g. billed bandwidth) is minimised.
+
+   This example provisions k = 1..3 disjoint tunnels between two edge
+   switches in different pods of a 4-pod fat-tree and compares Algorithm 1
+   against the naive alternatives an SDN controller might otherwise use.
+
+   Run with:  dune exec examples/sdn_multipath.exe *)
+
+module G = Krsp_graph.Digraph
+module X = Krsp_util.Xoshiro
+module Table = Krsp_util.Table
+module Instance = Krsp_core.Instance
+module Krsp = Krsp_core.Krsp
+module Baselines = Krsp_core.Baselines
+
+let () =
+  let rng = X.create ~seed:2026 in
+  let pods = 6 in
+  let g = Krsp_gen.Topology.fat_tree rng ~pods Krsp_gen.Topology.default_weights in
+  (* edge switches start after core and aggregation switches *)
+  let half = pods / 2 in
+  let edge p i = (half * half) + (pods * half) + (p * half) + i in
+  let src = edge 0 0 and dst = edge 3 1 in
+  Printf.printf "fat-tree with %d pods: %d switches, %d directed links\n" pods (G.n g) (G.m g);
+  Printf.printf "provisioning tunnels %d -> %d\n\n" src dst;
+
+  let table =
+    Table.create
+      ~columns:
+        [ ("k", Table.Right); ("budget", Table.Right); ("algorithm", Table.Left);
+          ("cost", Table.Right); ("delay", Table.Right); ("feasible", Table.Left)
+        ]
+  in
+  let row k budget name cost delay feasible =
+    Table.add_row table
+      [ string_of_int k; string_of_int budget; name; cost; delay;
+        (if feasible then "yes" else "NO")
+      ]
+  in
+  List.iter
+    (fun k ->
+      match Krsp_gen.Instgen.instance_st g ~src ~dst { Krsp_gen.Instgen.k; tightness = 0.3 } with
+      | None -> Printf.printf "k=%d: not enough disjoint paths\n" k
+      | Some t ->
+        let budget = t.Instance.delay_bound in
+        (match Krsp.solve t () with
+        | Ok (sol, _) ->
+          row k budget "kRSP (Algorithm 1)" (string_of_int sol.Instance.cost)
+            (string_of_int sol.Instance.delay)
+            (Instance.is_feasible t sol)
+        | Error _ -> row k budget "kRSP (Algorithm 1)" "-" "-" false);
+        let baseline name (r : Baselines.run) =
+          match r.Baselines.solution with
+          | Some sol ->
+            row k budget name (string_of_int sol.Instance.cost)
+              (string_of_int sol.Instance.delay) r.Baselines.feasible
+          | None -> row k budget name "-" "-" false
+        in
+        baseline "cheapest tunnels (delay-blind)" (Baselines.min_sum_only t);
+        baseline "fastest tunnels (cost-blind)" (Baselines.min_delay_only t);
+        baseline "sequential LARAC" (Baselines.larac_per_path t);
+        Table.add_separator table)
+    [ 1; 2; 3 ];
+  Table.print table;
+  print_endline
+    "\nReading guide: the delay-blind provisioning often busts the budget; the\n\
+     cost-blind one meets it at a premium; Algorithm 1 meets the budget at a\n\
+     cost provably within 2x of the optimum."

@@ -1,0 +1,1 @@
+lib/bigint/q.ml: Bigint Format

@@ -1,0 +1,1 @@
+lib/bigint/q.mli: Bigint Format

@@ -1,0 +1,311 @@
+(* Sign-magnitude representation. [mag] is little-endian in base 2^30 with no
+   trailing zero limbs; [mag] is empty exactly when [sign = 0]. All magnitude
+   helpers below work on bare limb arrays and keep that normal form. *)
+
+type t = { sign : int; mag : int array }
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize_mag mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length mag then mag else Array.sub mag 0 !n
+
+let make sign mag =
+  let mag = normalize_mag mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let rec limbs acc v = if v = 0 then acc else limbs ((v land base_mask) :: acc) (v lsr base_bits) in
+    if n = min_int then
+      (* min_int has no positive counterpart; split off the low limb first
+         (both [-(n mod base)] and [-(n / base)] are representable). *)
+      let lo = -(n mod base) and hi = -(n / base) in
+      make (-1) (Array.of_list (lo :: List.rev (limbs [] hi)))
+    else
+      make (if n > 0 then 1 else -1) (Array.of_list (List.rev (limbs [] (abs n))))
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+(* Magnitude comparison: -1, 0, 1. *)
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let compare x y =
+  if x.sign <> y.sign then compare x.sign y.sign
+  else if x.sign >= 0 then cmp_mag x.mag y.mag
+  else cmp_mag y.mag x.mag
+
+let equal x y = compare x y = 0
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r
+
+(* Requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then make x.sign (add_mag x.mag y.mag)
+  else begin
+    match cmp_mag x.mag y.mag with
+    | 0 -> zero
+    | c when c > 0 -> make x.sign (sub_mag x.mag y.mag)
+    | _ -> make y.sign (sub_mag y.mag x.mag)
+  end
+
+let sub x y = add x (neg y)
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        (* ai, b.(j) < 2^30 so the product fits comfortably in 63 bits. *)
+        let s = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- s land base_mask;
+        carry := s lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    r
+  end
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else make (x.sign * y.sign) (mul_mag x.mag y.mag)
+
+let shift_left_mag a k =
+  if Array.length a = 0 || k = 0 then Array.copy a
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land base_mask);
+      r.(i + limb_shift + 1) <- r.(i + limb_shift + 1) lor (v lsr base_bits)
+    done;
+    r
+  end
+
+let shift_right_mag a k =
+  let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+  let la = Array.length a in
+  if limb_shift >= la then [||]
+  else begin
+    let lr = la - limb_shift in
+    let r = Array.make lr 0 in
+    for i = 0 to lr - 1 do
+      let lo = a.(i + limb_shift) lsr bit_shift in
+      let hi =
+        if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+        else a.(i + limb_shift + 1) lsl (base_bits - bit_shift) land base_mask
+      in
+      r.(i) <- lo lor hi
+    done;
+    r
+  end
+
+let shift_left t k =
+  assert (k >= 0);
+  if t.sign = 0 then zero else make t.sign (shift_left_mag t.mag k)
+
+let shift_right t k =
+  assert (k >= 0);
+  if t.sign = 0 then zero else make t.sign (shift_right_mag t.mag k)
+
+let bit_length_mag a =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let rec width n acc = if n = 0 then acc else width (n lsr 1) (acc + 1) in
+    ((la - 1) * base_bits) + width top 0
+  end
+
+(* Binary long division on magnitudes: O(bits(a) * limbs(a)). Slow but
+   simple; sufficient for the coefficient sizes the simplex produces on the
+   instance sizes we solve exactly. *)
+let divmod_mag a b =
+  assert (Array.length b > 0);
+  if cmp_mag a b < 0 then ([||], Array.copy a)
+  else begin
+    let bits = bit_length_mag a in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref [||] in
+    for i = bits - 1 downto 0 do
+      let bit = (a.(i / base_bits) lsr (i mod base_bits)) land 1 in
+      let r' = shift_left_mag !r 1 in
+      if bit = 1 then
+        if Array.length r' = 0 then r := [| 1 |]
+        else begin
+          r'.(0) <- r'.(0) lor 1;
+          r := normalize_mag r'
+        end
+      else r := normalize_mag r';
+      if cmp_mag !r b >= 0 then begin
+        r := normalize_mag (sub_mag !r b);
+        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+    done;
+    (q, !r)
+  end
+
+let divmod x y =
+  if y.sign = 0 then raise Division_by_zero;
+  if x.sign = 0 then (zero, zero)
+  else begin
+    let qm, rm = divmod_mag x.mag y.mag in
+    (make (x.sign * y.sign) qm, make x.sign rm)
+  end
+
+let div x y = fst (divmod x y)
+let rem x y = snd (divmod x y)
+
+let is_even t = t.sign = 0 || t.mag.(0) land 1 = 0
+
+(* Binary (Stein) gcd on magnitudes: avoids the slow division. *)
+let gcd x y =
+  let half a = normalize_mag (shift_right_mag a 1) in
+  let rec go a b shift =
+    (* invariant: a, b are normalized magnitudes *)
+    if Array.length a = 0 then shift_left_mag b shift
+    else if Array.length b = 0 then shift_left_mag a shift
+    else begin
+      let a_even = a.(0) land 1 = 0 and b_even = b.(0) land 1 = 0 in
+      if a_even && b_even then go (half a) (half b) (shift + 1)
+      else if a_even then go (half a) b shift
+      else if b_even then go a (half b) shift
+      else begin
+        match cmp_mag a b with
+        | 0 -> shift_left_mag a shift
+        | c when c > 0 -> go (half (normalize_mag (sub_mag a b))) b shift
+        | _ -> go a (half (normalize_mag (sub_mag b a))) shift
+      end
+    end
+  in
+  if x.sign = 0 then abs y
+  else if y.sign = 0 then abs x
+  else make 1 (go x.mag y.mag 0)
+
+let max_int_big = of_int max_int
+let min_int_big = of_int min_int
+
+let to_int_opt t =
+  if compare t max_int_big > 0 || compare t min_int_big < 0 then None
+  else begin
+    let v = Array.fold_right (fun limb acc -> (acc lsl base_bits) lor limb) t.mag 0 in
+    Some (if t.sign < 0 then -v else v)
+  end
+
+let to_int t =
+  match to_int_opt t with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int: overflow"
+
+let ten = of_int 10
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go v = if is_zero v then () else begin
+      let q, r = divmod v ten in
+      go q;
+      Buffer.add_char buf (Char.chr (Char.code '0' + to_int r))
+    end
+    in
+    go (abs t);
+    (if t.sign < 0 then "-" else "") ^ Buffer.contents buf
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then failwith "Bigint.of_string: empty";
+  let sign_neg, start =
+    match s.[0] with '-' -> (true, 1) | '+' -> (false, 1) | _ -> (false, 0)
+  in
+  if start >= n then failwith "Bigint.of_string: no digits";
+  let acc = ref zero in
+  for i = start to n - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then failwith "Bigint.of_string: invalid digit";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if sign_neg then neg !acc else !acc
+
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+
+let pow b e =
+  assert (e >= 0);
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+    else go acc (mul b b) (e lsr 1)
+  in
+  go one b e
+
+let to_float t =
+  let m =
+    Array.to_list t.mag
+    |> List.rev
+    |> List.fold_left (fun acc limb -> (acc *. float_of_int base) +. float_of_int limb) 0.
+  in
+  if t.sign < 0 then -.m else m
+
+let hash t = Hashtbl.hash (t.sign, t.mag)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,63 @@
+(** Arbitrary-precision signed integers, hand-rolled.
+
+    The exact rational simplex ({!module:Simplex}) needs integers whose
+    magnitude can exceed 63 bits during pivoting; no bignum library is
+    assumed to be installed, so this module provides a compact sign-magnitude
+    implementation with base-2{^30} limbs. It favours simplicity and
+    obvious correctness over peak speed: division is binary long division and
+    gcd is the binary (Stein) algorithm, both of which are trivially
+    auditable. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+val to_int : t -> int
+(** Raises [Failure] if the value does not fit in a native [int]. *)
+
+val to_int_opt : t -> int option
+val of_string : string -> t
+(** Decimal, optionally signed. Raises [Failure] on malformed input. *)
+
+val to_string : t -> string
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [|r| < |b|] and [r] carrying
+    the sign of [a] (truncated division, like OCaml's [/] and [mod]).
+    Raises [Division_by_zero]. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Non-negative gcd; [gcd zero zero = zero]. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic shift on the magnitude (logical for non-negatives; for
+    negatives it shifts the magnitude, i.e. rounds toward zero). *)
+
+val is_even : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val pow : t -> int -> t
+(** [pow base e] for [e >= 0]. *)
+
+val to_float : t -> float
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+module B = Bigint
+
+type t = { num : B.t; den : B.t } (* canonical: den > 0, gcd(num,den) = 1 *)
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then { num = B.zero; den = B.one }
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    { num = B.div num g; den = B.div den g }
+  end
+
+let zero = { num = B.zero; den = B.one }
+let one = { num = B.one; den = B.one }
+let minus_one = { num = B.minus_one; den = B.one }
+
+let of_int n = { num = B.of_int n; den = B.one }
+let of_ints a b = make (B.of_int a) (B.of_int b)
+let of_bigint n = { num = n; den = B.one }
+let num t = t.num
+let den t = t.den
+
+let sign t = B.sign t.num
+let is_zero t = B.is_zero t.num
+
+let compare x y = B.compare (B.mul x.num y.den) (B.mul y.num x.den)
+let equal x y = compare x y = 0
+
+let neg t = { t with num = B.neg t.num }
+let abs t = { t with num = B.abs t.num }
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  if B.sign t.num > 0 then { num = t.den; den = t.num }
+  else { num = B.neg t.den; den = B.neg t.num }
+
+let add x y = make (B.add (B.mul x.num y.den) (B.mul y.num x.den)) (B.mul x.den y.den)
+let sub x y = add x (neg y)
+let mul x y = make (B.mul x.num y.num) (B.mul x.den y.den)
+let div x y = mul x (inv y)
+
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+
+let to_float t = B.to_float t.num /. B.to_float t.den
+
+let to_string t =
+  if B.equal t.den B.one then B.to_string t.num
+  else B.to_string t.num ^ "/" ^ B.to_string t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) x y = compare x y < 0
+  let ( <= ) x y = compare x y <= 0
+  let ( > ) x y = compare x y > 0
+  let ( >= ) x y = compare x y >= 0
+end

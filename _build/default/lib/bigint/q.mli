@@ -1,0 +1,61 @@
+(** Exact rational arithmetic over {!Bigint}.
+
+    Values are kept in canonical form: the denominator is positive and
+    [gcd(num, den) = 1]. Used by the simplex solver and for exact bookkeeping
+    of ratio tests (the [r_i = ΔD_i / ΔC_i] quantities of the paper's
+    Lemma 12). *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is [num/den] in canonical form.
+    Raises [Division_by_zero] when [den = 0]. *)
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+(** [of_ints a b = a/b]. Raises [Division_by_zero] when [b = 0]. *)
+
+val of_bigint : Bigint.t -> t
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val sign : t -> int
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** Raises [Division_by_zero] on zero. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Raises [Division_by_zero] on zero divisor. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val to_float : t -> float
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(* Infix aliases, intended for local [open Q.Infix]. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

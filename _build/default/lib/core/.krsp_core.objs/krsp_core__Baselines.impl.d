@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Cycle_search_dp Instance Krsp_graph Krsp_rsp List Phase1 Residual

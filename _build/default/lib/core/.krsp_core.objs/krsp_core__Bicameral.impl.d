@@ -1,0 +1,1 @@
+lib/core/bicameral.ml: Option

@@ -1,0 +1,1 @@
+lib/core/cycle_search_dp.ml: Array Bicameral Krsp_graph List Residual

@@ -1,0 +1,1 @@
+lib/core/cycle_search_dp.mli: Bicameral Krsp_graph Residual

@@ -1,0 +1,1 @@
+lib/core/cycle_search_lp.ml: Array Bicameral Cycle_search_dp Krsp_bigint Krsp_flow Krsp_graph Krsp_lp Layered List Printf Residual

@@ -1,0 +1,1 @@
+lib/core/cycle_search_lp.mli: Bicameral Cycle_search_dp Krsp_graph Residual

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Instance Krsp_flow Krsp_graph List Option

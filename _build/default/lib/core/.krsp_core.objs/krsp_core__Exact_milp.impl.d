@@ -1,0 +1,1 @@
+lib/core/exact_milp.ml: Array Instance Krsp_bigint Krsp_graph Krsp_lp

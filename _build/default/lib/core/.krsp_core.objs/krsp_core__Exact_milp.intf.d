@@ -1,0 +1,1 @@
+lib/core/exact_milp.mli: Instance Krsp_graph

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Format Krsp_flow Krsp_graph List Option

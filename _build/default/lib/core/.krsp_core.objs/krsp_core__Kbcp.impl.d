@@ -1,0 +1,1 @@
+lib/core/kbcp.ml: Float Instance Krsp Krsp_flow Krsp_graph List Option Scaling

@@ -1,0 +1,1 @@
+lib/core/kbcp.mli: Instance Krsp_graph

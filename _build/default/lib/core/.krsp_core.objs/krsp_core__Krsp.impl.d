@@ -1,0 +1,1 @@
+lib/core/krsp.ml: Bicameral Cycle_search_dp Cycle_search_lp Instance Krsp_graph Logs Phase1 Residual Stdlib

@@ -1,0 +1,1 @@
+lib/core/krsp.mli: Instance Krsp_graph Phase1 Stdlib

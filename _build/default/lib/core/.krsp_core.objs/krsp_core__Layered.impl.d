@@ -1,0 +1,1 @@
+lib/core/layered.ml: Array Krsp_graph List Residual

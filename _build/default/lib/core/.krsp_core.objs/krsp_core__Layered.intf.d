@@ -1,0 +1,1 @@
+lib/core/layered.mli: Krsp_graph Residual

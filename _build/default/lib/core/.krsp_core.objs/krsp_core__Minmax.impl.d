@@ -1,0 +1,1 @@
+lib/core/minmax.ml: Array Krsp_flow Krsp_graph List

@@ -1,0 +1,1 @@
+lib/core/minmax.mli: Krsp_graph

@@ -1,0 +1,1 @@
+lib/core/phase1.ml: Array Instance Krsp_bigint Krsp_flow Krsp_graph Krsp_lp List

@@ -1,0 +1,1 @@
+lib/core/phase1.mli: Instance Krsp_graph

@@ -1,0 +1,1 @@
+lib/core/qos_paths.ml: Array Instance Krsp Krsp_graph List Scaling

@@ -1,0 +1,1 @@
+lib/core/qos_paths.mli: Instance Krsp_graph

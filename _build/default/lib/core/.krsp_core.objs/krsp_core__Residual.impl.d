@@ -1,0 +1,1 @@
+lib/core/residual.ml: Array Hashtbl Krsp_graph List

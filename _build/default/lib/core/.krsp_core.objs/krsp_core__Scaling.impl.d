@@ -1,0 +1,1 @@
+lib/core/scaling.ml: Instance Krsp Krsp_graph Phase1 Stdlib

@@ -1,0 +1,1 @@
+lib/core/scaling.mli: Instance Krsp Phase1 Stdlib

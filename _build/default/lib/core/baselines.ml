@@ -1,0 +1,118 @@
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+
+type run = { solution : Instance.solution option; feasible : bool }
+
+let of_start t = function
+  | Phase1.Start s ->
+    let solution = Instance.solution_of_paths t s.Phase1.paths in
+    { solution = Some solution; feasible = solution.Instance.delay <= t.Instance.delay_bound }
+  | Phase1.No_k_paths | Phase1.Lp_infeasible -> { solution = None; feasible = false }
+
+let min_sum_only t = of_start t (Phase1.min_sum t)
+let min_delay_only t = of_start t (Phase1.min_delay t)
+
+let larac_per_path t =
+  let g = t.Instance.graph in
+  let used = Array.make (G.m g) false in
+  let budget = t.Instance.delay_bound / t.Instance.k in
+  (* LARAC runs on a copy with used edges priced out *)
+  let rec route i acc =
+    if i = t.Instance.k then Some (List.rev acc)
+    else begin
+      let sub, new_of_old =
+        G.filter_map_edges g ~f:(fun e ->
+            if used.(e) then None else Some (G.cost g e, G.delay g e))
+      in
+      let old_of_new = Array.make (G.m sub) (-1) in
+      Array.iteri (fun old ne -> if ne >= 0 then old_of_new.(ne) <- old) new_of_old;
+      match Krsp_rsp.Larac.solve sub ~src:t.Instance.src ~dst:t.Instance.dst ~delay_bound:budget with
+      | None -> None
+      | Some r ->
+        let path = List.map (fun se -> old_of_new.(se)) r.Krsp_rsp.Larac.path in
+        List.iter (fun e -> used.(e) <- true) path;
+        route (i + 1) (path :: acc)
+    end
+  in
+  match route 0 [] with
+  | None -> { solution = None; feasible = false }
+  | Some paths ->
+    let solution = Instance.solution_of_paths t paths in
+    { solution = Some solution; feasible = solution.Instance.delay <= t.Instance.delay_bound }
+
+(* Unruly cycle cancellation: take the most delay-reducing cycle available,
+   cost be damned. The Figure-1 strawman. *)
+let naive_delay_cancel ?(max_iterations = 1_000) t =
+  let g = t.Instance.graph in
+  match Phase1.min_sum t with
+  | Phase1.No_k_paths | Phase1.Lp_infeasible -> { solution = None; feasible = false }
+  | Phase1.Start s ->
+    let total_abs_cost = G.fold_edges g ~init:0 ~f:(fun acc e -> acc + abs (G.cost g e)) in
+    let rec loop paths iter =
+      let sol = Instance.solution_of_paths t paths in
+      if sol.Instance.delay <= t.Instance.delay_bound || iter >= max_iterations then
+        { solution = Some sol; feasible = sol.Instance.delay <= t.Instance.delay_bound }
+      else begin
+        let res = Residual.build g ~paths in
+        let cands =
+          Cycle_search_dp.enumerate_raw res ~bound:(max 1 total_abs_cost)
+          |> List.filter (fun (_, _, d) -> d < 0)
+        in
+        match cands with
+        | [] -> { solution = Some sol; feasible = false }
+        | _ :: _ ->
+          let cyc, _, _ =
+            List.fold_left
+              (fun ((_, _, bd) as best) ((_, _, d) as cand) ->
+                if d < bd then cand else best)
+              (List.hd cands) (List.tl cands)
+          in
+          let edges = Residual.apply_cycle res ~current:(Instance.edge_set sol) ~cycle:cyc in
+          let paths', _ =
+            Krsp_graph.Walk.decompose_st g ~src:t.Instance.src ~dst:t.Instance.dst
+              ~k:t.Instance.k edges
+          in
+          loop paths' (iter + 1)
+      end
+    in
+    loop s.Phase1.paths 0
+
+(* Prior-art cycle cancellation: residual with zero-cost reversed edges and
+   negated delays; repeatedly cancel the cycle minimising mean delay (it is
+   negative while improvement is possible), i.e. the "best" cycle computable
+   with Karp once costs are forced non-negative. *)
+let zero_cost_residual ?(max_iterations = 1_000) t =
+  let g = t.Instance.graph in
+  match Phase1.min_sum t with
+  | Phase1.No_k_paths | Phase1.Lp_infeasible -> { solution = None; feasible = false }
+  | Phase1.Start s ->
+    let rec loop paths iter =
+      let sol = Instance.solution_of_paths t paths in
+      if sol.Instance.delay <= t.Instance.delay_bound || iter >= max_iterations then
+        { solution = Some sol; feasible = sol.Instance.delay <= t.Instance.delay_bound }
+      else begin
+        (* zero-cost residual graph; edge ids coincide with [rg]'s *)
+        let res = Residual.build g ~paths in
+        let rg = res.Residual.graph in
+        let zc, _ =
+          G.filter_map_edges rg ~f:(fun e ->
+              Some ((if res.Residual.is_reversed.(e) then 0 else G.cost rg e), G.delay rg e))
+        in
+        match Krsp_graph.Karp.min_mean_cycle zc ~weight:(G.delay zc) () with
+        | None -> { solution = Some sol; feasible = false }
+        | Some ((num, _den), cyc) ->
+          if num >= 0 then
+            (* no negative-delay cycle left: cannot reach the bound this way *)
+            { solution = Some sol; feasible = false }
+          else begin
+            (* edge ids of zc coincide with rg ids by construction *)
+            let edges = Residual.apply_cycle res ~current:(Instance.edge_set sol) ~cycle:cyc in
+            let paths', _ =
+              Krsp_graph.Walk.decompose_st g ~src:t.Instance.src ~dst:t.Instance.dst
+                ~k:t.Instance.k edges
+            in
+            loop paths' (iter + 1)
+          end
+      end
+    in
+    loop s.Phase1.paths 0

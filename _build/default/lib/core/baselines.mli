@@ -1,0 +1,35 @@
+(** Baseline algorithms the experiments compare Algorithm 1 against.
+
+    - {!min_sum_only}: Suurballe's minimum-cost disjoint paths with the delay
+      bound ignored — the cost lower bound, usually delay-infeasible.
+    - {!min_delay_only}: minimum-delay disjoint paths — always feasible when
+      the instance is, usually much more expensive.
+    - {!larac_per_path}: the folklore sequential heuristic: route one path at
+      a time with a per-path budget of [D/k] using LARAC, removing used
+      edges. Can fail on feasible instances (greedy blocking) and carries no
+      cost guarantee.
+    - {!zero_cost_residual}: cycle cancellation in the style of Orda &
+      Sprintson [18] / Guo et al. [12]: reversed residual edges carry
+      *zero* cost (so all costs stay non-negative) and negated delay, and the
+      cancelled cycle is a minimum cost/delay-mean cycle found with Karp's
+      algorithm. This is exactly the prior-art scheme whose limitation
+      (cost of reversed edges lost) motivates the paper's bicameral
+      machinery; comparing its cost curve against Algorithm 1's is
+      experiment E4. *)
+
+type run = {
+  solution : Instance.solution option;  (** [None] when the method failed *)
+  feasible : bool;  (** delay bound met *)
+}
+
+val min_sum_only : Instance.t -> run
+val min_delay_only : Instance.t -> run
+val larac_per_path : Instance.t -> run
+val zero_cost_residual : ?max_iterations:int -> Instance.t -> run
+
+val naive_delay_cancel : ?max_iterations:int -> Instance.t -> run
+(** Cycle cancellation with no bicameral discipline: always applies the
+    available cycle with the most negative delay, whatever it costs. This is
+    the strawman of the paper's Figure 1 — on {!Krsp_gen.Hard.figure1}
+    instances its cost explodes to ≈ [C_OPT·(D+1)] while Algorithm 1 stays
+    within [2·C_OPT]. *)

@@ -1,0 +1,44 @@
+type kind = Type0 | Type1 | Type2
+
+type context = { delta_d : int; delta_c : int; cost_cap : int }
+
+let classify ctx ~cost ~delay =
+  if (delay < 0 && cost <= 0) || (delay <= 0 && cost < 0) then Some Type0
+  else if ctx.delta_c <= 0 then
+    (* all of the guess's cost budget is spent: only type-0 cycles are safe *)
+    None
+  else begin
+    let ratio_ok = delay * ctx.delta_c <= ctx.delta_d * cost in
+    if delay < 0 && cost > 0 && cost <= ctx.cost_cap && ratio_ok then Some Type1
+    else if delay >= 0 && cost < 0 && -cost <= ctx.cost_cap && ratio_ok then Some Type2
+    else None
+  end
+
+let is_bicameral ctx ~cost ~delay = Option.is_some (classify ctx ~cost ~delay)
+
+let compare_candidates ctx (c1, d1) (c2, d2) =
+  let k1 = classify ctx ~cost:c1 ~delay:d1 and k2 = classify ctx ~cost:c2 ~delay:d2 in
+  let rank = function Type0 -> 0 | Type1 -> 1 | Type2 -> 2 in
+  match (k1, k2) with
+  | None, None -> 0
+  | Some _, None -> -1
+  | None, Some _ -> 1
+  | Some a, Some b when rank a <> rank b ->
+    (* type-0 is free; type-1 makes delay progress; type-2 trades delay back
+       for cost and is only a last resort (it alone cannot terminate the
+       loop) *)
+    compare (rank a) (rank b)
+  | Some Type0, Some _ -> compare (d1, c1) (d2, c2)
+  | Some Type1, Some _ ->
+    (* most delay reduction first — any bicameral cycle preserves the
+       Lemma 11 cost invariant, and big strides keep the iteration count
+       low; ties broken by the steeper |d/c| ratio (Algorithm 3 step 2) *)
+    if d1 <> d2 then compare d1 d2
+    else begin
+      let lhs = abs d1 * abs c2 and rhs = abs d2 * abs c1 in
+      compare rhs lhs
+    end
+  | Some Type2, Some _ ->
+    (* least delay damage per unit of cost refunded *)
+    let lhs = abs d1 * abs c2 and rhs = abs d2 * abs c1 in
+    compare lhs rhs

@@ -1,0 +1,35 @@
+(** Bicameral cycle classification — Definition 10.
+
+    Given the current gap to the target ([ΔD = D − Σ d(Pᵢ) < 0] while the
+    solution is over budget, [ΔC = C_guess − Σ c(Pᵢ)], assumed positive
+    until the final iteration) and the cost cap [C_guess] (standing in for
+    [C_OPT], see DESIGN.md on the guess search), a residual cycle [O] with
+    totals [(c, d)] is
+
+    - {b type-0} when [d < 0 ∧ c ≤ 0] or [d ≤ 0 ∧ c < 0] — free improvement;
+    - {b type-1} when [d < 0 ∧ 0 < c ≤ C_guess ∧ d/c ≤ ΔD/ΔC];
+    - {b type-2} when [d ≥ 0 ∧ −C_guess ≤ c < 0 ∧ d/c ≥ ΔD/ΔC].
+
+    With [ΔC > 0], both ratio conditions cross-multiply to the single
+    inequality [d·ΔC ≤ ΔD·c], which is how we evaluate them (exactly, in
+    integers — no rationals needed). *)
+
+type kind = Type0 | Type1 | Type2
+
+type context = {
+  delta_d : int;  (** [D − current delay]; negative while improving *)
+  delta_c : int;  (** [C_guess − current cost] *)
+  cost_cap : int;  (** the [C_OPT] stand-in bounding [|c(O)|] *)
+}
+
+val classify : context -> cost:int -> delay:int -> kind option
+(** [None] when the cycle is not bicameral in this context. *)
+
+val is_bicameral : context -> cost:int -> delay:int -> bool
+
+val compare_candidates :
+  context -> (int * int) -> (int * int) -> int
+(** Preference order between two bicameral [(cost, delay)] candidates for
+    Algorithm 1: type-0 first (more negative delay preferred), then the
+    better delay-per-cost ratio as in Algorithm 3 step 3. Negative result
+    means the first candidate is preferred. *)

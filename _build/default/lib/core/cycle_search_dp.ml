@@ -1,0 +1,147 @@
+module G = Krsp_graph.Digraph
+module BF = Krsp_graph.Bellman_ford
+module Walk = Krsp_graph.Walk
+
+type candidate = { edges : G.edge list; cost : int; delay : int; kind : Bicameral.kind }
+
+(* The product (state) graph: vertex (u, c) for residual vertex u and
+   accumulated cost c in [-B, B]; its edge "cost" field carries the residual
+   *delay* (the quantity Bellman-Ford minimises), and [pmap] maps each state
+   edge back to its residual edge. *)
+let build_state_graph res ~bound =
+  let rg = res.Residual.graph in
+  let n = G.n rg in
+  let width = (2 * bound) + 1 in
+  let idx u c = (u * width) + (c + bound) in
+  let p = G.create ~expected_edges:(G.m rg * width) ~n:(n * width) () in
+  let pmap = ref [] in
+  G.iter_edges rg (fun e ->
+      let u = G.src rg e and w = G.dst rg e in
+      let c = G.cost rg e and d = G.delay rg e in
+      let lo = max (-bound) (-bound - c) and hi = min bound (bound - c) in
+      for i = lo to hi do
+        ignore (G.add_edge p ~src:(idx u i) ~dst:(idx w (i + c)) ~cost:d ~delay:0);
+        pmap := e :: !pmap
+      done);
+  (p, Array.of_list (List.rev !pmap), idx)
+
+let roots res =
+  let rg = res.Residual.graph in
+  let mark = Array.make (G.n rg) false in
+  Array.iteri
+    (fun e reversed ->
+      if reversed then begin
+        mark.(G.src rg e) <- true;
+        mark.(G.dst rg e) <- true
+      end)
+    res.Residual.is_reversed;
+  let out = ref [] in
+  Array.iteri (fun v m -> if m then out := v :: !out) mark;
+  List.rev !out
+
+let evaluate res ctx cyc =
+  let cost = Residual.cycle_cost res cyc and delay = Residual.cycle_delay res cyc in
+  match Bicameral.classify ctx ~cost ~delay with
+  | None -> None
+  | Some kind -> Some { edges = cyc; cost; delay; kind }
+
+(* Decompose a closed residual walk (edge multiset, degree-balanced) into
+   simple cycles. *)
+let cycles_of_walk res walk_edges = Walk.decompose_cycles res.Residual.graph walk_edges
+
+let candidates_of_walk res ctx walk_edges =
+  List.filter_map (evaluate res ctx) (cycles_of_walk res walk_edges)
+
+let better ctx a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some ca, Some cb ->
+    if Bicameral.compare_candidates ctx (ca.cost, ca.delay) (cb.cost, cb.delay) <= 0 then
+      Some ca
+    else Some cb
+
+(* Phase A: any negative-delay cycle of the state graph projects to residual
+   cycles of total cost 0 and total delay < 0, at least one piece of which is
+   itself negative-delay. *)
+let phase_a res ctx p pmap =
+  match BF.negative_cycle p ~weight:(G.cost p) () with
+  | None -> []
+  | Some pcycle -> candidates_of_walk res ctx (List.map (fun pe -> pmap.(pe)) pcycle)
+
+(* Phase B for one root: min-delay walks from (root, 0) to every (root, c). *)
+let phase_b res ctx p pmap idx ~bound root =
+  match BF.run p ~weight:(G.cost p) ~src:(idx root 0) () with
+  | BF.Negative_cycle _ -> [] (* handled by phase A *)
+  | BF.Dist { dist; parent } ->
+    let out = ref [] in
+    for c = -bound to bound do
+      if c <> 0 && dist.(idx root c) <> max_int then begin
+        (* reconstruct the state path and project to residual edges *)
+        let rec collect acc v =
+          let e = parent.(v) in
+          if e = -1 then acc else collect (pmap.(e) :: acc) (G.src p e)
+        in
+        let walk = collect [] (idx root c) in
+        out := candidates_of_walk res ctx walk @ !out
+      end
+    done;
+    !out
+
+(* When stopping early, keep scanning roots until a delay-reducing candidate
+   (type-0/1) shows up — settling for the first type-2 can stall Algorithm 1
+   in long trade-back sequences. *)
+let delay_reducing found =
+  List.exists (fun c -> c.kind <> Bicameral.Type2) found
+
+let search res ~ctx ~bound ~stop_early =
+  assert (bound >= 1);
+  let p, pmap, idx = build_state_graph res ~bound in
+  let a = phase_a res ctx p pmap in
+  let all = ref a in
+  if stop_early && delay_reducing a then !all
+  else begin
+    let rec scan = function
+      | [] -> ()
+      | root :: rest ->
+        let found = phase_b res ctx p pmap idx ~bound root in
+        all := found @ !all;
+        if stop_early && delay_reducing found then () else scan rest
+    in
+    scan (roots res);
+    !all
+  end
+
+let find res ~ctx ~bound ?(exhaustive = false) () =
+  let cands = search res ~ctx ~bound ~stop_early:(not exhaustive) in
+  List.fold_left (fun best c -> better ctx best (Some c)) None cands
+
+let enumerate res ~ctx ~bound = search res ~ctx ~bound ~stop_early:false
+
+let enumerate_raw res ~bound =
+  assert (bound >= 1);
+  let p, pmap, idx = build_state_graph res ~bound in
+  let all = ref [] in
+  let push cyc =
+    all := (cyc, Residual.cycle_cost res cyc, Residual.cycle_delay res cyc) :: !all
+  in
+  (match BF.negative_cycle p ~weight:(G.cost p) () with
+  | Some pcycle ->
+    List.iter push (cycles_of_walk res (List.map (fun pe -> pmap.(pe)) pcycle))
+  | None ->
+    List.iter
+      (fun root ->
+        match BF.run p ~weight:(G.cost p) ~src:(idx root 0) () with
+        | BF.Negative_cycle _ -> ()
+        | BF.Dist { dist; parent } ->
+          for c = -bound to bound do
+            if c <> 0 && dist.(idx root c) <> max_int then begin
+              let rec collect acc v =
+                let e = parent.(v) in
+                if e = -1 then acc else collect (pmap.(e) :: acc) (G.src p e)
+              in
+              let walk = collect [] (idx root c) in
+              List.iter push (cycles_of_walk res walk)
+            end
+          done)
+      (roots res));
+  !all

@@ -1,0 +1,53 @@
+(** Bicameral-cycle search by dynamic programming over the layered state
+    space — the polynomial engine behind Algorithm 3.
+
+    The state space is the product (residual vertex, accumulated cost ∈
+    [-B, B]) — exactly the union of the paper's [H_v^+(B)] and [H_v^-(B)]
+    copies glued together — and a cycle of the residual graph through root
+    [v] with exact cost [b] is a walk from state [(v, 0)] to [(v, b)]
+    (Lemma 15). The engine:
+
+    + detects negative-delay cycles of the state graph first; these project
+      to zero-cost negative-delay residual cycles, i.e. type-0 bicameral
+      cycles (and make min-delay walks ill-defined, so they must go first);
+    + then, per root, computes minimum-delay walks to every exact cost by
+      Bellman–Ford, decomposes each optimal closed walk into simple residual
+      cycles, and classifies every piece with {!Bicameral.classify}.
+
+    Only vertices incident to reversed path edges are tried as roots: a
+    bicameral cycle needs a negative cost or delay somewhere, and only
+    reversed edges are negative. *)
+
+module G := Krsp_graph.Digraph
+
+type candidate = {
+  edges : G.edge list;  (** residual edge ids, a vertex-simple cycle *)
+  cost : int;
+  delay : int;
+  kind : Bicameral.kind;
+}
+
+val find :
+  Residual.t ->
+  ctx:Bicameral.context ->
+  bound:int ->
+  ?exhaustive:bool ->
+  unit ->
+  candidate option
+(** Best bicameral cycle under {!Bicameral.compare_candidates}, or [None]
+    when no bicameral cycle with [|cost| ≤ bound] exists in the searched
+    space. By default the root scan stops at the first root that yields any
+    bicameral cycle (any one suffices for Algorithm 1's progress argument);
+    [~exhaustive:true] scans every root and returns the global best. *)
+
+val enumerate :
+  Residual.t -> ctx:Bicameral.context -> bound:int -> candidate list
+(** All bicameral candidates found by the exhaustive scan (for tests and the
+    engine cross-validation experiment). *)
+
+val enumerate_raw :
+  Residual.t -> bound:int -> (G.edge list * int * int) list
+(** All cycles found by the exhaustive scan, *without* bicameral
+    classification, as [(edges, cost, delay)]. Used by the naive-cancellation
+    baseline of experiment E1 — the algorithm the paper's Figure 1 shows
+    going wrong. *)

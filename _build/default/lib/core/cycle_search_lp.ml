@@ -1,0 +1,111 @@
+module G = Krsp_graph.Digraph
+module Walk = Krsp_graph.Walk
+module Lp = Krsp_lp.Lp
+module Simplex = Krsp_lp.Simplex
+module Q = Krsp_bigint.Q
+
+(* LP (6) on a layered graph: minimise cost over circulations with bounded
+   delay. ΔD < 0 rules out the empty circulation, so an optimum (when
+   feasible) carries actual cycles. *)
+let lp_of_layered (h : Layered.t) ~delta_d =
+  let hg = h.Layered.graph in
+  let lp = Lp.create () in
+  let var =
+    Array.init (G.m hg) (fun e ->
+        Lp.add_var lp ~upper:Q.one ~obj:(Q.of_int (G.cost hg e)) (Printf.sprintf "x%d" e))
+  in
+  for v = 0 to G.n hg - 1 do
+    let terms =
+      List.map (fun e -> (var.(e), Q.one)) (G.out_edges hg v)
+      @ List.map (fun e -> (var.(e), Q.minus_one)) (G.in_edges hg v)
+    in
+    if terms <> [] then Lp.add_constraint lp terms Lp.Eq Q.zero
+  done;
+  let delay_terms =
+    List.filter_map
+      (fun e ->
+        let d = G.delay hg e in
+        if d = 0 then None else Some (var.(e), Q.of_int d))
+      (G.edges hg)
+  in
+  Lp.add_constraint lp delay_terms Lp.Le (Q.of_int delta_d);
+  (lp, var)
+
+(* Decompose the optimal circulation of one layered LP into residual-cycle
+   candidates. *)
+let candidates_of_layered res ctx (h : Layered.t) ~delta_d =
+  let lp, var = lp_of_layered h ~delta_d in
+  match Simplex.solve lp with
+  | Simplex.Infeasible | Simplex.Unbounded -> []
+  | Simplex.Optimal { values; _ } ->
+    let hg = h.Layered.graph in
+    let cycles_h = Krsp_flow.Decompose.circulation hg (fun e -> values.(var.(e))) in
+    List.concat_map
+      (fun (_weight, hcycle) ->
+        (* an H-cycle projects to a balanced multiset of residual edges *)
+        let redges = Layered.to_residual_edges h hcycle in
+        if redges = [] then []
+        else
+          Walk.decompose_cycles res.Residual.graph redges
+          |> List.filter_map (fun cyc ->
+                 let cost = Residual.cycle_cost res cyc
+                 and delay = Residual.cycle_delay res cyc in
+                 match Bicameral.classify ctx ~cost ~delay with
+                 | None -> None
+                 | Some kind ->
+                   Some { Cycle_search_dp.edges = cyc; cost; delay; kind }))
+      cycles_h
+
+let roots res =
+  let rg = res.Residual.graph in
+  let mark = Array.make (G.n rg) false in
+  Array.iteri
+    (fun e reversed ->
+      if reversed then begin
+        mark.(G.src rg e) <- true;
+        mark.(G.dst rg e) <- true
+      end)
+    res.Residual.is_reversed;
+  let out = ref [] in
+  Array.iteri (fun v m -> if m then out := v :: !out) mark;
+  List.rev !out
+
+let search res ~ctx ~bound ~stop_early =
+  let delta_d = ctx.Bicameral.delta_d in
+  let all = ref [] in
+  let rec scan = function
+    | [] -> ()
+    | root :: rest ->
+      let found =
+        candidates_of_layered res ctx (Layered.build res ~root ~bound ~side:Layered.Plus)
+          ~delta_d
+        @ candidates_of_layered res ctx
+            (Layered.build res ~root ~bound ~side:Layered.Minus)
+            ~delta_d
+      in
+      all := found @ !all;
+      let delay_reducing =
+        List.exists (fun c -> c.Cycle_search_dp.kind <> Bicameral.Type2) found
+      in
+      if stop_early && delay_reducing then () else scan rest
+  in
+  scan (roots res);
+  !all
+
+let better ctx a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some ca, Some cb ->
+    if
+      Bicameral.compare_candidates ctx
+        (ca.Cycle_search_dp.cost, ca.Cycle_search_dp.delay)
+        (cb.Cycle_search_dp.cost, cb.Cycle_search_dp.delay)
+      <= 0
+    then Some ca
+    else Some cb
+
+let find res ~ctx ~bound ?(exhaustive = false) () =
+  let cands = search res ~ctx ~bound ~stop_early:(not exhaustive) in
+  List.fold_left (fun best c -> better ctx best (Some c)) None cands
+
+let enumerate res ~ctx ~bound = search res ~ctx ~bound ~stop_early:false

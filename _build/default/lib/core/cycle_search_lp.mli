@@ -1,0 +1,35 @@
+(** Bicameral-cycle search by LP-rounding on the auxiliary graphs — the
+    faithful implementation of the paper's Algorithm 3.
+
+    For every root [v] (restricted, as in {!Cycle_search_dp}, to vertices
+    touching reversed edges) and the given cost bound [B], it builds
+    [H_v^+(B)] and [H_v^-(B)] (Algorithm 2), solves LP (6)
+
+    {v  min Σ c(e)·x(e)   s.t.  conservation at every H-vertex,
+                                 Σ d(e)·x(e) ≤ ΔD,   0 ≤ x ≤ 1        v}
+
+    with the exact rational simplex, decomposes the optimal circulation into
+    weighted cycles of [H], projects them to residual cycles (Lemma 15), and
+    classifies each with {!Bicameral.classify} (Algorithm 3 steps 2–3).
+
+    The [0 ≤ x ≤ 1] box is not in the paper's LP but is required for
+    boundedness; it is harmless because the witness cycles of Theorem 16 are
+    vertex-simple and therefore use each [H]-edge at most once. This engine
+    is exponential in the worst case only through the LP size (pseudo-
+    polynomial, [O(n·B)] variables) and is intended for small instances and
+    for cross-validating {!Cycle_search_dp} (experiment E6). *)
+
+module G := Krsp_graph.Digraph
+
+val find :
+  Residual.t ->
+  ctx:Bicameral.context ->
+  bound:int ->
+  ?exhaustive:bool ->
+  unit ->
+  Cycle_search_dp.candidate option
+(** Best bicameral cycle found, or [None]. Same candidate type as the DP
+    engine so the two can be compared directly. *)
+
+val enumerate :
+  Residual.t -> ctx:Bicameral.context -> bound:int -> Cycle_search_dp.candidate list

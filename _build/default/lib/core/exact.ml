@@ -1,0 +1,72 @@
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+
+type result = { cost : int; delay : int; paths : Path.t list }
+
+(* Branch and bound: build the k paths one after another; each path is
+   enumerated by DFS over simple extensions. To avoid enumerating the same
+   *set* of paths repeatedly, successive paths must have strictly increasing
+   first-edge ids (disjointness makes the first edge unique per path, so
+   every set is produced exactly once, in sorted order). Pruning: current
+   cost against the incumbent, plus min-cost and min-delay (k−i)-flow bounds
+   on the remaining graph after each finished path. *)
+let solve ?(node_limit = 5_000_000) t =
+  let g = t.Instance.graph in
+  let src = t.Instance.src and dst = t.Instance.dst and k = t.Instance.k in
+  let used = Array.make (G.m g) false in
+  let best = ref None in
+  let nodes = ref 0 in
+  let bump () =
+    incr nodes;
+    if !nodes > node_limit then failwith "Exact.solve: node limit"
+  in
+  let beaten cost = match !best with Some (bc, _, _) -> cost >= bc | None -> false in
+  let remaining_bound ~weight ~need =
+    match
+      Krsp_flow.Mcmf.min_cost_flow g
+        ~capacity:(fun e -> if used.(e) then 0 else 1)
+        ~cost:weight ~src ~dst ~amount:need
+    with
+    | None -> None
+    | Some r -> Some r.Krsp_flow.Mcmf.cost
+  in
+  let rec extend_path i first_edge path_rev acc_paths acc_cost acc_delay v visited =
+    bump ();
+    if acc_delay > t.Instance.delay_bound || beaten acc_cost then ()
+    else if v = dst && path_rev <> [] then
+      finish_path i (List.rev path_rev) acc_paths acc_cost acc_delay
+    else
+      G.iter_out g v (fun e ->
+          if not used.(e) then begin
+            let w = G.dst g e in
+            let first_ok = match path_rev with [] -> e > first_edge | _ :: _ -> true in
+            if first_ok && not (List.mem w visited) then begin
+              used.(e) <- true;
+              extend_path i first_edge (e :: path_rev) acc_paths (acc_cost + G.cost g e)
+                (acc_delay + G.delay g e) w (w :: visited);
+              used.(e) <- false
+            end
+          end)
+  and finish_path i path acc_paths acc_cost acc_delay =
+    let acc_paths = path :: acc_paths in
+    if i + 1 = k then begin
+      if not (beaten acc_cost) then best := Some (acc_cost, acc_delay, List.rev acc_paths)
+    end
+    else begin
+      let need = k - (i + 1) in
+      match remaining_bound ~weight:(G.delay g) ~need with
+      | None -> ()
+      | Some dmin ->
+        if acc_delay + dmin <= t.Instance.delay_bound then begin
+          match remaining_bound ~weight:(G.cost g) ~need with
+          | None -> ()
+          | Some cmin ->
+            if not (beaten (acc_cost + cmin)) then begin
+              let first = match path with e :: _ -> e | [] -> assert false in
+              extend_path (i + 1) first [] acc_paths acc_cost acc_delay src [ src ]
+            end
+        end
+    end
+  in
+  extend_path 0 (-1) [] [] 0 0 src [ src ];
+  Option.map (fun (cost, delay, paths) -> { cost; delay; paths }) !best

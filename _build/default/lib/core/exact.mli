@@ -1,0 +1,19 @@
+(** Exact kRSP solver by branch-and-bound path enumeration.
+
+    Exponential — intended for instances with at most ~12–14 vertices, where
+    it provides the ground truth ([C_OPT]) that the approximation-ratio
+    experiments and the end-to-end property tests measure against. Prunes
+    with (a) the min-sum disjoint-path cost of the remaining demand on the
+    remaining graph and (b) the minimum achievable remaining delay. *)
+
+type result = {
+  cost : int;
+  delay : int;
+  paths : Krsp_graph.Path.t list;
+}
+
+val solve : ?node_limit:int -> Instance.t -> result option
+(** The optimum, or [None] when the instance is infeasible.
+    Raises [Failure "Exact.solve: node limit"] if the search exceeds
+    [node_limit] (default 5_000_000) branch nodes — a guard against
+    accidentally feeding it a large instance. *)

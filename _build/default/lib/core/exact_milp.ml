@@ -1,0 +1,29 @@
+module G = Krsp_graph.Digraph
+module Q = Krsp_bigint.Q
+
+type result = { cost : int; delay : int; paths : Krsp_graph.Path.t list }
+
+let solve ?(node_limit = 20_000) t =
+  let g = t.Instance.graph in
+  let { Krsp_lp.Lp_flow.lp; edge_var } =
+    Krsp_lp.Lp_flow.build g ~src:t.Instance.src ~dst:t.Instance.dst ~k:t.Instance.k
+      ~delay_bound:t.Instance.delay_bound
+  in
+  let binary = Array.to_list edge_var in
+  match Krsp_lp.Milp.solve_binary lp ~binary ~node_limit () with
+  | Krsp_lp.Milp.Infeasible -> None
+  | Krsp_lp.Milp.Node_limit -> failwith "Exact_milp.solve: node limit"
+  | Krsp_lp.Milp.Optimal { values; _ } ->
+    let edges =
+      G.fold_edges g ~init:[] ~f:(fun acc e ->
+          if Q.equal values.(edge_var.(e)) Q.one then e :: acc else acc)
+    in
+    let paths, cycles =
+      Krsp_graph.Walk.decompose_st g ~src:t.Instance.src ~dst:t.Instance.dst
+        ~k:t.Instance.k edges
+    in
+    (* an optimal integral flow carries no positive-cost cycles; zero-weight
+       ones are dropped by taking only the paths *)
+    ignore cycles;
+    let sol = Instance.solution_of_paths t paths in
+    Some { cost = sol.Instance.cost; delay = sol.Instance.delay; paths }

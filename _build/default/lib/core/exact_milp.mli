@@ -1,0 +1,20 @@
+(** Exact kRSP by 0/1 integer programming over the flow LP.
+
+    An independent second exact solver: the delay-budgeted k-flow LP
+    ({!Krsp_lp.Lp_flow}) with every edge variable forced binary, solved by
+    exact-rational branch-and-bound ({!Krsp_lp.Milp}). Exists to
+    cross-validate {!Exact} (the combinatorial branch-and-bound) — two
+    solvers with entirely different failure modes agreeing on random
+    instances is the strongest ground-truth check the test suite has.
+
+    Small instances only (every node solves an exact rational LP). *)
+
+type result = {
+  cost : int;
+  delay : int;
+  paths : Krsp_graph.Path.t list;
+}
+
+val solve : ?node_limit:int -> Instance.t -> result option
+(** The optimum, or [None] when infeasible. Raises [Failure] on node-limit
+    exhaustion (default 20_000 nodes). *)

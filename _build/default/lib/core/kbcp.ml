@@ -1,0 +1,78 @@
+module G = Krsp_graph.Digraph
+
+type verdict =
+  | Feasible of Instance.solution
+  | Feasible_relaxed of Instance.solution * float * float
+  | Infeasible_certified
+  | Unknown
+
+(* graph with cost and delay swapped, so the kRSP machinery can constrain the
+   cost side; edge ids are preserved *)
+let swap_weights g =
+  fst (G.filter_map_edges g ~f:(fun e -> Some (G.delay g e, G.cost g e)))
+
+let run_krsp g ~src ~dst ~k ~delay_bound ~epsilon =
+  let t = Instance.create g ~src ~dst ~k ~delay_bound in
+  match epsilon with
+  | None -> (
+    match Krsp.solve t () with
+    | Ok (sol, _) -> Some sol
+    | Error _ -> None)
+  | Some eps -> (
+    match Scaling.solve t ~epsilon1:eps ~epsilon2:eps () with
+    | Ok r -> Some r.Scaling.solution
+    | Error _ -> None)
+
+let solve g ~src ~dst ~k ~cost_bound ~delay_bound ?epsilon () =
+  if not (Krsp_graph.Bfs.edge_connectivity_at_least g ~src ~dst ~k) then
+    Infeasible_certified
+  else begin
+    (* quick certificates: if even the unconstrained minimum of one criterion
+       busts its budget, the instance is infeasible *)
+    let min_cost =
+      Krsp_flow.Mcmf.min_cost_flow g ~capacity:(fun _ -> 1) ~cost:(G.cost g) ~src ~dst
+        ~amount:k
+    in
+    let min_delay =
+      Krsp_flow.Mcmf.min_cost_flow g ~capacity:(fun _ -> 1) ~cost:(G.delay g) ~src ~dst
+        ~amount:k
+    in
+    match (min_cost, min_delay) with
+    | None, _ | _, None -> Infeasible_certified
+    | Some mc, Some md ->
+      if mc.Krsp_flow.Mcmf.cost > cost_bound || md.Krsp_flow.Mcmf.cost > delay_bound then
+        Infeasible_certified
+      else begin
+        let evaluate sol =
+          let cost_slack = float_of_int sol.Instance.cost /. float_of_int (max 1 cost_bound) in
+          let delay_slack =
+            float_of_int sol.Instance.delay /. float_of_int (max 1 delay_bound)
+          in
+          if cost_slack <= 1. && delay_slack <= 1. then Feasible sol
+          else Feasible_relaxed (sol, cost_slack, delay_slack)
+        in
+        (* orientation 1: minimise cost under the delay budget *)
+        let forward = run_krsp g ~src ~dst ~k ~delay_bound ~epsilon in
+        (* orientation 2: minimise delay under the cost budget *)
+        let backward =
+          Option.map
+            (fun sol ->
+              (* re-evaluate the swapped solution at the original weights:
+                 edge ids are preserved by [swap_weights] *)
+              let t = Instance.create g ~src ~dst ~k ~delay_bound:max_int in
+              Instance.solution_of_paths t sol.Instance.paths)
+            (run_krsp (swap_weights g) ~src ~dst ~k ~delay_bound:cost_bound ~epsilon)
+        in
+        let verdicts =
+          List.filter_map (Option.map evaluate) [ forward; backward ]
+        in
+        let score = function
+          | Feasible _ -> 0.
+          | Feasible_relaxed (_, cs, ds) -> Float.max cs ds
+          | Infeasible_certified | Unknown -> infinity
+        in
+        match List.sort (fun a b -> compare (score a) (score b)) verdicts with
+        | best :: _ -> best
+        | [] -> Unknown
+      end
+  end

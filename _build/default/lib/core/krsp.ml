@@ -1,0 +1,184 @@
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+
+type engine = Dp | Lp
+
+type stats = {
+  iterations : int;
+  type0 : int;
+  type1 : int;
+  type2 : int;
+  guesses_tried : int;
+  final_guess : int;
+  used_fallback : bool;
+}
+
+type error =
+  | No_k_disjoint_paths
+  | Delay_bound_unreachable of int
+
+type outcome = (Instance.solution * stats, error) Stdlib.result
+
+let log = Logs.Src.create "krsp" ~doc:"kRSP cycle cancellation"
+
+module L = (val Logs.src_log log : Logs.LOG)
+
+let find_cycle engine ~exhaustive res ~ctx ~bound =
+  match engine with
+  | Dp -> Cycle_search_dp.find res ~ctx ~bound ~exhaustive ()
+  | Lp -> Cycle_search_lp.find res ~ctx ~bound ~exhaustive ()
+
+let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?(max_iterations = 2_000)
+    ?(stall_limit = 40) () =
+  let g = t.Instance.graph in
+  let total_abs_cost = G.fold_edges g ~init:0 ~f:(fun acc e -> acc + abs (G.cost g e)) in
+  (* stall detection: a guess that has not produced a new minimum delay for
+     [stall_limit] iterations is hopeless (type-2 trade-backs are cycling);
+     abort it so the guess search can move on *)
+  let best_delay = ref max_int in
+  let since_best = ref 0 in
+  let rec loop paths iterations t0 t1 t2 =
+    let sol = Instance.solution_of_paths t paths in
+    if sol.Instance.delay < !best_delay then begin
+      best_delay := sol.Instance.delay;
+      since_best := 0
+    end
+    else incr since_best;
+    if sol.Instance.delay <= t.Instance.delay_bound then
+      Some (sol, iterations, t0, t1, t2)
+    else if iterations >= max_iterations || !since_best > stall_limit then begin
+      L.warn (fun m -> m "cap/stall hit at guess %d after %d iterations" guess iterations);
+      None
+    end
+    else begin
+      let res = Residual.build g ~paths in
+      let ctx =
+        {
+          Bicameral.delta_d = t.Instance.delay_bound - sol.Instance.delay;
+          delta_c = guess - sol.Instance.cost;
+          cost_cap = guess;
+        }
+      in
+      let bound = max 1 (min guess total_abs_cost) in
+      match find_cycle engine ~exhaustive res ~ctx ~bound with
+      | None -> None
+      | Some cand ->
+        let edges =
+          Residual.apply_cycle res ~current:(Instance.edge_set sol)
+            ~cycle:cand.Cycle_search_dp.edges
+        in
+        let paths', _cycles =
+          Krsp_graph.Walk.decompose_st g ~src:t.Instance.src ~dst:t.Instance.dst
+            ~k:t.Instance.k edges
+        in
+        let t0, t1, t2 =
+          match cand.Cycle_search_dp.kind with
+          | Bicameral.Type0 -> (t0 + 1, t1, t2)
+          | Bicameral.Type1 -> (t0, t1 + 1, t2)
+          | Bicameral.Type2 -> (t0, t1, t2 + 1)
+        in
+        loop paths' (iterations + 1) t0 t1 t2
+    end
+  in
+  loop start 0 0 0 0
+
+let solve t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
+    ?(max_iterations = 2_000) ?(guess_steps = 12) () =
+  if not (Instance.connectivity_ok t) then Error No_k_disjoint_paths
+  else begin
+    match Instance.min_possible_delay t with
+    | None -> Error No_k_disjoint_paths
+    | Some dmin when dmin > t.Instance.delay_bound -> Error (Delay_bound_unreachable dmin)
+    | Some _ ->
+      (* the min-delay solution is feasible: fallback and C_OPT upper bound *)
+      let fallback =
+        match Phase1.min_delay t with
+        | Phase1.Start s -> Instance.solution_of_paths t s.Phase1.paths
+        | Phase1.No_k_paths | Phase1.Lp_infeasible -> assert false
+      in
+      let start =
+        match Phase1.run phase1 t with
+        | Phase1.Start s -> s.Phase1.paths
+        | Phase1.No_k_paths -> assert false (* connectivity checked above *)
+        | Phase1.Lp_infeasible -> assert false (* dmin <= bound above *)
+      in
+      let start_sol = Instance.solution_of_paths t start in
+      if start_sol.Instance.delay <= t.Instance.delay_bound then
+        (* phase 1 already feasible; with the min-sum start this is exact *)
+        Ok
+          ( start_sol,
+            {
+              iterations = 0;
+              type0 = 0;
+              type1 = 0;
+              type2 = 0;
+              guesses_tried = 0;
+              final_guess = 0;
+              used_fallback = false;
+            } )
+      else begin
+        let lo0 = max 1 start_sol.Instance.cost in
+        let hi0 = max lo0 fallback.Instance.cost in
+        (* binary search the smallest successful guess; remember the best
+           verified solution seen *)
+        let best = ref None in
+        let iters = ref 0 and t0s = ref 0 and t1s = ref 0 and t2s = ref 0 in
+        let tried = ref 0 in
+        let attempt guess =
+          incr tried;
+          match improve t ~start ~guess ~engine ~exhaustive ~max_iterations () with
+          | None -> None
+          | Some (sol, it, a, b, c) ->
+            iters := !iters + it;
+            t0s := !t0s + a;
+            t1s := !t1s + b;
+            t2s := !t2s + c;
+            assert (Instance.is_feasible t sol);
+            (match !best with
+            | Some (bs, _) when bs.Instance.cost <= sol.Instance.cost -> ()
+            | _ -> best := Some (sol, guess));
+            Some sol
+        in
+        (* always try the upper bound first: guaranteed >= C_OPT *)
+        let hi_ok = attempt hi0 <> None in
+        if hi_ok then begin
+          let rec bisect lo hi steps =
+            (* invariant: [hi] succeeded, [lo - 1] region unexplored *)
+            if steps <= 0 || lo >= hi then ()
+            else begin
+              let mid = lo + ((hi - lo) / 2) in
+              match attempt mid with
+              | Some _ -> bisect lo mid (steps - 1)
+              | None -> bisect (mid + 1) hi (steps - 1)
+            end
+          in
+          bisect lo0 hi0 guess_steps
+        end;
+        match !best with
+        | Some (sol, guess) ->
+          Ok
+            ( sol,
+              {
+                iterations = !iters;
+                type0 = !t0s;
+                type1 = !t1s;
+                type2 = !t2s;
+                guesses_tried = !tried;
+                final_guess = guess;
+                used_fallback = false;
+              } )
+        | None ->
+          L.warn (fun m -> m "all guesses failed; returning min-delay fallback");
+          Ok
+            ( fallback,
+              {
+                iterations = !iters;
+                type0 = !t0s;
+                type1 = !t1s;
+                type2 = !t2s;
+                guesses_tried = !tried;
+                final_guess = hi0;
+                used_fallback = true;
+              } )
+      end
+  end

@@ -1,0 +1,71 @@
+(** Algorithm 1 — cycle cancellation with bicameral cycles — and the outer
+    [C_OPT] guess search (Lemma 3 / the "binary search for B*" remark after
+    Theorem 17).
+
+    The inner loop is the paper's verbatim: while the solution's total delay
+    exceeds [D], find a bicameral cycle in the residual graph (Definition 6)
+    and apply ⊕ (Proposition 7). Given a start of cost ≤ [C_OPT] (phase 1)
+    and a guess [G ≥ C_OPT], Lemma 11's induction yields delay ≤ [D] and cost
+    ≤ [start cost + G ≤ 2·C_OPT].
+
+    [C_OPT] is unknown, so {!solve} brackets it: the min-sum cost is a lower
+    bound, the min-delay solution's cost an upper bound, and a binary search
+    finds the smallest guess at which the inner loop succeeds. Every accepted
+    solution is verified feasible (delay ≤ D, k disjoint paths), so the
+    search can only improve quality, never correctness. If every guess fails
+    (possible only through the iteration cap or the Theorem 16 edge cases
+    discussed in DESIGN.md), the min-delay solution is returned as a
+    certified-feasible fallback and flagged in the stats. *)
+
+type engine = Dp | Lp
+(** Which bicameral search runs inside the loop: the polynomial DP engine or
+    the faithful LP engine of Algorithm 3. *)
+
+type stats = {
+  iterations : int;  (** accepted cycle cancellations, summed over guesses *)
+  type0 : int;
+  type1 : int;
+  type2 : int;
+  guesses_tried : int;
+  final_guess : int;  (** guess that produced the returned solution *)
+  used_fallback : bool;
+}
+
+type error =
+  | No_k_disjoint_paths
+  | Delay_bound_unreachable of int
+      (** instance infeasible; payload is the minimum achievable total delay *)
+
+type outcome = (Instance.solution * stats, error) Stdlib.result
+
+val improve :
+  Instance.t ->
+  start:Krsp_graph.Path.t list ->
+  guess:int ->
+  ?engine:engine ->
+  ?exhaustive:bool ->
+  ?max_iterations:int ->
+  ?stall_limit:int ->
+  unit ->
+  (Instance.solution * int * int * int * int) option
+(** One run of Algorithm 1's inner loop under a fixed [guess]: returns the
+    improved solution and [(iterations, type0, type1, type2)] counts, or
+    [None] if no bicameral cycle was found while still over the delay bound
+    (guess too low / instance infeasible), the iteration cap was hit, or the
+    delay made no progress for [stall_limit] iterations (default 40). *)
+
+val solve :
+  Instance.t ->
+  ?engine:engine ->
+  ?exhaustive:bool ->
+  ?phase1:Phase1.kind ->
+  ?max_iterations:int ->
+  ?guess_steps:int ->
+  unit ->
+  outcome
+(** Full pipeline: feasibility checks, phase 1, guess search over Algorithm 1,
+    fallback. [guess_steps] bounds the binary-search depth (default 12).
+    [max_iterations] caps each inner loop (default 2_000). [exhaustive]
+    makes every bicameral search scan all roots and pick the globally best
+    cycle instead of stopping at the first productive root (the quality/time
+    trade-off of experiment E12). *)

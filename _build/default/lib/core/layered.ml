@@ -1,0 +1,56 @@
+module G = Krsp_graph.Digraph
+
+type side = Plus | Minus
+
+type t = {
+  graph : G.t;
+  res_edge : int array;
+  root : G.vertex;
+  bound : int;
+  side : side;
+}
+
+let vertex t u ~level =
+  assert (level >= 0 && level <= t.bound);
+  (u * (t.bound + 1)) + level
+
+let build res ~root ~bound ~side =
+  if bound < 1 then invalid_arg "Layered.build: bound must be >= 1";
+  let rg = res.Residual.graph in
+  let n = G.n rg in
+  let h = G.create ~expected_edges:(G.m rg * (bound + 1)) ~n:(n * (bound + 1)) () in
+  let res_edge = ref [] in
+  let add ~src ~dst ~cost ~delay re =
+    ignore (G.add_edge h ~src ~dst ~cost ~delay);
+    res_edge := re :: !res_edge
+  in
+  let vtx u level = (u * (bound + 1)) + level in
+  G.iter_edges rg (fun e ->
+      let u = G.src rg e and w = G.dst rg e in
+      let c = G.cost rg e and d = G.delay rg e in
+      if c >= 0 then
+        for i = 0 to bound - c do
+          add ~src:(vtx u i) ~dst:(vtx w (i + c)) ~cost:c ~delay:d e
+        done
+      else
+        for i = -c to bound do
+          add ~src:(vtx u i) ~dst:(vtx w (i + c)) ~cost:c ~delay:d e
+        done);
+  (match side with
+  | Plus ->
+    for i = 1 to bound do
+      add ~src:(vtx root i) ~dst:(vtx root 0) ~cost:0 ~delay:0 (-1)
+    done
+  | Minus ->
+    for i = 0 to bound - 1 do
+      add ~src:(vtx root i) ~dst:(vtx root bound) ~cost:0 ~delay:0 (-1)
+    done);
+  let res_edge = Array.of_list (List.rev !res_edge) in
+  { graph = h; res_edge; root; bound; side }
+
+let to_residual_edges t edges =
+  List.filter_map
+    (fun e ->
+      let re = t.res_edge.(e) in
+      if re = -1 then None else Some re)
+    edges

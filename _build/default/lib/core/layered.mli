@@ -1,0 +1,36 @@
+(** Auxiliary layered graphs [H_v^+(B)] / [H_v^-(B)] — Algorithm 2.
+
+    [H_v^+(B)] has [B+1] copies [u⁰ … u^B] of every residual vertex [u];
+    a residual edge of cost [c] connects copies [uⁱ → w^{i+c}] (all [i] that
+    stay inside [0..B]), carrying the residual delay; and closing edges
+    [vⁱ → v⁰] (delay 0, [i ≥ 1]) tie off cycles through the root [v] of
+    positive total cost exactly [i]. [H_v^-(B)] instead closes with
+    [vⁱ → v^B], capturing cycles of negative cost [i − B]. This realises the
+    Lemma 15 bijection: a simple cycle of the residual graph through [v] with
+    cost in [0, B] (resp. [-B, 0]) is a cycle of [H_v^+(B)] (resp.
+    [H_v^-(B)]), and every [H] cycle maps back to a set of residual cycles
+    with cost in [-B, B]. *)
+
+module G := Krsp_graph.Digraph
+
+type side = Plus | Minus
+
+type t = {
+  graph : G.t;
+      (** the layered graph; edge costs are the residual costs (0 on closing
+          edges), delays the residual delays (0 on closing edges) *)
+  res_edge : int array;  (** H edge → residual edge id, or [-1] for closing edges *)
+  root : G.vertex;
+  bound : int;
+  side : side;
+}
+
+val vertex : t -> G.vertex -> level:int -> G.vertex
+(** Id of copy [u^level] inside the layered graph. *)
+
+val build : Residual.t -> root:G.vertex -> bound:int -> side:side -> t
+(** Requires [bound >= 1]. *)
+
+val to_residual_edges : t -> G.edge list -> G.edge list
+(** Maps an H-edge list to the underlying residual edges, dropping closing
+    edges. *)

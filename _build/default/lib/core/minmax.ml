@@ -1,0 +1,41 @@
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+
+type result = {
+  paths : Path.t list;
+  longer : int;
+  total : int;
+  lower_bound : int;
+}
+
+(* min-sum via unit-capacity min-cost flow on the given weight *)
+let min_sum_pair g ~weight ~src ~dst =
+  match Krsp_flow.Mcmf.min_cost_flow g ~capacity:(fun _ -> 1) ~cost:weight ~src ~dst ~amount:2 with
+  | None -> None
+  | Some { Krsp_flow.Mcmf.flow; _ } ->
+    let edges = G.fold_edges g ~init:[] ~f:(fun acc e -> if flow.(e) > 0 then e :: acc else acc) in
+    let paths, _ = Krsp_graph.Walk.decompose_st g ~src ~dst ~k:2 edges in
+    Some paths
+
+let two_approx g ~weight ~src ~dst =
+  G.iter_edges g (fun e -> if weight e < 0 then invalid_arg "Minmax: negative weight");
+  match min_sum_pair g ~weight ~src ~dst with
+  | None -> None
+  | Some paths ->
+    let lengths = List.map (fun p -> List.fold_left (fun a e -> a + weight e) 0 p) paths in
+    let total = List.fold_left ( + ) 0 lengths in
+    let longer = List.fold_left max 0 lengths in
+    (* OPT_minmax >= total/2 because both optimal paths are <= OPT and their
+       total >= the min-sum total *)
+    Some { paths; longer; total; lower_bound = (total + 1) / 2 }
+
+let length_bounded g ~weight ~src ~dst ~bound =
+  match two_approx g ~weight ~src ~dst with
+  | None -> `No_certified
+  | Some r ->
+    if r.longer <= bound then `Yes r.paths
+    else if r.total > 2 * bound then
+      (* two paths of length <= bound would give a total <= 2·bound,
+         contradicting min-sum optimality *)
+      `No_certified
+    else `Unknown

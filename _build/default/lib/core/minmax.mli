@@ -1,0 +1,38 @@
+(** Min–max and length-bounded disjoint paths — the special cases of
+    section 1.2 (Li, McCormick & Simchi-Levi [16]; Suurballe [20, 21]).
+
+    The min–max problem (find two disjoint paths minimising the longer one)
+    is NP-complete in digraphs with best possible factor 2, achieved by the
+    min-sum solution: if the min-sum pair has total weight S then its longer
+    path is ≤ S ≤ 2·OPT_minmax. This module packages that classical folklore
+    2-approximation and the induced length-bounded feasibility test, both of
+    which the experiments use as reference points. *)
+
+type result = {
+  paths : Krsp_graph.Path.t list;
+  longer : int;  (** weight of the longer path *)
+  total : int;
+  lower_bound : int;  (** ⌈total/2⌉ ≤ OPT_minmax: certified bound *)
+}
+
+val two_approx :
+  Krsp_graph.Digraph.t ->
+  weight:(Krsp_graph.Digraph.edge -> int) ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  result option
+(** 2-approximate min-max pair of disjoint paths, or [None] when fewer than
+    two disjoint paths exist. Requires non-negative weights. *)
+
+val length_bounded :
+  Krsp_graph.Digraph.t ->
+  weight:(Krsp_graph.Digraph.edge -> int) ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  bound:int ->
+  [ `Yes of Krsp_graph.Path.t list | `No_certified | `Unknown ]
+(** Decides (approximately) whether two disjoint paths of individual length
+    ≤ [bound] exist: [`Yes] with a witness when the 2-approximation already
+    fits, [`No_certified] when even the min-sum total exceeds [2·bound]
+    (impossible then), [`Unknown] in the factor-2 gap — matching the
+    NP-completeness of the exact question [16]. *)

@@ -1,0 +1,82 @@
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+module Q = Krsp_bigint.Q
+
+type start = { paths : Path.t list; cost : int; delay : int }
+
+type result =
+  | Start of start
+  | No_k_paths
+  | Lp_infeasible
+
+let of_paths t paths =
+  let cost = List.fold_left (fun acc p -> acc + Path.cost t.Instance.graph p) 0 paths in
+  let delay = List.fold_left (fun acc p -> acc + Path.delay t.Instance.graph p) 0 paths in
+  Start { paths; cost; delay }
+
+let disjoint_flow_paths t ~weight =
+  match
+    Krsp_flow.Mcmf.min_cost_flow t.Instance.graph
+      ~capacity:(fun _ -> 1)
+      ~cost:weight ~src:t.Instance.src ~dst:t.Instance.dst ~amount:t.Instance.k
+  with
+  | None -> None
+  | Some { Krsp_flow.Mcmf.flow; _ } ->
+    let edges =
+      G.fold_edges t.Instance.graph ~init:[] ~f:(fun acc e ->
+          if flow.(e) > 0 then e :: acc else acc)
+    in
+    let paths, _cycles =
+      Krsp_graph.Walk.decompose_st t.Instance.graph ~src:t.Instance.src ~dst:t.Instance.dst
+        ~k:t.Instance.k edges
+    in
+    Some paths
+
+let min_sum t =
+  match disjoint_flow_paths t ~weight:(G.cost t.Instance.graph) with
+  | None -> No_k_paths
+  | Some paths -> of_paths t paths
+
+let min_delay t =
+  match disjoint_flow_paths t ~weight:(G.delay t.Instance.graph) with
+  | None -> No_k_paths
+  | Some paths -> of_paths t paths
+
+(* Faithful Lemma-5 style start: basic optimal solution of the delay-budgeted
+   flow LP, rounded by an integral min-cost k-flow restricted to the LP
+   support. The support always carries k integral units: the fractional flow
+   itself has value k on unit capacities, and unit-capacity max-flow values
+   are integral. *)
+let lp_rounding t =
+  let g = t.Instance.graph in
+  match
+    Krsp_lp.Lp_flow.solve g ~src:t.Instance.src ~dst:t.Instance.dst ~k:t.Instance.k
+      ~delay_bound:t.Instance.delay_bound
+  with
+  | None -> Lp_infeasible
+  | Some { Krsp_lp.Lp_flow.flow; _ } ->
+    let in_support = Array.map (fun q -> Q.sign q > 0) flow in
+    (match
+       Krsp_flow.Mcmf.min_cost_flow g
+         ~capacity:(fun e -> if in_support.(e) then 1 else 0)
+         ~cost:(G.cost g) ~src:t.Instance.src ~dst:t.Instance.dst ~amount:t.Instance.k
+     with
+    | None ->
+      (* cannot happen per the max-flow integrality argument above *)
+      assert false
+    | Some { Krsp_flow.Mcmf.flow = iflow; _ } ->
+      let edges =
+        G.fold_edges g ~init:[] ~f:(fun acc e -> if iflow.(e) > 0 then e :: acc else acc)
+      in
+      let paths, _ =
+        Krsp_graph.Walk.decompose_st g ~src:t.Instance.src ~dst:t.Instance.dst
+          ~k:t.Instance.k edges
+      in
+      of_paths t paths)
+
+type kind = Min_sum | Min_delay | Lp_rounding
+
+let run = function
+  | Min_sum -> min_sum
+  | Min_delay -> min_delay
+  | Lp_rounding -> lp_rounding

@@ -1,0 +1,35 @@
+(** Phase-1 start solutions for Algorithm 1.
+
+    The cycle-cancellation proof (Lemma 11) consumes exactly one property of
+    the start: its cost must not exceed [C_OPT]. Three starts are provided:
+
+    - {!min_sum}: Suurballe's minimum-cost disjoint paths, delay ignored.
+      Cost ≤ [C_OPT] unconditionally (the optimum is one feasible candidate
+      of the unconstrained problem) — the rigorous default.
+    - {!lp_rounding}: the faithful Lemma 5 route from [9] — solve the k-flow
+      LP with the delay budget, round its basic optimal solution by
+      re-solving an integral min-cost flow on the LP support. Empirically
+      starts much closer to feasibility; also certifies infeasibility when
+      the LP itself is infeasible.
+    - {!min_delay}: minimum total-delay disjoint paths. Feasible whenever
+      the instance is (delay is the minimum achievable), so it doubles as
+      the fallback solution and the [C_OPT] upper bound. *)
+
+type start = {
+  paths : Krsp_graph.Path.t list;
+  cost : int;
+  delay : int;
+}
+
+type result =
+  | Start of start
+  | No_k_paths  (** the graph has fewer than k disjoint st-paths *)
+  | Lp_infeasible  (** delay-budgeted LP infeasible ⇒ kRSP instance infeasible *)
+
+val min_sum : Instance.t -> result
+val min_delay : Instance.t -> result
+val lp_rounding : Instance.t -> result
+
+type kind = Min_sum | Min_delay | Lp_rounding
+
+val run : kind -> Instance.t -> result

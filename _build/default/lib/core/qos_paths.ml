@@ -1,0 +1,63 @@
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+
+type quality =
+  | Strict
+  | Average
+
+type outcome =
+  | Paths of Instance.solution * quality
+  | No_k_disjoint_paths
+  | Relaxation_infeasible of int
+
+let max_path_delay t sol =
+  List.fold_left (fun acc p -> max acc (Path.delay t.Instance.graph p)) 0 sol.Instance.paths
+
+(* The ⊕ machinery returns edge *sets*; different decompositions of the same
+   set can have very different per-path delays. Try a delay-aware
+   re-decomposition: peel the remaining edge set along minimum-delay paths
+   first (greedy), keeping the same total weights. *)
+let rebalance t sol =
+  let g = t.Instance.graph in
+  let in_set = Array.make (G.m g) false in
+  List.iter (fun e -> in_set.(e) <- true) (Instance.edge_set sol);
+  let rec peel acc k =
+    if k = 0 then Some (List.rev acc)
+    else begin
+      match
+        Krsp_graph.Dijkstra.shortest_path g ~weight:(G.delay g)
+          ~disabled:(fun e -> not in_set.(e))
+          ~src:t.Instance.src ~dst:t.Instance.dst ()
+      with
+      | None -> None
+      | Some (_, p) ->
+        List.iter (fun e -> in_set.(e) <- false) p;
+        peel (p :: acc) (k - 1)
+    end
+  in
+  match peel [] t.Instance.k with
+  | Some paths when Instance.is_structurally_valid t paths ->
+    Instance.solution_of_paths t paths
+  | _ -> sol
+
+let solve g ~src ~dst ~k ~per_path_delay ?epsilon () =
+  let budget = k * per_path_delay in
+  let t = Instance.create g ~src ~dst ~k ~delay_bound:budget in
+  let solved =
+    match epsilon with
+    | None -> (
+      match Krsp.solve t () with
+      | Ok (sol, _) -> Ok sol
+      | Error e -> Error e)
+    | Some eps -> (
+      match Scaling.solve t ~epsilon1:eps ~epsilon2:eps () with
+      | Ok r -> Ok r.Scaling.solution
+      | Error e -> Error e)
+  in
+  match solved with
+  | Error Krsp.No_k_disjoint_paths -> No_k_disjoint_paths
+  | Error (Krsp.Delay_bound_unreachable d) -> Relaxation_infeasible d
+  | Ok sol ->
+    let sol = if max_path_delay t sol > per_path_delay then rebalance t sol else sol in
+    let quality = if max_path_delay t sol <= per_path_delay then Strict else Average in
+    Paths (sol, quality)

@@ -1,0 +1,41 @@
+(** The k disjoint QoS path problem (Definition 1 of the paper) — per-path
+    delay bounds — via the paper's own reduction.
+
+    Definition 1 asks for k disjoint paths with [d(Pᵢ) ≤ D] for *each* i.
+    That problem is NP-hard even with all costs zero [16], so no algorithm
+    can strictly obey the per-path constraint in polynomial time. The paper's
+    §1 workaround is the definition of kRSP itself: solve the total-delay
+    problem with budget [k·D] and "route the packages via the k paths
+    according to their urgency priority". This module packages that
+    reduction and reports honestly which guarantee the result carries:
+
+    - [Strict]: every returned path individually meets [D] (it can happen,
+      it just is not guaranteed);
+    - [Average]: only the kRSP guarantee holds — the *average* path delay is
+      ≤ D (total ≤ k·D), with a priority dispatch over the paths planned by
+      {!Krsp_route.Priority_routing} in the caller's hands;
+    - infeasibility certificates when even the relaxation has none. *)
+
+type quality =
+  | Strict  (** every path's delay ≤ D *)
+  | Average  (** total delay ≤ k·D only *)
+
+type outcome =
+  | Paths of Instance.solution * quality
+  | No_k_disjoint_paths
+  | Relaxation_infeasible of int
+      (** even total delay ≤ k·D is unachievable; payload = minimum total *)
+
+val solve :
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  k:int ->
+  per_path_delay:int ->
+  ?epsilon:float ->
+  unit ->
+  outcome
+(** Runs kRSP with budget [k·per_path_delay] (exact loop, or the Theorem 4
+    scaling when [epsilon] is given), then post-checks the per-path bounds.
+    Tries a cheap repair first: re-decomposing the solution's edge set can
+    re-balance path delays at zero cost change. *)

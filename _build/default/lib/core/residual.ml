@@ -1,0 +1,47 @@
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+
+type t = { graph : G.t; base_edge : int array; is_reversed : bool array }
+
+let build g ~paths =
+  if not (Path.edge_disjoint paths) then invalid_arg "Residual.build: paths share edges";
+  let on_path = Array.make (G.m g) false in
+  List.iter (fun p -> List.iter (fun e -> on_path.(e) <- true) p) paths;
+  let rg = G.create ~expected_edges:(G.m g) ~n:(G.n g) () in
+  let base_edge = Array.make (G.m g) (-1) in
+  let is_reversed = Array.make (G.m g) false in
+  G.iter_edges g (fun e ->
+      let re =
+        if on_path.(e) then
+          G.add_edge rg ~src:(G.dst g e) ~dst:(G.src g e) ~cost:(-G.cost g e)
+            ~delay:(-G.delay g e)
+        else G.add_edge rg ~src:(G.src g e) ~dst:(G.dst g e) ~cost:(G.cost g e) ~delay:(G.delay g e)
+      in
+      base_edge.(re) <- e;
+      is_reversed.(re) <- on_path.(e));
+  { graph = rg; base_edge; is_reversed }
+
+let cost t e = G.cost t.graph e
+let delay t e = G.delay t.graph e
+
+let apply_cycle t ~current ~cycle =
+  let in_current = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace in_current e ()) current;
+  List.iter
+    (fun re ->
+      let e = t.base_edge.(re) in
+      if t.is_reversed.(re) then begin
+        if not (Hashtbl.mem in_current e) then
+          invalid_arg "Residual.apply_cycle: reversing an unused edge";
+        Hashtbl.remove in_current e
+      end
+      else begin
+        if Hashtbl.mem in_current e then
+          invalid_arg "Residual.apply_cycle: adding an edge already in use";
+        Hashtbl.replace in_current e ()
+      end)
+    cycle;
+  Hashtbl.fold (fun e () acc -> e :: acc) in_current []
+
+let cycle_cost t cyc = List.fold_left (fun acc e -> acc + cost t e) 0 cyc
+let cycle_delay t cyc = List.fold_left (fun acc e -> acc + delay t e) 0 cyc

@@ -1,0 +1,38 @@
+(** Residual graphs with respect to a set of disjoint paths — Definition 6.
+
+    [G̃ = G ∪ (∪ᵢ E(P̄ᵢ)) ∖ ∪ᵢ E(Pᵢ)]: every edge used by the current paths
+    is replaced by its reversal carrying *negated* cost and delay (both of
+    them — the point of the paper, in contrast to [12, 18] which zero the
+    reversed cost). The result is a multigraph; parallel arcs with different
+    weights are preserved. *)
+
+module G := Krsp_graph.Digraph
+
+type t = {
+  graph : G.t;  (** the residual multigraph, same vertex ids as the base *)
+  base_edge : int array;  (** residual edge id → base-graph edge id *)
+  is_reversed : bool array;  (** residual edge id → was it a reversed path edge *)
+}
+
+val build : G.t -> paths:Krsp_graph.Path.t list -> t
+(** Raises [Invalid_argument] if the paths are not edge-disjoint. *)
+
+val cost : t -> G.edge -> int
+(** Cost of a residual edge (negated for reversed ones). Same as
+    [G.cost t.graph e]; provided for readability. *)
+
+val delay : t -> G.edge -> int
+
+val apply_cycle : t -> current:G.edge list -> cycle:G.edge list -> G.edge list
+(** The ⊕ operation of Proposition 7 for a single cycle: [current] is the
+    edge set (in the base graph) of the k disjoint paths, [cycle] is a cycle
+    of the residual graph (residual edge ids). Forward residual edges are
+    added to the set, reversed ones remove their base edge. Raises
+    [Invalid_argument] if the cycle uses a forward edge already in [current]
+    or reverses an edge not in [current] (cannot happen for cycles of this
+    residual graph). *)
+
+val cycle_cost : t -> G.edge list -> int
+(** Total (signed) cost of a residual cycle. *)
+
+val cycle_delay : t -> G.edge list -> int

@@ -1,0 +1,31 @@
+(** Theorem 4 — the (1+ε₁, 2+ε₂) polynomial-time wrapper.
+
+    Scales every delay by [θ_d ≈ ε₁·D/(n·k)] and every cost by
+    [θ_c ≈ ε₂·Ĉ/(n·k)] (where [Ĉ] is the min-delay solution's cost, a
+    certified [C_OPT] upper bound), solves the scaled instance with
+    Algorithm 1, and maps the paths back. Floor-scaling can only make paths
+    cheaper/faster, so the scaled instance stays feasible; rounding error is
+    at most one unit per edge over at most [n·k] solution edges, giving the
+    [+ε] slack of the theorem. The scaled magnitudes — and with them the
+    layered search space and the iteration bound of Lemma 13 — become
+    polynomial in [n, k, 1/ε]. *)
+
+type result = {
+  solution : Instance.solution;  (** evaluated at the *original* weights *)
+  stats : Krsp.stats;
+  scaled_delay_bound : int;
+  theta_delay : int;
+  theta_cost : int;
+}
+
+val solve :
+  Instance.t ->
+  epsilon1:float ->
+  epsilon2:float ->
+  ?engine:Krsp.engine ->
+  ?phase1:Phase1.kind ->
+  ?max_iterations:int ->
+  unit ->
+  (result, Krsp.error) Stdlib.result
+(** [epsilon1] relaxes the delay bound (total delay ≤ (1+ε₁)·D), [epsilon2]
+    the cost ratio. Raises [Invalid_argument] on non-positive epsilons. *)

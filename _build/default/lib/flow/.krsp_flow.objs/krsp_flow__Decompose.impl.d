@@ -1,0 +1,1 @@
+lib/flow/decompose.ml: Array Krsp_bigint Krsp_graph List Q

@@ -1,0 +1,1 @@
+lib/flow/decompose.mli: Krsp_bigint Krsp_graph Q

@@ -1,0 +1,1 @@
+lib/flow/suurballe.ml: Array Krsp_graph List Mcmf Option

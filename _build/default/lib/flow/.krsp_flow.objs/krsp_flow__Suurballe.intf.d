@@ -1,0 +1,1 @@
+lib/flow/suurballe.mli: Krsp_graph

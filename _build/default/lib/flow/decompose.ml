@@ -1,0 +1,108 @@
+open Krsp_bigint
+module G = Krsp_graph.Digraph
+
+(* Residual values live in a mutable array; support-walking repeatedly peels
+   the bottleneck of a simple path/cycle found by following positive-value
+   out-edges. Each peel zeroes at least one edge, so at most m iterations. *)
+
+let values_of g value =
+  Array.init (G.m g) (fun e ->
+      let v = value e in
+      if Q.sign v < 0 then invalid_arg "Decompose: negative flow value";
+      v)
+
+let positive_out g values v =
+  List.find_opt (fun e -> Q.sign values.(e) > 0) (G.out_edges g v)
+
+let imbalance g values v =
+  let sum = List.fold_left (fun acc e -> Q.add acc values.(e)) Q.zero in
+  Q.sub (sum (G.out_edges g v)) (sum (G.in_edges g v))
+
+(* Follow positive out-edges from [start] until either [is_sink] holds or a
+   vertex repeats; returns either a simple path to the sink or a simple
+   cycle. Assumes every visited non-sink vertex has a positive out-edge. *)
+let trace g values ~start ~is_sink =
+  let rec go stack seen v =
+    if is_sink v && stack <> [] then `Path (List.rev stack)
+    else begin
+      match positive_out g values v with
+      | None ->
+        (* can only happen at a sink (handled above) or on bad input *)
+        invalid_arg "Decompose: conservation violated (dead end)"
+      | Some e ->
+        let seen = (v, ()) :: seen in
+        let w = G.dst g e in
+        if List.mem_assoc w seen then begin
+          if G.src g e = w then `Cycle [ e ] (* self-loop *)
+          else begin
+            (* pop the cycle w .. v -> w off the stack *)
+            let rec cut acc = function
+              | [] -> assert false
+              | e' :: rest ->
+                let acc = e' :: acc in
+                if G.src g e' = w then acc else cut acc rest
+            in
+            `Cycle (cut [ e ] stack)
+          end
+        end
+        else go (e :: stack) seen w
+    end
+  in
+  go [] [] start
+
+let peel values edges =
+  let bottleneck =
+    List.fold_left (fun acc e -> Q.min acc values.(e)) values.(List.hd edges) edges
+  in
+  List.iter (fun e -> values.(e) <- Q.sub values.(e) bottleneck) edges;
+  bottleneck
+
+let circulation g value =
+  let values = values_of g value in
+  for v = 0 to G.n g - 1 do
+    if not (Q.is_zero (imbalance g values v)) then
+      invalid_arg "Decompose.circulation: unbalanced vertex"
+  done;
+  let out = ref [] in
+  let rec drain e =
+    if e >= G.m g then ()
+    else if Q.sign values.(e) > 0 then begin
+      match trace g values ~start:(G.src g e) ~is_sink:(fun _ -> false) with
+      | `Path _ -> assert false
+      | `Cycle cyc ->
+        let w = peel values cyc in
+        out := (w, cyc) :: !out;
+        drain e
+    end
+    else drain (e + 1)
+  in
+  drain 0;
+  !out
+
+let st_flow g ~src ~dst value =
+  let values = values_of g value in
+  for v = 0 to G.n g - 1 do
+    if v <> src && v <> dst && not (Q.is_zero (imbalance g values v)) then
+      invalid_arg "Decompose.st_flow: conservation violated"
+  done;
+  if Q.sign (imbalance g values src) < 0 then
+    invalid_arg "Decompose.st_flow: negative surplus at source";
+  let paths = ref [] and cycles = ref [] in
+  (* first peel src->dst paths until src is balanced *)
+  let rec peel_paths () =
+    if Q.sign (imbalance g values src) > 0 then begin
+      match trace g values ~start:src ~is_sink:(fun v -> v = dst) with
+      | `Path p ->
+        let w = peel values p in
+        paths := (w, p) :: !paths;
+        peel_paths ()
+      | `Cycle cyc ->
+        let w = peel values cyc in
+        cycles := (w, cyc) :: !cycles;
+        peel_paths ()
+    end
+  in
+  peel_paths ();
+  (* leftovers form a circulation *)
+  let leftover = circulation g (fun e -> values.(e)) in
+  (!paths, !cycles @ leftover)

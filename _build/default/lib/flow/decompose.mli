@@ -1,0 +1,28 @@
+(** Decomposition of fractional flows and circulations into weighted simple
+    paths and cycles.
+
+    Used to "release the set of cycles" from an LP (6) solution (Algorithm 3
+    step 1(a)iii of the paper) and to split the phase-1 fractional flow into
+    an integral part plus fractional residue for rounding. *)
+
+open Krsp_bigint
+
+val circulation :
+  Krsp_graph.Digraph.t ->
+  (Krsp_graph.Digraph.edge -> Q.t) ->
+  (Q.t * Krsp_graph.Path.t) list
+(** [circulation g value] decomposes a non-negative circulation (every vertex
+    balanced: Σ value(out) = Σ value(in)) into weighted vertex-simple cycles
+    whose weighted sum reproduces [value] exactly. Raises [Invalid_argument]
+    if some vertex is unbalanced. *)
+
+val st_flow :
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  (Krsp_graph.Digraph.edge -> Q.t) ->
+  (Q.t * Krsp_graph.Path.t) list * (Q.t * Krsp_graph.Path.t) list
+(** [st_flow g ~src ~dst value] splits a non-negative [src→dst] flow into
+    (weighted simple paths, weighted simple cycles). Raises
+    [Invalid_argument] if conservation fails at an interior vertex or the
+    net surplus at [src] is negative. *)

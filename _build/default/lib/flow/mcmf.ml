@@ -1,0 +1,108 @@
+module G = Krsp_graph.Digraph
+module Heap = Krsp_graph.Heap
+
+type result = { cost : int; flow : int array }
+
+(* Successive shortest paths. Residual arcs are represented implicitly:
+   forward over edge e while flow.(e) < cap e (reduced cost c(e)+π(u)−π(v)),
+   backward while flow.(e) > 0 (reduced cost −c(e)+π(v)−π(u)). With
+   potentials maintained after every augmentation, all reduced costs stay
+   non-negative and Dijkstra applies. *)
+let min_cost_flow g ~capacity ~cost ~src ~dst ~amount =
+  let n = G.n g and m = G.m g in
+  G.iter_edges g (fun e ->
+      if cost e < 0 then invalid_arg "Mcmf: negative cost";
+      if capacity e < 0 then invalid_arg "Mcmf: negative capacity");
+  let flow = Array.make m 0 in
+  let pi = Array.make n 0 in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in (* edge id *)
+  let parent_fwd = Array.make n true in
+  let total_cost = ref 0 in
+  let shipped = ref 0 in
+  let dijkstra () =
+    Array.fill dist 0 n max_int;
+    Array.fill parent 0 n (-1);
+    let heap = Heap.create ~capacity:(n + 1) () in
+    dist.(src) <- 0;
+    Heap.push heap ~prio:0 ~value:src;
+    let rec loop () =
+      match Heap.pop_min heap with
+      | None -> ()
+      | Some (d, u) ->
+        if d = dist.(u) then begin
+          G.iter_out g u (fun e ->
+              if flow.(e) < capacity e then begin
+                let v = G.dst g e in
+                let rc = cost e + pi.(u) - pi.(v) in
+                assert (rc >= 0);
+                if dist.(u) + rc < dist.(v) then begin
+                  dist.(v) <- dist.(u) + rc;
+                  parent.(v) <- e;
+                  parent_fwd.(v) <- true;
+                  Heap.push heap ~prio:dist.(v) ~value:v
+                end
+              end);
+          List.iter
+            (fun e ->
+              if flow.(e) > 0 then begin
+                let v = G.src g e in
+                let rc = -cost e + pi.(u) - pi.(v) in
+                assert (rc >= 0);
+                if dist.(u) + rc < dist.(v) then begin
+                  dist.(v) <- dist.(u) + rc;
+                  parent.(v) <- e;
+                  parent_fwd.(v) <- false;
+                  Heap.push heap ~prio:dist.(v) ~value:v
+                end
+              end)
+            (G.in_edges g u)
+        end;
+        loop ()
+    in
+    loop ()
+  in
+  let rec augment () =
+    if !shipped >= amount then true
+    else begin
+      dijkstra ();
+      if dist.(dst) = max_int then false
+      else begin
+        (* update potentials; vertices unreachable this round keep theirs *)
+        for v = 0 to n - 1 do
+          if dist.(v) < max_int then pi.(v) <- pi.(v) + dist.(v)
+        done;
+        (* bottleneck along the path *)
+        let rec bottleneck v acc =
+          if v = src then acc
+          else begin
+            let e = parent.(v) in
+            if parent_fwd.(v) then bottleneck (G.src g e) (min acc (capacity e - flow.(e)))
+            else bottleneck (G.dst g e) (min acc flow.(e))
+          end
+        in
+        let push = min (bottleneck dst max_int) (amount - !shipped) in
+        let rec apply v =
+          if v <> src then begin
+            let e = parent.(v) in
+            if parent_fwd.(v) then begin
+              flow.(e) <- flow.(e) + push;
+              total_cost := !total_cost + (push * cost e);
+              apply (G.src g e)
+            end
+            else begin
+              flow.(e) <- flow.(e) - push;
+              total_cost := !total_cost - (push * cost e);
+              apply (G.dst g e)
+            end
+          end
+        in
+        apply dst;
+        shipped := !shipped + push;
+        augment ()
+      end
+    end
+  in
+  if src = dst then (if amount = 0 then Some { cost = 0; flow } else None)
+  else if augment () then Some { cost = !total_cost; flow }
+  else None

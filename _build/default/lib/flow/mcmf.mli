@@ -1,0 +1,23 @@
+(** Minimum-cost flow by successive shortest paths with Johnson potentials.
+
+    Edge costs must be non-negative (true of the input graphs; residual
+    negativity is handled internally through the potential function). This is
+    the engine behind the min-sum disjoint-paths solver ({!Suurballe}) and
+    the min-sum baseline. *)
+
+type result = {
+  cost : int;  (** total cost of the flow found *)
+  flow : int array;  (** flow on each edge id, [0 <= flow e <= capacity e] *)
+}
+
+val min_cost_flow :
+  Krsp_graph.Digraph.t ->
+  capacity:(Krsp_graph.Digraph.edge -> int) ->
+  cost:(Krsp_graph.Digraph.edge -> int) ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  amount:int ->
+  result option
+(** A minimum-cost flow shipping exactly [amount] units from [src] to [dst],
+    or [None] if the network cannot carry that much.
+    Raises [Invalid_argument] on a negative edge cost or capacity. *)

@@ -1,0 +1,23 @@
+module G = Krsp_graph.Digraph
+module Walk = Krsp_graph.Walk
+
+let flow_edges g flow =
+  G.fold_edges g ~init:[] ~f:(fun acc e -> if flow.(e) > 0 then e :: acc else acc)
+
+let solve g ~src ~dst ~k =
+  match
+    Mcmf.min_cost_flow g ~capacity:(fun _ -> 1) ~cost:(G.cost g) ~src ~dst ~amount:k
+  with
+  | None -> None
+  | Some { Mcmf.flow; _ } ->
+    let edges = flow_edges g flow in
+    let paths, cycles = Walk.decompose_st g ~src ~dst ~k edges in
+    (* a min-cost flow with non-negative costs admits a decomposition without
+       positive-cost cycles; zero-cost cycles may appear and are dropped *)
+    assert (List.for_all (fun c -> Krsp_graph.Path.cost g c = 0) cycles);
+    Some paths
+
+let min_cost g ~src ~dst ~k =
+  Option.map
+    (fun r -> r.Mcmf.cost)
+    (Mcmf.min_cost_flow g ~capacity:(fun _ -> 1) ~cost:(G.cost g) ~src ~dst ~amount:k)

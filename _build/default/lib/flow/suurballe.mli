@@ -1,0 +1,25 @@
+(** Minimum total-cost [k] edge-disjoint paths (Suurballe / min-cost-flow).
+
+    Solves the delay-oblivious relaxation of kRSP exactly: [k] disjoint
+    [s→t] paths of minimum cost-sum, via a unit-capacity min-cost flow of
+    value [k] followed by path decomposition. Its cost is a lower bound on
+    [C_OPT] of any kRSP instance on the same graph, which is exactly the
+    property the paper's Lemma 11 induction needs from the phase-1
+    solution. *)
+
+val solve :
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  k:int ->
+  Krsp_graph.Path.t list option
+(** [k] edge-disjoint paths minimising total cost, or [None] when fewer than
+    [k] disjoint paths exist. *)
+
+val min_cost :
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  k:int ->
+  int option
+(** Just the optimal cost-sum. *)

@@ -1,0 +1,1 @@
+lib/gen/hard.ml: Krsp_core Krsp_graph

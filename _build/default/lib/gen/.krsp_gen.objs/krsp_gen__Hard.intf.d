@@ -1,0 +1,1 @@
+lib/gen/hard.mli: Krsp_core

@@ -1,0 +1,1 @@
+lib/gen/instgen.ml: Krsp_core Krsp_graph Krsp_util

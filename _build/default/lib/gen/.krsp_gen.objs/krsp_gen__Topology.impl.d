@@ -1,0 +1,1 @@
+lib/gen/topology.ml: Array Krsp_graph Krsp_util List

@@ -1,0 +1,1 @@
+lib/gen/topology.mli: Krsp_graph Krsp_util

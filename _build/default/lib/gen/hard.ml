@@ -1,0 +1,37 @@
+module G = Krsp_graph.Digraph
+module Instance = Krsp_core.Instance
+
+(* Figure 1: vertices s a b c t. Two disjoint paths required. The free edge
+   s→t is always one of them. The other starts s→a and then either
+   - a→b→t: the optimum (cost [cost_unit] on b→t, delay D on a→b), or
+   - a→b→c→t: the phase-1 min-sum choice (cost 0, delay 2D — infeasible), or
+   - a→t: the decoy (delay 0 but cost  cost_unit·(D+1) − 1).
+   Naive most-delay-first cancellation jumps to the decoy (−2D delay);
+   bicameral cancellation pays cost_unit for the optimal −D cycle instead. *)
+let figure1 ~cost_unit ~delay_bound =
+  if cost_unit < 1 then invalid_arg "Hard.figure1: cost_unit >= 1";
+  if delay_bound < 2 then invalid_arg "Hard.figure1: delay_bound >= 2";
+  let g = G.create ~n:5 () in
+  let s = 0 and a = 1 and b = 2 and c = 3 and t = 4 in
+  let d = delay_bound in
+  ignore (G.add_edge g ~src:s ~dst:t ~cost:0 ~delay:0);
+  ignore (G.add_edge g ~src:s ~dst:a ~cost:0 ~delay:0);
+  ignore (G.add_edge g ~src:a ~dst:b ~cost:0 ~delay:d);
+  ignore (G.add_edge g ~src:b ~dst:c ~cost:0 ~delay:d);
+  ignore (G.add_edge g ~src:c ~dst:t ~cost:0 ~delay:0);
+  ignore (G.add_edge g ~src:b ~dst:t ~cost:cost_unit ~delay:0);
+  ignore (G.add_edge g ~src:a ~dst:t ~cost:((cost_unit * (d + 1)) - 1) ~delay:0);
+  Instance.create g ~src:s ~dst:t ~k:2 ~delay_bound
+
+(* Zigzag: a chain of [levels] segments, each offering a cheap-slow edge
+   (cost 0, delay 2) and a costly-fast one (cost 1, delay 0). The min-sum
+   start is all-slow (delay 2·levels); the bound of [levels] forces
+   ceil(levels/2) single-segment upgrade cycles, one per iteration. *)
+let zigzag ~levels =
+  if levels < 1 then invalid_arg "Hard.zigzag: levels >= 1";
+  let g = G.create ~n:(levels + 1) () in
+  for i = 0 to levels - 1 do
+    ignore (G.add_edge g ~src:i ~dst:(i + 1) ~cost:0 ~delay:2);
+    ignore (G.add_edge g ~src:i ~dst:(i + 1) ~cost:1 ~delay:0)
+  done;
+  Instance.create g ~src:0 ~dst:levels ~k:1 ~delay_bound:levels

@@ -1,0 +1,20 @@
+(** Adversarial instance families, including the paper's Figure 1.
+
+    {!figure1} reproduces the construction showing why Definition 10 caps
+    [|c(O)| ≤ C_OPT]: without the cap, cycle cancellation can walk to a
+    solution of cost ≈ [C_OPT·(D+1)] while the optimum costs [C_OPT]. The
+    instance has [k = 2], source [s], sink [t], a free direct edge [s→t],
+    and two parallel routes: the optimal [s→a→b→t] (cost [C], delay [D]) and
+    a decoy [s→a→t] reachable by a cascade of tiny-delay-improvement,
+    huge-cost cycles. *)
+
+val figure1 : cost_unit:int -> delay_bound:int -> Krsp_core.Instance.t
+(** [cost_unit] is the paper's [C_OPT] scale (≥ 1), [delay_bound] the bound
+    [D] (≥ 2). The optimal solution costs exactly [cost_unit] with delay
+    [delay_bound]; the decoy route costs [cost_unit·(delay_bound+1) − 1]
+    with delay 0. *)
+
+val zigzag : levels:int -> Krsp_core.Instance.t
+(** A k=2 family where the min-sum start needs [levels] cancellation
+    iterations to become feasible — exercises the iteration-count experiment
+    (E5) with a controllable knob. *)

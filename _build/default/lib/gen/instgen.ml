@@ -1,0 +1,43 @@
+module G = Krsp_graph.Digraph
+module X = Krsp_util.Xoshiro
+module Instance = Krsp_core.Instance
+module Phase1 = Krsp_core.Phase1
+
+type spec = { k : int; tightness : float }
+
+let clamp01 x = if x < 0. then 0. else if x > 1. then 1. else x
+
+let instance_st g ~src ~dst spec =
+  if not (Krsp_graph.Bfs.edge_connectivity_at_least g ~src ~dst ~k:spec.k) then None
+  else begin
+    (* probe with a wide-open instance to get the two anchor delays *)
+    let probe = Instance.create g ~src ~dst ~k:spec.k ~delay_bound:max_int in
+    match (Instance.min_possible_delay probe, Phase1.min_sum probe) with
+    | Some dmin, Phase1.Start s ->
+      let dmax = max dmin s.Phase1.delay in
+      let alpha = clamp01 spec.tightness in
+      let bound = dmin + int_of_float (alpha *. float_of_int (dmax - dmin)) in
+      Some (Instance.create g ~src ~dst ~k:spec.k ~delay_bound:bound)
+    | _ -> None
+  end
+
+let instance rng g spec =
+  let n = G.n g in
+  if n < 2 then None
+  else begin
+    (* try a handful of random pairs, keep the first connected one *)
+    let rec attempt tries =
+      if tries = 0 then None
+      else begin
+        let src = X.int rng n in
+        let dst = X.int rng n in
+        if src = dst then attempt (tries - 1)
+        else begin
+          match instance_st g ~src ~dst spec with
+          | Some t -> Some t
+          | None -> attempt (tries - 1)
+        end
+      end
+    in
+    attempt 30
+  end

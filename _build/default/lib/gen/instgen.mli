@@ -1,0 +1,33 @@
+(** Feasible kRSP instance sampling.
+
+    Wraps a topology into an {!Krsp_core.Instance.t} by picking endpoints
+    with enough edge-connectivity and a delay bound that lies strictly
+    between the minimum achievable total delay and the delay of the cheapest
+    (delay-oblivious) solution — the regime where the problem is actually
+    hard: the min-sum answer violates the bound, the min-delay answer is
+    overpriced, and the cycle-cancellation machinery has work to do. *)
+
+type spec = {
+  k : int;
+  tightness : float;
+      (** 0 → delay bound at the minimum achievable (hardest);
+          1 → bound at the min-sum solution's delay (trivial). Clamped to
+          [\[0, 1\]]. *)
+}
+
+val instance :
+  Krsp_util.Xoshiro.t ->
+  Krsp_graph.Digraph.t ->
+  spec ->
+  Krsp_core.Instance.t option
+(** Picks [src]/[dst] (random, biased to distant pairs), checks
+    k-connectivity, and interpolates the delay bound; [None] when no vertex
+    pair carries [k] disjoint paths. Always returns a feasible instance. *)
+
+val instance_st :
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  spec ->
+  Krsp_core.Instance.t option
+(** Same, with fixed endpoints. *)

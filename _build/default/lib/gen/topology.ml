@@ -1,0 +1,168 @@
+module G = Krsp_graph.Digraph
+module X = Krsp_util.Xoshiro
+
+type weights = { cost_range : int * int; delay_range : int * int }
+
+let default_weights = { cost_range = (1, 20); delay_range = (1, 20) }
+
+let sample rng (lo, hi) = X.int_in rng lo hi
+
+let add rng w g ~src ~dst =
+  ignore
+    (G.add_edge g ~src ~dst ~cost:(sample rng w.cost_range) ~delay:(sample rng w.delay_range))
+
+let erdos_renyi rng ~n ~p w =
+  let g = G.create ~n () in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && X.float rng 1.0 < p then add rng w g ~src:u ~dst:v
+    done
+  done;
+  g
+
+let layered_dag rng ~layers ~width ~p w =
+  assert (layers >= 2 && width >= 1);
+  let n = layers * width in
+  let g = G.create ~n () in
+  let vertex l i = (l * width) + i in
+  for l = 0 to layers - 2 do
+    for i = 0 to width - 1 do
+      let forced = X.int rng width in
+      for j = 0 to width - 1 do
+        if j = forced || X.float rng 1.0 < p then
+          add rng w g ~src:(vertex l i) ~dst:(vertex (l + 1) j)
+      done
+    done
+  done;
+  g
+
+let grid rng ~rows ~cols ~bidirectional w =
+  let n = rows * cols in
+  let g = G.create ~n () in
+  let vertex r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then begin
+        add rng w g ~src:(vertex r c) ~dst:(vertex r (c + 1));
+        if bidirectional then add rng w g ~src:(vertex r (c + 1)) ~dst:(vertex r c)
+      end;
+      if r + 1 < rows then begin
+        add rng w g ~src:(vertex r c) ~dst:(vertex (r + 1) c);
+        if bidirectional then add rng w g ~src:(vertex (r + 1) c) ~dst:(vertex r c)
+      end
+    done
+  done;
+  g
+
+let waxman rng ~n ~alpha ~beta w =
+  let g = G.create ~n () in
+  let xs = Array.init n (fun _ -> X.float rng 1.0) in
+  let ys = Array.init n (fun _ -> X.float rng 1.0) in
+  let max_dist = sqrt 2.0 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+        let dist = sqrt ((dx *. dx) +. (dy *. dy)) in
+        if X.float rng 1.0 < alpha *. exp (-.dist /. (beta *. max_dist)) then begin
+          (* propagation delay proportional to distance, at least 1 *)
+          let delay = max 1 (int_of_float (dist *. 20.)) in
+          ignore (G.add_edge g ~src:u ~dst:v ~cost:(sample rng w.cost_range) ~delay)
+        end
+      end
+    done
+  done;
+  g
+
+let ring_chords rng ~n ~chords w =
+  assert (n >= 3);
+  let g = G.create ~n () in
+  for v = 0 to n - 1 do
+    let next = (v + 1) mod n in
+    add rng w g ~src:v ~dst:next;
+    add rng w g ~src:next ~dst:v
+  done;
+  for _ = 1 to chords do
+    let u = X.int rng n in
+    let v = X.int rng n in
+    if u <> v && abs (u - v) <> 1 && abs (u - v) <> n - 1 then begin
+      add rng w g ~src:u ~dst:v;
+      add rng w g ~src:v ~dst:u
+    end
+  done;
+  g
+
+let barabasi_albert rng ~n ~attach w =
+  assert (n > attach && attach >= 1);
+  let g = G.create ~n () in
+  let seed_size = attach + 1 in
+  (* degree-weighted sampling via a repeated-endpoint urn *)
+  let urn = ref [] in
+  let link u v =
+    add rng w g ~src:u ~dst:v;
+    add rng w g ~src:v ~dst:u;
+    urn := u :: v :: !urn
+  in
+  for u = 0 to seed_size - 1 do
+    for v = u + 1 to seed_size - 1 do
+      link u v
+    done
+  done;
+  for v = seed_size to n - 1 do
+    let targets = ref [] in
+    let arr = Array.of_list !urn in
+    while List.length !targets < attach do
+      let candidate = arr.(X.int rng (Array.length arr)) in
+      if not (List.mem candidate !targets) then targets := candidate :: !targets
+    done;
+    List.iter (fun u -> link v u) !targets
+  done;
+  g
+
+(* A fixed 22-node European-research-network-like mesh: node ids are
+   arbitrary city labels, adjacency chosen to mimic the published GEANT-era
+   maps (degree 2-5, a dense core, stub countries on rings). *)
+let reference_isp_links =
+  [ (0, 1); (0, 2); (0, 5); (1, 3); (1, 6); (2, 4); (2, 7); (3, 4); (3, 8);
+    (4, 9); (5, 6); (5, 10); (6, 11); (7, 8); (7, 12); (8, 13); (9, 13);
+    (9, 14); (10, 11); (10, 15); (11, 16); (12, 13); (12, 17); (13, 18);
+    (14, 18); (14, 19); (15, 16); (15, 20); (16, 21); (17, 18); (17, 20);
+    (19, 21); (20, 21); (6, 8); (11, 13)
+  ]
+
+let reference_isp rng w =
+  let g = G.create ~n:22 () in
+  List.iter
+    (fun (u, v) ->
+      add rng w g ~src:u ~dst:v;
+      add rng w g ~src:v ~dst:u)
+    reference_isp_links;
+  g
+
+let fat_tree rng ~pods w =
+  assert (pods >= 2 && pods mod 2 = 0);
+  let half = pods / 2 in
+  let n_core = half * half in
+  let n_agg = pods * half in
+  let n_edge = pods * half in
+  let g = G.create ~n:(n_core + n_agg + n_edge) () in
+  let core i j = (i * half) + j in
+  let agg p i = n_core + (p * half) + i in
+  let edge p i = n_core + n_agg + (p * half) + i in
+  let link u v =
+    add rng w g ~src:u ~dst:v;
+    add rng w g ~src:v ~dst:u
+  in
+  for p = 0 to pods - 1 do
+    for i = 0 to half - 1 do
+      (* aggregation switch i of pod p connects to core row i *)
+      for j = 0 to half - 1 do
+        link (agg p i) (core i j)
+      done;
+      (* full bipartite agg-edge inside the pod *)
+      for e = 0 to half - 1 do
+        link (agg p i) (edge p e)
+      done
+    done
+  done;
+  g

@@ -1,0 +1,64 @@
+(** Network topology generators for the experiments.
+
+    All generators are deterministic given the PRNG state; costs and delays
+    are sampled uniformly from the given inclusive ranges. The families are
+    chosen to match the paper's motivating setting (QoS routing / multipath
+    in data and SDN networks):
+
+    - {!erdos_renyi}: baseline random digraphs;
+    - {!layered_dag}: wide DAGs with many disjoint route choices, the
+      friendliest shape for disjoint-path routing;
+    - {!grid}: 2-D mesh (NoC / metro-network style), edges right/down plus
+      optional wraparound;
+    - {!waxman}: geometric random graphs à la Waxman, the classical model
+      for router-level ISP topologies;
+    - {!ring_chords}: SONET-like ring with random chords;
+    - {!fat_tree}: the canonical data-center fabric (k-ary fat-tree), where
+      multipath between two hosts is the norm. *)
+
+module G := Krsp_graph.Digraph
+
+type weights = {
+  cost_range : int * int;  (** inclusive *)
+  delay_range : int * int;
+}
+
+val default_weights : weights
+
+val erdos_renyi : Krsp_util.Xoshiro.t -> n:int -> p:float -> weights -> G.t
+
+val layered_dag :
+  Krsp_util.Xoshiro.t -> layers:int -> width:int -> p:float -> weights -> G.t
+(** Vertex 0 is the source side, last vertex the sink side; consecutive
+    layers are connected with probability [p] (at least one outgoing edge per
+    vertex is forced so the DAG stays connected). *)
+
+val grid : Krsp_util.Xoshiro.t -> rows:int -> cols:int -> bidirectional:bool -> weights -> G.t
+(** Vertices are row-major; edges go right and down (and back when
+    [bidirectional]). *)
+
+val waxman :
+  Krsp_util.Xoshiro.t -> n:int -> alpha:float -> beta:float -> weights -> G.t
+(** Waxman model on the unit square: P(u→v) = α·exp(−dist/(β·√2)); delays
+    are proportional to euclidean distance (propagation delay), costs drawn
+    from [weights]. *)
+
+val ring_chords : Krsp_util.Xoshiro.t -> n:int -> chords:int -> weights -> G.t
+(** Bidirected n-ring plus [chords] random bidirected chords. *)
+
+val fat_tree : Krsp_util.Xoshiro.t -> pods:int -> weights -> G.t
+(** k-ary fat-tree with [pods] pods ([pods] even, ≥ 2): (pods/2)² core
+    switches, per pod pods/2 aggregation and pods/2 edge switches; all
+    switch-level links bidirected. Hosts are not materialised; route between
+    edge switches. *)
+
+val barabasi_albert : Krsp_util.Xoshiro.t -> n:int -> attach:int -> weights -> G.t
+(** Preferential-attachment scale-free graph (Barabási–Albert): starts from
+    a small bidirected clique and attaches each new vertex to [attach]
+    existing vertices chosen proportionally to degree; all links bidirected.
+    Requires [n > attach >= 1]. *)
+
+val reference_isp : Krsp_util.Xoshiro.t -> weights -> G.t
+(** A fixed 22-node pan-European research-network-like topology (in the
+    spirit of the GÉANT maps used throughout the QoS-routing literature):
+    deterministic adjacency, randomised weights. All links bidirected. *)

@@ -1,0 +1,1 @@
+lib/graph/io.ml: Array Buffer Digraph Fun List Printf String

@@ -1,0 +1,1 @@
+lib/graph/walk.ml: Digraph Hashtbl List Option

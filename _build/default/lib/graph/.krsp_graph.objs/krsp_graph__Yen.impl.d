@@ -1,0 +1,1 @@
+lib/graph/yen.ml: Digraph Dijkstra Hashtbl List

@@ -1,0 +1,107 @@
+module G = Digraph
+
+let reachable g ?(disabled = fun _ -> false) ~src () =
+  let seen = Array.make (G.n g) false in
+  let queue = Queue.create () in
+  seen.(src) <- true;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    G.iter_out g u (fun e ->
+        if not (disabled e) then begin
+          let v = G.dst g e in
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            Queue.add v queue
+          end
+        end)
+  done;
+  seen
+
+let hop_path g ?(disabled = fun _ -> false) ~src ~dst () =
+  let n = G.n g in
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(src) <- true;
+  Queue.add src queue;
+  let found = ref (src = dst) in
+  while (not !found) && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    G.iter_out g u (fun e ->
+        if (not (disabled e)) && not !found then begin
+          let v = G.dst g e in
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            parent.(v) <- e;
+            if v = dst then found := true else Queue.add v queue
+          end
+        end)
+  done;
+  if not seen.(dst) then None
+  else begin
+    let rec go acc v =
+      let e = parent.(v) in
+      if e = -1 then acc else go (e :: acc) (G.src g e)
+    in
+    Some (go [] dst)
+  end
+
+(* Unit-capacity max-flow by BFS augmentation on an explicit residual
+   structure: forward use of e is allowed when flow.(e) = 0, backward
+   traversal of e when flow.(e) = 1. *)
+let edge_connectivity_at_least g ~src ~dst ~k =
+  if src = dst then true
+  else begin
+    let m = G.m g in
+    let flow = Array.make m false in
+    let n = G.n g in
+    let augment () =
+      (* BFS over residual edges; parent stores (edge, forward?) *)
+      let parent = Array.make n None in
+      let seen = Array.make n false in
+      let queue = Queue.create () in
+      seen.(src) <- true;
+      Queue.add src queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        G.iter_out g u (fun e ->
+            if not flow.(e) then begin
+              let v = G.dst g e in
+              if not seen.(v) then begin
+                seen.(v) <- true;
+                parent.(v) <- Some (e, true);
+                Queue.add v queue
+              end
+            end);
+        List.iter
+          (fun e ->
+            if flow.(e) then begin
+              let v = G.src g e in
+              if not seen.(v) then begin
+                seen.(v) <- true;
+                parent.(v) <- Some (e, false);
+                Queue.add v queue
+              end
+            end)
+          (G.in_edges g u)
+      done;
+      if not seen.(dst) then false
+      else begin
+        let rec undo v =
+          match parent.(v) with
+          | None -> ()
+          | Some (e, true) ->
+            flow.(e) <- true;
+            undo (G.src g e)
+          | Some (e, false) ->
+            flow.(e) <- false;
+            undo (G.dst g e)
+        in
+        undo dst;
+        true
+      end
+    in
+    let rec go i = if i >= k then true else if augment () then go (i + 1) else false in
+    go 0
+  end

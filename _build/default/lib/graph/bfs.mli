@@ -1,0 +1,24 @@
+(** Breadth-first search utilities. *)
+
+val reachable :
+  Digraph.t ->
+  ?disabled:(Digraph.edge -> bool) ->
+  src:Digraph.vertex ->
+  unit ->
+  bool array
+(** [reachable g ~src ()].(v) is true iff [v] is reachable from [src]. *)
+
+val hop_path :
+  Digraph.t ->
+  ?disabled:(Digraph.edge -> bool) ->
+  src:Digraph.vertex ->
+  dst:Digraph.vertex ->
+  unit ->
+  Path.t option
+(** A minimum-hop path from [src] to [dst], or [None]. *)
+
+val edge_connectivity_at_least :
+  Digraph.t -> src:Digraph.vertex -> dst:Digraph.vertex -> k:int -> bool
+(** True iff there exist [k] edge-disjoint [src→dst] paths (unit-capacity
+    max-flow by repeated augmentation on a residual copy). Used to decide
+    kRSP feasibility before running anything expensive. *)

@@ -1,0 +1,148 @@
+(* Edges live in growable parallel arrays; adjacency is an array of edge-id
+   lists (edges are only ever appended, never removed — algorithms that need
+   edge deletion work on a fresh copy or carry a [disabled] mask). *)
+
+type vertex = int
+type edge = int
+
+type t = {
+  mutable n : int;
+  mutable m : int;
+  mutable src : int array;
+  mutable dst : int array;
+  mutable cost : int array;
+  mutable delay : int array;
+  mutable out : edge list array; (* length >= n *)
+  mutable inc : edge list array;
+}
+
+let create ?(expected_edges = 16) ~n () =
+  let cap = max expected_edges 1 in
+  {
+    n;
+    m = 0;
+    src = Array.make cap 0;
+    dst = Array.make cap 0;
+    cost = Array.make cap 0;
+    delay = Array.make cap 0;
+    out = Array.make (max n 1) [];
+    inc = Array.make (max n 1) [];
+  }
+
+let copy t =
+  {
+    t with
+    src = Array.copy t.src;
+    dst = Array.copy t.dst;
+    cost = Array.copy t.cost;
+    delay = Array.copy t.delay;
+    out = Array.copy t.out;
+    inc = Array.copy t.inc;
+  }
+
+let n t = t.n
+let m t = t.m
+
+let grow_vertices t =
+  let cap = Array.length t.out in
+  if t.n >= cap then begin
+    let cap' = 2 * cap in
+    let out' = Array.make cap' [] and inc' = Array.make cap' [] in
+    Array.blit t.out 0 out' 0 cap;
+    Array.blit t.inc 0 inc' 0 cap;
+    t.out <- out';
+    t.inc <- inc'
+  end
+
+let add_vertex t =
+  grow_vertices t;
+  let v = t.n in
+  t.n <- t.n + 1;
+  v
+
+let grow_edges t =
+  let cap = Array.length t.src in
+  if t.m >= cap then begin
+    let cap' = 2 * cap in
+    let extend a = let a' = Array.make cap' 0 in Array.blit a 0 a' 0 cap; a' in
+    t.src <- extend t.src;
+    t.dst <- extend t.dst;
+    t.cost <- extend t.cost;
+    t.delay <- extend t.delay
+  end
+
+let add_edge t ~src ~dst ~cost ~delay =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Digraph.add_edge: endpoint out of range";
+  grow_edges t;
+  let e = t.m in
+  t.m <- t.m + 1;
+  t.src.(e) <- src;
+  t.dst.(e) <- dst;
+  t.cost.(e) <- cost;
+  t.delay.(e) <- delay;
+  t.out.(src) <- e :: t.out.(src);
+  t.inc.(dst) <- e :: t.inc.(dst);
+  e
+
+let check_edge t e = if e < 0 || e >= t.m then invalid_arg "Digraph: bad edge id"
+
+let src t e = check_edge t e; t.src.(e)
+let dst t e = check_edge t e; t.dst.(e)
+let cost t e = check_edge t e; t.cost.(e)
+let delay t e = check_edge t e; t.delay.(e)
+
+let set_cost t e c = check_edge t e; t.cost.(e) <- c
+let set_delay t e d = check_edge t e; t.delay.(e) <- d
+
+let out_edges t v = t.out.(v)
+let in_edges t v = t.inc.(v)
+let out_degree t v = List.length t.out.(v)
+let in_degree t v = List.length t.inc.(v)
+
+let iter_edges t f =
+  for e = 0 to t.m - 1 do
+    f e
+  done
+
+let fold_edges t ~init ~f =
+  let acc = ref init in
+  for e = 0 to t.m - 1 do
+    acc := f !acc e
+  done;
+  !acc
+
+let iter_out t v f = List.iter f t.out.(v)
+
+let edges t = List.init t.m (fun e -> e)
+
+let total_cost t = fold_edges t ~init:0 ~f:(fun acc e -> acc + t.cost.(e))
+let total_delay t = fold_edges t ~init:0 ~f:(fun acc e -> acc + t.delay.(e))
+
+let find_edge t ~src ~dst =
+  List.find_opt (fun e -> t.dst.(e) = dst) t.out.(src)
+
+let filter_map_edges t ~f =
+  let g = create ~expected_edges:(max t.m 1) ~n:t.n () in
+  let mapping = Array.make (max t.m 1) (-1) in
+  for e = 0 to t.m - 1 do
+    match f e with
+    | None -> ()
+    | Some (cost, delay) ->
+      mapping.(e) <- add_edge g ~src:t.src.(e) ~dst:t.dst.(e) ~cost ~delay
+  done;
+  (g, mapping)
+
+let reverse t =
+  let r = create ~expected_edges:(max t.m 1) ~n:t.n () in
+  for e = 0 to t.m - 1 do
+    ignore (add_edge r ~src:t.dst.(e) ~dst:t.src.(e) ~cost:t.cost.(e) ~delay:t.delay.(e))
+  done;
+  r
+
+let pp fmt t =
+  Format.fprintf fmt "digraph n=%d m=%d@." t.n t.m;
+  for e = 0 to t.m - 1 do
+    Format.fprintf fmt "  e%d: %d -> %d (c=%d, d=%d)@." e t.src.(e) t.dst.(e) t.cost.(e)
+      t.delay.(e)
+  done

@@ -1,0 +1,75 @@
+(** Directed multigraphs with integer edge costs and delays.
+
+    This is the shared substrate of the whole repository. Vertices and edges
+    are dense integer identifiers ([0 .. n-1] / [0 .. m-1]); parallel edges
+    and self-loops are allowed (the paper's residual graphs are explicitly
+    multigraphs, footnote 1 of Definition 6). Costs and delays may be
+    negative — residual graphs negate both. *)
+
+type t
+
+type vertex = int
+type edge = int
+
+val create : ?expected_edges:int -> n:int -> unit -> t
+(** [create ~n ()] is a graph with vertices [0..n-1] and no edges. *)
+
+val copy : t -> t
+
+val add_vertex : t -> vertex
+(** Appends a fresh vertex and returns its id. *)
+
+val add_edge : t -> src:vertex -> dst:vertex -> cost:int -> delay:int -> edge
+(** Appends an edge and returns its id. Raises [Invalid_argument] if either
+    endpoint is out of range. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val src : t -> edge -> vertex
+val dst : t -> edge -> vertex
+val cost : t -> edge -> int
+val delay : t -> edge -> int
+
+val set_cost : t -> edge -> int -> unit
+val set_delay : t -> edge -> int -> unit
+
+val out_edges : t -> vertex -> edge list
+(** Edges leaving [v], in unspecified order. *)
+
+val in_edges : t -> vertex -> edge list
+
+val out_degree : t -> vertex -> int
+val in_degree : t -> vertex -> int
+
+val iter_edges : t -> (edge -> unit) -> unit
+val fold_edges : t -> init:'a -> f:('a -> edge -> 'a) -> 'a
+val iter_out : t -> vertex -> (edge -> unit) -> unit
+
+val edges : t -> edge list
+(** All edge ids in increasing order. *)
+
+val total_cost : t -> int
+(** Sum of all edge costs ([Σ c(e)] in the paper's complexity bounds). *)
+
+val total_delay : t -> int
+
+val find_edge : t -> src:vertex -> dst:vertex -> edge option
+(** Some edge from [src] to [dst] if one exists. *)
+
+val reverse : t -> t
+(** Graph with every edge reversed (costs/delays kept). *)
+
+val filter_map_edges :
+  t -> f:(edge -> (int * int) option) -> t * int array
+(** [filter_map_edges g ~f] builds a graph over the same vertices keeping
+    edge [e] with weights [(cost, delay)] when [f e = Some (cost, delay)]
+    and dropping it when [f e = None]. Returns the new graph and a mapping
+    [new_edge_of_old] ([-1] for dropped edges). The common idiom for
+    "remove these edges" / "rescale all weights" / "swap cost and delay". *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering: one line per edge. *)

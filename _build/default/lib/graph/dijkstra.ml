@@ -1,0 +1,49 @@
+module G = Digraph
+
+type result = { dist : int array; parent : int array }
+
+let run g ~weight ?(disabled = fun _ -> false) ~src () =
+  let n = G.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let heap = Heap.create ~capacity:(n + 1) () in
+  dist.(src) <- 0;
+  Heap.push heap ~prio:0 ~value:src;
+  let rec loop () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+      if d = dist.(u) then
+        (* not a stale entry *)
+        G.iter_out g u (fun e ->
+            if not (disabled e) then begin
+              let w = weight e in
+              if w < 0 then invalid_arg "Dijkstra: negative edge weight";
+              let v = G.dst g e in
+              let nd = d + w in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                parent.(v) <- e;
+                Heap.push heap ~prio:nd ~value:v
+              end
+            end);
+      loop ()
+  in
+  loop ();
+  { dist; parent }
+
+let path_to g r v =
+  if r.dist.(v) = max_int then None
+  else begin
+    let rec go acc v =
+      let e = r.parent.(v) in
+      if e = -1 then acc else go (e :: acc) (G.src g e)
+    in
+    Some (go [] v)
+  end
+
+let shortest_path g ~weight ?disabled ~src ~dst () =
+  let r = run g ~weight ?disabled ~src () in
+  match path_to g r dst with
+  | None -> None
+  | Some p -> Some (r.dist.(dst), p)

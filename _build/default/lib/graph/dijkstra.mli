@@ -1,0 +1,33 @@
+(** Dijkstra shortest paths for non-negative edge weights.
+
+    The weight is an arbitrary per-edge function so the same engine serves
+    cost-shortest, delay-shortest, and combined [c + λ·d] Lagrangian metrics.
+    Raises [Invalid_argument] if a traversed edge has negative weight. *)
+
+type result = {
+  dist : int array;  (** [max_int] means unreachable. *)
+  parent : int array;  (** parent edge id on a shortest path; [-1] at source/unreached. *)
+}
+
+val run :
+  Digraph.t ->
+  weight:(Digraph.edge -> int) ->
+  ?disabled:(Digraph.edge -> bool) ->
+  src:Digraph.vertex ->
+  unit ->
+  result
+(** Single-source shortest distances. [disabled e = true] hides edge [e]. *)
+
+val path_to : Digraph.t -> result -> Digraph.vertex -> Path.t option
+(** Reconstructs the edge list from the run's source to [v]; [None] when
+    unreachable. *)
+
+val shortest_path :
+  Digraph.t ->
+  weight:(Digraph.edge -> int) ->
+  ?disabled:(Digraph.edge -> bool) ->
+  src:Digraph.vertex ->
+  dst:Digraph.vertex ->
+  unit ->
+  (int * Path.t) option
+(** Distance and one shortest path, or [None] if unreachable. *)

@@ -1,0 +1,48 @@
+module G = Digraph
+
+type result =
+  | Dist of int array array
+  | Negative_cycle
+
+let run g ~weight ?(disabled = fun _ -> false) () =
+  let n = G.n g in
+  let inf = max_int in
+  let dist = Array.make_matrix n n inf in
+  for v = 0 to n - 1 do
+    dist.(v).(v) <- 0
+  done;
+  G.iter_edges g (fun e ->
+      if not (disabled e) then begin
+        let u = G.src g e and v = G.dst g e in
+        if weight e < dist.(u).(v) then dist.(u).(v) <- weight e
+      end);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if dist.(i).(k) <> inf then
+        for j = 0 to n - 1 do
+          if dist.(k).(j) <> inf then begin
+            let through = dist.(i).(k) + dist.(k).(j) in
+            if through < dist.(i).(j) then dist.(i).(j) <- through
+          end
+        done
+    done
+  done;
+  let negative = ref false in
+  for v = 0 to n - 1 do
+    if dist.(v).(v) < 0 then negative := true
+  done;
+  if !negative then Negative_cycle else Dist dist
+
+let diameter g ~weight =
+  match run g ~weight () with
+  | Negative_cycle -> None
+  | Dist dist ->
+    let best = ref None in
+    Array.iter
+      (Array.iter (fun d ->
+           if d <> max_int then
+             match !best with
+             | None -> best := Some d
+             | Some b -> if d > b then best := Some d))
+      dist;
+    !best

@@ -1,0 +1,17 @@
+(** All-pairs shortest distances (Floyd–Warshall).
+
+    Handles negative edges and reports negative cycles; quadratic memory, so
+    for small graphs only. Primarily a cross-check oracle for the
+    single-source engines in tests, and the diameter/eccentricity helper the
+    generators use. *)
+
+type result =
+  | Dist of int array array  (** [max_int] = unreachable *)
+  | Negative_cycle
+
+val run :
+  Digraph.t -> weight:(Digraph.edge -> int) -> ?disabled:(Digraph.edge -> bool) -> unit -> result
+
+val diameter : Digraph.t -> weight:(Digraph.edge -> int) -> int option
+(** Largest finite pairwise distance; [None] on an empty/degenerate graph or
+    when a negative cycle exists. *)

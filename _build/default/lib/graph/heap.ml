@@ -1,0 +1,62 @@
+type t = { mutable prio : int array; mutable value : int array; mutable size : int }
+
+let create ?(capacity = 16) () =
+  let cap = max capacity 1 in
+  { prio = Array.make cap 0; value = Array.make cap 0; size = 0 }
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let swap t i j =
+  let p = t.prio.(i) and v = t.value.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.value.(i) <- t.value.(j);
+  t.prio.(j) <- p;
+  t.value.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.prio.(i) < t.prio.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.prio.(l) < t.prio.(!smallest) then smallest := l;
+  if r < t.size && t.prio.(r) < t.prio.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~prio ~value =
+  let cap = Array.length t.prio in
+  if t.size >= cap then begin
+    let cap' = 2 * cap in
+    let extend a = let a' = Array.make cap' 0 in Array.blit a 0 a' 0 cap; a' in
+    t.prio <- extend t.prio;
+    t.value <- extend t.value
+  end;
+  t.prio.(t.size) <- prio;
+  t.value.(t.size) <- value;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let p = t.prio.(0) and v = t.value.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.prio.(0) <- t.prio.(t.size);
+      t.value.(0) <- t.value.(t.size);
+      sift_down t 0
+    end;
+    Some (p, v)
+  end
+
+let clear t = t.size <- 0

@@ -1,0 +1,18 @@
+(** Binary min-heap over integer priorities with integer payloads.
+
+    Purpose-built for Dijkstra: no decrease-key (we push duplicates and skip
+    stale pops, the standard lazy-deletion idiom), contiguous storage, no
+    allocation per operation beyond occasional growth. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val is_empty : t -> bool
+val size : t -> int
+
+val push : t -> prio:int -> value:int -> unit
+
+val pop_min : t -> (int * int) option
+(** [(prio, value)] with smallest [prio]; ties broken arbitrarily. *)
+
+val clear : t -> unit

@@ -1,0 +1,68 @@
+module G = Digraph
+
+let to_edge_list g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (G.n g));
+  G.iter_edges g (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "e %d %d %d %d\n" (G.src g e) (G.dst g e) (G.cost g e) (G.delay g e)));
+  Buffer.contents buf
+
+let of_edge_list text =
+  let lines = String.split_on_char '\n' text in
+  let graph = ref None in
+  let fail lineno msg = failwith (Printf.sprintf "Io.of_edge_list: line %d: %s" lineno msg) in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "n"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 && !graph = None -> graph := Some (G.create ~n ())
+          | Some _ when !graph <> None -> fail lineno "duplicate 'n' line"
+          | _ -> fail lineno "invalid vertex count")
+        | "e" :: rest -> (
+          match (!graph, List.map int_of_string_opt rest) with
+          | None, _ -> fail lineno "'e' before 'n'"
+          | Some g, [ Some src; Some dst; Some cost; Some delay ] -> (
+            try ignore (G.add_edge g ~src ~dst ~cost ~delay)
+            with Invalid_argument m -> fail lineno m)
+          | Some _, _ -> fail lineno "expected: e <src> <dst> <cost> <delay>")
+        | _ -> fail lineno "expected 'n <count>' or 'e <src> <dst> <cost> <delay>'"
+      end)
+    lines;
+  match !graph with
+  | Some g -> g
+  | None -> failwith "Io.of_edge_list: missing 'n' line"
+
+let palette = [| "red"; "blue"; "forestgreen"; "orange"; "purple"; "brown" |]
+
+let to_dot ?(highlight = fun _ -> None) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph g {\n  rankdir=LR;\n";
+  for v = 0 to G.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  G.iter_edges g (fun e ->
+      let color =
+        match highlight e with
+        | Some i -> Printf.sprintf ", color=%s, penwidth=2" palette.(i mod Array.length palette)
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -> %d [label=\"c%d d%d\"%s];\n" (G.src g e) (G.dst g e)
+           (G.cost g e) (G.delay g e) color));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,26 @@
+(** Text formats for graphs: a line-based edge-list format for instances and
+    Graphviz DOT export for inspection.
+
+    Edge-list format (comments start with [#], blank lines ignored):
+    {v
+      n <vertex-count>
+      e <src> <dst> <cost> <delay>
+      ...
+    v} *)
+
+val to_edge_list : Digraph.t -> string
+
+val of_edge_list : string -> Digraph.t
+(** Raises [Failure] with a line-precise message on malformed input. *)
+
+val to_dot :
+  ?highlight:(Digraph.edge -> int option) ->
+  Digraph.t ->
+  string
+(** DOT rendering; [highlight e = Some i] colors edge [e] with the [i]-th
+    palette color (used to show the k paths of a solution). *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)
+
+val read_file : string -> string

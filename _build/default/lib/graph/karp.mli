@@ -1,0 +1,15 @@
+(** Karp's minimum mean cycle algorithm.
+
+    Used by the Orda–Sprintson-style baseline, which cancels minimum-mean
+    cycles in a residual graph whose reversed edges carry zero (not negated)
+    cost — the restriction our paper's bicameral-cycle machinery removes. *)
+
+val min_mean_cycle :
+  Digraph.t ->
+  weight:(Digraph.edge -> int) ->
+  ?disabled:(Digraph.edge -> bool) ->
+  unit ->
+  ((int * int) * Path.t) option
+(** [min_mean_cycle g ~weight ()] is [Some ((num, den), cycle)] where
+    [num/den] is the minimum mean weight over all directed cycles and
+    [cycle] attains it, or [None] on an acyclic graph. [den > 0]. *)

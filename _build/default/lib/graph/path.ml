@@ -1,0 +1,87 @@
+module G = Digraph
+
+type t = G.edge list
+
+let cost g p = List.fold_left (fun acc e -> acc + G.cost g e) 0 p
+let delay g p = List.fold_left (fun acc e -> acc + G.delay g e) 0 p
+
+let source g = function
+  | [] -> invalid_arg "Path.source: empty path"
+  | e :: _ -> G.src g e
+
+let target g p =
+  match List.rev p with
+  | [] -> invalid_arg "Path.target: empty path"
+  | e :: _ -> G.dst g e
+
+let vertices g = function
+  | [] -> []
+  | e :: _ as p -> G.src g e :: List.map (fun e -> G.dst g e) p
+
+let is_valid g ~src ~dst p =
+  match p with
+  | [] -> src = dst
+  | first :: _ ->
+    let rec chained = function
+      | [] | [ _ ] -> true
+      | e1 :: (e2 :: _ as rest) -> G.dst g e1 = G.src g e2 && chained rest
+    in
+    G.src g first = src && target g p = dst && chained p
+
+let is_simple g p =
+  let vs = vertices g p in
+  let tbl = Hashtbl.create 16 in
+  List.for_all
+    (fun v ->
+      if Hashtbl.mem tbl v then false
+      else begin
+        Hashtbl.add tbl v ();
+        true
+      end)
+    vs
+
+let is_simple_cycle g p =
+  match p with
+  | [] -> false
+  | first :: _ ->
+    let s = G.src g first in
+    is_valid g ~src:s ~dst:s p
+    &&
+    (* every intermediate vertex distinct; start appears only at the ends *)
+    let vs = vertices g p in
+    (match List.rev vs with
+    | last :: inner_rev ->
+      last = s
+      &&
+      let inner = List.rev inner_rev in
+      let tbl = Hashtbl.create 16 in
+      List.for_all
+        (fun v ->
+          if Hashtbl.mem tbl v then false
+          else begin
+            Hashtbl.add tbl v ();
+            true
+          end)
+        inner
+    | [] -> false)
+
+let edge_disjoint paths =
+  let tbl = Hashtbl.create 64 in
+  List.for_all
+    (fun p ->
+      List.for_all
+        (fun e ->
+          if Hashtbl.mem tbl e then false
+          else begin
+            Hashtbl.add tbl e ();
+            true
+          end)
+        p)
+    paths
+
+let pp g fmt p =
+  match p with
+  | [] -> Format.pp_print_string fmt "<empty>"
+  | first :: _ ->
+    Format.fprintf fmt "%d" (G.src g first);
+    List.iter (fun e -> Format.fprintf fmt " ->(e%d) %d" e (G.dst g e)) p

@@ -1,0 +1,38 @@
+(** Paths as ordered edge lists.
+
+    A path is the list of edge ids traversed from its first vertex to its
+    last; validity (consecutive edges share endpoints) is checked on demand,
+    not enforced by construction, because the cycle-cancellation machinery
+    assembles paths from edge multisets. *)
+
+type t = Digraph.edge list
+
+val cost : Digraph.t -> t -> int
+val delay : Digraph.t -> t -> int
+
+val source : Digraph.t -> t -> Digraph.vertex
+(** First vertex. Raises [Invalid_argument] on the empty path. *)
+
+val target : Digraph.t -> t -> Digraph.vertex
+(** Last vertex. Raises [Invalid_argument] on the empty path. *)
+
+val vertices : Digraph.t -> t -> Digraph.vertex list
+(** All visited vertices in order, [source :: …int :: target]. *)
+
+val is_valid : Digraph.t -> src:Digraph.vertex -> dst:Digraph.vertex -> t -> bool
+(** True iff the edge list is a (not necessarily simple) walk from [src]
+    to [dst] with at least one edge, or [src = dst] and the path is empty. *)
+
+val is_simple : Digraph.t -> t -> bool
+(** True iff no vertex repeats (as an intermediate); for a cycle use
+    {!is_simple_cycle}. *)
+
+val is_simple_cycle : Digraph.t -> t -> bool
+(** True iff the walk is closed and visits no vertex twice except the
+    endpoints. *)
+
+val edge_disjoint : t list -> bool
+(** True iff no edge id appears in two of the paths (or twice in one). *)
+
+val pp : Digraph.t -> Format.formatter -> t -> unit
+(** Renders as [v0 ->(e) v1 ->(e) …]. *)

@@ -1,0 +1,65 @@
+module G = Digraph
+
+type result = { count : int; component : int array }
+
+(* Iterative Tarjan: an explicit stack of (vertex, remaining out-edges) frames
+   avoids stack overflow on long path graphs. *)
+let run g =
+  let n = G.n g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let count = ref 0 in
+  let visit root =
+    let frames = ref [ (root, ref (G.out_edges g root)) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (v, rest) :: parent_frames -> (
+        match !rest with
+        | e :: more ->
+          rest := more;
+          let w = G.dst g e in
+          if index.(w) = -1 then begin
+            index.(w) <- !next_index;
+            lowlink.(w) <- !next_index;
+            incr next_index;
+            stack := w :: !stack;
+            on_stack.(w) <- true;
+            frames := (w, ref (G.out_edges g w)) :: !frames
+          end
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        | [] ->
+          frames := parent_frames;
+          (match parent_frames with
+          | (p, _) :: _ -> lowlink.(p) <- min lowlink.(p) lowlink.(v)
+          | [] -> ());
+          if lowlink.(v) = index.(v) then begin
+            let rec pop () =
+              match !stack with
+              | [] -> assert false
+              | w :: rest ->
+                stack := rest;
+                on_stack.(w) <- false;
+                component.(w) <- !count;
+                if w <> v then pop ()
+            in
+            pop ();
+            incr count
+          end)
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  { count = !count; component }
+
+let same_component r u v = r.component.(u) = r.component.(v)

@@ -1,0 +1,10 @@
+(** Strongly connected components (Tarjan's algorithm, iterative). *)
+
+type result = {
+  count : int;  (** number of components *)
+  component : int array;  (** component id per vertex, ids in reverse topological order *)
+}
+
+val run : Digraph.t -> result
+
+val same_component : result -> Digraph.vertex -> Digraph.vertex -> bool

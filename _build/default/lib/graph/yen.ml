@@ -1,0 +1,79 @@
+module G = Digraph
+
+(* Classic Yen: the i-th shortest path spurs off every prefix of the
+   (i-1)-th; at the spur node, the continuing edges of every already-known
+   path sharing that prefix are banned, and the prefix's interior vertices
+   are unusable. Candidates live in a sorted list (K is small in every use
+   in this repository). *)
+
+let path_weight ~weight p = List.fold_left (fun acc e -> acc + weight e) 0 p
+
+(* the continuing edge of [p] after prefix [root], if [p] extends it *)
+let continuation root p =
+  let rec go r q =
+    match (r, q) with
+    | [], e :: _ -> Some e
+    | re :: r', qe :: q' when re = qe -> go r' q'
+    | _ -> None
+  in
+  go root p
+
+let spur_candidates g ~weight ~dst ~known last =
+  let out = ref [] in
+  let root_rev = ref [] in
+  List.iter
+    (fun spur_edge ->
+      let root = List.rev !root_rev in
+      let spur_node = G.src g spur_edge in
+      let banned_edges = Hashtbl.create 16 in
+      List.iter
+        (fun p ->
+          match continuation root p with
+          | Some e -> Hashtbl.replace banned_edges e ()
+          | None -> ())
+        known;
+      let banned_vertices = Hashtbl.create 16 in
+      List.iter (fun e -> Hashtbl.replace banned_vertices (G.src g e) ()) root;
+      let disabled e =
+        Hashtbl.mem banned_edges e
+        || Hashtbl.mem banned_vertices (G.src g e)
+        || Hashtbl.mem banned_vertices (G.dst g e)
+      in
+      (match Dijkstra.shortest_path g ~weight ~disabled ~src:spur_node ~dst () with
+      | None -> ()
+      | Some (_, spur_path) ->
+        let full = root @ spur_path in
+        out := (path_weight ~weight full, full) :: !out);
+      root_rev := spur_edge :: !root_rev)
+    last;
+  !out
+
+let k_shortest g ~weight ~src ~dst ~k =
+  if k <= 0 then []
+  else begin
+    match Dijkstra.shortest_path g ~weight ~src ~dst () with
+    | None -> []
+    | Some first ->
+      let accepted = ref [ first ] in
+      let candidates = ref [] in
+      let rec grow () =
+        if List.length !accepted >= k then ()
+        else begin
+          let _, last = List.nth !accepted (List.length !accepted - 1) in
+          let seen = List.map snd !accepted @ List.map snd !candidates in
+          let fresh =
+            spur_candidates g ~weight ~dst ~known:(List.map snd !accepted) last
+            |> List.filter (fun (_, p) -> not (List.mem p seen))
+          in
+          candidates := List.sort_uniq compare (fresh @ !candidates);
+          match !candidates with
+          | [] -> ()
+          | best :: rest ->
+            candidates := rest;
+            accepted := !accepted @ [ best ];
+            grow ()
+        end
+      in
+      grow ();
+      !accepted
+  end

@@ -1,0 +1,15 @@
+(** Yen's algorithm: the K loopless shortest paths between two vertices.
+
+    Needed by the path-enumeration baseline and by the routing examples
+    (alternative route candidates). Non-negative weights (each spur search
+    runs Dijkstra). *)
+
+val k_shortest :
+  Digraph.t ->
+  weight:(Digraph.edge -> int) ->
+  src:Digraph.vertex ->
+  dst:Digraph.vertex ->
+  k:int ->
+  (int * Path.t) list
+(** At most [k] simple paths in non-decreasing weight order (fewer when the
+    graph has fewer simple paths). *)

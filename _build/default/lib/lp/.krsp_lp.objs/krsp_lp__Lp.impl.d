@@ -1,0 +1,1 @@
+lib/lp/lp.ml: Hashtbl Krsp_bigint List Option Q

@@ -1,0 +1,1 @@
+lib/lp/lp_flow.ml: Array Krsp_bigint Krsp_graph List Lp Printf Q Simplex

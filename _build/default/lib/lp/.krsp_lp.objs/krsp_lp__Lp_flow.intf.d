@@ -1,0 +1,1 @@
+lib/lp/lp_flow.mli: Krsp_bigint Krsp_graph Lp Q

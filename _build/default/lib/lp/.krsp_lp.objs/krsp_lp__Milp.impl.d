@@ -1,0 +1,1 @@
+lib/lp/milp.ml: Array Krsp_bigint List Lp Q Simplex

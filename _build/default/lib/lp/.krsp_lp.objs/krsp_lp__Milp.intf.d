@@ -1,0 +1,1 @@
+lib/lp/milp.mli: Krsp_bigint Lp Q

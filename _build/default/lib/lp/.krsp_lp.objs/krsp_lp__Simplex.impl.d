@@ -1,0 +1,1 @@
+lib/lp/simplex.ml: Array Krsp_bigint List Lp Q

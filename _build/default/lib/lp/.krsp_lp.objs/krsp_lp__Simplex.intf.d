@@ -1,0 +1,1 @@
+lib/lp/simplex.mli: Krsp_bigint Lp Q

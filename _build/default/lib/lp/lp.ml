@@ -1,0 +1,62 @@
+open Krsp_bigint
+
+type relation = Le | Ge | Eq
+
+type var = int
+
+type t = {
+  mutable nvars : int;
+  mutable objs : Q.t list; (* reversed *)
+  mutable names : string list; (* reversed *)
+  mutable constraints : ((var * Q.t) list * relation * Q.t) list; (* reversed *)
+  mutable nconstraints : int;
+}
+
+let create () = { nvars = 0; objs = []; names = []; constraints = []; nconstraints = 0 }
+
+let copy t =
+  {
+    nvars = t.nvars;
+    objs = t.objs;
+    names = t.names;
+    constraints = t.constraints;
+    nconstraints = t.nconstraints;
+  }
+
+let add_constraint_unchecked t terms rel rhs =
+  t.constraints <- (terms, rel, rhs) :: t.constraints;
+  t.nconstraints <- t.nconstraints + 1
+
+let add_var t ?upper ~obj name =
+  let v = t.nvars in
+  t.nvars <- t.nvars + 1;
+  t.objs <- obj :: t.objs;
+  t.names <- name :: t.names;
+  (match upper with
+  | None -> ()
+  | Some u -> add_constraint_unchecked t [ (v, Q.one) ] Le u);
+  v
+
+let add_constraint t terms rel rhs =
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= t.nvars then invalid_arg "Lp.add_constraint: unknown variable")
+    terms;
+  (* merge repeated variables *)
+  let tbl = Hashtbl.create (List.length terms) in
+  List.iter
+    (fun (v, q) ->
+      let prev = Option.value ~default:Q.zero (Hashtbl.find_opt tbl v) in
+      Hashtbl.replace tbl v (Q.add prev q))
+    terms;
+  let merged = Hashtbl.fold (fun v q acc -> (v, q) :: acc) tbl [] in
+  let merged = List.sort (fun (a, _) (b, _) -> compare a b) merged in
+  add_constraint_unchecked t merged rel rhs
+
+let num_vars t = t.nvars
+let num_constraints t = t.nconstraints
+
+let objective t v = List.nth (List.rev t.objs) v
+let var_name t v = List.nth (List.rev t.names) v
+
+let rows t = List.rev t.constraints

@@ -1,0 +1,41 @@
+(** Linear-program builder.
+
+    Variables are non-negative rationals (optionally box-bounded above);
+    constraints are linear relations. Minimisation only — that is the only
+    direction the paper's LPs need (LP (6) and the phase-1 flow LP), and
+    maximisation is a caller-side negation away. *)
+
+open Krsp_bigint
+
+type relation = Le | Ge | Eq
+
+type t
+
+type var = int
+
+val create : unit -> t
+
+val copy : t -> t
+(** Independent snapshot; constraints added to the copy do not affect the
+    original. Used by the branch-and-bound layer to fix variables per
+    node. *)
+
+val add_var : t -> ?upper:Q.t -> obj:Q.t -> string -> var
+(** [add_var t ~obj name] declares a variable [x >= 0] with objective
+    coefficient [obj]; [?upper] adds the box constraint [x <= upper]. *)
+
+val add_constraint : t -> (var * Q.t) list -> relation -> Q.t -> unit
+(** [add_constraint t terms rel rhs] adds [Σ coeff·x rel rhs]. Terms with a
+    repeated variable are summed. Raises [Invalid_argument] on an unknown
+    variable id. *)
+
+val num_vars : t -> int
+val num_constraints : t -> int
+(** Box upper bounds count as constraints here. *)
+
+val objective : t -> var -> Q.t
+val var_name : t -> var -> string
+
+val rows : t -> ((var * Q.t) list * relation * Q.t) list
+(** All constraints (including materialised box bounds), in insertion
+    order. *)

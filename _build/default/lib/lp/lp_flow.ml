@@ -1,0 +1,41 @@
+open Krsp_bigint
+module G = Krsp_graph.Digraph
+
+type t = { lp : Lp.t; edge_var : Lp.var array }
+
+let build g ~src ~dst ~k ~delay_bound =
+  let lp = Lp.create () in
+  let edge_var =
+    Array.init (G.m g) (fun e ->
+        Lp.add_var lp ~upper:Q.one ~obj:(Q.of_int (G.cost g e)) (Printf.sprintf "x%d" e))
+  in
+  for v = 0 to G.n g - 1 do
+    let terms =
+      List.map (fun e -> (edge_var.(e), Q.one)) (G.out_edges g v)
+      @ List.map (fun e -> (edge_var.(e), Q.minus_one)) (G.in_edges g v)
+    in
+    let rhs = if v = src then k else if v = dst then -k else 0 in
+    (* self-loops cancel out inside add_constraint's term merging *)
+    Lp.add_constraint lp terms Lp.Eq (Q.of_int rhs)
+  done;
+  let delay_terms =
+    List.filter_map
+      (fun e ->
+        let d = G.delay g e in
+        if d = 0 then None else Some (edge_var.(e), Q.of_int d))
+      (G.edges g)
+  in
+  Lp.add_constraint lp delay_terms Lp.Le (Q.of_int delay_bound);
+  { lp; edge_var }
+
+type fractional = { objective : Q.t; flow : Q.t array }
+
+let solve g ~src ~dst ~k ~delay_bound =
+  let { lp; edge_var } = build g ~src ~dst ~k ~delay_bound in
+  match Simplex.solve lp with
+  | Simplex.Infeasible -> None
+  | Simplex.Unbounded ->
+    (* impossible: all variables are box-bounded *)
+    assert false
+  | Simplex.Optimal { objective; values } ->
+    Some { objective; flow = Array.map (fun v -> values.(v)) edge_var }

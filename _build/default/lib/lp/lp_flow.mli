@@ -1,0 +1,43 @@
+(** The delay-constrained [k]-flow LP — the relaxation both phases of the
+    paper lean on.
+
+    {v
+      min   Σ_e c(e)·x(e)
+      s.t.  Σ_{e ∈ δ+(v)} x(e) − Σ_{e ∈ δ−(v)} x(e) = k·[v=s] − k·[v=t]
+            Σ_e d(e)·x(e) ≤ D
+            0 ≤ x(e) ≤ 1
+    v}
+
+    Its optimum is a lower bound on [C_OPT] of the kRSP instance (any optimal
+    k disjoint paths are a feasible 0/1 point), which is what the phase-1
+    rounding of [9] (Lemma 5) and our LP-lower-bound experiments use. *)
+
+open Krsp_bigint
+
+type t = {
+  lp : Lp.t;
+  edge_var : Lp.var array;  (** LP variable of each edge id *)
+}
+
+val build :
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  k:int ->
+  delay_bound:int ->
+  t
+
+type fractional = {
+  objective : Q.t;  (** LP optimum — a lower bound on [C_OPT] *)
+  flow : Q.t array;  (** value per edge id *)
+}
+
+val solve :
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  k:int ->
+  delay_bound:int ->
+  fractional option
+(** [None] when the LP is infeasible (no fractional k-flow meets the delay
+    budget — the kRSP instance is certainly infeasible). *)

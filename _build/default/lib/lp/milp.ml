@@ -1,0 +1,74 @@
+open Krsp_bigint
+
+type outcome =
+  | Optimal of { objective : Q.t; values : Q.t array }
+  | Infeasible
+  | Node_limit
+
+let half = Q.of_ints 1 2
+
+let is_binary_value q = Q.is_zero q || Q.equal q Q.one
+
+(* the binary variable whose relaxation value is closest to 1/2, or None when
+   all are integral *)
+let most_fractional binary values =
+  List.fold_left
+    (fun best v ->
+      let x = values.(v) in
+      if is_binary_value x then best
+      else begin
+        let dist = Q.abs (Q.sub x half) in
+        match best with
+        | Some (_, bd) when Q.compare bd dist <= 0 -> best
+        | _ -> Some (v, dist)
+      end)
+    None binary
+
+let solve_binary lp ~binary ?(node_limit = 20_000) () =
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let exhausted = ref false in
+  let beaten obj =
+    match !incumbent with
+    | Some (best, _) -> Q.compare obj best >= 0
+    | None -> false
+  in
+  (* depth-first; fixings are (var, 0|1) pairs materialised as equality
+     constraints on a copy of the base LP *)
+  let rec node fixings =
+    if !exhausted then ()
+    else begin
+      incr nodes;
+      if !nodes > node_limit then exhausted := true
+      else begin
+        let sub = Lp.copy lp in
+        List.iter
+          (fun (v, value) ->
+            Lp.add_constraint sub [ (v, Q.one) ] Lp.Eq (if value = 1 then Q.one else Q.zero))
+          fixings;
+        match Simplex.solve sub with
+        | Simplex.Infeasible -> ()
+        | Simplex.Unbounded ->
+          (* binary vars are boxed; an unbounded relaxation means the caller
+             left a continuous direction open — treat as a hard error *)
+          invalid_arg "Milp.solve_binary: unbounded relaxation"
+        | Simplex.Optimal { objective; values } ->
+          if not (beaten objective) then begin
+            match most_fractional binary values with
+            | None ->
+              (* integral on all binaries: new incumbent *)
+              if not (beaten objective) then incumbent := Some (objective, values)
+            | Some (v, _) ->
+              (* explore x_v = 1 first: on flow problems this reaches a
+                 feasible integral solution quickly, enabling pruning *)
+              node ((v, 1) :: fixings);
+              node ((v, 0) :: fixings)
+          end
+      end
+    end
+  in
+  node [];
+  match (!incumbent, !exhausted) with
+  | Some (objective, values), _ -> Optimal { objective; values }
+  | None, true -> Node_limit
+  | None, false -> Infeasible

@@ -1,0 +1,23 @@
+(** Branch-and-bound for LPs with 0/1 variables, on top of the exact
+    simplex.
+
+    A minimal exact MILP layer: solve the relaxation, prune against the
+    incumbent (the relaxation optimum is a lower bound for minimisation),
+    branch on the most fractional binary variable by fixing it to 1 / 0.
+    Everything is exact rational arithmetic, so "integral" means exactly 0
+    or 1 — no tolerance games. Intended for small problems; gives the
+    repository a second, LP-based exact kRSP solver that cross-validates
+    the combinatorial branch-and-bound ({!Krsp_core.Exact}). *)
+
+open Krsp_bigint
+
+type outcome =
+  | Optimal of { objective : Q.t; values : Q.t array }
+      (** [values] is integral (0/1) on every declared binary variable *)
+  | Infeasible
+  | Node_limit  (** search exhausted its node budget before proving anything *)
+
+val solve_binary : Lp.t -> binary:Lp.var list -> ?node_limit:int -> unit -> outcome
+(** Minimise, requiring every variable in [binary] to take value 0 or 1.
+    The LP must already bound those variables into [0, 1] (e.g. via
+    [~upper:Q.one] at declaration). [node_limit] defaults to 20_000. *)

@@ -1,0 +1,200 @@
+open Krsp_bigint
+
+type solution = { objective : Q.t; values : Q.t array }
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+(* Tableau layout:
+   - rows 0..m-1: constraints in the form  B^{-1}A x = B^{-1}b,
+     columns 0..ncols-1 are variables (original, then slack/surplus, then
+     artificial), column ncols is the rhs;
+   - basis.(i) is the variable index basic in row i.
+   All entries are exact rationals. *)
+
+type tableau = {
+  m : int;
+  ncols : int;
+  a : Q.t array array; (* m rows, ncols+1 columns *)
+  basis : int array;
+}
+
+let pivot t ~row ~col =
+  let piv = t.a.(row).(col) in
+  assert (Q.sign piv <> 0);
+  let inv = Q.inv piv in
+  for j = 0 to t.ncols do
+    t.a.(row).(j) <- Q.mul t.a.(row).(j) inv
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let factor = t.a.(i).(col) in
+      if Q.sign factor <> 0 then
+        for j = 0 to t.ncols do
+          t.a.(i).(j) <- Q.sub t.a.(i).(j) (Q.mul factor t.a.(row).(j))
+        done
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Reduced costs for objective vector [c] (length ncols) given the current
+   basis: z_j = c_j - c_B · B^{-1}A_j. Returns the reduced-cost row and the
+   current objective value c_B · B^{-1}b. *)
+let reduced_costs t c =
+  let red = Array.make t.ncols Q.zero in
+  let obj = ref Q.zero in
+  (* start from c, subtract c_basis(i) * row_i *)
+  Array.blit c 0 red 0 t.ncols;
+  for i = 0 to t.m - 1 do
+    let cb = c.(t.basis.(i)) in
+    if Q.sign cb <> 0 then begin
+      for j = 0 to t.ncols - 1 do
+        red.(j) <- Q.sub red.(j) (Q.mul cb t.a.(i).(j))
+      done;
+      obj := Q.add !obj (Q.mul cb t.a.(i).(t.ncols))
+    end
+  done;
+  (red, !obj)
+
+(* One phase of the simplex: minimise c·x from the current basis. [allowed j]
+   gates which columns may enter (used to lock out artificials in phase 2).
+   Returns [`Optimal] or [`Unbounded]. Bland's rule throughout. *)
+let run_phase t c ~allowed =
+  let rec iterate () =
+    let red, _ = reduced_costs t c in
+    (* entering column: smallest index with negative reduced cost *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.ncols - 1 do
+         if allowed j && Q.sign red.(j) < 0 then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering = -1 then `Optimal
+    else begin
+      let col = !entering in
+      (* ratio test: min rhs_i / a_i,col over a_i,col > 0; ties by smallest
+         basis index (Bland) *)
+      let leave = ref (-1) in
+      let best = ref Q.zero in
+      for i = 0 to t.m - 1 do
+        if Q.sign t.a.(i).(col) > 0 then begin
+          let ratio = Q.div t.a.(i).(t.ncols) t.a.(i).(col) in
+          if
+            !leave = -1
+            || Q.compare ratio !best < 0
+            || (Q.equal ratio !best && t.basis.(i) < t.basis.(!leave))
+          then begin
+            leave := i;
+            best := ratio
+          end
+        end
+      done;
+      if !leave = -1 then `Unbounded
+      else begin
+        pivot t ~row:!leave ~col;
+        iterate ()
+      end
+    end
+  in
+  iterate ()
+
+let solve lp =
+  let nvars = Lp.num_vars lp in
+  let rows = Lp.rows lp in
+  let m = List.length rows in
+  (* normalise rhs >= 0 by flipping rows *)
+  let rows =
+    List.map
+      (fun (terms, rel, rhs) ->
+        if Q.sign rhs < 0 then
+          ( List.map (fun (v, q) -> (v, Q.neg q)) terms,
+            (match rel with Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq),
+            Q.neg rhs )
+        else (terms, rel, rhs))
+      rows
+  in
+  (* count slack and artificial columns *)
+  let nslack = List.length (List.filter (fun (_, rel, _) -> rel <> Lp.Eq) rows) in
+  let nartif =
+    List.length (List.filter (fun (_, rel, _) -> rel = Lp.Eq || rel = Lp.Ge) rows)
+  in
+  let ncols = nvars + nslack + nartif in
+  let a = Array.init m (fun _ -> Array.make (ncols + 1) Q.zero) in
+  let basis = Array.make m (-1) in
+  let slack_base = nvars in
+  let artif_base = nvars + nslack in
+  let next_slack = ref 0 and next_artif = ref 0 in
+  List.iteri
+    (fun i (terms, rel, rhs) ->
+      List.iter (fun (v, q) -> a.(i).(v) <- Q.add a.(i).(v) q) terms;
+      a.(i).(ncols) <- rhs;
+      (match rel with
+      | Lp.Le ->
+        let s = slack_base + !next_slack in
+        incr next_slack;
+        a.(i).(s) <- Q.one;
+        basis.(i) <- s
+      | Lp.Ge ->
+        let s = slack_base + !next_slack in
+        incr next_slack;
+        a.(i).(s) <- Q.minus_one;
+        let art = artif_base + !next_artif in
+        incr next_artif;
+        a.(i).(art) <- Q.one;
+        basis.(i) <- art
+      | Lp.Eq ->
+        let art = artif_base + !next_artif in
+        incr next_artif;
+        a.(i).(art) <- Q.one;
+        basis.(i) <- art))
+    rows;
+  let t = { m; ncols; a; basis } in
+  (* phase 1: minimise sum of artificials *)
+  let c1 = Array.make ncols Q.zero in
+  for j = artif_base to ncols - 1 do
+    c1.(j) <- Q.one
+  done;
+  (match run_phase t c1 ~allowed:(fun _ -> true) with
+  | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+  | `Optimal -> ());
+  let _, phase1_obj = reduced_costs t c1 in
+  if Q.sign phase1_obj > 0 then Infeasible
+  else begin
+    (* drive remaining zero-valued artificials out of the basis when
+       possible; rows where no real column has a nonzero coefficient are
+       redundant and harmless (the artificial stays basic at zero and is
+       locked out of phase 2). *)
+    for i = 0 to m - 1 do
+      if t.basis.(i) >= artif_base then begin
+        let found = ref (-1) in
+        (try
+           for j = 0 to artif_base - 1 do
+             if Q.sign t.a.(i).(j) <> 0 then begin
+               found := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !found >= 0 then pivot t ~row:i ~col:!found
+      end
+    done;
+    (* phase 2: original objective, artificial columns locked out *)
+    let c2 = Array.make ncols Q.zero in
+    for v = 0 to nvars - 1 do
+      c2.(v) <- Lp.objective lp v
+    done;
+    match run_phase t c2 ~allowed:(fun j -> j < artif_base) with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let values = Array.make nvars Q.zero in
+      for i = 0 to m - 1 do
+        if t.basis.(i) < nvars then values.(t.basis.(i)) <- t.a.(i).(ncols)
+      done;
+      let _, obj = reduced_costs t c2 in
+      Optimal { objective = obj; values }
+  end

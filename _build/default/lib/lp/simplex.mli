@@ -1,0 +1,24 @@
+(** Exact two-phase primal simplex over rationals.
+
+    Dense tableau, Bland's anti-cycling rule, {!Krsp_bigint.Q} arithmetic
+    throughout — slow but exact, which is what the correctness arguments in
+    the paper's Lemma 14/Theorem 16 need (a "cycle with negative delay" must
+    not be a rounding artifact). Problem sizes are kept small by the layered
+    auxiliary-graph construction, so exactness is affordable. *)
+
+open Krsp_bigint
+
+type solution = {
+  objective : Q.t;
+  values : Q.t array;  (** optimal value per {!Lp.var}, a basic solution *)
+}
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+val solve : Lp.t -> outcome
+(** Minimise the LP. The returned assignment is a vertex of the feasible
+    polyhedron (basic optimal solution), which the LP-rounding steps of the
+    paper rely on. *)

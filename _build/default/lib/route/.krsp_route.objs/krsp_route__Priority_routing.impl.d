@@ -1,0 +1,1 @@
+lib/route/priority_routing.ml: Array Float Krsp_graph List

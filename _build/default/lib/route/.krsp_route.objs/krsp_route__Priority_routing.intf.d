@@ -1,0 +1,1 @@
+lib/route/priority_routing.mli: Krsp_graph

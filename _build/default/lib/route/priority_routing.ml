@@ -1,0 +1,83 @@
+module Path = Krsp_graph.Path
+
+type traffic_class = { name : string; priority : int; volume : float }
+
+type path_info = { path : Path.t; path_delay : int; load : float }
+
+type assignment = {
+  per_class : (string * (int * float) list) list;
+  paths : path_info list;
+  class_delay : (string * float) list;
+  overflow : float;
+}
+
+let assign g ~paths ~classes =
+  List.iter
+    (fun c -> if c.volume < 0. then invalid_arg "Priority_routing.assign: negative volume")
+    classes;
+  let infos =
+    List.map (fun p -> { path = p; path_delay = Path.delay g p; load = 0. }) paths
+    |> List.sort (fun a b -> compare a.path_delay b.path_delay)
+  in
+  let infos = Array.of_list infos in
+  let ordered = List.stable_sort (fun a b -> compare a.priority b.priority) classes in
+  let overflow = ref 0. in
+  let per_class =
+    List.map
+      (fun c ->
+        (* water-fill the class's volume onto the fastest paths with room *)
+        let remaining = ref c.volume in
+        let chunks = ref [] in
+        Array.iteri
+          (fun i info ->
+            if !remaining > 0. then begin
+              let room = Float.max 0. (1.0 -. info.load) in
+              let take = Float.min room !remaining in
+              if take > 0. then begin
+                infos.(i) <- { info with load = info.load +. take };
+                chunks := (i, take) :: !chunks;
+                remaining := !remaining -. take
+              end
+            end)
+          infos;
+        overflow := !overflow +. !remaining;
+        (c.name, List.rev !chunks))
+      ordered
+  in
+  let class_delay =
+    List.map
+      (fun (name, chunks) ->
+        let vol = List.fold_left (fun acc (_, v) -> acc +. v) 0. chunks in
+        let weighted =
+          List.fold_left
+            (fun acc (i, v) -> acc +. (v *. float_of_int infos.(i).path_delay))
+            0. chunks
+        in
+        (name, if vol > 0. then weighted /. vol else 0.))
+      per_class
+  in
+  { per_class; paths = Array.to_list infos; class_delay; overflow = !overflow }
+
+let mean_delay a =
+  let vol, weighted =
+    List.fold_left
+      (fun (v, w) info -> (v +. info.load, w +. (info.load *. float_of_int info.path_delay)))
+      (0., 0.) a.paths
+  in
+  if vol > 0. then weighted /. vol else 0.
+
+let urgency_respected a =
+  (* classes appear in priority order in [class_delay]; carried classes must
+     have non-decreasing delay *)
+  let carried =
+    List.filter_map
+      (fun (name, d) ->
+        let chunks = List.assoc name a.per_class in
+        if chunks = [] then None else Some d)
+      a.class_delay
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+    | _ -> true
+  in
+  monotone carried

@@ -1,0 +1,1 @@
+lib/rsp/larac.ml: Krsp_graph

@@ -1,0 +1,1 @@
+lib/rsp/larac.mli: Krsp_graph

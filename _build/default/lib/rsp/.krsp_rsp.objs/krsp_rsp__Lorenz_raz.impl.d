@@ -1,0 +1,1 @@
+lib/rsp/lorenz_raz.ml: Krsp_graph Larac Rsp_dp

@@ -1,0 +1,1 @@
+lib/rsp/lorenz_raz.mli: Krsp_graph

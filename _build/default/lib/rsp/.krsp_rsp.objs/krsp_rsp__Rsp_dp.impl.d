@@ -1,0 +1,1 @@
+lib/rsp/rsp_dp.ml: Array Krsp_graph

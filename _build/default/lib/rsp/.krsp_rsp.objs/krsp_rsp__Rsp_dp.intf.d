@@ -1,0 +1,1 @@
+lib/rsp/rsp_dp.mli: Krsp_graph

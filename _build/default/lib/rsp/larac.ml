@@ -1,0 +1,55 @@
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+module Dijkstra = Krsp_graph.Dijkstra
+
+type result = { path : Path.t; cost : int; delay : int; lower_bound : int }
+
+(* Aggregated shortest path under weight num·d + den·c (λ = num/den kept as
+   an integer pair so Dijkstra runs on exact integer weights). *)
+let aggregated g ~src ~dst ~num ~den =
+  let weight e = (den * G.cost g e) + (num * G.delay g e) in
+  Dijkstra.shortest_path g ~weight ~src ~dst ()
+
+let solve g ~src ~dst ~delay_bound =
+  let eval p = (Path.cost g p, Path.delay g p) in
+  match Dijkstra.shortest_path g ~weight:(G.cost g) ~src ~dst () with
+  | None -> None
+  | Some (_, pc) ->
+    let c_pc, d_pc = eval pc in
+    if d_pc <= delay_bound then
+      (* unconstrained optimum already feasible: exact *)
+      Some { path = pc; cost = c_pc; delay = d_pc; lower_bound = c_pc }
+    else begin
+      match Dijkstra.shortest_path g ~weight:(G.delay g) ~src ~dst () with
+      | None -> None
+      | Some (_, pd) ->
+        let c_pd, d_pd = eval pd in
+        if d_pd > delay_bound then None (* even the fastest path is too slow *)
+        else begin
+          (* classic LARAC iteration on (pc: infeasible & cheap, pd: feasible
+             & costly); λ = (c_pd − c_pc) / (d_pc − d_pd) ≥ 0 as num/den *)
+          let rec iterate (c_pc, d_pc) pd (c_pd, d_pd) =
+            let num = c_pd - c_pc and den = d_pc - d_pd in
+            assert (num >= 0 && den > 0);
+            if num = 0 then
+              (* cheap path cost equals feasible path cost: pd optimal *)
+              { path = pd; cost = c_pd; delay = d_pd; lower_bound = c_pd }
+            else begin
+              match aggregated g ~src ~dst ~num ~den with
+              | None -> assert false (* reachable: pd exists *)
+              | Some (_, r) ->
+                let c_r, d_r = eval r in
+                let agg p_c p_d = (den * p_c) + (num * p_d) in
+                if agg c_r d_r = agg c_pc d_pc then begin
+                  (* λ is optimal: lower bound L(λ) = c_r + λ(d_r − D) *)
+                  let lb_num = (den * c_r) + (num * (d_r - delay_bound)) in
+                  let lb = lb_num / den in
+                  { path = pd; cost = c_pd; delay = d_pd; lower_bound = lb }
+                end
+                else if d_r <= delay_bound then iterate (c_pc, d_pc) r (c_r, d_r)
+                else iterate (c_r, d_r) pd (c_pd, d_pd)
+            end
+          in
+          Some (iterate (c_pc, d_pc) pd (c_pd, d_pd))
+        end
+    end

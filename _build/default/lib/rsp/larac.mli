@@ -1,0 +1,24 @@
+(** LARAC — Lagrangian relaxation for the single restricted shortest path.
+
+    The classical polynomial heuristic for RSP: binary/secant search over the
+    multiplier λ of the aggregated metric [c + λ·d]. Returns both a feasible
+    path (delay ≤ D, cost within the Lagrangian gap of optimal) and the
+    Lagrangian lower bound on the optimum, which the FPTAS and the
+    experiments use as a certified [C_OPT] lower bound. *)
+
+type result = {
+  path : Krsp_graph.Path.t;  (** feasible: delay ≤ D *)
+  cost : int;
+  delay : int;
+  lower_bound : int;  (** the Lagrangian dual value at the final multiplier,
+                          rounded down: a valid lower bound on OPT *)
+}
+
+val solve :
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  delay_bound:int ->
+  result option
+(** [None] when no path meets the delay bound at all. Requires non-negative
+    costs and delays. *)

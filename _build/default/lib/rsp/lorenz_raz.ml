@@ -1,0 +1,78 @@
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+
+type result = { path : Path.t; cost : int; delay : int }
+
+(* Scaled DP: is there a path of (true) cost roughly <= bound meeting the
+   delay constraint? Scaling by theta = bound/(n+1) keeps the table width at
+   most (n+1)/1 per unit of "test slack". With floor-scaled costs a path of
+   true cost <= bound has scaled cost <= bound/theta, and each of its <= n
+   edges loses < 1 unit to rounding, so testing budget floor(bound/theta) + n
+   is sound. *)
+let scaled_feasible g ~src ~dst ~delay_bound ~bound ~slack =
+  let theta = max 1 (bound / slack) in
+  let weight e = G.cost g e / theta in
+  let budget = (bound / theta) + slack in
+  match Rsp_dp.min_delay_within_cost g ~weight ~src ~dst ~budget with
+  | None -> None
+  | Some (delay, p) -> if delay <= delay_bound then Some p else None
+
+let solve g ~src ~dst ~delay_bound ~epsilon =
+  if epsilon <= 0. then invalid_arg "Lorenz_raz.solve: epsilon must be positive";
+  match Larac.solve g ~src ~dst ~delay_bound with
+  | None -> None
+  | Some larac ->
+    if larac.Larac.cost <= larac.Larac.lower_bound then
+      (* LARAC already optimal (gap closed) *)
+      Some { path = larac.Larac.path; cost = larac.Larac.cost; delay = larac.Larac.delay }
+    else begin
+      let n = G.n g in
+      (* interval narrowing: maintain LB <= OPT <= UB, shrink UB/LB to <= 16
+         with the approximate test. Test at B with slack n means: a "yes"
+         path has true cost <= B + theta·(budget rounding) <= 3B, a "no"
+         certifies OPT > B. *)
+      let lb = ref (max 1 larac.Larac.lower_bound) in
+      let ub = ref (max 1 larac.Larac.cost) in
+      while !ub > 16 * !lb do
+        let b = int_of_float (sqrt (float_of_int !lb *. float_of_int !ub)) in
+        let b = max !lb (min b !ub) in
+        match scaled_feasible g ~src ~dst ~delay_bound ~bound:b ~slack:n with
+        | Some _ -> ub := min !ub (3 * b)
+        | None -> lb := max !lb (b + 1)
+      done;
+      (* final scaled DP at precision epsilon: theta = eps*LB/(n+1); any
+         optimal path keeps scaled cost <= OPT/theta and rounding loses < n+1
+         units, i.e. < eps*LB <= eps*OPT in true cost *)
+      let slack = int_of_float (ceil (float_of_int (n + 1) /. epsilon)) in
+      let theta = max 1 (!lb / slack) in
+      let weight e = G.cost g e / theta in
+      let budget = (!ub / theta) + n + 1 in
+      (match Rsp_dp.min_delay_within_cost g ~weight ~src ~dst ~budget with
+      | None -> assert false (* UB is the cost of a known feasible path *)
+      | Some _ ->
+        (* scan scaled budgets upward for the cheapest feasible true path *)
+        let best = ref None in
+        let rec search lo hi =
+          (* binary search on the scaled budget for feasibility *)
+          if lo > hi then ()
+          else begin
+            let mid = (lo + hi) / 2 in
+            match Rsp_dp.min_delay_within_cost g ~weight ~src ~dst ~budget:mid with
+            | Some (delay, p) when delay <= delay_bound ->
+              best := Some p;
+              search lo (mid - 1)
+            | _ -> search (mid + 1) hi
+          end
+        in
+        search 0 budget;
+        (match !best with
+        | None ->
+          (* LARAC path is feasible, so the table must contain one *)
+          Some { path = larac.Larac.path; cost = larac.Larac.cost; delay = larac.Larac.delay }
+        | Some p ->
+          let cost = Path.cost g p and delay = Path.delay g p in
+          (* never return something worse than LARAC's feasible path *)
+          if cost <= larac.Larac.cost then Some { path = p; cost; delay }
+          else
+            Some { path = larac.Larac.path; cost = larac.Larac.cost; delay = larac.Larac.delay }))
+    end

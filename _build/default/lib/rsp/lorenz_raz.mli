@@ -1,0 +1,23 @@
+(** Lorenz–Raz style FPTAS for the single restricted shortest path.
+
+    This is the "traditional technique for polynomial time approximation
+    scheme design" the paper's Theorem 4 invokes (reference [17] there):
+    interval narrowing with an approximate test procedure, then one final
+    cost-scaled dynamic program. Returns a path with delay ≤ D and cost
+    ≤ (1+ε)·OPT in time polynomial in the input size and 1/ε. *)
+
+type result = {
+  path : Krsp_graph.Path.t;
+  cost : int;
+  delay : int;
+}
+
+val solve :
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  delay_bound:int ->
+  epsilon:float ->
+  result option
+(** [None] when no path meets the delay bound. Requires [epsilon > 0] and
+    non-negative costs/delays. *)

@@ -1,0 +1,87 @@
+module G = Krsp_graph.Digraph
+
+(* dist.(d).(v) = min cost of a walk src→v with total delay <= d. The table
+   is monotone in d, so dist.(d) is initialised from dist.(d-1) and relaxed
+   with the zero-delay closure handled by a Bellman-style inner fixpoint
+   restricted to zero-delay edges. *)
+let budget_dp g ~advance ~relax_cost ~src ~budget =
+  (* generic over which weight plays "budgeted" (advance) vs "minimised"
+     (relax_cost) role *)
+  let n = G.n g in
+  let inf = max_int in
+  let dist = Array.make_matrix (budget + 1) n inf in
+  let parent = Array.make_matrix (budget + 1) n (-1) in
+  dist.(0).(src) <- 0;
+  for b = 0 to budget do
+    if b > 0 then
+      for v = 0 to n - 1 do
+        if dist.(b - 1).(v) < dist.(b).(v) then begin
+          dist.(b).(v) <- dist.(b - 1).(v);
+          parent.(b).(v) <- parent.(b - 1).(v)
+        end
+      done;
+    (* relax edges whose budget weight fits into b; zero-budget-weight edges
+       need an inner fixpoint (they stay on the same layer) *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      G.iter_edges g (fun e ->
+          let w = advance e in
+          if w >= 0 && w <= b then begin
+            let u = G.src g e and v = G.dst g e in
+            if dist.(b - w).(u) <> inf then begin
+              let nc = dist.(b - w).(u) + relax_cost e in
+              if nc < dist.(b).(v) then begin
+                dist.(b).(v) <- nc;
+                parent.(b).(v) <- e;
+                if w = 0 then changed := true
+              end
+            end
+          end)
+    done
+  done;
+  (dist, parent)
+
+let reconstruct g ~advance parent budget v =
+  (* walk parents backwards; layer decreases by the edge's budget weight *)
+  let rec go acc b v =
+    let e = parent.(b).(v) in
+    if e = -1 then acc
+    else begin
+      (* parent entry may have been inherited from a lower layer with the
+         same cost; find the layer where this edge was actually placed *)
+      let u = G.src g e in
+      go (e :: acc) (b - advance e) u
+    end
+  in
+  go [] budget v
+
+let check_nonneg g f name = G.iter_edges g (fun e -> if f e < 0 then invalid_arg name)
+
+let solve g ~src ~dst ~delay_bound =
+  check_nonneg g (G.delay g) "Rsp_dp.solve: negative delay";
+  check_nonneg g (G.cost g) "Rsp_dp.solve: negative cost";
+  if delay_bound < 0 then None
+  else begin
+    let dist, parent =
+      budget_dp g ~advance:(G.delay g) ~relax_cost:(G.cost g) ~src ~budget:delay_bound
+    in
+    if dist.(delay_bound).(dst) = max_int then None
+    else begin
+      let p = reconstruct g ~advance:(G.delay g) parent delay_bound dst in
+      Some (dist.(delay_bound).(dst), p)
+    end
+  end
+
+let min_delay_within_cost g ~weight ~src ~dst ~budget =
+  check_nonneg g weight "Rsp_dp.min_delay_within_cost: negative weight";
+  check_nonneg g (G.delay g) "Rsp_dp.min_delay_within_cost: negative delay";
+  if budget < 0 then None
+  else begin
+    let dist, parent = budget_dp g ~advance:weight ~relax_cost:(G.delay g) ~src ~budget in
+    if dist.(budget).(dst) = max_int then None
+    else begin
+      let p = reconstruct g ~advance:weight parent budget dst in
+      Some (dist.(budget).(dst), p)
+    end
+  end

@@ -1,0 +1,26 @@
+(** Exact restricted shortest path (k = 1) by pseudo-polynomial dynamic
+    programming over the delay budget.
+
+    This is the classical exact algorithm the RSP FPTAS literature scales
+    down from; we use it (a) as the [k = 1] reference in tests (kRSP with
+    [k = 1] *is* RSP) and (b) inside the Lorenz–Raz test procedure in its
+    cost-budget form. Complexity O(m·D). *)
+
+val solve :
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  delay_bound:int ->
+  (int * Krsp_graph.Path.t) option
+(** Minimum-cost [src→dst] path with delay ≤ [delay_bound], or [None].
+    Requires non-negative costs and delays. *)
+
+val min_delay_within_cost :
+  Krsp_graph.Digraph.t ->
+  weight:(Krsp_graph.Digraph.edge -> int) ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  budget:int ->
+  (int * Krsp_graph.Path.t) option
+(** Dual DP: minimum-delay path whose total [weight] (a scaled cost) is
+    ≤ [budget]. [weight] must be non-negative. Used by the FPTAS. *)

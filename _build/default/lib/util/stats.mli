@@ -1,0 +1,23 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val minimum : float list -> float
+(** Smallest element; raises [Invalid_argument] on the empty list. *)
+
+val maximum : float list -> float
+(** Largest element; raises [Invalid_argument] on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] is the [p]-th percentile ([0 <= p <= 100]) by linear
+    interpolation on the sorted list. Raises [Invalid_argument] on []. *)
+
+val median : float list -> float
+(** [median xs = percentile 50. xs]. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)

@@ -1,0 +1,79 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = { headers : string list; aligns : align list; mutable rows : row list }
+
+let create ~columns =
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Separator -> acc
+            | Cells cells -> max acc (String.length (List.nth cells i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let buf = Buffer.create 1024 in
+  let emit_row cells =
+    let padded =
+      List.mapi
+        (fun i cell -> pad (List.nth t.aligns i) (List.nth widths i) cell)
+        cells
+    in
+    Buffer.add_string buf ("| " ^ String.concat " | " padded ^ " |\n")
+  in
+  let rule () =
+    let dashes = List.map (fun w -> String.make (w + 2) '-') widths in
+    Buffer.add_string buf ("+" ^ String.concat "+" dashes ^ "+\n")
+  in
+  rule ();
+  emit_row t.headers;
+  rule ();
+  List.iter
+    (function Cells cells -> emit_row cells | Separator -> rule ())
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_ratio x =
+  if Float.is_nan x || Float.is_integer x = false && Float.abs x = Float.infinity then "-"
+  else if Float.abs x = Float.infinity then "-"
+  else Printf.sprintf "%.3f" x
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Aligned plain-text tables for experiment output.
+
+    The bench harness prints one table per experiment; keeping the renderer
+    here means examples and the CLI share the exact same formatting. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] starts an empty table with the given header cells. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Raises [Invalid_argument] if the arity does not match the
+    header. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render with column widths fitted to content, header underlined. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a newline. *)
+
+(* Cell formatting helpers used across experiments. *)
+
+val fmt_float : ?decimals:int -> float -> string
+val fmt_ratio : float -> string
+(** Ratio with 3 decimals, or ["-"] for NaN/infinite. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. [12_345] renders as ["12,345"]. *)

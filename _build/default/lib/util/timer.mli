@@ -1,0 +1,9 @@
+(** Wall-clock timing for coarse experiment measurements (the fine-grained
+    micro-benchmarks use bechamel instead). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+(** Like {!time} but in milliseconds. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Krsp_core Krsp_gen Krsp_graph Krsp_rsp Krsp_util List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Float Fun Krsp_core Krsp_graph Krsp_route Krsp_util List Printf QCheck2 QCheck_alcotest String

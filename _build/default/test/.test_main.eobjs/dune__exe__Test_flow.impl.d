@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Krsp_bigint Krsp_flow Krsp_graph Krsp_lp Krsp_util List QCheck2 QCheck_alcotest

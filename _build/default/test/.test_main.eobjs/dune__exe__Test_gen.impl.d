@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Krsp_core Krsp_gen Krsp_graph Krsp_util

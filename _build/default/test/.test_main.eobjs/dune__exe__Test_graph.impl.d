@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Krsp_graph Krsp_util List Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Array Krsp_core Krsp_graph Krsp_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Fun Krsp_bigint Krsp_graph Krsp_lp Krsp_util List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bigint Test_core Test_extras Test_flow Test_gen Test_graph Test_invariants Test_lp Test_milp Test_rsp Test_scaling_large Test_util Test_variants

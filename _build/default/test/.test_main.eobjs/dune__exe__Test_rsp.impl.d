@@ -1,0 +1,1 @@
+test/test_rsp.ml: Alcotest Krsp_graph Krsp_rsp Krsp_util List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_scaling_large.ml: Alcotest Krsp_core Krsp_graph Krsp_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Krsp_util List String

@@ -1,0 +1,1 @@
+test/test_variants.ml: Alcotest Array Krsp_core Krsp_gen Krsp_graph Krsp_util List QCheck2 QCheck_alcotest

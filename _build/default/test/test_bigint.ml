@@ -1,0 +1,181 @@
+(* Tests for the hand-rolled bignum substrate: Bigint against the native-int
+   oracle on small values, plus targeted large-value cases, plus Q field and
+   order laws. *)
+
+module B = Krsp_bigint.Bigint
+module Q = Krsp_bigint.Q
+
+let bigint = Alcotest.testable B.pp B.equal
+let rational = Alcotest.testable Q.pp Q.equal
+
+(* --- unit tests ------------------------------------------------------- *)
+
+let test_of_to_int () =
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (B.to_int (B.of_int n)))
+    [ 0; 1; -1; 42; -42; 1 lsl 29; (1 lsl 30) - 1; 1 lsl 30; 1 lsl 45; max_int; min_int; min_int + 1 ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (B.to_string (B.of_string s)))
+    [ "0"; "1"; "-1"; "123456789012345678901234567890"; "-98765432109876543210987654321" ]
+
+let test_add_large () =
+  let a = B.of_string "99999999999999999999999999999999" in
+  let b = B.of_string "1" in
+  Alcotest.check bigint "carry chain" (B.of_string "100000000000000000000000000000000") (B.add a b)
+
+let test_mul_large () =
+  let a = B.of_string "123456789123456789" in
+  let b = B.of_string "987654321987654321" in
+  Alcotest.check bigint "schoolbook"
+    (B.of_string "121932631356500531347203169112635269")
+    (B.mul a b)
+
+let test_divmod_large () =
+  let a = B.of_string "121932631356500531347203169112635269" in
+  let b = B.of_string "123456789123456789" in
+  let q, r = B.divmod a b in
+  Alcotest.check bigint "quotient" (B.of_string "987654321987654321") q;
+  Alcotest.check bigint "remainder" B.zero r;
+  let q2, r2 = B.divmod (B.add a (B.of_int 17)) b in
+  Alcotest.check bigint "quotient+17" (B.of_string "987654321987654321") q2;
+  Alcotest.check bigint "remainder+17" (B.of_int 17) r2
+
+let test_divmod_signs () =
+  (* truncated division: r has the sign of the dividend *)
+  let check a b q r =
+    let q', r' = B.divmod (B.of_int a) (B.of_int b) in
+    Alcotest.check bigint (Printf.sprintf "%d/%d q" a b) (B.of_int q) q';
+    Alcotest.check bigint (Printf.sprintf "%d/%d r" a b) (B.of_int r) r'
+  in
+  check 7 2 3 1;
+  check (-7) 2 (-3) (-1);
+  check 7 (-2) (-3) 1;
+  check (-7) (-2) 3 (-1)
+
+let test_gcd () =
+  Alcotest.check bigint "gcd(12,18)" (B.of_int 6) (B.gcd (B.of_int 12) (B.of_int 18));
+  Alcotest.check bigint "gcd(0,5)" (B.of_int 5) (B.gcd B.zero (B.of_int 5));
+  Alcotest.check bigint "gcd(-12,18)" (B.of_int 6) (B.gcd (B.of_int (-12)) (B.of_int 18));
+  Alcotest.check bigint "gcd(0,0)" B.zero (B.gcd B.zero B.zero);
+  let a = B.of_string "123456789123456789" in
+  Alcotest.check bigint "gcd(a,a)" a (B.gcd a a)
+
+let test_pow () =
+  Alcotest.check bigint "2^100"
+    (B.of_string "1267650600228229401496703205376")
+    (B.pow (B.of_int 2) 100);
+  Alcotest.check bigint "x^0" B.one (B.pow (B.of_int 12345) 0)
+
+let test_shift () =
+  Alcotest.check bigint "shl" (B.of_int 80) (B.shift_left (B.of_int 5) 4);
+  Alcotest.check bigint "shr" (B.of_int 5) (B.shift_right (B.of_int 80) 4);
+  Alcotest.check bigint "shl wide"
+    (B.mul (B.of_int 5) (B.pow (B.of_int 2) 100))
+    (B.shift_left (B.of_int 5) 100)
+
+let test_q_basics () =
+  Alcotest.check rational "1/2 + 1/3" (Q.of_ints 5 6) (Q.add (Q.of_ints 1 2) (Q.of_ints 1 3));
+  Alcotest.check rational "canonical" (Q.of_ints 1 2) (Q.of_ints (-3) (-6));
+  Alcotest.check rational "neg den" (Q.of_ints (-1) 2) (Q.of_ints 3 (-6));
+  Alcotest.(check int) "sign" (-1) (Q.sign (Q.of_ints 3 (-6)));
+  Alcotest.check rational "inv" (Q.of_ints (-2) 3) (Q.inv (Q.of_ints 3 (-2)));
+  Alcotest.(check bool) "cmp" true (Q.compare (Q.of_ints 1 3) (Q.of_ints 1 2) < 0)
+
+let test_q_div_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero));
+  Alcotest.check_raises "make zero den" Division_by_zero (fun () ->
+      ignore (Q.make B.one B.zero))
+
+(* --- property tests ---------------------------------------------------- *)
+
+let small_int = QCheck2.Gen.int_range (-(1 lsl 29)) (1 lsl 29)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:500 gen f)
+
+let arith_props =
+  [ prop "add matches int" QCheck2.Gen.(pair small_int small_int) (fun (a, b) ->
+        B.equal (B.add (B.of_int a) (B.of_int b)) (B.of_int (a + b)));
+    prop "sub matches int" QCheck2.Gen.(pair small_int small_int) (fun (a, b) ->
+        B.equal (B.sub (B.of_int a) (B.of_int b)) (B.of_int (a - b)));
+    prop "mul matches int" QCheck2.Gen.(pair small_int small_int) (fun (a, b) ->
+        B.equal (B.mul (B.of_int a) (B.of_int b)) (B.of_int (a * b)));
+    prop "compare matches int" QCheck2.Gen.(pair small_int small_int) (fun (a, b) ->
+        B.compare (B.of_int a) (B.of_int b) = compare a b);
+    prop "divmod matches int" QCheck2.Gen.(pair small_int small_int) (fun (a, b) ->
+        QCheck2.assume (b <> 0);
+        let q, r = B.divmod (B.of_int a) (B.of_int b) in
+        B.equal q (B.of_int (a / b)) && B.equal r (B.of_int (a mod b)));
+    prop "string roundtrip" small_int (fun a ->
+        B.equal (B.of_string (B.to_string (B.of_int a))) (B.of_int a));
+    prop "divmod identity on products"
+      QCheck2.Gen.(triple small_int small_int small_int)
+      (fun (a, b, c) ->
+        QCheck2.assume (b <> 0);
+        (* build a wide dividend a*b + c' with |c'| < |b| and sign of a*b *)
+        let wide = B.add (B.mul (B.of_int a) (B.of_int b)) (B.of_int c) in
+        let q, r = B.divmod wide (B.of_int b) in
+        B.equal wide (B.add (B.mul q (B.of_int b)) r)
+        && B.compare (B.abs r) (B.abs (B.of_int b)) < 0);
+    prop "wide string roundtrip"
+      QCheck2.Gen.(pair small_int (int_range 1 6))
+      (fun (a, reps) ->
+        QCheck2.assume (a <> 0);
+        (* build a wide value by repeated squaring/multiplication *)
+        let rec widen acc i = if i = 0 then acc else widen (B.mul acc (B.of_int a)) (i - 1) in
+        let wide = widen (B.of_int a) reps in
+        B.equal (B.of_string (B.to_string wide)) wide);
+    prop "gcd divides both" QCheck2.Gen.(pair small_int small_int) (fun (a, b) ->
+        QCheck2.assume (a <> 0 || b <> 0);
+        let g = B.gcd (B.of_int a) (B.of_int b) in
+        B.is_zero (B.rem (B.of_int a) g) && B.is_zero (B.rem (B.of_int b) g));
+    prop "gcd matches euclid" QCheck2.Gen.(pair small_int small_int) (fun (a, b) ->
+        let rec euclid a b = if b = 0 then abs a else euclid b (a mod b) in
+        B.equal (B.gcd (B.of_int a) (B.of_int b)) (B.of_int (euclid a b)))
+  ]
+
+let q_gen =
+  QCheck2.Gen.(
+    map
+      (fun (a, b) -> Q.of_ints a (if b = 0 then 1 else b))
+      (pair (int_range (-1000) 1000) (int_range (-1000) 1000)))
+
+let q_props =
+  [ prop "Q add assoc" QCheck2.Gen.(triple q_gen q_gen q_gen) (fun (a, b, c) ->
+        Q.equal (Q.add a (Q.add b c)) (Q.add (Q.add a b) c));
+    prop "Q mul distributes" QCheck2.Gen.(triple q_gen q_gen q_gen) (fun (a, b, c) ->
+        Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)));
+    prop "Q inverse" q_gen (fun a ->
+        QCheck2.assume (not (Q.is_zero a));
+        Q.equal Q.one (Q.mul a (Q.inv a)));
+    prop "Q sub then add" QCheck2.Gen.(pair q_gen q_gen) (fun (a, b) ->
+        Q.equal a (Q.add (Q.sub a b) b));
+    prop "Q order total" QCheck2.Gen.(pair q_gen q_gen) (fun (a, b) ->
+        let c = Q.compare a b in
+        (c = 0) = Q.equal a b && c = -Q.compare b a);
+    prop "Q to_float consistent" QCheck2.Gen.(pair q_gen q_gen) (fun (a, b) ->
+        QCheck2.assume (Q.compare a b < 0);
+        Q.to_float a <= Q.to_float b)
+  ]
+
+let suites =
+  [ ( "bigint",
+      [ Alcotest.test_case "of_int/to_int" `Quick test_of_to_int;
+        Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+        Alcotest.test_case "add large" `Quick test_add_large;
+        Alcotest.test_case "mul large" `Quick test_mul_large;
+        Alcotest.test_case "divmod large" `Quick test_divmod_large;
+        Alcotest.test_case "divmod signs" `Quick test_divmod_signs;
+        Alcotest.test_case "gcd" `Quick test_gcd;
+        Alcotest.test_case "pow" `Quick test_pow;
+        Alcotest.test_case "shift" `Quick test_shift
+      ]
+      @ arith_props );
+    ( "q",
+      [ Alcotest.test_case "basics" `Quick test_q_basics;
+        Alcotest.test_case "division by zero" `Quick test_q_div_by_zero
+      ]
+      @ q_props )
+  ]

@@ -1,0 +1,125 @@
+(* Tests for the topology generators and instance sampler. *)
+
+module G = Krsp_graph.Digraph
+module X = Krsp_util.Xoshiro
+module Topology = Krsp_gen.Topology
+module Instgen = Krsp_gen.Instgen
+module Instance = Krsp_core.Instance
+
+let w = Topology.default_weights
+
+let weights_in_range g =
+  let (clo, chi) = w.Topology.cost_range and (dlo, dhi) = w.Topology.delay_range in
+  G.fold_edges g ~init:true ~f:(fun acc e ->
+      acc && G.cost g e >= clo && G.cost g e <= chi && G.delay g e >= dlo
+      && G.delay g e <= dhi)
+
+let test_erdos_renyi () =
+  let rng = X.create ~seed:1 in
+  let g = Topology.erdos_renyi rng ~n:20 ~p:0.3 w in
+  Alcotest.(check int) "n" 20 (G.n g);
+  Alcotest.(check bool) "edges exist" true (G.m g > 0);
+  Alcotest.(check bool) "weights in range" true (weights_in_range g);
+  (* determinism *)
+  let rng2 = X.create ~seed:1 in
+  let g2 = Topology.erdos_renyi rng2 ~n:20 ~p:0.3 w in
+  Alcotest.(check int) "deterministic m" (G.m g) (G.m g2)
+
+let test_layered_dag () =
+  let rng = X.create ~seed:2 in
+  let layers = 5 and width = 4 in
+  let g = Topology.layered_dag rng ~layers ~width ~p:0.3 w in
+  Alcotest.(check int) "n" (layers * width) (G.n g);
+  (* edges only go from layer l to l+1 *)
+  G.iter_edges g (fun e ->
+      let lu = G.src g e / width and lv = G.dst g e / width in
+      Alcotest.(check int) "layer step" 1 (lv - lu));
+  (* every non-final vertex has at least one outgoing edge *)
+  for v = 0 to (layers - 1) * width - 1 do
+    Alcotest.(check bool) "connected forward" true (G.out_degree g v >= 1)
+  done
+
+let test_grid () =
+  let rng = X.create ~seed:3 in
+  let g = Topology.grid rng ~rows:3 ~cols:4 ~bidirectional:false w in
+  Alcotest.(check int) "n" 12 (G.n g);
+  (* 3 rows × 3 right edges + 2×4 down edges = 9 + 8 *)
+  Alcotest.(check int) "m" 17 (G.m g);
+  let gb = Topology.grid rng ~rows:3 ~cols:4 ~bidirectional:true w in
+  Alcotest.(check int) "bidirectional doubles" 34 (G.m gb)
+
+let test_waxman () =
+  let rng = X.create ~seed:4 in
+  let g = Topology.waxman rng ~n:30 ~alpha:0.8 ~beta:0.3 w in
+  Alcotest.(check int) "n" 30 (G.n g);
+  Alcotest.(check bool) "edges exist" true (G.m g > 0);
+  G.iter_edges g (fun e ->
+      Alcotest.(check bool) "delay positive" true (G.delay g e >= 1))
+
+let test_ring_chords () =
+  let rng = X.create ~seed:5 in
+  let g = Topology.ring_chords rng ~n:10 ~chords:5 w in
+  Alcotest.(check int) "n" 10 (G.n g);
+  Alcotest.(check bool) "at least the ring" true (G.m g >= 20);
+  (* ring is 2-edge-connected in both directions *)
+  Alcotest.(check bool) "two disjoint paths" true
+    (Krsp_graph.Bfs.edge_connectivity_at_least g ~src:0 ~dst:5 ~k:2)
+
+let test_fat_tree () =
+  let rng = X.create ~seed:6 in
+  let pods = 4 in
+  let g = Topology.fat_tree rng ~pods w in
+  (* 4 core + 8 agg + 8 edge *)
+  Alcotest.(check int) "n" 20 (G.n g);
+  (* agg-core: pods·half·half links ·2 dirs; agg-edge: pods·half·half ·2 *)
+  Alcotest.(check int) "m" 64 (G.m g);
+  (* two edge switches in different pods have >= 2 disjoint paths *)
+  let edge0 = 4 + 8 and edge_other = 4 + 8 + 2 in
+  Alcotest.(check bool) "multipath" true
+    (Krsp_graph.Bfs.edge_connectivity_at_least g ~src:edge0 ~dst:edge_other ~k:2)
+
+let test_instgen_feasible () =
+  let rng = X.create ~seed:7 in
+  let ok = ref 0 in
+  for _ = 1 to 20 do
+    let g = Topology.erdos_renyi rng ~n:12 ~p:0.4 w in
+    match Instgen.instance rng g { Instgen.k = 2; tightness = 0.5 } with
+    | None -> ()
+    | Some t ->
+      incr ok;
+      (match Instance.min_possible_delay t with
+      | Some dmin ->
+        Alcotest.(check bool) "feasible by construction" true (dmin <= t.Instance.delay_bound)
+      | None -> Alcotest.fail "connectivity was checked")
+  done;
+  Alcotest.(check bool) "sampler mostly succeeds" true (!ok >= 10)
+
+let test_instgen_tightness_extremes () =
+  let rng = X.create ~seed:8 in
+  let g = Topology.erdos_renyi rng ~n:12 ~p:0.5 w in
+  match
+    ( Instgen.instance_st g ~src:0 ~dst:11 { Instgen.k = 2; tightness = 0.0 },
+      Instgen.instance_st g ~src:0 ~dst:11 { Instgen.k = 2; tightness = 1.0 } )
+  with
+  | Some tight, Some loose ->
+    Alcotest.(check bool) "tight <= loose" true
+      (tight.Instance.delay_bound <= loose.Instance.delay_bound);
+    (match Instance.min_possible_delay tight with
+    | Some dmin -> Alcotest.(check int) "tightness 0 = min delay" dmin tight.Instance.delay_bound
+    | None -> Alcotest.fail "connected")
+  | _ -> () (* endpoints may not carry 2 disjoint paths for this seed *)
+
+let suites =
+  [ ( "topology",
+      [ Alcotest.test_case "erdos-renyi" `Quick test_erdos_renyi;
+        Alcotest.test_case "layered dag" `Quick test_layered_dag;
+        Alcotest.test_case "grid" `Quick test_grid;
+        Alcotest.test_case "waxman" `Quick test_waxman;
+        Alcotest.test_case "ring+chords" `Quick test_ring_chords;
+        Alcotest.test_case "fat tree" `Quick test_fat_tree
+      ] );
+    ( "instgen",
+      [ Alcotest.test_case "feasible instances" `Quick test_instgen_feasible;
+        Alcotest.test_case "tightness extremes" `Quick test_instgen_tightness_extremes
+      ] )
+  ]

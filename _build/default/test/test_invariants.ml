@@ -1,0 +1,130 @@
+(* Cross-cutting invariant properties: graph rewriting, IO round-trips,
+   determinism of the full pipeline, residual involution. *)
+
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+module Io = Krsp_graph.Io
+module X = Krsp_util.Xoshiro
+module Instance = Krsp_core.Instance
+module Krsp = Krsp_core.Krsp
+module Residual = Krsp_core.Residual
+module Phase1 = Krsp_core.Phase1
+
+let random_graph rng ~n ~p ~cmax ~dmax =
+  let g = G.create ~n () in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && X.float rng 1.0 < p then
+        ignore (G.add_edge g ~src:u ~dst:v ~cost:(X.int_in rng 0 cmax) ~delay:(X.int_in rng 0 dmax))
+    done
+  done;
+  g
+
+let prop name ?(count = 60) gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let filter_map_identity =
+  prop "filter_map_edges with identity preserves the graph" QCheck2.Gen.int (fun seed ->
+      let rng = X.create ~seed in
+      let n = 3 + X.int rng 5 in
+      let g = random_graph rng ~n ~p:0.5 ~cmax:9 ~dmax:9 in
+      let g2, mapping = G.filter_map_edges g ~f:(fun e -> Some (G.cost g e, G.delay g e)) in
+      G.n g2 = G.n g && G.m g2 = G.m g
+      && G.fold_edges g ~init:true ~f:(fun acc e ->
+             acc && mapping.(e) = e
+             && G.src g2 e = G.src g e
+             && G.dst g2 e = G.dst g e
+             && G.cost g2 e = G.cost g e
+             && G.delay g2 e = G.delay g e))
+
+let filter_map_drop =
+  prop "filter_map_edges drops exactly the filtered edges" QCheck2.Gen.int (fun seed ->
+      let rng = X.create ~seed in
+      let n = 3 + X.int rng 5 in
+      let g = random_graph rng ~n ~p:0.5 ~cmax:9 ~dmax:9 in
+      (* drop all odd edge ids *)
+      let g2, mapping =
+        G.filter_map_edges g ~f:(fun e ->
+            if e mod 2 = 1 then None else Some (G.cost g e, G.delay g e))
+      in
+      G.m g2 = (G.m g + 1) / 2
+      && G.fold_edges g ~init:true ~f:(fun acc e ->
+             acc && if e mod 2 = 1 then mapping.(e) = -1 else mapping.(e) >= 0))
+
+let io_roundtrip_prop =
+  prop "edge-list round-trips any random graph" QCheck2.Gen.int (fun seed ->
+      let rng = X.create ~seed in
+      let n = 2 + X.int rng 8 in
+      let g = random_graph rng ~n ~p:0.4 ~cmax:50 ~dmax:50 in
+      let g2 = Io.of_edge_list (Io.to_edge_list g) in
+      G.n g2 = G.n g && G.m g2 = G.m g
+      && G.fold_edges g ~init:true ~f:(fun acc e ->
+             acc
+             && G.src g2 e = G.src g e
+             && G.dst g2 e = G.dst g e
+             && G.cost g2 e = G.cost g e
+             && G.delay g2 e = G.delay g e))
+
+let krsp_deterministic =
+  prop "krsp solve is deterministic" ~count:20 QCheck2.Gen.int (fun seed ->
+      let rng = X.create ~seed in
+      let n = 4 + X.int rng 4 in
+      let g = random_graph rng ~n ~p:0.5 ~cmax:6 ~dmax:6 in
+      if not (Krsp_graph.Bfs.edge_connectivity_at_least g ~src:0 ~dst:(n - 1) ~k:2) then true
+      else begin
+        let dbound = 2 + X.int rng 20 in
+        match Instance.min_possible_delay (Instance.create g ~src:0 ~dst:(n - 1) ~k:2 ~delay_bound:(max 1 dbound)) with
+        | Some dmin when dmin <= dbound ->
+          let t = Instance.create g ~src:0 ~dst:(n - 1) ~k:2 ~delay_bound:dbound in
+          let run () =
+            match Krsp.solve t () with
+            | Ok (sol, _) -> Some (sol.Instance.cost, sol.Instance.delay, sol.Instance.paths)
+            | Error _ -> None
+          in
+          run () = run ()
+        | _ -> true
+      end)
+
+(* building a residual w.r.t. no paths is the identity; w.r.t. paths twice
+   composes reversal with itself on exactly the path edges *)
+let residual_identity =
+  prop "residual w.r.t. no paths is the identity" QCheck2.Gen.int (fun seed ->
+      let rng = X.create ~seed in
+      let n = 3 + X.int rng 5 in
+      let g = random_graph rng ~n ~p:0.5 ~cmax:9 ~dmax:9 in
+      let res = Residual.build g ~paths:[] in
+      G.fold_edges g ~init:true ~f:(fun acc e ->
+          acc
+          && (not res.Residual.is_reversed.(e))
+          && G.src res.Residual.graph e = G.src g e
+          && G.cost res.Residual.graph e = G.cost g e))
+
+let residual_involution =
+  prop "reversing the reversed path edges restores the original weights" ~count:40
+    QCheck2.Gen.int (fun seed ->
+      let rng = X.create ~seed in
+      let n = 4 + X.int rng 4 in
+      let g = random_graph rng ~n ~p:0.5 ~cmax:9 ~dmax:9 in
+      if not (Krsp_graph.Bfs.edge_connectivity_at_least g ~src:0 ~dst:(n - 1) ~k:1) then true
+      else begin
+        let t = Instance.create g ~src:0 ~dst:(n - 1) ~k:1 ~delay_bound:(max 1 (G.total_delay g)) in
+        match Phase1.min_sum t with
+        | Phase1.Start s ->
+          let res = Residual.build g ~paths:s.Phase1.paths in
+          G.fold_edges g ~init:true ~f:(fun acc e ->
+              let re_cost = G.cost res.Residual.graph e in
+              let re_delay = G.delay res.Residual.graph e in
+              acc
+              &&
+              if res.Residual.is_reversed.(e) then
+                re_cost = -G.cost g e && re_delay = -G.delay g e
+                && G.src res.Residual.graph e = G.dst g e
+              else re_cost = G.cost g e && re_delay = G.delay g e)
+        | _ -> true
+      end)
+
+let suites =
+  [ ( "invariants",
+      [ filter_map_identity; filter_map_drop; io_roundtrip_prop; krsp_deterministic;
+        residual_identity; residual_involution
+      ] )
+  ]

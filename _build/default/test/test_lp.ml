@@ -1,0 +1,239 @@
+(* Tests for the exact simplex and the flow LP builder: hand-checked LPs,
+   degenerate/infeasible/unbounded cases, and property tests against the
+   min-cost-flow engine. *)
+
+module Lp = Krsp_lp.Lp
+module Simplex = Krsp_lp.Simplex
+module Lp_flow = Krsp_lp.Lp_flow
+module Q = Krsp_bigint.Q
+module G = Krsp_graph.Digraph
+module X = Krsp_util.Xoshiro
+
+let rational = Alcotest.testable Q.pp Q.equal
+
+let expect_optimal = function
+  | Simplex.Optimal s -> s
+  | Simplex.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected: unbounded"
+
+(* min -x - 2y  s.t. x + y <= 4, x <= 2, y <= 3  -> x=1? no: y=3, x=1, obj=-7 *)
+let test_simplex_basic () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~obj:(Q.of_int (-1)) "x" in
+  let y = Lp.add_var lp ~obj:(Q.of_int (-2)) "y" in
+  Lp.add_constraint lp [ (x, Q.one); (y, Q.one) ] Lp.Le (Q.of_int 4);
+  Lp.add_constraint lp [ (x, Q.one) ] Lp.Le (Q.of_int 2);
+  Lp.add_constraint lp [ (y, Q.one) ] Lp.Le (Q.of_int 3);
+  let s = expect_optimal (Simplex.solve lp) in
+  Alcotest.check rational "objective" (Q.of_int (-7)) s.Simplex.objective;
+  Alcotest.check rational "x" Q.one s.Simplex.values.(x);
+  Alcotest.check rational "y" (Q.of_int 3) s.Simplex.values.(y)
+
+let test_simplex_fractional_optimum () =
+  (* min -x - y s.t. 2x + y <= 3, x + 2y <= 3 -> x = y = 1, but with rhs 2:
+     x = y = 2/3 *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~obj:Q.minus_one "x" in
+  let y = Lp.add_var lp ~obj:Q.minus_one "y" in
+  Lp.add_constraint lp [ (x, Q.of_int 2); (y, Q.one) ] Lp.Le (Q.of_int 2);
+  Lp.add_constraint lp [ (x, Q.one); (y, Q.of_int 2) ] Lp.Le (Q.of_int 2);
+  let s = expect_optimal (Simplex.solve lp) in
+  Alcotest.check rational "objective" (Q.of_ints (-4) 3) s.Simplex.objective;
+  Alcotest.check rational "x" (Q.of_ints 2 3) s.Simplex.values.(x);
+  Alcotest.check rational "y" (Q.of_ints 2 3) s.Simplex.values.(y)
+
+let test_simplex_equality_and_ge () =
+  (* min x + y s.t. x + y = 5, x >= 2 -> obj 5 with x in [2,5] *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~obj:Q.one "x" in
+  let y = Lp.add_var lp ~obj:Q.one "y" in
+  Lp.add_constraint lp [ (x, Q.one); (y, Q.one) ] Lp.Eq (Q.of_int 5);
+  Lp.add_constraint lp [ (x, Q.one) ] Lp.Ge (Q.of_int 2);
+  let s = expect_optimal (Simplex.solve lp) in
+  Alcotest.check rational "objective" (Q.of_int 5) s.Simplex.objective;
+  Alcotest.(check bool) "x >= 2" true (Q.compare s.Simplex.values.(x) (Q.of_int 2) >= 0)
+
+let test_simplex_infeasible () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~obj:Q.one "x" in
+  Lp.add_constraint lp [ (x, Q.one) ] Lp.Ge (Q.of_int 5);
+  Lp.add_constraint lp [ (x, Q.one) ] Lp.Le (Q.of_int 2);
+  match Simplex.solve lp with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_unbounded () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~obj:Q.minus_one "x" in
+  Lp.add_constraint lp [ (x, Q.one) ] Lp.Ge Q.zero;
+  match Simplex.solve lp with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_negative_rhs () =
+  (* constraint with negative rhs exercises row flipping: x - y <= -1 with
+     x,y <= 5, min -x: x = 4 when y = 5 *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~upper:(Q.of_int 5) ~obj:Q.minus_one "x" in
+  let y = Lp.add_var lp ~upper:(Q.of_int 5) ~obj:Q.zero "y" in
+  Lp.add_constraint lp [ (x, Q.one); (y, Q.minus_one) ] Lp.Le Q.minus_one;
+  let s = expect_optimal (Simplex.solve lp) in
+  Alcotest.check rational "x = 4" (Q.of_int 4) s.Simplex.values.(x);
+  Alcotest.check rational "objective" (Q.of_int (-4)) s.Simplex.objective
+
+let test_simplex_degenerate_no_cycle () =
+  (* classic Beale-style degeneracy; Bland's rule must terminate *)
+  let lp = Lp.create () in
+  let x1 = Lp.add_var lp ~obj:(Q.of_ints (-3) 4) "x1" in
+  let x2 = Lp.add_var lp ~obj:(Q.of_int 150) "x2" in
+  let x3 = Lp.add_var lp ~obj:(Q.of_ints (-1) 50) "x3" in
+  let x4 = Lp.add_var lp ~obj:(Q.of_int 6) "x4" in
+  Lp.add_constraint lp
+    [ (x1, Q.of_ints 1 4); (x2, Q.of_int (-60)); (x3, Q.of_ints (-1) 25); (x4, Q.of_int 9) ]
+    Lp.Le Q.zero;
+  Lp.add_constraint lp
+    [ (x1, Q.of_ints 1 2); (x2, Q.of_int (-90)); (x3, Q.of_ints (-1) 50); (x4, Q.of_int 3) ]
+    Lp.Le Q.zero;
+  Lp.add_constraint lp [ (x3, Q.one) ] Lp.Le Q.one;
+  let s = expect_optimal (Simplex.solve lp) in
+  Alcotest.check rational "beale optimum" (Q.of_ints (-1) 20) s.Simplex.objective
+
+let test_simplex_duplicate_terms_merged () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~obj:Q.one "x" in
+  (* x + x >= 4 means x >= 2 *)
+  Lp.add_constraint lp [ (x, Q.one); (x, Q.one) ] Lp.Ge (Q.of_int 4);
+  let s = expect_optimal (Simplex.solve lp) in
+  Alcotest.check rational "x = 2" (Q.of_int 2) s.Simplex.values.(x)
+
+(* property: on random small bounded LPs, the returned point is feasible and
+   no sampled feasible point beats it *)
+let simplex_soundness_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"simplex point feasible and not beaten by samples" ~count:60
+       QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let nv = 2 + X.int rng 3 in
+         let nc = 1 + X.int rng 4 in
+         let lp = Lp.create () in
+         let vars =
+           List.init nv (fun i ->
+               Lp.add_var lp ~upper:(Q.of_int 10)
+                 ~obj:(Q.of_int (X.int_in rng (-5) 5))
+                 (Printf.sprintf "v%d" i))
+         in
+         let cons =
+           List.init nc (fun _ ->
+               let terms = List.map (fun v -> (v, Q.of_int (X.int_in rng (-3) 3))) vars in
+               let rhs = Q.of_int (X.int_in rng 0 20) in
+               Lp.add_constraint lp terms Lp.Le rhs;
+               (terms, rhs))
+         in
+         match Simplex.solve lp with
+         | Simplex.Unbounded -> false (* impossible: box-bounded *)
+         | Simplex.Infeasible -> false (* origin is feasible (rhs >= 0) *)
+         | Simplex.Optimal s ->
+           let feasible assignment =
+             List.for_all
+               (fun (terms, rhs) ->
+                 let lhs =
+                   List.fold_left
+                     (fun acc (v, q) -> Q.add acc (Q.mul q (assignment v)))
+                     Q.zero terms
+                 in
+                 Q.compare lhs rhs <= 0)
+               cons
+             && List.for_all
+                  (fun v ->
+                    Q.sign (assignment v) >= 0
+                    && Q.compare (assignment v) (Q.of_int 10) <= 0)
+                  vars
+           in
+           let objective assignment =
+             List.fold_left
+               (fun acc v -> Q.add acc (Q.mul (Lp.objective lp v) (assignment v)))
+               Q.zero vars
+           in
+           let returned v = s.Simplex.values.(v) in
+           feasible returned
+           && Q.equal (objective returned) s.Simplex.objective
+           &&
+           (* random integer samples can not beat the optimum *)
+           List.for_all
+             (fun _ ->
+               let sample = Array.init nv (fun _ -> Q.of_int (X.int_in rng 0 10)) in
+               let assignment v = sample.(v) in
+               (not (feasible assignment))
+               || Q.compare s.Simplex.objective (objective assignment) <= 0)
+             (List.init 30 Fun.id)))
+
+(* --- Lp_flow ------------------------------------------------------------- *)
+
+let diamond () =
+  let g = G.create ~n:4 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:1 ~dst:3 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:0 ~dst:2 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:2 ~dst:3 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:0 ~dst:3 ~cost:10 ~delay:5);
+  g
+
+let test_lp_flow_relaxed_bound () =
+  let g = diamond () in
+  (* k=2 with a loose delay bound: optimal integral picks the two cheap
+     two-edge paths, cost 6 *)
+  match Lp_flow.solve g ~src:0 ~dst:3 ~k:2 ~delay_bound:100 with
+  | Some { Lp_flow.objective; flow } ->
+    Alcotest.check rational "lp = integral optimum here" (Q.of_int 6) objective;
+    Array.iter
+      (fun x -> Alcotest.(check bool) "0<=x<=1" true (Q.sign x >= 0 && Q.compare x Q.one <= 0))
+      flow
+  | None -> Alcotest.fail "feasible expected"
+
+let test_lp_flow_tight_bound_infeasible () =
+  let g = diamond () in
+  match Lp_flow.solve g ~src:0 ~dst:3 ~k:3 ~delay_bound:3 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "delay 3 cannot carry 3 units"
+
+let test_lp_flow_is_lower_bound () =
+  let g = diamond () in
+  (* k=2, delay bound 22 admits the two 2-edge paths (delay 20+2=22), cost 6;
+     LP optimum must be <= 6 *)
+  match Lp_flow.solve g ~src:0 ~dst:3 ~k:2 ~delay_bound:22 with
+  | Some { Lp_flow.objective; _ } ->
+    Alcotest.(check bool) "lower bound" true (Q.compare objective (Q.of_int 6) <= 0)
+  | None -> Alcotest.fail "feasible expected"
+
+let test_lp_flow_conservation () =
+  let g = diamond () in
+  match Lp_flow.solve g ~src:0 ~dst:3 ~k:2 ~delay_bound:30 with
+  | None -> Alcotest.fail "feasible expected"
+  | Some { Lp_flow.flow; _ } ->
+    for v = 0 to G.n g - 1 do
+      let sum es = List.fold_left (fun acc e -> Q.add acc flow.(e)) Q.zero es in
+      let net = Q.sub (sum (G.out_edges g v)) (sum (G.in_edges g v)) in
+      let want = if v = 0 then Q.of_int 2 else if v = 3 then Q.of_int (-2) else Q.zero in
+      Alcotest.check rational (Printf.sprintf "conservation v%d" v) want net
+    done
+
+let suites =
+  [ ( "simplex",
+      [ Alcotest.test_case "basic" `Quick test_simplex_basic;
+        Alcotest.test_case "fractional optimum" `Quick test_simplex_fractional_optimum;
+        Alcotest.test_case "equality and >=" `Quick test_simplex_equality_and_ge;
+        Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+        Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+        Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs;
+        Alcotest.test_case "degenerate (Beale)" `Quick test_simplex_degenerate_no_cycle;
+        Alcotest.test_case "duplicate terms" `Quick test_simplex_duplicate_terms_merged;
+        simplex_soundness_prop
+      ] );
+    ( "lp-flow",
+      [ Alcotest.test_case "relaxed bound" `Quick test_lp_flow_relaxed_bound;
+        Alcotest.test_case "tight bound infeasible" `Quick test_lp_flow_tight_bound_infeasible;
+        Alcotest.test_case "lower bound" `Quick test_lp_flow_is_lower_bound;
+        Alcotest.test_case "conservation" `Quick test_lp_flow_conservation
+      ] )
+  ]

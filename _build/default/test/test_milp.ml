@@ -1,0 +1,139 @@
+(* Tests for the 0/1 branch-and-bound layer and the LP-based exact kRSP
+   solver, cross-validated against the combinatorial exact solver. *)
+
+module G = Krsp_graph.Digraph
+module Lp = Krsp_lp.Lp
+module Milp = Krsp_lp.Milp
+module Q = Krsp_bigint.Q
+module X = Krsp_util.Xoshiro
+module Instance = Krsp_core.Instance
+module Exact = Krsp_core.Exact
+module Exact_milp = Krsp_core.Exact_milp
+
+let rational = Alcotest.testable Q.pp Q.equal
+
+(* min -Σ v_i x_i  s.t.  Σ w_i x_i <= W, x binary: a tiny knapsack *)
+let knapsack items capacity =
+  let lp = Lp.create () in
+  let vars =
+    List.map
+      (fun (v, _) -> Lp.add_var lp ~upper:Q.one ~obj:(Q.of_int (-v)) "x")
+      items
+  in
+  Lp.add_constraint lp
+    (List.map2 (fun x (_, w) -> (x, Q.of_int w)) vars items)
+    Lp.Le (Q.of_int capacity);
+  (lp, vars)
+
+let brute_knapsack items capacity =
+  let n = List.length items in
+  let arr = Array.of_list items in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let v = ref 0 and w = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        v := !v + fst arr.(i);
+        w := !w + snd arr.(i)
+      end
+    done;
+    if !w <= capacity && !v > !best then best := !v
+  done;
+  !best
+
+let test_milp_knapsack () =
+  let items = [ (10, 5); (7, 4); (4, 3); (3, 1) ] in
+  let lp, vars = knapsack items 8 in
+  match Milp.solve_binary lp ~binary:vars () with
+  | Milp.Optimal { objective; values } ->
+    Alcotest.check rational "objective = -best"
+      (Q.of_int (-brute_knapsack items 8))
+      objective;
+    List.iter
+      (fun v ->
+        Alcotest.(check bool) "binary" true (Q.is_zero values.(v) || Q.equal values.(v) Q.one))
+      vars
+  | _ -> Alcotest.fail "feasible"
+
+let milp_knapsack_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"milp matches brute-force knapsack" ~count:60 QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let n = 2 + X.int rng 6 in
+         let items = List.init n (fun _ -> (1 + X.int rng 20, 1 + X.int rng 10)) in
+         let capacity = X.int rng 25 in
+         let lp, vars = knapsack items capacity in
+         match Milp.solve_binary lp ~binary:vars () with
+         | Milp.Optimal { objective; _ } ->
+           Q.equal objective (Q.of_int (-brute_knapsack items capacity))
+         | _ -> false))
+
+let test_milp_infeasible () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~upper:Q.one ~obj:Q.one "x" in
+  (* x must be >= 1/2 and <= 1, but x must be binary and also x <= 0.6: only
+     fractional values fit -> integrally infeasible *)
+  Lp.add_constraint lp [ (x, Q.one) ] Lp.Ge (Q.of_ints 1 2);
+  Lp.add_constraint lp [ (x, Q.one) ] Lp.Le (Q.of_ints 3 5);
+  match Milp.solve_binary lp ~binary:[ x ] () with
+  | Milp.Infeasible -> ()
+  | _ -> Alcotest.fail "no binary point in [1/2, 3/5]"
+
+let random_graph rng ~n ~p ~cmax ~dmax =
+  let g = G.create ~n () in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && X.float rng 1.0 < p then
+        ignore (G.add_edge g ~src:u ~dst:v ~cost:(X.int_in rng 0 cmax) ~delay:(X.int_in rng 0 dmax))
+    done
+  done;
+  g
+
+let exact_solvers_agree_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"combinatorial B&B = MILP B&B on random instances" ~count:30
+       QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let n = 4 + X.int rng 3 in
+         let k = 1 + X.int rng 1 in
+         let g = random_graph rng ~n ~p:0.5 ~cmax:5 ~dmax:5 in
+         let delay_bound = X.int rng 20 in
+         if not (Krsp_graph.Bfs.edge_connectivity_at_least g ~src:0 ~dst:(n - 1) ~k) then true
+         else begin
+           let t = Instance.create g ~src:0 ~dst:(n - 1) ~k ~delay_bound in
+           match (Exact.solve t, Exact_milp.solve t) with
+           | None, None -> true
+           | Some a, Some b ->
+             a.Exact.cost = b.Exact_milp.cost
+             && Instance.is_structurally_valid t b.Exact_milp.paths
+             && b.Exact_milp.delay <= delay_bound
+           | _ -> false
+         end))
+
+let test_exact_milp_diamond () =
+  let g = G.create ~n:4 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:1 ~dst:3 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:0 ~dst:2 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:2 ~dst:3 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:0 ~dst:3 ~cost:10 ~delay:5);
+  let t = Instance.create g ~src:0 ~dst:3 ~k:2 ~delay_bound:8 in
+  match Exact_milp.solve t with
+  | Some r ->
+    Alcotest.(check int) "cost 14" 14 r.Exact_milp.cost;
+    Alcotest.(check bool) "delay ok" true (r.Exact_milp.delay <= 8)
+  | None -> Alcotest.fail "feasible"
+
+let suites =
+  [ ( "milp",
+      [ Alcotest.test_case "knapsack" `Quick test_milp_knapsack;
+        Alcotest.test_case "integrally infeasible" `Quick test_milp_infeasible;
+        milp_knapsack_prop
+      ] );
+    ( "exact-milp",
+      [ Alcotest.test_case "diamond" `Quick test_exact_milp_diamond;
+        exact_solvers_agree_prop
+      ] )
+  ]

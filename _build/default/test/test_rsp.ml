@@ -1,0 +1,186 @@
+(* Tests for the single-path RSP family: exact DP, LARAC, Lorenz-Raz FPTAS.
+   The exact DP is the oracle; LARAC and the FPTAS are checked against it. *)
+
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+module Rsp_dp = Krsp_rsp.Rsp_dp
+module Larac = Krsp_rsp.Larac
+module Lorenz_raz = Krsp_rsp.Lorenz_raz
+module X = Krsp_util.Xoshiro
+
+let diamond () =
+  let g = G.create ~n:4 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:1 ~dst:3 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:0 ~dst:2 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:2 ~dst:3 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:0 ~dst:3 ~cost:10 ~delay:5);
+  g
+
+let random_graph rng ~n ~p ~cmax ~dmax =
+  let g = G.create ~n () in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && X.float rng 1.0 < p then
+        ignore (G.add_edge g ~src:u ~dst:v ~cost:(X.int_in rng 0 cmax) ~delay:(X.int_in rng 0 dmax))
+    done
+  done;
+  g
+
+(* brute-force RSP: enumerate all simple paths *)
+let brute g ~src ~dst ~delay_bound =
+  let best = ref None in
+  let rec dfs cost delay visited v =
+    if delay <= delay_bound then begin
+      if v = dst then begin
+        match !best with
+        | None -> best := Some cost
+        | Some b -> if cost < b then best := Some cost
+      end
+      else
+        G.iter_out g v (fun e ->
+            let w = G.dst g e in
+            if not (List.mem w visited) then
+              dfs (cost + G.cost g e) (delay + G.delay g e) (w :: visited) w)
+    end
+  in
+  dfs 0 0 [ src ] src;
+  !best
+
+let test_dp_diamond () =
+  let g = diamond () in
+  (* generous bound -> cheapest path; tight bound forces the fast path *)
+  (match Rsp_dp.solve g ~src:0 ~dst:3 ~delay_bound:25 with
+  | Some (c, p) ->
+    Alcotest.(check int) "loose: cost 2" 2 c;
+    Alcotest.(check bool) "valid" true (Path.is_valid g ~src:0 ~dst:3 p)
+  | None -> Alcotest.fail "feasible");
+  (match Rsp_dp.solve g ~src:0 ~dst:3 ~delay_bound:4 with
+  | Some (c, p) ->
+    Alcotest.(check int) "tight: cost 4" 4 c;
+    Alcotest.(check int) "delay fits" 2 (Path.delay g p)
+  | None -> Alcotest.fail "feasible");
+  (match Rsp_dp.solve g ~src:0 ~dst:3 ~delay_bound:5 with
+  | Some (c, _) -> Alcotest.(check int) "bound 5 keeps cost 4" 4 c
+  | None -> Alcotest.fail "feasible");
+  match Rsp_dp.solve g ~src:0 ~dst:3 ~delay_bound:0 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "bound 0 infeasible"
+
+let test_dp_zero_delay_edges () =
+  (* chain of zero-delay edges must propagate within one layer *)
+  let g = G.create ~n:4 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:0);
+  ignore (G.add_edge g ~src:1 ~dst:2 ~cost:1 ~delay:0);
+  ignore (G.add_edge g ~src:2 ~dst:3 ~cost:1 ~delay:0);
+  match Rsp_dp.solve g ~src:0 ~dst:3 ~delay_bound:0 with
+  | Some (c, p) ->
+    Alcotest.(check int) "cost 3" 3 c;
+    Alcotest.(check int) "3 edges" 3 (List.length p)
+  | None -> Alcotest.fail "zero-delay chain is feasible at bound 0"
+
+let test_dp_negative_rejected () =
+  let g = G.create ~n:2 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:(-1) ~delay:0);
+  Alcotest.check_raises "negative cost" (Invalid_argument "Rsp_dp.solve: negative cost")
+    (fun () -> ignore (Rsp_dp.solve g ~src:0 ~dst:1 ~delay_bound:1))
+
+let dp_matches_brute_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"dp matches brute force" ~count:80 QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let n = 3 + X.int rng 4 in
+         let g = random_graph rng ~n ~p:0.5 ~cmax:8 ~dmax:8 in
+         let delay_bound = X.int rng 20 in
+         let dp = Rsp_dp.solve g ~src:0 ~dst:(n - 1) ~delay_bound in
+         let bf = brute g ~src:0 ~dst:(n - 1) ~delay_bound in
+         match (dp, bf) with
+         | None, None -> true
+         | Some (c, p), Some b ->
+           c = b && Path.is_valid g ~src:0 ~dst:(n - 1) p
+           && Path.delay g p <= delay_bound && Path.cost g p = c
+         | _ -> false))
+
+let test_larac_feasible_and_bounded () =
+  let g = diamond () in
+  match Larac.solve g ~src:0 ~dst:3 ~delay_bound:4 with
+  | Some r ->
+    Alcotest.(check bool) "delay ok" true (r.Larac.delay <= 4);
+    Alcotest.(check bool) "lb <= cost" true (r.Larac.lower_bound <= r.Larac.cost);
+    (* exact optimum here is 4 *)
+    Alcotest.(check bool) "lb <= OPT" true (r.Larac.lower_bound <= 4)
+  | None -> Alcotest.fail "feasible"
+
+let test_larac_infeasible () =
+  let g = diamond () in
+  Alcotest.(check bool) "bound 1 infeasible" true
+    (Larac.solve g ~src:0 ~dst:3 ~delay_bound:1 = None)
+
+let test_larac_unconstrained_exact () =
+  let g = diamond () in
+  match Larac.solve g ~src:0 ~dst:3 ~delay_bound:100 with
+  | Some r ->
+    Alcotest.(check int) "optimal" 2 r.Larac.cost;
+    Alcotest.(check int) "lb tight" 2 r.Larac.lower_bound
+  | None -> Alcotest.fail "feasible"
+
+let larac_sound_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"larac: feasible path, valid lower bound" ~count:80
+       QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let n = 3 + X.int rng 5 in
+         let g = random_graph rng ~n ~p:0.5 ~cmax:8 ~dmax:8 in
+         let delay_bound = X.int rng 25 in
+         let opt = brute g ~src:0 ~dst:(n - 1) ~delay_bound in
+         match (Larac.solve g ~src:0 ~dst:(n - 1) ~delay_bound, opt) with
+         | None, None -> true
+         | Some r, Some o ->
+           r.Larac.delay <= delay_bound
+           && Path.is_valid g ~src:0 ~dst:(n - 1) r.Larac.path
+           && r.Larac.lower_bound <= o && r.Larac.cost >= o
+         | _, _ -> false))
+
+let fptas_ratio_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"fptas: cost <= (1+eps)·OPT, delay <= D" ~count:60
+       QCheck2.Gen.(pair int (int_range 1 8))
+       (fun (seed, eps10) ->
+         let rng = X.create ~seed in
+         let epsilon = float_of_int eps10 /. 10. in
+         let n = 3 + X.int rng 5 in
+         let g = random_graph rng ~n ~p:0.5 ~cmax:30 ~dmax:8 in
+         let delay_bound = X.int rng 25 in
+         let opt = brute g ~src:0 ~dst:(n - 1) ~delay_bound in
+         match (Lorenz_raz.solve g ~src:0 ~dst:(n - 1) ~delay_bound ~epsilon, opt) with
+         | None, None -> true
+         | Some r, Some o ->
+           r.Lorenz_raz.delay <= delay_bound
+           && Path.is_valid g ~src:0 ~dst:(n - 1) r.Lorenz_raz.path
+           && float_of_int r.Lorenz_raz.cost <= ((1. +. epsilon) *. float_of_int o) +. 1e-9
+         | _, _ -> false))
+
+let test_fptas_bad_epsilon () =
+  let g = diamond () in
+  Alcotest.check_raises "epsilon > 0"
+    (Invalid_argument "Lorenz_raz.solve: epsilon must be positive") (fun () ->
+      ignore (Lorenz_raz.solve g ~src:0 ~dst:3 ~delay_bound:4 ~epsilon:0.))
+
+let suites =
+  [ ( "rsp-dp",
+      [ Alcotest.test_case "diamond" `Quick test_dp_diamond;
+        Alcotest.test_case "zero-delay edges" `Quick test_dp_zero_delay_edges;
+        Alcotest.test_case "negative rejected" `Quick test_dp_negative_rejected;
+        dp_matches_brute_prop
+      ] );
+    ( "larac",
+      [ Alcotest.test_case "feasible and bounded" `Quick test_larac_feasible_and_bounded;
+        Alcotest.test_case "infeasible" `Quick test_larac_infeasible;
+        Alcotest.test_case "unconstrained exact" `Quick test_larac_unconstrained_exact;
+        larac_sound_prop
+      ] );
+    ( "lorenz-raz",
+      [ Alcotest.test_case "bad epsilon" `Quick test_fptas_bad_epsilon; fptas_ratio_prop ] )
+  ]

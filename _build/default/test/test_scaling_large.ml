@@ -1,0 +1,97 @@
+(* Theorem 4 under genuinely large weights: multiply a small instance's
+   weights by a big factor so the scaling thetas exceed 1 and real rounding
+   happens — the regime the theorem exists for. The exact optimum of the
+   blown-up instance is the blown-up optimum of the original, giving a cheap
+   ground truth. *)
+
+module G = Krsp_graph.Digraph
+module X = Krsp_util.Xoshiro
+module Instance = Krsp_core.Instance
+module Scaling = Krsp_core.Scaling
+module Exact = Krsp_core.Exact
+
+let blow_up g factor =
+  fst
+    (G.filter_map_edges g ~f:(fun e -> Some (factor * G.cost g e, factor * G.delay g e)))
+
+let random_graph rng ~n ~p ~cmax ~dmax =
+  let g = G.create ~n () in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && X.float rng 1.0 < p then
+        ignore (G.add_edge g ~src:u ~dst:v ~cost:(X.int_in rng 0 cmax) ~delay:(X.int_in rng 0 dmax))
+    done
+  done;
+  g
+
+let scaling_large_weights_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"theorem 4 holds with theta > 1 (weights x9973)" ~count:25
+       QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let n = 4 + X.int rng 3 in
+         let k = 1 + X.int rng 1 in
+         let factor = 9973 in
+         let small = random_graph rng ~n ~p:0.5 ~cmax:6 ~dmax:6 in
+         if not (Krsp_graph.Bfs.edge_connectivity_at_least small ~src:0 ~dst:(n - 1) ~k) then
+           true
+         else begin
+           let probe = Instance.create small ~src:0 ~dst:(n - 1) ~k ~delay_bound:max_int in
+           match Instance.min_possible_delay probe with
+           | None -> true
+           | Some dmin ->
+             let small_bound = dmin + X.int rng (max 1 (dmin + 4)) in
+             let ts =
+               Instance.create small ~src:0 ~dst:(n - 1) ~k ~delay_bound:small_bound
+             in
+             (match Exact.solve ts with
+             | None -> true
+             | Some opt_small ->
+               let big = blow_up small factor in
+               let tb =
+                 Instance.create big ~src:0 ~dst:(n - 1) ~k
+                   ~delay_bound:(factor * small_bound)
+               in
+               let eps = 0.3 in
+               (match Scaling.solve tb ~epsilon1:eps ~epsilon2:eps () with
+               | Error _ -> false
+               | Ok r ->
+                 (* the blow-up must actually have triggered scaling *)
+                 let sol = r.Scaling.solution in
+                 r.Scaling.theta_delay >= 1
+                 && Instance.is_structurally_valid tb sol.Instance.paths
+                 && float_of_int sol.Instance.delay
+                    <= ((1. +. eps) *. float_of_int tb.Instance.delay_bound) +. 1e-6
+                 && float_of_int sol.Instance.cost
+                    <= ((2. +. eps) *. float_of_int (factor * opt_small.Exact.cost)) +. 1e-6))
+         end))
+
+let test_scaling_theta_exceeds_one () =
+  (* deterministic check that the blow-up really produces theta > 1 *)
+  let g = G.create ~n:4 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:1 ~dst:3 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:0 ~dst:2 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:2 ~dst:3 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:0 ~dst:3 ~cost:10 ~delay:5);
+  let big = blow_up g 10_000 in
+  let t = Instance.create big ~src:0 ~dst:3 ~k:2 ~delay_bound:80_000 in
+  match Scaling.solve t ~epsilon1:0.5 ~epsilon2:0.5 () with
+  | Ok r ->
+    Alcotest.(check bool) "theta_delay > 1" true (r.Krsp_core.Scaling.theta_delay > 1);
+    Alcotest.(check bool) "theta_cost > 1" true (r.Krsp_core.Scaling.theta_cost > 1);
+    let sol = r.Krsp_core.Scaling.solution in
+    (* original optimum 14 at bound 8 -> blown-up optimum 140000 *)
+    Alcotest.(check bool) "delay <= 1.5 * 80000" true
+      (float_of_int sol.Instance.delay <= 1.5 *. 80_000.);
+    Alcotest.(check bool) "cost <= 2.5 * 140000" true
+      (float_of_int sol.Instance.cost <= 2.5 *. 140_000.)
+  | Error _ -> Alcotest.fail "feasible"
+
+let suites =
+  [ ( "scaling-large",
+      [ Alcotest.test_case "theta exceeds one" `Quick test_scaling_theta_exceeds_one;
+        scaling_large_weights_prop
+      ] )
+  ]

@@ -1,0 +1,116 @@
+(* Tests for the util substrate: PRNG determinism and distribution sanity,
+   stats helpers, table rendering. *)
+
+module X = Krsp_util.Xoshiro
+module Stats = Krsp_util.Stats
+module Table = Krsp_util.Table
+
+let test_prng_deterministic () =
+  let a = X.create ~seed:42 and b = X.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (X.bits64 a) (X.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = X.create ~seed:1 and b = X.create ~seed:2 in
+  Alcotest.(check bool) "different streams" true (X.bits64 a <> X.bits64 b)
+
+let test_prng_split_independent () =
+  let a = X.create ~seed:7 in
+  let b = X.split a in
+  let xs = List.init 50 (fun _ -> X.bits64 a) in
+  let ys = List.init 50 (fun _ -> X.bits64 b) in
+  Alcotest.(check bool) "split diverges" true (xs <> ys)
+
+let test_prng_copy () =
+  let a = X.create ~seed:9 in
+  ignore (X.bits64 a);
+  let b = X.copy a in
+  Alcotest.(check int64) "copy same next" (X.bits64 (X.copy a)) (X.bits64 b)
+
+let test_int_range () =
+  let g = X.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = X.int g 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10);
+    let w = X.int_in g (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (w >= -5 && w <= 5)
+  done
+
+let test_int_covers () =
+  let g = X.create ~seed:4 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    seen.(X.int g 10) <- true
+  done;
+  Alcotest.(check bool) "all buckets hit" true (Array.for_all (fun b -> b) seen)
+
+let test_shuffle_permutation () =
+  let g = X.create ~seed:5 in
+  let a = Array.init 20 (fun i -> i) in
+  X.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 20 (fun i -> i)) sorted
+
+let test_float_range () =
+  let g = X.create ~seed:6 in
+  for _ = 1 to 1000 do
+    let v = X.float g 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let feq = Alcotest.float 1e-9
+
+let test_stats () =
+  Alcotest.check feq "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.check feq "mean empty" 0. (Stats.mean []);
+  Alcotest.check feq "median odd" 2. (Stats.median [ 3.; 1.; 2. ]);
+  Alcotest.check feq "median even" 1.5 (Stats.median [ 2.; 1. ]);
+  Alcotest.check feq "p0" 1. (Stats.percentile 0. [ 3.; 1.; 2. ]);
+  Alcotest.check feq "p100" 3. (Stats.percentile 100. [ 3.; 1.; 2. ]);
+  Alcotest.check feq "min" 1. (Stats.minimum [ 3.; 1.; 2. ]);
+  Alcotest.check feq "max" 3. (Stats.maximum [ 3.; 1.; 2. ]);
+  Alcotest.check feq "stddev" (sqrt (2. /. 3.)) (Stats.stddev [ 1.; 2.; 3. ]);
+  Alcotest.check feq "geomean" 2. (Stats.geometric_mean [ 1.; 2.; 4. ])
+
+let test_table () =
+  let t = Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "mentions header" true
+    (String.length s > 0
+    && (let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        contains s "name" && contains s "longer" && contains s "22"))
+
+let test_table_arity () =
+  let t = Table.create ~columns:[ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch") (fun () ->
+      Table.add_row t [ "only one" ])
+
+let test_fmt_int () =
+  Alcotest.(check string) "thousands" "12,345" (Table.fmt_int 12345);
+  Alcotest.(check string) "neg" "-1,234,567" (Table.fmt_int (-1234567));
+  Alcotest.(check string) "small" "7" (Table.fmt_int 7)
+
+let suites =
+  [ ( "util",
+      [ Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+        Alcotest.test_case "prng copy" `Quick test_prng_copy;
+        Alcotest.test_case "int range" `Quick test_int_range;
+        Alcotest.test_case "int covers" `Quick test_int_covers;
+        Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+        Alcotest.test_case "float range" `Quick test_float_range;
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "table render" `Quick test_table;
+        Alcotest.test_case "table arity" `Quick test_table_arity;
+        Alcotest.test_case "fmt_int" `Quick test_fmt_int
+      ] )
+  ]

@@ -1,0 +1,203 @@
+(* Tests for the problem variants (Definition 1 per-path QoS, Proposition 8),
+   the extra topologies, and robustness on multigraphs / self-loops. *)
+
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+module X = Krsp_util.Xoshiro
+module Instance = Krsp_core.Instance
+module Krsp = Krsp_core.Krsp
+module Qos = Krsp_core.Qos_paths
+module Exact = Krsp_core.Exact
+module Phase1 = Krsp_core.Phase1
+module Residual = Krsp_core.Residual
+module Topology = Krsp_gen.Topology
+
+let random_graph rng ~n ~p ~cmax ~dmax =
+  let g = G.create ~n () in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && X.float rng 1.0 < p then
+        ignore (G.add_edge g ~src:u ~dst:v ~cost:(X.int_in rng 0 cmax) ~delay:(X.int_in rng 0 dmax))
+    done
+  done;
+  g
+
+(* --- Qos_paths (Definition 1) ------------------------------------------------ *)
+
+let test_qos_strict_when_easy () =
+  (* two parallel 2-edge routes, each of delay 2: per-path bound 2 is
+     satisfiable strictly *)
+  let g = G.create ~n:4 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:1);
+  ignore (G.add_edge g ~src:1 ~dst:3 ~cost:1 ~delay:1);
+  ignore (G.add_edge g ~src:0 ~dst:2 ~cost:1 ~delay:1);
+  ignore (G.add_edge g ~src:2 ~dst:3 ~cost:1 ~delay:1);
+  match Qos.solve g ~src:0 ~dst:3 ~k:2 ~per_path_delay:2 () with
+  | Qos.Paths (sol, Qos.Strict) ->
+    List.iter
+      (fun p -> Alcotest.(check bool) "each path fits" true (Path.delay g p <= 2))
+      sol.Instance.paths
+  | Qos.Paths (_, Qos.Average) -> Alcotest.fail "strict is achievable here"
+  | _ -> Alcotest.fail "feasible"
+
+let test_qos_average_fallback () =
+  (* one fast and one slow route: per-path bound sits between them, only the
+     average guarantee is possible *)
+  let g = G.create ~n:4 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:1 ~dst:3 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:0 ~dst:2 ~cost:1 ~delay:1);
+  ignore (G.add_edge g ~src:2 ~dst:3 ~cost:1 ~delay:1);
+  match Qos.solve g ~src:0 ~dst:3 ~k:2 ~per_path_delay:11 () with
+  | Qos.Paths (sol, quality) ->
+    Alcotest.(check bool) "total within k·D" true (sol.Instance.delay <= 22);
+    (match quality with
+    | Qos.Average -> () (* the 20-delay path busts the per-path bound *)
+    | Qos.Strict -> Alcotest.fail "slow route cannot fit 11 per path")
+  | _ -> Alcotest.fail "feasible"
+
+let test_qos_infeasible () =
+  let g = G.create ~n:2 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:10);
+  (match Qos.solve g ~src:0 ~dst:1 ~k:2 ~per_path_delay:100 () with
+  | Qos.No_k_disjoint_paths -> ()
+  | _ -> Alcotest.fail "only one path exists");
+  match Qos.solve g ~src:0 ~dst:1 ~k:1 ~per_path_delay:5 () with
+  | Qos.Relaxation_infeasible d -> Alcotest.(check int) "min delay" 10 d
+  | _ -> Alcotest.fail "delay 5 unreachable"
+
+let qos_sound_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"qos: outcomes are sound" ~count:40 QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let n = 4 + X.int rng 4 in
+         let g = random_graph rng ~n ~p:0.5 ~cmax:6 ~dmax:6 in
+         let per_path_delay = 1 + X.int rng 15 in
+         match Qos.solve g ~src:0 ~dst:(n - 1) ~k:2 ~per_path_delay () with
+         | Qos.Paths (sol, Qos.Strict) ->
+           List.for_all (fun p -> Path.delay g p <= per_path_delay) sol.Instance.paths
+           && Path.edge_disjoint sol.Instance.paths
+         | Qos.Paths (sol, Qos.Average) ->
+           sol.Instance.delay <= 2 * per_path_delay
+           && List.exists (fun p -> Path.delay g p > per_path_delay) sol.Instance.paths
+         | Qos.No_k_disjoint_paths ->
+           not (Krsp_graph.Bfs.edge_connectivity_at_least g ~src:0 ~dst:(n - 1) ~k:2)
+         | Qos.Relaxation_infeasible _ -> true))
+
+(* --- Proposition 8 directly ---------------------------------------------------- *)
+
+let prop8_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"prop 8: OPT ⊕ current is a set of disjoint cycles"
+       ~count:40 QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let n = 4 + X.int rng 3 in
+         let g = random_graph rng ~n ~p:0.5 ~cmax:5 ~dmax:5 in
+         if not (Krsp_graph.Bfs.edge_connectivity_at_least g ~src:0 ~dst:(n - 1) ~k:2) then
+           true
+         else begin
+           let dbound = max 1 (G.total_delay g) in
+           let t = Instance.create g ~src:0 ~dst:(n - 1) ~k:2 ~delay_bound:dbound in
+           match (Exact.solve t, Phase1.min_sum t) with
+           | Some opt, Phase1.Start s ->
+             (* build the residual w.r.t. the current paths and express the
+                optimal solution's difference as residual edges *)
+             let res = Residual.build g ~paths:s.Phase1.paths in
+             let current = List.concat s.Phase1.paths in
+             let opt_edges = List.concat opt.Exact.paths in
+             let diff =
+               (* forward residual edges for opt-only edges; reversed
+                  residual edges for current-only edges *)
+               G.fold_edges res.Residual.graph ~init:[] ~f:(fun acc re ->
+                   let base = res.Residual.base_edge.(re) in
+                   let in_cur = List.mem base current and in_opt = List.mem base opt_edges in
+                   if res.Residual.is_reversed.(re) then
+                     if in_cur && not in_opt then re :: acc else acc
+                   else if in_opt && not in_cur then re :: acc
+                   else acc)
+             in
+             if diff = [] then true
+             else begin
+               (* Proposition 8: the difference decomposes into disjoint
+                  cycles (decompose_cycles raises if unbalanced) *)
+               match Krsp_graph.Walk.decompose_cycles res.Residual.graph diff with
+               | cycles ->
+                 List.for_all (fun c -> Path.is_simple_cycle res.Residual.graph c) cycles
+               | exception Invalid_argument _ -> false
+             end
+           | _ -> true
+         end))
+
+(* --- multigraph / self-loop robustness ------------------------------------------ *)
+
+let test_krsp_parallel_edges () =
+  (* two parallel edges with different trade-offs plus a third route *)
+  let g = G.create ~n:2 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:5 ~delay:1);
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:9 ~delay:1);
+  let t = Instance.create g ~src:0 ~dst:1 ~k:2 ~delay_bound:2 in
+  match Krsp.solve t () with
+  | Ok (sol, _) ->
+    Alcotest.(check bool) "feasible" true (Instance.is_feasible t sol);
+    Alcotest.(check int) "uses the two fast parallels" 14 sol.Instance.cost
+  | Error _ -> Alcotest.fail "feasible with the two fast parallel edges"
+
+let test_krsp_with_self_loops () =
+  let g = G.create ~n:3 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:5);
+  ignore (G.add_edge g ~src:1 ~dst:1 ~cost:0 ~delay:0);
+  (* self-loop *)
+  ignore (G.add_edge g ~src:1 ~dst:2 ~cost:1 ~delay:5);
+  ignore (G.add_edge g ~src:0 ~dst:2 ~cost:5 ~delay:2);
+  let t = Instance.create g ~src:0 ~dst:2 ~k:2 ~delay_bound:12 in
+  match Krsp.solve t () with
+  | Ok (sol, _) -> Alcotest.(check bool) "feasible" true (Instance.is_feasible t sol)
+  | Error _ -> Alcotest.fail "two disjoint routes exist"
+
+(* --- new topologies --------------------------------------------------------------- *)
+
+let test_barabasi_albert () =
+  let rng = X.create ~seed:9 in
+  let g = Topology.barabasi_albert rng ~n:30 ~attach:2 Topology.default_weights in
+  Alcotest.(check int) "n" 30 (G.n g);
+  (* seed clique (3 vertices, 3 undirected links) + 27 vertices × 2 links,
+     each link bidirected *)
+  Alcotest.(check int) "m" ((3 + (27 * 2)) * 2) (G.m g);
+  (* scale-free graphs have a connected core: everything reaches vertex 0 *)
+  let r = Krsp_graph.Bfs.reachable g ~src:0 () in
+  Alcotest.(check bool) "connected" true (Array.for_all (fun b -> b) r)
+
+let test_reference_isp () =
+  let rng = X.create ~seed:10 in
+  let g = Topology.reference_isp rng Topology.default_weights in
+  Alcotest.(check int) "n" 22 (G.n g);
+  Alcotest.(check int) "m" 70 (G.m g);
+  let r = Krsp_graph.Bfs.reachable g ~src:0 () in
+  Alcotest.(check bool) "connected" true (Array.for_all (fun b -> b) r);
+  (* the core is 2-edge-connected between far-apart nodes *)
+  Alcotest.(check bool) "2 disjoint paths 0->21" true
+    (Krsp_graph.Bfs.edge_connectivity_at_least g ~src:0 ~dst:21 ~k:2);
+  (* deterministic adjacency: same seed, same weights *)
+  let g2 = Topology.reference_isp (X.create ~seed:10) Topology.default_weights in
+  Alcotest.(check int) "deterministic" (G.total_cost g) (G.total_cost g2)
+
+let suites =
+  [ ( "qos-paths",
+      [ Alcotest.test_case "strict when easy" `Quick test_qos_strict_when_easy;
+        Alcotest.test_case "average fallback" `Quick test_qos_average_fallback;
+        Alcotest.test_case "infeasible" `Quick test_qos_infeasible;
+        qos_sound_prop
+      ] );
+    ("proposition-8", [ prop8_prop ]);
+    ( "robustness",
+      [ Alcotest.test_case "parallel edges" `Quick test_krsp_parallel_edges;
+        Alcotest.test_case "self loops" `Quick test_krsp_with_self_loops
+      ] );
+    ( "topologies-extra",
+      [ Alcotest.test_case "barabasi-albert" `Quick test_barabasi_albert;
+        Alcotest.test_case "reference isp" `Quick test_reference_isp
+      ] )
+  ]
