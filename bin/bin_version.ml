@@ -1,0 +1,3 @@
+(* Single source of truth for the CLI/daemon version; keep in sync with
+   dune-project. *)
+let version = "1.1.0"

@@ -5,7 +5,14 @@
      solve      run Algorithm 1 (optionally the Theorem 4 scaling) on a file
      exact      branch-and-bound optimum for small instances
      compare    run every algorithm on one instance and tabulate
-     dot        render a graph (and optionally a solution) as Graphviz DOT *)
+     client     talk to a running krspd daemon
+     dot        render a graph (and optionally a solution) as Graphviz DOT
+
+   Exit codes (scripted callers branch on these, see EXIT STATUS in --help):
+     0  success
+     1  internal/transport error
+     2  infeasible instance (fewer than k disjoint paths, or D unreachable)
+     3  parse or I/O error (bad graph file, malformed spec) *)
 
 open Cmdliner
 module G = Krsp_graph.Digraph
@@ -13,6 +20,20 @@ module Io = Krsp_graph.Io
 module X = Krsp_util.Xoshiro
 module Instance = Krsp_core.Instance
 module Krsp = Krsp_core.Krsp
+module Protocol = Krsp_server.Protocol
+
+let exit_infeasible = 2
+let exit_parse_io = 3
+
+let exits =
+  Cmd.Exit.defaults
+  @ [ Cmd.Exit.info exit_infeasible
+        ~doc:
+          "the instance is infeasible: fewer than $(b,k) edge-disjoint paths exist, or the \
+           delay bound is unreachable.";
+      Cmd.Exit.info exit_parse_io
+        ~doc:"parse or I/O error: graph file missing or malformed, or a malformed spec."
+    ]
 
 (* ---- shared arguments ---------------------------------------------------- *)
 
@@ -38,9 +59,18 @@ let delay_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let load_graph file =
+  try Io.of_edge_list (Io.read_file file)
+  with Failure msg | Sys_error msg ->
+    Printf.eprintf "cannot load %s: %s\n" file msg;
+    exit exit_parse_io
+
 let load_instance file ~src ~dst ~k ~delay_bound =
-  let g = Io.of_edge_list (Io.read_file file) in
-  Instance.create g ~src ~dst ~k ~delay_bound
+  let g = load_graph file in
+  try Instance.create g ~src ~dst ~k ~delay_bound
+  with Invalid_argument msg ->
+    Printf.eprintf "bad instance: %s\n" msg;
+    exit exit_parse_io
 
 let print_solution t sol =
   Format.printf "%a" (Instance.pp_solution t) sol
@@ -89,7 +119,7 @@ let generate_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
   in
   Cmd.v
-    (Cmd.info "generate" ~doc:"Sample a topology and print its edge list.")
+    (Cmd.info "generate" ~exits ~doc:"Sample a topology and print its edge list.")
     Term.(const generate $ topology $ n $ p $ seed_arg $ out)
 
 (* ---- solve ----------------------------------------------------------------- *)
@@ -111,10 +141,10 @@ let solve file src dst k delay_bound epsilon engine dot_out =
   match outcome with
   | Error Krsp.No_k_disjoint_paths ->
     Printf.eprintf "infeasible: fewer than %d edge-disjoint paths\n" k;
-    1
+    exit_infeasible
   | Error (Krsp.Delay_bound_unreachable d) ->
     Printf.eprintf "infeasible: minimum achievable total delay is %d > %d\n" d delay_bound;
-    1
+    exit_infeasible
   | Ok (sol, stats) ->
     print_solution t sol;
     (match stats with
@@ -158,7 +188,7 @@ let solve_cmd =
       & info [ "dot" ] ~docv:"FILE" ~doc:"Also write a DOT rendering with the paths.")
   in
   Cmd.v
-    (Cmd.info "solve" ~doc:"Solve a kRSP instance with Algorithm 1.")
+    (Cmd.info "solve" ~exits ~doc:"Solve a kRSP instance with Algorithm 1.")
     Term.(
       const solve $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg $ epsilon $ engine
       $ dot_out)
@@ -175,11 +205,11 @@ let exact file src dst k delay_bound =
     0
   | None ->
     Printf.eprintf "infeasible\n";
-    1
+    exit_infeasible
 
 let exact_cmd =
   Cmd.v
-    (Cmd.info "exact" ~doc:"Branch-and-bound optimum (small instances only).")
+    (Cmd.info "exact" ~exits ~doc:"Branch-and-bound optimum (small instances only).")
     Term.(const exact $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg)
 
 (* ---- compare ---------------------------------------------------------------- *)
@@ -216,13 +246,13 @@ let compare_algorithms file src dst k delay_bound =
 
 let compare_cmd =
   Cmd.v
-    (Cmd.info "compare" ~doc:"Run every algorithm on one instance and tabulate.")
+    (Cmd.info "compare" ~exits ~doc:"Run every algorithm on one instance and tabulate.")
     Term.(const compare_algorithms $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg)
 
 (* ---- qos (Definition 1: per-path delay bounds) -------------------------------- *)
 
 let qos file src dst k per_path_delay =
-  let g = Io.of_edge_list (Io.read_file file) in
+  let g = load_graph file in
   match Krsp_core.Qos_paths.solve g ~src ~dst ~k ~per_path_delay () with
   | Krsp_core.Qos_paths.Paths (sol, quality) ->
     let t = Instance.create g ~src ~dst ~k ~delay_bound:(k * per_path_delay) in
@@ -238,11 +268,11 @@ let qos file src dst k per_path_delay =
     0
   | Krsp_core.Qos_paths.No_k_disjoint_paths ->
     Printf.eprintf "infeasible: fewer than %d edge-disjoint paths\n" k;
-    1
+    exit_infeasible
   | Krsp_core.Qos_paths.Relaxation_infeasible d ->
     Printf.eprintf "infeasible: even the total-delay relaxation needs %d > k*D = %d\n" d
       (k * per_path_delay);
-    1
+    exit_infeasible
 
 let qos_cmd =
   let per_path =
@@ -252,7 +282,7 @@ let qos_cmd =
       & info [ "per-path-delay"; "P" ] ~docv:"D" ~doc:"Delay bound on each single path.")
   in
   Cmd.v
-    (Cmd.info "qos" ~doc:"Per-path delay bounds (Definition 1) via the kRSP reduction.")
+    (Cmd.info "qos" ~exits ~doc:"Per-path delay bounds (Definition 1) via the kRSP reduction.")
     Term.(const qos $ graph_file $ src_arg $ dst_arg $ k_arg $ per_path)
 
 (* ---- route ------------------------------------------------------------------ *)
@@ -262,7 +292,7 @@ let route file src dst k delay_bound classes_spec =
   match Krsp.solve t () with
   | Error _ ->
     Printf.eprintf "no feasible path set\n";
-    1
+    exit_infeasible
   | Ok (sol, _) ->
     let module PR = Krsp_route.Priority_routing in
     (* classes_spec: "name:priority:volume,name:priority:volume,..." *)
@@ -295,13 +325,114 @@ let route_cmd =
           ~doc:"Traffic classes as name:priority:volume, comma separated.")
   in
   Cmd.v
-    (Cmd.info "route" ~doc:"Solve, then dispatch traffic classes over the paths by urgency.")
+    (Cmd.info "route" ~exits ~doc:"Solve, then dispatch traffic classes over the paths by urgency.")
     Term.(const route $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg $ classes)
+
+(* ---- client ------------------------------------------------------------------ *)
+
+let code_of_response line =
+  match Protocol.parse_response line with
+  | Ok (Protocol.Err (Protocol.Infeasible_disjoint | Protocol.Infeasible_delay _)) ->
+    exit_infeasible
+  | Ok (Protocol.Err (Protocol.Bad_request _ | Protocol.No_such_link)) -> exit_parse_io
+  | Ok (Protocol.Err (Protocol.Internal _)) -> 1
+  | Ok _ -> 0
+  | Error _ -> 1
+
+let client unix_path host port requests =
+  let fd =
+    try
+      match (unix_path, port) with
+      | Some path, _ ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      | None, Some port ->
+        let addr =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (addr, port));
+        fd
+      | None, None ->
+        Printf.eprintf "client: need --unix PATH or --port PORT\n";
+        exit exit_parse_io
+    with
+    | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "client: connect: %s\n" (Unix.error_message e);
+      exit 1
+    | Not_found ->
+      Printf.eprintf "client: cannot resolve %s\n" host;
+      exit 1
+  in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (* lock-step: one request line out, one response line in *)
+  let exchange request code =
+    output_string oc request;
+    output_char oc '\n';
+    flush oc;
+    match input_line ic with
+    | response ->
+      print_endline response;
+      max code (code_of_response response)
+    | exception End_of_file ->
+      Printf.eprintf "client: server closed the connection\n";
+      1
+  in
+  let code =
+    match requests with
+    | _ :: _ -> List.fold_left (fun code r -> exchange r code) 0 requests
+    | [] ->
+      (* pipe mode: forward stdin line by line *)
+      let rec go code =
+        match input_line stdin with
+        | line -> go (exchange line code)
+        | exception End_of_file -> code
+      in
+      go 0
+  in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  code
+
+let client_cmd =
+  let unix_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix"; "u" ] ~docv:"PATH" ~doc:"Connect to a krspd Unix-domain socket.")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Daemon host.")
+  in
+  let port =
+    Arg.(value & opt (some int) None & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Daemon TCP port.")
+  in
+  let requests =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Request lines to send (e.g. 'SOLVE 0 9 2 40', 'STATS'). Without any, lines are \
+             read from stdin.")
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Sends request lines to a running krspd daemon and prints one response line each. The \
+         exit code reflects the worst response: 0 all OK, 2 infeasible, 3 rejected request, 1 \
+         transport/internal error."
+    ]
+  in
+  Cmd.v
+    (Cmd.info "client" ~exits ~man ~doc:"Send requests to a running krspd daemon.")
+    Term.(const client $ unix_path $ host $ port $ requests)
 
 (* ---- dot -------------------------------------------------------------------- *)
 
 let dot file out =
-  let g = Io.of_edge_list (Io.read_file file) in
+  let g = load_graph file in
   let text = Io.to_dot g in
   (match out with
   | None -> print_string text
@@ -315,17 +446,19 @@ let dot_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
   in
   Cmd.v
-    (Cmd.info "dot" ~doc:"Render a graph file as Graphviz DOT.")
+    (Cmd.info "dot" ~exits ~doc:"Render a graph file as Graphviz DOT.")
     Term.(const dot $ graph_file $ out)
 
 (* ---- main ------------------------------------------------------------------- *)
 
 let () =
   let info =
-    Cmd.info "krsp" ~version:"1.0.0"
+    Cmd.info "krsp" ~version:Bin_version.version
       ~doc:"k disjoint restricted shortest paths (Guo, Liao, Shen & Li, SPAA 2015)"
   in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; solve_cmd; exact_cmd; compare_cmd; qos_cmd; route_cmd; dot_cmd ]))
+          [ generate_cmd; solve_cmd; exact_cmd; compare_cmd; qos_cmd; route_cmd; client_cmd;
+            dot_cmd
+          ]))

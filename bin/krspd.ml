@@ -1,0 +1,100 @@
+(* krspd — the kRSP query-serving daemon.
+
+   Loads a topology once, then serves SOLVE/QOS/FAIL/RESTORE/STATS/PING
+   requests over a Unix-domain socket, TCP, or stdio (see
+   Krsp_server.Protocol for the grammar). SIGUSR1 dumps the metrics
+   registry to stderr without disturbing clients. *)
+
+open Cmdliner
+module Io = Krsp_graph.Io
+module Engine = Krsp_server.Engine
+module Server = Krsp_server.Server
+module Metrics = Krsp_util.Metrics
+
+let graph_file =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "graph"; "g" ] ~docv:"FILE" ~doc:"Topology in edge-list format (see Io).")
+
+let unix_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "unix"; "u" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket at $(docv).")
+
+let tcp_port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Listen on TCP $(docv) (see $(b,--host)).")
+
+let tcp_host =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Bind address for $(b,--port).")
+
+let cache_size =
+  Arg.(
+    value
+    & opt int Engine.default_config.Engine.cache_capacity
+    & info [ "cache" ] ~docv:"N" ~doc:"Solution-cache capacity (LRU entries).")
+
+let engine_arg =
+  Arg.(
+    value & opt string "dp"
+    & info [ "engine" ] ~docv:"ENGINE" ~doc:"Bicameral search engine: dp or lp.")
+
+let run graph_file unix_path tcp_port tcp_host cache_size engine_name =
+  let g =
+    try Io.of_edge_list (Io.read_file graph_file)
+    with Failure msg | Sys_error msg ->
+      Printf.eprintf "krspd: cannot load %s: %s\n" graph_file msg;
+      exit 3
+  in
+  let solver = match engine_name with "lp" -> Krsp_core.Krsp.Lp | _ -> Krsp_core.Krsp.Dp in
+  let config = { Engine.default_config with Engine.cache_capacity = cache_size; solver } in
+  let engine = Engine.create ~config g in
+  Sys.set_signal Sys.sigusr1
+    (Sys.Signal_handle
+       (fun _ -> Printf.eprintf "--- krspd metrics ---\n%s\n%!" (Metrics.dump (Engine.metrics engine))));
+  (* a client hanging up mid-write must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match (unix_path, tcp_port) with
+  | Some path, _ ->
+    Server.listen_and_serve engine (Server.Unix_socket path) ~on_listen:(fun () ->
+        Printf.eprintf "krspd: serving on unix:%s (pid %d)\n%!" path (Unix.getpid ()));
+    0
+  | None, Some port ->
+    Server.listen_and_serve engine (Server.Tcp (tcp_host, port)) ~on_listen:(fun () ->
+        Printf.eprintf "krspd: serving on %s:%d (pid %d)\n%!" tcp_host port (Unix.getpid ()));
+    0
+  | None, None ->
+    (* stdio mode: one session on stdin/stdout, handy for piping and tests *)
+    Server.serve_channels engine stdin stdout;
+    0
+
+let cmd =
+  let doc = "serve kRSP queries against a long-lived topology" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Loads the topology once and answers line-oriented requests: SOLVE src dst k D [eps], \
+         QOS src dst k D, FAIL u v, RESTORE u v, STATS, PING. Responses are single lines \
+         (SOLUTION/MUTATED/STATS/PONG/ERR). Without $(b,--unix) or $(b,--port) the daemon \
+         serves a single session on stdin/stdout.";
+      `P
+        "Solutions are cached (LRU, keyed by query and topology generation); FAIL/RESTORE \
+         invalidate only affected entries, and repeated queries after a failure are re-solved \
+         from the previous solution (warm start) instead of from scratch. Send SIGUSR1 for a \
+         metrics dump on stderr.";
+      `S Manpage.s_exit_status;
+      `P "0 on clean shutdown (EOF in stdio mode); 3 when the topology cannot be loaded."
+    ]
+  in
+  Cmd.v
+    (Cmd.info "krspd" ~version:Bin_version.version ~doc ~man)
+    Term.(const run $ graph_file $ unix_path $ tcp_port $ tcp_host $ cache_size $ engine_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -11,6 +11,7 @@ type stats = {
   guesses_tried : int;
   final_guess : int;
   used_fallback : bool;
+  warm_started : bool;
 }
 
 type error =
@@ -82,8 +83,72 @@ let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?(max_iteration
   in
   loop start 0 0 0 0
 
+let repair t ~paths =
+  let g = t.Instance.graph in
+  let m = G.m g in
+  let valid p =
+    p <> []
+    && List.for_all (fun e -> e >= 0 && e < m) p
+    && Path.is_valid g ~src:t.Instance.src ~dst:t.Instance.dst p
+  in
+  (* greedily keep up to k intact, mutually disjoint paths *)
+  let used = Hashtbl.create 64 in
+  let kept =
+    List.fold_left
+      (fun acc p ->
+        if List.length acc >= t.Instance.k then acc
+        else if valid p && List.for_all (fun e -> not (Hashtbl.mem used e)) p then begin
+          List.iter (fun e -> Hashtbl.replace used e ()) p;
+          p :: acc
+        end
+        else acc)
+      [] paths
+    |> List.rev
+  in
+  let missing = t.Instance.k - List.length kept in
+  if missing = 0 then Some kept
+  else begin
+    (* Suurballe re-route of only the damaged paths, avoiding the kept
+       ones; [weight] picks the metric the re-route minimises *)
+    let reroute weight =
+      let sub, new_of_old =
+        G.filter_map_edges g ~f:(fun e ->
+            if Hashtbl.mem used e then None else Some (weight e, G.delay g e))
+      in
+      let old_of_new = Array.make (G.m sub) (-1) in
+      Array.iteri
+        (fun old_e new_e -> if new_e >= 0 then old_of_new.(new_e) <- old_e)
+        new_of_old;
+      match
+        Krsp_flow.Suurballe.solve sub ~src:t.Instance.src ~dst:t.Instance.dst ~k:missing
+      with
+      | None -> None
+      | Some rerouted ->
+        let all = kept @ List.map (List.map (fun e -> old_of_new.(e))) rerouted in
+        if Instance.is_structurally_valid t all then Some all else None
+    in
+    let total_delay all = List.fold_left (fun acc p -> acc + Path.delay g p) 0 all in
+    let feasible all = total_delay all <= t.Instance.delay_bound in
+    (* cost-first: the cheapest completion, kept when it meets the bound.
+       Cost is delay-oblivious though, so on tight budgets it can land far
+       over D and leave the resumed cancellation more work than a cold
+       solve — then re-route for delay instead (a feasible start returns
+       from the solve immediately), or failing both, hand cancellation the
+       start that is closer to feasibility. *)
+    match reroute (G.cost g) with
+    | Some cheap when feasible cheap -> Some cheap
+    | cheap -> (
+      match reroute (G.delay g) with
+      | Some fast when feasible fast -> Some fast
+      | fast -> (
+        match (cheap, fast) with
+        | Some a, Some b -> Some (if total_delay a <= total_delay b then a else b)
+        | (Some _ as s), None | None, (Some _ as s) -> s
+        | None, None -> None))
+  end
+
 let solve t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
-    ?(max_iterations = 2_000) ?(guess_steps = 12) () =
+    ?(max_iterations = 2_000) ?(guess_steps = 12) ?warm_start () =
   if not (Instance.connectivity_ok t) then Error No_k_disjoint_paths
   else begin
     match Instance.min_possible_delay t with
@@ -96,15 +161,25 @@ let solve t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
         | Phase1.Start s -> Instance.solution_of_paths t s.Phase1.paths
         | Phase1.No_k_paths | Phase1.Lp_infeasible -> assert false
       in
-      let start =
-        match Phase1.run phase1 t with
-        | Phase1.Start s -> s.Phase1.paths
-        | Phase1.No_k_paths -> assert false (* connectivity checked above *)
-        | Phase1.Lp_infeasible -> assert false (* dmin <= bound above *)
+      let warm =
+        match warm_start with
+        | None -> None
+        | Some prev -> repair t ~paths:prev
       in
+      let start =
+        match warm with
+        | Some paths -> paths
+        | None -> (
+          match Phase1.run phase1 t with
+          | Phase1.Start s -> s.Phase1.paths
+          | Phase1.No_k_paths -> assert false (* connectivity checked above *)
+          | Phase1.Lp_infeasible -> assert false (* dmin <= bound above *))
+      in
+      let warm_started = warm <> None in
       let start_sol = Instance.solution_of_paths t start in
       if start_sol.Instance.delay <= t.Instance.delay_bound then
-        (* phase 1 already feasible; with the min-sum start this is exact *)
+        (* start already feasible; with the cold min-sum start this is exact,
+           with a warm start it is the repaired previous solution as-is *)
         Ok
           ( start_sol,
             {
@@ -115,6 +190,7 @@ let solve t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
               guesses_tried = 0;
               final_guess = 0;
               used_fallback = false;
+              warm_started;
             } )
       else begin
         let lo0 = max 1 start_sol.Instance.cost in
@@ -166,6 +242,7 @@ let solve t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
                 guesses_tried = !tried;
                 final_guess = guess;
                 used_fallback = false;
+                warm_started;
               } )
         | None ->
           L.warn (fun m -> m "all guesses failed; returning min-delay fallback");
@@ -179,6 +256,7 @@ let solve t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
                 guesses_tried = !tried;
                 final_guess = hi0;
                 used_fallback = true;
+                warm_started;
               } )
       end
   end

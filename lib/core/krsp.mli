@@ -29,6 +29,8 @@ type stats = {
   guesses_tried : int;
   final_guess : int;  (** guess that produced the returned solution *)
   used_fallback : bool;
+  warm_started : bool;
+      (** the start solution came from a repaired [warm_start], not phase 1 *)
 }
 
 type error =
@@ -54,6 +56,21 @@ val improve :
     (guess too low / instance infeasible), the iteration cap was hit, or the
     delay made no progress for [stall_limit] iterations (default 40). *)
 
+val repair :
+  Instance.t -> paths:Krsp_graph.Path.t list -> Krsp_graph.Path.t list option
+(** Warm-start repair. Keeps the paths of [paths] that are still valid
+    disjoint [src→dst] paths of the instance graph (damaged paths — e.g.
+    ones referencing edges that no longer exist, encoded as negative ids —
+    are dropped), then re-routes the missing [k - kept] paths with a
+    Suurballe run on the graph minus the kept paths' edges: min-cost
+    first, and when that completion busts the delay bound, min-delay (a
+    delay-feasible start lets {!solve} return without any cancellation);
+    if both completions are infeasible the lower-delay one is returned as
+    the cancellation start. [None] when the remainder graph cannot carry
+    the missing paths (the greedy keep-set may block routes that a joint
+    re-route would find, so [None] does not prove infeasibility — callers
+    fall back to a cold solve). *)
+
 val solve :
   Instance.t ->
   ?engine:engine ->
@@ -61,6 +78,7 @@ val solve :
   ?phase1:Phase1.kind ->
   ?max_iterations:int ->
   ?guess_steps:int ->
+  ?warm_start:Krsp_graph.Path.t list ->
   unit ->
   outcome
 (** Full pipeline: feasibility checks, phase 1, guess search over Algorithm 1,
@@ -68,4 +86,15 @@ val solve :
     [max_iterations] caps each inner loop (default 2_000). [exhaustive]
     makes every bicameral search scan all roots and pick the globally best
     cycle instead of stopping at the first productive root (the quality/time
-    trade-off of experiment E12). *)
+    trade-off of experiment E12).
+
+    [warm_start], when given, is {!repair}ed and — if the repair yields k
+    disjoint paths — used as the start solution instead of running phase 1,
+    resuming bicameral cancellation from there ([stats.warm_started] is set).
+    Algorithm 1's inner loop improves {e any} start (Lemmas 11–13 never use
+    where the start came from), so the result is still certified feasible
+    (delay ≤ D, k disjoint paths). What is lost is the approximation
+    guarantee: Lemma 11's cost bound needs start cost ≤ [C_OPT], which a
+    repaired solution does not promise, so a warm-started solve is
+    best-effort on cost. When the repair fails, the solve silently proceeds
+    cold with full guarantees. *)

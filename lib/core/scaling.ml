@@ -14,7 +14,7 @@ let scaled_graph g ~theta_cost ~theta_delay =
     (G.filter_map_edges g ~f:(fun e ->
          Some (G.cost g e / theta_cost, G.delay g e / theta_delay)))
 
-let solve t ~epsilon1 ~epsilon2 ?engine ?phase1 ?max_iterations () =
+let solve t ~epsilon1 ~epsilon2 ?engine ?phase1 ?max_iterations ?warm_start () =
   if epsilon1 <= 0. || epsilon2 <= 0. then
     invalid_arg "Scaling.solve: epsilons must be positive";
   if not (Instance.connectivity_ok t) then Stdlib.Error Krsp.No_k_disjoint_paths
@@ -45,7 +45,7 @@ let solve t ~epsilon1 ~epsilon2 ?engine ?phase1 ?max_iterations () =
         Instance.create sg ~src:t.Instance.src ~dst:t.Instance.dst ~k:t.Instance.k
           ~delay_bound:scaled_delay_bound
       in
-      (match Krsp.solve st ?engine ?phase1 ?max_iterations () with
+      (match Krsp.solve st ?engine ?phase1 ?max_iterations ?warm_start () with
       | Stdlib.Error e -> Stdlib.Error e
       | Stdlib.Ok (ssol, stats) ->
         (* edge ids are shared between g and sg by construction; re-evaluate

@@ -25,7 +25,11 @@ val solve :
   ?engine:Krsp.engine ->
   ?phase1:Phase1.kind ->
   ?max_iterations:int ->
+  ?warm_start:Krsp_graph.Path.t list ->
   unit ->
   (result, Krsp.error) Stdlib.result
 (** [epsilon1] relaxes the delay bound (total delay ≤ (1+ε₁)·D), [epsilon2]
-    the cost ratio. Raises [Invalid_argument] on non-positive epsilons. *)
+    the cost ratio. Raises [Invalid_argument] on non-positive epsilons.
+    [warm_start] is forwarded to {!Krsp.solve} on the scaled instance —
+    valid because scaling keeps every edge, so edge ids coincide; the same
+    caveats apply (feasibility kept, cost guarantee waived). *)

@@ -1,0 +1,123 @@
+(* Hash table + intrusive doubly-linked recency list; [head] is the MRU end.
+   Nodes are never shared outside the table, so unlink/push keep the
+   structure consistent without option-juggling invariants beyond these two:
+   a node is in the list iff it is in the table, and head/tail are [None]
+   iff the table is empty. *)
+
+type ('k, 'v) node = {
+  mutable key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option; (* towards head / MRU *)
+  mutable next : ('k, 'v) node option; (* towards tail / LRU *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; invalidations : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (min capacity 64);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let drop t node =
+  unlink t node;
+  Hashtbl.remove t.tbl node.key
+
+let add t key value =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+    node.value <- value;
+    unlink t node;
+    push_front t node
+  | None ->
+    let node = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.tbl key node;
+    push_front t node);
+  if Hashtbl.length t.tbl > t.cap then begin
+    match t.tail with
+    | Some lru ->
+      drop t lru;
+      t.evictions <- t.evictions + 1
+    | None -> assert false
+  end
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some node ->
+    drop t node;
+    t.invalidations <- t.invalidations + 1
+
+let fold t ~init ~f =
+  let rec go acc = function
+    | None -> acc
+    | Some node -> go (f acc node.key node.value) node.next
+  in
+  go init t.head
+
+let filter_inplace t ~f =
+  let doomed =
+    fold t ~init:[] ~f:(fun acc k v -> if f k v then acc else k :: acc)
+  in
+  List.iter (fun k -> remove t k) doomed;
+  List.length doomed
+
+let rekey t ~f =
+  Hashtbl.reset t.tbl;
+  let rec go = function
+    | None -> ()
+    | Some node ->
+      node.key <- f node.key;
+      Hashtbl.replace t.tbl node.key node;
+      go node.next
+  in
+  go t.head
+
+let stats (t : (_, _) t) =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions; invalidations = t.invalidations }

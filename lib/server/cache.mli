@@ -1,0 +1,43 @@
+(** A counting LRU cache for served solutions.
+
+    Polymorphic keys (structural equality/hashing), O(1) find/add via a
+    hash table over an intrusive doubly-linked recency list. Every lookup
+    and eviction is counted so the serving layer can expose hit/miss/
+    eviction/invalidation rates through [STATS]. *)
+
+type ('k, 'v) t
+
+type stats = { hits : int; misses : int; evictions : int; invalidations : int }
+
+val create : capacity:int -> ('k, 'v) t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : _ t -> int
+val length : _ t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Promotes the entry to most-recently-used; counts a hit or a miss. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Like {!find} but without touching recency or the hit/miss counters. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Inserts or replaces as most-recently-used; evicts the least-recently
+    used entry when over capacity (counted as an eviction). *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** Drops the entry if present (counted as an invalidation). *)
+
+val filter_inplace : ('k, 'v) t -> f:('k -> 'v -> bool) -> int
+(** Keeps only entries satisfying [f]; returns the number dropped (each
+    counted as an invalidation). Recency order of survivors is kept. *)
+
+val fold : ('k, 'v) t -> init:'a -> f:('a -> 'k -> 'v -> 'a) -> 'a
+(** Most-recently-used first. *)
+
+val rekey : ('k, 'v) t -> f:('k -> 'k) -> unit
+(** Rewrites every key through [f] in place; recency order and counters
+    are untouched. [f] must be injective on the current key set (used to
+    carry entries across topology generations). *)
+
+val stats : _ t -> stats

@@ -1,0 +1,309 @@
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+module Instance = Krsp_core.Instance
+module Krsp = Krsp_core.Krsp
+module Metrics = Krsp_util.Metrics
+
+let log = Logs.Src.create "krspd.engine" ~doc:"kRSP serving engine"
+
+module L = (val Logs.src_log log : Logs.LOG)
+
+type config = {
+  cache_capacity : int;
+  solver : Krsp.engine;
+  max_iterations : int;
+}
+
+let default_config = { cache_capacity = 1024; solver = Krsp.Dp; max_iterations = 2_000 }
+
+(* cache key: (s, t, k, D, ε, topology generation) *)
+type key = int * int * int * int * float option * int
+
+(* cached/donated solutions carry base-graph edge ids so they survive
+   re-numbering of the live view across generations *)
+type entry = { e_cost : int; e_delay : int; base_paths : int list list }
+
+type live = {
+  lgraph : G.t;
+  to_base : int array;  (** live edge id → base edge id *)
+  of_base : int array;  (** base edge id → live edge id, -1 when down *)
+}
+
+type t = {
+  base : G.t;
+  cfg : config;
+  failed : bool array;  (** by base edge id *)
+  mutable generation : int;
+  mutable live : live option;  (** memoized per generation *)
+  cache : (key, entry) Cache.t;
+  donors : (int * int * int * int * float option, entry) Hashtbl.t;
+  metrics : Metrics.t;
+  (* hot-path handles *)
+  c_requests : Metrics.counter;
+  c_cold : Metrics.counter;
+  c_warm : Metrics.counter;
+  c_hits : Metrics.counter;
+  c_infeasible : Metrics.counter;
+  c_mutations : Metrics.counter;
+  c_bad : Metrics.counter;
+  h_cold : Metrics.histogram;
+  h_warm : Metrics.histogram;
+  h_hit : Metrics.histogram;
+  h_qos : Metrics.histogram;
+}
+
+let create ?(config = default_config) base =
+  let metrics = Metrics.create () in
+  {
+    base;
+    cfg = config;
+    failed = Array.make (G.m base) false;
+    generation = 0;
+    live = None;
+    cache = Cache.create ~capacity:config.cache_capacity;
+    donors = Hashtbl.create 64;
+    metrics;
+    c_requests = Metrics.counter metrics "requests_total";
+    c_cold = Metrics.counter metrics "solve_cold";
+    c_warm = Metrics.counter metrics "solve_warm";
+    c_hits = Metrics.counter metrics "solve_cache_hit";
+    c_infeasible = Metrics.counter metrics "solve_infeasible";
+    c_mutations = Metrics.counter metrics "topology_mutations";
+    c_bad = Metrics.counter metrics "bad_requests";
+    h_cold = Metrics.histogram metrics "cold_ms";
+    h_warm = Metrics.histogram metrics "warm_ms";
+    h_hit = Metrics.histogram metrics "cache_hit_ms";
+    h_qos = Metrics.histogram metrics "qos_ms";
+  }
+
+let generation t = t.generation
+
+let failed_edges t =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.failed
+
+let metrics t = t.metrics
+
+let live_view t =
+  match t.live with
+  | Some l -> l
+  | None ->
+    let lgraph, of_base =
+      G.filter_map_edges t.base ~f:(fun e ->
+          if t.failed.(e) then None else Some (G.cost t.base e, G.delay t.base e))
+    in
+    let to_base = Array.make (G.m lgraph) (-1) in
+    Array.iteri (fun b l -> if l >= 0 then to_base.(l) <- b) of_base;
+    let l = { lgraph; to_base; of_base } in
+    t.live <- Some l;
+    l
+
+(* the vertex rendering of a solution is generation-independent: base and
+   live graphs share vertex ids *)
+let vertex_paths g paths = List.map (fun p -> Path.vertices g p) paths
+
+let entry_of_solution live (sol : Instance.solution) =
+  {
+    e_cost = sol.Instance.cost;
+    e_delay = sol.Instance.delay;
+    base_paths = List.map (List.map (fun e -> live.to_base.(e))) sol.Instance.paths;
+  }
+
+let entry_uses_any entry dead =
+  List.exists (List.exists (fun e -> List.mem e dead)) entry.base_paths
+
+(* ---- request handlers ------------------------------------------------------ *)
+
+let ms_since t0 = (Unix.gettimeofday () -. t0) *. 1000.
+
+let check_endpoints t ~src ~dst ~k =
+  let n = G.n t.base in
+  if src < 0 || src >= n then Some (Printf.sprintf "src %d out of range [0, %d)" src n)
+  else if dst < 0 || dst >= n then Some (Printf.sprintf "dst %d out of range [0, %d)" dst n)
+  else if src = dst then Some "src = dst"
+  else if k < 1 then Some "k must be >= 1"
+  else None
+
+let do_solve t ~src ~dst ~k ~delay_bound ~epsilon t0 =
+  match check_endpoints t ~src ~dst ~k with
+  | Some msg -> Protocol.Err (Protocol.Bad_request msg)
+  | None when delay_bound < 0 -> Protocol.Err (Protocol.Bad_request "delay bound < 0")
+  | None when (match epsilon with Some e -> e <= 0. | None -> false) ->
+    Protocol.Err (Protocol.Bad_request "eps must be > 0")
+  | None -> (
+    let key = (src, dst, k, delay_bound, epsilon, t.generation) in
+    match Cache.find t.cache key with
+    | Some entry ->
+      Metrics.incr t.c_hits;
+      let ms = ms_since t0 in
+      Metrics.observe t.h_hit ms;
+      Protocol.Solution
+        {
+          cost = entry.e_cost;
+          delay = entry.e_delay;
+          source = Protocol.Cache_hit;
+          ms;
+          paths = vertex_paths t.base entry.base_paths;
+        }
+    | None ->
+      let live = live_view t in
+      let inst = Instance.create live.lgraph ~src ~dst ~k ~delay_bound in
+      let warm_start =
+        Option.map
+          (fun donor -> List.map (List.map (fun e -> live.of_base.(e))) donor.base_paths)
+          (Hashtbl.find_opt t.donors (src, dst, k, delay_bound, epsilon))
+      in
+      let outcome =
+        match epsilon with
+        | None ->
+          Result.map
+            (fun (sol, stats) -> (sol, stats.Krsp.warm_started))
+            (Krsp.solve inst ~engine:t.cfg.solver ~max_iterations:t.cfg.max_iterations
+               ?warm_start ())
+        | Some eps ->
+          Result.map
+            (fun r ->
+              (r.Krsp_core.Scaling.solution, r.Krsp_core.Scaling.stats.Krsp.warm_started))
+            (Krsp_core.Scaling.solve inst ~epsilon1:eps ~epsilon2:eps ~engine:t.cfg.solver
+               ~max_iterations:t.cfg.max_iterations ?warm_start ())
+      in
+      (match outcome with
+      | Error e ->
+        Metrics.incr t.c_infeasible;
+        Protocol.Err (Protocol.error_of_outcome e)
+      | Ok (sol, warm_started) ->
+        let entry = entry_of_solution live sol in
+        Cache.add t.cache key entry;
+        Hashtbl.replace t.donors (src, dst, k, delay_bound, epsilon) entry;
+        let source = if warm_started then Protocol.Warm_start else Protocol.Cold in
+        let ms = ms_since t0 in
+        (if warm_started then begin
+           Metrics.incr t.c_warm;
+           Metrics.observe t.h_warm ms
+         end
+         else begin
+           Metrics.incr t.c_cold;
+           Metrics.observe t.h_cold ms
+         end);
+        Protocol.Solution
+          {
+            cost = entry.e_cost;
+            delay = entry.e_delay;
+            source;
+            ms;
+            paths = vertex_paths t.base entry.base_paths;
+          }))
+
+let do_qos t ~src ~dst ~k ~per_path_delay t0 =
+  match check_endpoints t ~src ~dst ~k with
+  | Some msg -> Protocol.Err (Protocol.Bad_request msg)
+  | None when per_path_delay < 0 -> Protocol.Err (Protocol.Bad_request "per-path delay < 0")
+  | None -> (
+    let live = live_view t in
+    match Krsp_core.Qos_paths.solve live.lgraph ~src ~dst ~k ~per_path_delay () with
+    | Krsp_core.Qos_paths.No_k_disjoint_paths ->
+      Metrics.incr t.c_infeasible;
+      Protocol.Err Protocol.Infeasible_disjoint
+    | Krsp_core.Qos_paths.Relaxation_infeasible d ->
+      Metrics.incr t.c_infeasible;
+      Protocol.Err (Protocol.Infeasible_delay d)
+    | Krsp_core.Qos_paths.Paths (sol, _quality) ->
+      let ms = ms_since t0 in
+      Metrics.observe t.h_qos ms;
+      Protocol.Solution
+        {
+          cost = sol.Instance.cost;
+          delay = sol.Instance.delay;
+          source = Protocol.Cold;
+          ms;
+          paths = vertex_paths live.lgraph sol.Instance.paths;
+        })
+
+let link_edges t ~u ~v ~state =
+  (* base edges between u and v, either direction, currently in [state] *)
+  G.fold_edges t.base ~init:[] ~f:(fun acc e ->
+      let s = G.src t.base e and d = G.dst t.base e in
+      if ((s = u && d = v) || (s = v && d = u)) && t.failed.(e) = state then e :: acc else acc)
+
+let bump_generation t =
+  t.generation <- t.generation + 1;
+  t.live <- None;
+  Metrics.incr t.c_mutations
+
+let do_fail t ~u ~v =
+  let n = G.n t.base in
+  if u < 0 || u >= n || v < 0 || v >= n then
+    Protocol.Err (Protocol.Bad_request "vertex out of range")
+  else begin
+    match link_edges t ~u ~v ~state:false with
+    | [] -> Protocol.Err Protocol.No_such_link
+    | dead ->
+      List.iter (fun e -> t.failed.(e) <- true) dead;
+      bump_generation t;
+      (* invalidate only the affected entries; carry the rest forward *)
+      let dropped =
+        Cache.filter_inplace t.cache ~f:(fun _ entry -> not (entry_uses_any entry dead))
+      in
+      Cache.rekey t.cache ~f:(fun (s, d, k, db, eps, _) -> (s, d, k, db, eps, t.generation));
+      L.info (fun m ->
+          m "FAIL %d %d: %d edge(s) down, %d cache entr(ies) invalidated, generation %d" u v
+            (List.length dead) dropped t.generation);
+      Protocol.Mutated { generation = t.generation; edges = List.length dead }
+  end
+
+let do_restore t ~u ~v =
+  let n = G.n t.base in
+  if u < 0 || u >= n || v < 0 || v >= n then
+    Protocol.Err (Protocol.Bad_request "vertex out of range")
+  else begin
+    match link_edges t ~u ~v ~state:true with
+    | [] -> Protocol.Err Protocol.No_such_link
+    | back ->
+      List.iter (fun e -> t.failed.(e) <- false) back;
+      bump_generation t;
+      (* a restored edge can improve any solution: every entry is affected *)
+      let dropped = Cache.filter_inplace t.cache ~f:(fun _ _ -> false) in
+      Hashtbl.reset t.donors;
+      L.info (fun m ->
+          m "RESTORE %d %d: %d edge(s) back, %d cache entr(ies) invalidated, generation %d" u v
+            (List.length back) dropped t.generation);
+      Protocol.Mutated { generation = t.generation; edges = List.length back }
+  end
+
+let stats_kv t =
+  let c = Cache.stats t.cache in
+  Metrics.to_kv t.metrics
+  @ [ ("cache.hits", string_of_int c.Cache.hits); ("cache.misses", string_of_int c.Cache.misses);
+      ("cache.evictions", string_of_int c.Cache.evictions);
+      ("cache.invalidations", string_of_int c.Cache.invalidations);
+      ("cache.length", string_of_int (Cache.length t.cache));
+      ("cache.capacity", string_of_int (Cache.capacity t.cache));
+      ("generation", string_of_int t.generation);
+      ("failed_edges", string_of_int (failed_edges t));
+      ("topology.n", string_of_int (G.n t.base)); ("topology.m", string_of_int (G.m t.base))
+    ]
+
+let handle t request =
+  Metrics.incr t.c_requests;
+  let t0 = Unix.gettimeofday () in
+  try
+    match request with
+    | Protocol.Ping -> Protocol.Pong
+    | Protocol.Stats -> Protocol.Stats_dump (stats_kv t)
+    | Protocol.Solve { src; dst; k; delay_bound; epsilon } ->
+      do_solve t ~src ~dst ~k ~delay_bound ~epsilon t0
+    | Protocol.Qos { src; dst; k; per_path_delay } -> do_qos t ~src ~dst ~k ~per_path_delay t0
+    | Protocol.Fail { u; v } -> do_fail t ~u ~v
+    | Protocol.Restore { u; v } -> do_restore t ~u ~v
+  with exn ->
+    L.err (fun m -> m "request failed: %s" (Printexc.to_string exn));
+    Protocol.Err (Protocol.Internal (Printexc.to_string exn))
+
+let handle_line t line =
+  let response =
+    match Protocol.parse_request line with
+    | Ok request -> handle t request
+    | Error e ->
+      Metrics.incr t.c_bad;
+      Protocol.Err (Protocol.Bad_request (Protocol.describe_parse_error e))
+  in
+  Protocol.print_response response

@@ -1,0 +1,63 @@
+(** The socket-free serving core of krspd: one loaded topology, a
+    generation-stamped live view under link failures, the LRU solution
+    cache, warm-start re-solves, and the metrics registry.
+
+    The daemon's socket loop, the in-process tests and the replay
+    benchmark all drive the same {!handle} function, so everything
+    observable about serving lives here.
+
+    {2 Topology generations}
+
+    The engine owns an immutable base graph. [FAIL u v] marks every live
+    edge between [u] and [v] (both directions) as down and bumps the
+    {e generation}; [RESTORE u v] brings them back and bumps it again.
+    Solves run on the live subgraph (failed edges filtered out); cached
+    solutions are keyed by [(s, t, k, D, ε, generation)].
+
+    {2 Cache invalidation rule}
+
+    On [FAIL], an entry is {e affected} iff its solution uses a newly
+    failed edge: affected entries are invalidated, unaffected ones are
+    re-keyed to the new generation (their paths are untouched, so they
+    remain valid verbatim). On [RESTORE] every entry is affected — a
+    restored edge can lower the optimal cost of any query — so the whole
+    cache is invalidated (entries would still be {e feasible}, but serving
+    them would silently forfeit solution quality).
+
+    {2 Warm starts}
+
+    Independently of the cache, the engine remembers the last solution per
+    [(s, t, k, D, ε)] (any generation). A cache miss with such a donor
+    re-solves via {!Krsp_core.Krsp.solve}[ ~warm_start]: surviving paths
+    are kept, damaged ones re-routed by Suurballe, and bicameral
+    cancellation resumes — skipping phase 1. Donors are dropped on
+    [RESTORE] for the same quality reason as cache entries. *)
+
+type t
+
+type config = {
+  cache_capacity : int;  (** LRU capacity (default 1024) *)
+  solver : Krsp_core.Krsp.engine;  (** bicameral search engine (default Dp) *)
+  max_iterations : int;  (** per-guess inner-loop cap (default 2000) *)
+}
+
+val default_config : config
+
+val create : ?config:config -> Krsp_graph.Digraph.t -> t
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Total: never raises; unexpected exceptions become [Error (Internal _)]. *)
+
+val handle_line : t -> string -> string
+(** [print_response (handle (parse_request line))], with parse errors
+    rendered as [ERR bad-request]. The daemon loop is this function. *)
+
+val generation : t -> int
+val failed_edges : t -> int
+
+val metrics : t -> Krsp_util.Metrics.t
+
+val stats_kv : t -> (string * string) list
+(** The [STATS] payload: metrics snapshot plus cache hit/miss/eviction/
+    invalidation counts, cache occupancy, generation and failed-edge
+    count. *)

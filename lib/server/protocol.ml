@@ -1,0 +1,243 @@
+type request =
+  | Ping
+  | Solve of { src : int; dst : int; k : int; delay_bound : int; epsilon : float option }
+  | Qos of { src : int; dst : int; k : int; per_path_delay : int }
+  | Fail of { u : int; v : int }
+  | Restore of { u : int; v : int }
+  | Stats
+
+type parse_error =
+  | Empty_line
+  | Unknown_command of string
+  | Wrong_arity of { command : string; expected : string; got : int }
+  | Bad_int of { command : string; field : string; value : string }
+  | Bad_float of { command : string; field : string; value : string }
+
+type source = Cold | Cache_hit | Warm_start
+
+type server_error =
+  | Bad_request of string
+  | Infeasible_disjoint
+  | Infeasible_delay of int
+  | No_such_link
+  | Internal of string
+
+type response =
+  | Pong
+  | Solution of {
+      cost : int;
+      delay : int;
+      source : source;
+      ms : float;
+      paths : int list list;
+    }
+  | Mutated of { generation : int; edges : int }
+  | Stats_dump of (string * string) list
+  | Err of server_error
+
+(* ---- requests -------------------------------------------------------------- *)
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let int_field command field value k =
+  match int_of_string_opt value with
+  | Some n -> k n
+  | None -> Error (Bad_int { command; field; value })
+
+let float_field command field value k =
+  match float_of_string_opt value with
+  | Some f -> k f
+  | None -> Error (Bad_float { command; field; value })
+
+let parse_request line =
+  match tokens line with
+  | [] -> Error Empty_line
+  | cmd :: args -> (
+    let command = String.uppercase_ascii cmd in
+    let arity expected = Error (Wrong_arity { command; expected; got = List.length args }) in
+    match (command, args) with
+    | "PING", [] -> Ok Ping
+    | "PING", _ -> arity "0"
+    | "STATS", [] -> Ok Stats
+    | "STATS", _ -> arity "0"
+    | "SOLVE", ([ s; t; k; d ] | [ s; t; k; d; _ ]) ->
+      int_field command "src" s @@ fun src ->
+      int_field command "dst" t @@ fun dst ->
+      int_field command "k" k @@ fun k ->
+      int_field command "delay-bound" d @@ fun delay_bound ->
+      (match args with
+      | [ _; _; _; _; e ] ->
+        float_field command "eps" e @@ fun eps ->
+        Ok (Solve { src; dst; k; delay_bound; epsilon = Some eps })
+      | _ -> Ok (Solve { src; dst; k; delay_bound; epsilon = None }))
+    | "SOLVE", _ -> arity "4-5"
+    | "QOS", [ s; t; k; d ] ->
+      int_field command "src" s @@ fun src ->
+      int_field command "dst" t @@ fun dst ->
+      int_field command "k" k @@ fun k ->
+      int_field command "per-path-delay" d @@ fun per_path_delay ->
+      Ok (Qos { src; dst; k; per_path_delay })
+    | "QOS", _ -> arity "4"
+    | "FAIL", [ a; b ] ->
+      int_field command "u" a @@ fun u ->
+      int_field command "v" b @@ fun v -> Ok (Fail { u; v })
+    | "FAIL", _ -> arity "2"
+    | "RESTORE", [ a; b ] ->
+      int_field command "u" a @@ fun u ->
+      int_field command "v" b @@ fun v -> Ok (Restore { u; v })
+    | "RESTORE", _ -> arity "2"
+    | _ -> Error (Unknown_command command))
+
+let print_request = function
+  | Ping -> "PING"
+  | Stats -> "STATS"
+  | Solve { src; dst; k; delay_bound; epsilon = None } ->
+    Printf.sprintf "SOLVE %d %d %d %d" src dst k delay_bound
+  | Solve { src; dst; k; delay_bound; epsilon = Some e } ->
+    Printf.sprintf "SOLVE %d %d %d %d %g" src dst k delay_bound e
+  | Qos { src; dst; k; per_path_delay } -> Printf.sprintf "QOS %d %d %d %d" src dst k per_path_delay
+  | Fail { u; v } -> Printf.sprintf "FAIL %d %d" u v
+  | Restore { u; v } -> Printf.sprintf "RESTORE %d %d" u v
+
+let describe_parse_error = function
+  | Empty_line -> "empty request line"
+  | Unknown_command c -> Printf.sprintf "unknown command %s" c
+  | Wrong_arity { command; expected; got } ->
+    Printf.sprintf "%s takes %s argument(s), got %d" command expected got
+  | Bad_int { command; field; value } ->
+    Printf.sprintf "%s: %s must be an integer, got %s" command field value
+  | Bad_float { command; field; value } ->
+    Printf.sprintf "%s: %s must be a number, got %s" command field value
+
+(* ---- responses ------------------------------------------------------------- *)
+
+let string_of_source = function Cold -> "cold" | Cache_hit -> "cache" | Warm_start -> "warm"
+
+let source_of_string = function
+  | "cold" -> Some Cold
+  | "cache" -> Some Cache_hit
+  | "warm" -> Some Warm_start
+  | _ -> None
+
+let string_of_paths paths =
+  List.map (fun p -> String.concat "," (List.map string_of_int p)) paths |> String.concat ";"
+
+let paths_of_string s =
+  if s = "" then Ok []
+  else
+    let parse_path seg =
+      if seg = "" then Error "empty path in paths="
+      else
+        String.split_on_char ',' seg
+        |> List.fold_left
+             (fun acc v ->
+               match (acc, int_of_string_opt v) with
+               | Error e, _ -> Error e
+               | Ok vs, Some n -> Ok (n :: vs)
+               | Ok _, None -> Error (Printf.sprintf "bad vertex %S in paths=" v))
+             (Ok [])
+        |> Result.map List.rev
+    in
+    String.split_on_char ';' s
+    |> List.fold_left
+         (fun acc seg ->
+           match acc with
+           | Error e -> Error e
+           | Ok ps -> Result.map (fun p -> p :: ps) (parse_path seg))
+         (Ok [])
+    |> Result.map List.rev
+
+let append_detail head detail = if detail = "" then head else head ^ " " ^ detail
+
+let print_response = function
+  | Pong -> "PONG"
+  | Solution { cost; delay; source; ms; paths } ->
+    Printf.sprintf "SOLUTION cost=%d delay=%d source=%s ms=%.3f paths=%s" cost delay
+      (string_of_source source) ms (string_of_paths paths)
+  | Mutated { generation; edges } -> Printf.sprintf "MUTATED generation=%d edges=%d" generation edges
+  | Stats_dump kvs ->
+    List.fold_left (fun acc (k, v) -> acc ^ " " ^ k ^ "=" ^ v) "STATS" kvs
+  | Err (Bad_request msg) -> append_detail "ERR bad-request" msg
+  | Err Infeasible_disjoint -> "ERR infeasible-disjoint"
+  | Err (Infeasible_delay d) -> Printf.sprintf "ERR infeasible-delay min=%d" d
+  | Err No_such_link -> "ERR no-such-link"
+  | Err (Internal msg) -> append_detail "ERR internal" msg
+
+let split_kv tok =
+  match String.index_opt tok '=' with
+  | None -> None
+  | Some i -> Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+
+let kv_list toks =
+  List.fold_left
+    (fun acc tok ->
+      match acc with
+      | Error e -> Error e
+      | Ok kvs -> (
+        match split_kv tok with
+        | Some (k, v) -> Ok ((k, v) :: kvs)
+        | None -> Error (Printf.sprintf "expected key=value, got %S" tok)))
+    (Ok []) toks
+  |> Result.map List.rev
+
+let require kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing %s=" key)
+
+let ( let* ) = Result.bind
+
+let req_int kvs key =
+  let* v = require kvs key in
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "bad integer %s=%s" key v)
+
+let parse_response line =
+  match tokens line with
+  | [] -> Error "empty response line"
+  | "PONG" :: [] -> Ok Pong
+  | "SOLUTION" :: rest ->
+    let* kvs = kv_list rest in
+    let* cost = req_int kvs "cost" in
+    let* delay = req_int kvs "delay" in
+    let* src = require kvs "source" in
+    let* source =
+      match source_of_string src with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "bad source=%s" src)
+    in
+    let* ms_s = require kvs "ms" in
+    let* ms =
+      match float_of_string_opt ms_s with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "bad ms=%s" ms_s)
+    in
+    let* paths_s = require kvs "paths" in
+    let* paths = paths_of_string paths_s in
+    Ok (Solution { cost; delay; source; ms; paths })
+  | "MUTATED" :: rest ->
+    let* kvs = kv_list rest in
+    let* generation = req_int kvs "generation" in
+    let* edges = req_int kvs "edges" in
+    Ok (Mutated { generation; edges })
+  | "STATS" :: rest ->
+    let* kvs = kv_list rest in
+    Ok (Stats_dump kvs)
+  | "ERR" :: kind :: rest -> (
+    let detail = String.concat " " rest in
+    match kind with
+    | "bad-request" -> Ok (Err (Bad_request detail))
+    | "infeasible-disjoint" -> Ok (Err Infeasible_disjoint)
+    | "infeasible-delay" ->
+      let* kvs = kv_list rest in
+      let* d = req_int kvs "min" in
+      Ok (Err (Infeasible_delay d))
+    | "no-such-link" -> Ok (Err No_such_link)
+    | "internal" -> Ok (Err (Internal detail))
+    | other -> Error (Printf.sprintf "unknown error kind %S" other))
+  | other :: _ -> Error (Printf.sprintf "unknown response %S" other)
+
+let error_of_outcome = function
+  | Krsp_core.Krsp.No_k_disjoint_paths -> Infeasible_disjoint
+  | Krsp_core.Krsp.Delay_bound_unreachable d -> Infeasible_delay d

@@ -1,0 +1,83 @@
+(** The krspd wire protocol: line-oriented, one request line in, exactly one
+    response line out.
+
+    Request grammar (tokens separated by single spaces, command word
+    case-insensitive, vertices are the integer ids of the loaded topology):
+    {v
+      PING
+      SOLVE <src> <dst> <k> <D> [<eps>]
+      QOS <src> <dst> <k> <per-path-D>
+      FAIL <u> <v>
+      RESTORE <u> <v>
+      STATS
+    v}
+
+    Responses:
+    {v
+      PONG
+      SOLUTION cost=<int> delay=<int> source=<cold|cache|warm> ms=<float> paths=<v,v,..;v,v,..>
+      MUTATED generation=<int> edges=<int>
+      STATS <key>=<value> ...
+      ERR <kind> [detail]
+    v}
+
+    [ERR] kinds are the error taxonomy: [bad-request] (malformed line or
+    out-of-range argument, detail is human text), [infeasible-disjoint]
+    (fewer than k disjoint paths), [infeasible-delay] (detail [min=<int>],
+    the minimum achievable total delay), [no-such-link] (FAIL/RESTORE names
+    a vertex pair with no live/failed edge), [internal] (detail is the
+    exception text).
+
+    Both directions have total printers and parsers with
+    [parse (print x) = Ok x] on every value whose strings contain no
+    spaces/newlines (qcheck-verified in [test_server.ml]). *)
+
+type request =
+  | Ping
+  | Solve of { src : int; dst : int; k : int; delay_bound : int; epsilon : float option }
+  | Qos of { src : int; dst : int; k : int; per_path_delay : int }
+  | Fail of { u : int; v : int }
+  | Restore of { u : int; v : int }
+  | Stats
+
+type parse_error =
+  | Empty_line
+  | Unknown_command of string
+  | Wrong_arity of { command : string; expected : string; got : int }
+  | Bad_int of { command : string; field : string; value : string }
+  | Bad_float of { command : string; field : string; value : string }
+
+type source = Cold | Cache_hit | Warm_start
+
+type server_error =
+  | Bad_request of string
+  | Infeasible_disjoint
+  | Infeasible_delay of int  (** minimum achievable total delay *)
+  | No_such_link
+  | Internal of string
+
+type response =
+  | Pong
+  | Solution of {
+      cost : int;
+      delay : int;
+      source : source;
+      ms : float;  (** server-side handling latency, milliseconds *)
+      paths : int list list;  (** vertex sequences, one per path *)
+    }
+  | Mutated of { generation : int; edges : int }
+  | Stats_dump of (string * string) list
+  | Err of server_error
+
+val parse_request : string -> (request, parse_error) result
+val print_request : request -> string
+
+val describe_parse_error : parse_error -> string
+(** One-line human rendering, used as the [bad-request] detail. *)
+
+val parse_response : string -> (response, string) result
+(** Client-side decoding; the error is a description of the malformation. *)
+
+val print_response : response -> string
+
+val error_of_outcome : Krsp_core.Krsp.error -> server_error

@@ -1,0 +1,117 @@
+let log = Logs.Src.create "krspd.server" ~doc:"kRSP daemon socket loop"
+
+module L = (val Logs.src_log log : Logs.LOG)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let serve_channels engine ic oc =
+  try
+    while true do
+      let line = strip_cr (input_line ic) in
+      output_string oc (Engine.handle_line engine line);
+      output_char oc '\n';
+      flush oc
+    done
+  with End_of_file -> ()
+
+let serve_fd engine fd =
+  (* channels over a dup so closing them cannot steal the caller's fd *)
+  let dup = Unix.dup fd in
+  let ic = Unix.in_channel_of_descr dup in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () ->
+      (try flush oc with Sys_error _ -> ());
+      try close_in ic with Sys_error _ -> ())
+    (fun () -> serve_channels engine ic oc)
+
+(* ---- multi-client accept loop ---------------------------------------------- *)
+
+type client = { fd : Unix.file_descr; buf : Buffer.t }
+
+let rec restart_on_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      let n = restart_on_eintr (fun () -> Unix.write fd b off (Bytes.length b - off)) in
+      go (off + n)
+  in
+  go 0
+
+(* split the buffered bytes into complete lines, keeping the partial tail *)
+let drain_lines buf =
+  let s = Buffer.contents buf in
+  let rec go start acc =
+    match String.index_from_opt s start '\n' with
+    | None ->
+      Buffer.clear buf;
+      Buffer.add_substring buf s start (String.length s - start);
+      List.rev acc
+    | Some i -> go (i + 1) (strip_cr (String.sub s start (i - start)) :: acc)
+  in
+  go 0 []
+
+let bind_endpoint = function
+  | Unix_socket path ->
+    if Sys.file_exists path then Unix.unlink path;
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    sock
+  | Tcp (host, port) ->
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> failwith (Printf.sprintf "cannot resolve %S" host))
+    in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (addr, port));
+    sock
+
+let listen_and_serve ?(max_clients = 64) ?(on_listen = fun () -> ()) engine endpoint =
+  let sock = bind_endpoint endpoint in
+  Unix.listen sock max_clients;
+  on_listen ();
+  let clients = ref [] in
+  let close_client c =
+    clients := List.filter (fun c' -> c' != c) !clients;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let serve_ready c =
+    let chunk = Bytes.create 4096 in
+    match restart_on_eintr (fun () -> Unix.read c.fd chunk 0 (Bytes.length chunk)) with
+    | 0 -> close_client c
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_client c
+    | n ->
+      Buffer.add_subbytes c.buf chunk 0 n;
+      List.iter
+        (fun line ->
+          let reply = Engine.handle_line engine line ^ "\n" in
+          try write_all c.fd reply
+          with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_client c)
+        (drain_lines c.buf)
+  in
+  while true do
+    let fds = sock :: List.map (fun c -> c.fd) !clients in
+    let ready, _, _ = restart_on_eintr (fun () -> Unix.select fds [] [] (-1.0)) in
+    List.iter
+      (fun fd ->
+        if fd == sock then begin
+          let conn, _addr = restart_on_eintr (fun () -> Unix.accept sock) in
+          L.info (fun m -> m "client connected (%d active)" (List.length !clients + 1));
+          clients := { fd = conn; buf = Buffer.create 256 } :: !clients
+        end
+        else
+          match List.find_opt (fun c -> c.fd == fd) !clients with
+          | Some c -> serve_ready c
+          | None -> () (* already closed during this round *))
+      ready
+  done

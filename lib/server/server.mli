@@ -1,0 +1,28 @@
+(** Socket front end for the serving engine.
+
+    The protocol is strictly one request line in → one response line out
+    (LF-terminated; a trailing CR is stripped), so clients can pipeline.
+    All parsing/solving happens in {!Engine.handle_line}; this module only
+    moves bytes. *)
+
+type endpoint =
+  | Unix_socket of string  (** path; an existing socket file is replaced *)
+  | Tcp of string * int  (** bind host (name or dotted quad) and port *)
+
+val serve_fd : Engine.t -> Unix.file_descr -> unit
+(** Serve one already-connected descriptor until EOF: read request lines,
+    write one response line each, flush after every response. The
+    descriptor is not closed (the caller owns it). This is the in-process
+    entry point used by the tests over a socketpair. *)
+
+val serve_channels : Engine.t -> in_channel -> out_channel -> unit
+(** Same loop over stdio-style channels ([krspd --stdio]). *)
+
+val listen_and_serve :
+  ?max_clients:int -> ?on_listen:(unit -> unit) -> Engine.t -> endpoint -> unit
+(** Bind, listen and serve forever ([select]-multiplexed, so slow clients
+    do not block each other's request lines; solves themselves are
+    sequential — the engine is single-threaded by design). [on_listen]
+    fires once the socket is ready (used to print the address). Never
+    returns normally; raises on bind/listen failure. [EINTR] from signals
+    (SIGUSR1 stats dumps) is retried transparently. *)

@@ -1,0 +1,53 @@
+(** Serving metrics: monotonic counters and latency histograms.
+
+    A registry owns named counters and histograms; handles are obtained by
+    name (get-or-create) so independent call sites can share a series.
+    Everything is O(1) per observation and allocation-free on the hot path:
+    histograms are log-bucketed (geometric bucket bounds), so percentiles
+    are estimates with bounded relative error, which is the standard
+    trade-off for always-on serving telemetry. *)
+
+type t
+(** A metrics registry. *)
+
+type counter
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get or create the counter named [name]. Names are unique per registry
+    and shared across kinds — asking for a histogram under a counter's name
+    raises [Invalid_argument]. *)
+
+val histogram : t -> string -> histogram
+(** Get or create the latency histogram named [name]. Observations are in
+    milliseconds; buckets span 1µs to ~17min with ~19% resolution. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) to the counter. [by] must be non-negative:
+    counters are monotonic. *)
+
+val value : counter -> int
+
+val observe : histogram -> float -> unit
+(** Record one latency (milliseconds). Negative values clamp to 0. *)
+
+val count : histogram -> int
+val sum : histogram -> float
+
+val percentile : histogram -> float -> float
+(** [percentile h p] estimates the [p]-th percentile ([0 ≤ p ≤ 100]) from
+    the bucket counts; 0 when nothing was observed. The estimate is exact
+    for the recorded minimum and maximum and within one bucket (≤ ~19%
+    relative error) elsewhere. *)
+
+val to_kv : t -> (string * string) list
+(** Flat snapshot for line-oriented protocols: counters as
+    [name=<int>]; histograms as [name.count], [name.sum_ms], [name.p50],
+    [name.p90], [name.p99], [name.max] (3-decimal floats). Series appear
+    in creation order. *)
+
+val dump : t -> string
+(** Human-readable multi-line rendering of {!to_kv} (one [key value] pair
+    per line), for SIGUSR1-style diagnostics. *)

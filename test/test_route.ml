@@ -1,0 +1,88 @@
+(* Edge cases of Priority_routing.assign: a single path (k = 1), no traffic
+   classes, demand exceeding the k units of capacity, and invalid input. *)
+
+module G = Krsp_graph.Digraph
+module Pr = Krsp_route.Priority_routing
+
+let eps = 0.000001
+
+(* two disjoint 0→3 routes: fast (delay 2) and slow (delay 20) *)
+let two_route_graph () =
+  let g = G.create ~n:4 () in
+  let e0 = G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:10 in
+  let e1 = G.add_edge g ~src:1 ~dst:3 ~cost:1 ~delay:10 in
+  let e2 = G.add_edge g ~src:0 ~dst:2 ~cost:2 ~delay:1 in
+  let e3 = G.add_edge g ~src:2 ~dst:3 ~cost:2 ~delay:1 in
+  (g, [ [ e0; e1 ]; [ e2; e3 ] ])
+
+let cls name priority volume = { Pr.name; priority; volume }
+
+let test_single_path () =
+  let g = G.create ~n:2 () in
+  let e = G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:7 in
+  let a =
+    Pr.assign g ~paths:[ [ e ] ]
+      ~classes:[ cls "urgent" 0 0.5; cls "bulk" 9 0.25 ]
+  in
+  (* everything rides the only path; delays coincide with its delay *)
+  Alcotest.(check int) "one path" 1 (List.length a.Pr.paths);
+  Alcotest.(check (float eps)) "load" 0.75 (List.hd a.Pr.paths).Pr.load;
+  Alcotest.(check (float eps)) "no overflow" 0. a.Pr.overflow;
+  Alcotest.(check (float eps)) "mean delay" 7. (Pr.mean_delay a);
+  List.iter
+    (fun (_, d) -> Alcotest.(check (float eps)) "class delay" 7. d)
+    a.Pr.class_delay;
+  Alcotest.(check bool) "urgency respected" true (Pr.urgency_respected a)
+
+let test_empty_classes () =
+  let g, paths = two_route_graph () in
+  let a = Pr.assign g ~paths ~classes:[] in
+  Alcotest.(check int) "no classes" 0 (List.length a.Pr.per_class);
+  Alcotest.(check (float eps)) "no overflow" 0. a.Pr.overflow;
+  (* nothing carried: mean delay is defined as 0 *)
+  Alcotest.(check (float eps)) "mean delay 0" 0. (Pr.mean_delay a);
+  Alcotest.(check bool) "urgency trivially respected" true (Pr.urgency_respected a);
+  List.iter
+    (fun info -> Alcotest.(check (float eps)) "idle path" 0. info.Pr.load)
+    a.Pr.paths
+
+let test_overflow () =
+  let g, paths = two_route_graph () in
+  (* demand 2.5 against capacity k = 2: bulk spills 0.5 *)
+  let a = Pr.assign g ~paths ~classes:[ cls "urgent" 0 1.0; cls "bulk" 9 1.5 ] in
+  Alcotest.(check (float eps)) "overflow" 0.5 a.Pr.overflow;
+  List.iter
+    (fun info -> Alcotest.(check (float eps)) "path saturated" 1.0 info.Pr.load)
+    a.Pr.paths;
+  (* urgent got the fast path exclusively; bulk is split across both *)
+  Alcotest.(check (float eps)) "urgent on fast path" 2.
+    (List.assoc "urgent" a.Pr.class_delay);
+  let bulk = List.assoc "bulk" a.Pr.class_delay in
+  Alcotest.(check bool) "bulk slower" true (bulk > 2.);
+  Alcotest.(check bool) "urgency respected" true (Pr.urgency_respected a)
+
+let test_priority_order_not_list_order () =
+  let g, paths = two_route_graph () in
+  (* listed bulk-first: assignment must still serve the urgent class first *)
+  let a = Pr.assign g ~paths ~classes:[ cls "bulk" 9 1.0; cls "urgent" 0 1.0 ] in
+  Alcotest.(check (float eps)) "urgent on fast path" 2.
+    (List.assoc "urgent" a.Pr.class_delay);
+  Alcotest.(check (float eps)) "bulk on slow path" 20.
+    (List.assoc "bulk" a.Pr.class_delay);
+  Alcotest.(check bool) "urgency respected" true (Pr.urgency_respected a)
+
+let test_negative_volume () =
+  let g, paths = two_route_graph () in
+  Alcotest.check_raises "negative volume"
+    (Invalid_argument "Priority_routing.assign: negative volume") (fun () ->
+      ignore (Pr.assign g ~paths ~classes:[ cls "bad" 0 (-1.0) ]))
+
+let suites =
+  [ ( "route.priority_edge_cases",
+      [ Alcotest.test_case "k = 1 single path" `Quick test_single_path;
+        Alcotest.test_case "empty class list" `Quick test_empty_classes;
+        Alcotest.test_case "demand exceeds capacity" `Quick test_overflow;
+        Alcotest.test_case "priority beats list order" `Quick test_priority_order_not_list_order;
+        Alcotest.test_case "negative volume rejected" `Quick test_negative_volume
+      ] )
+  ]

@@ -1,0 +1,367 @@
+(* Tests for the serving subsystem: the wire protocol codec (qcheck
+   roundtrips + error taxonomy), the LRU solution cache, warm-start repair,
+   the engine's solve → FAIL → re-solve lifecycle, and the daemon loop
+   driven in-process over a socketpair. *)
+
+module G = Krsp_graph.Digraph
+module Instance = Krsp_core.Instance
+module Krsp = Krsp_core.Krsp
+module Protocol = Krsp_server.Protocol
+module Cache = Krsp_server.Cache
+module Engine = Krsp_server.Engine
+module Server = Krsp_server.Server
+module Metrics = Krsp_util.Metrics
+
+(* --- fixtures -------------------------------------------------------------- *)
+
+(* the diamond of test_core: two 2-hop routes plus a direct edge *)
+let diamond () =
+  let g = G.create ~n:4 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:1 ~dst:3 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:0 ~dst:2 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:2 ~dst:3 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:0 ~dst:3 ~cost:10 ~delay:5);
+  g
+
+(* --- protocol: generators -------------------------------------------------- *)
+
+let gen_small = QCheck2.Gen.int_range 0 999
+let gen_milli = QCheck2.Gen.map (fun n -> float_of_int n /. 1000.) (QCheck2.Gen.int_range 0 5_000)
+
+(* strictly positive, and a correctly-rounded 3-decimal value so both the
+   %.3f and %g renderings roundtrip through float_of_string exactly *)
+let gen_eps = QCheck2.Gen.map (fun n -> float_of_int n /. 1000.) (QCheck2.Gen.int_range 1 5_000)
+
+let gen_request =
+  let open QCheck2.Gen in
+  oneof
+    [ return Protocol.Ping; return Protocol.Stats;
+      (let* src = gen_small and* dst = gen_small and* k = int_range 1 9
+       and* delay_bound = gen_small and* epsilon = option gen_eps in
+       return (Protocol.Solve { src; dst; k; delay_bound; epsilon }));
+      (let* src = gen_small and* dst = gen_small and* k = int_range 1 9
+       and* per_path_delay = gen_small in
+       return (Protocol.Qos { src; dst; k; per_path_delay }));
+      (let* u = gen_small and* v = gen_small in
+       return (Protocol.Fail { u; v }));
+      (let* u = gen_small and* v = gen_small in
+       return (Protocol.Restore { u; v }))
+    ]
+
+let gen_word =
+  QCheck2.Gen.(map (String.concat "") (list_size (int_range 1 6) (map (String.make 1) (char_range 'a' 'z'))))
+
+let gen_detail = QCheck2.Gen.(map (String.concat " ") (list_size (int_range 0 3) gen_word))
+
+let gen_paths =
+  QCheck2.Gen.(list_size (int_range 0 3) (list_size (int_range 2 5) gen_small))
+
+let gen_response =
+  let open QCheck2.Gen in
+  oneof
+    [ return Protocol.Pong;
+      (let* cost = gen_small and* delay = gen_small and* ms = gen_milli and* paths = gen_paths
+       and* source = oneofl [ Protocol.Cold; Protocol.Cache_hit; Protocol.Warm_start ] in
+       return (Protocol.Solution { cost; delay; source; ms; paths }));
+      (let* generation = gen_small and* edges = int_range 1 99 in
+       return (Protocol.Mutated { generation; edges }));
+      (let* kvs = list_size (int_range 0 4) (pair gen_word gen_word) in
+       return (Protocol.Stats_dump kvs));
+      (let* detail = gen_detail in
+       return (Protocol.Err (Protocol.Bad_request detail)));
+      return (Protocol.Err Protocol.Infeasible_disjoint);
+      (let* d = gen_small in
+       return (Protocol.Err (Protocol.Infeasible_delay d)));
+      return (Protocol.Err Protocol.No_such_link);
+      (let* detail = gen_detail in
+       return (Protocol.Err (Protocol.Internal detail)))
+    ]
+
+let request_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"request codec roundtrips" ~count:500 gen_request (fun r ->
+         Protocol.parse_request (Protocol.print_request r) = Ok r))
+
+let response_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"response codec roundtrips" ~count:500 gen_response (fun r ->
+         Protocol.parse_response (Protocol.print_response r) = Ok r))
+
+(* --- protocol: error taxonomy ---------------------------------------------- *)
+
+let test_parse_errors () =
+  let check name line expected =
+    Alcotest.(check bool) name true (Protocol.parse_request line = Error expected)
+  in
+  check "empty" "" Protocol.Empty_line;
+  check "blank" "   " Protocol.Empty_line;
+  check "unknown" "FROBNICATE 1 2" (Protocol.Unknown_command "FROBNICATE");
+  check "arity" "FAIL 1"
+    (Protocol.Wrong_arity { command = "FAIL"; expected = "2"; got = 1 });
+  check "arity solve" "SOLVE 1 2 3"
+    (Protocol.Wrong_arity { command = "SOLVE"; expected = "4-5"; got = 3 });
+  check "bad int" "SOLVE a 2 3 4"
+    (Protocol.Bad_int { command = "SOLVE"; field = "src"; value = "a" });
+  check "bad float" "SOLVE 1 2 3 4 x"
+    (Protocol.Bad_float { command = "SOLVE"; field = "eps"; value = "x" });
+  (* command word is case-insensitive *)
+  Alcotest.(check bool) "lowercase ping" true (Protocol.parse_request "ping" = Ok Protocol.Ping)
+
+(* --- cache ------------------------------------------------------------------ *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Cache.find c "a");
+  (* "b" is now LRU; adding "c" must evict it *)
+  Cache.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Cache.find c "c");
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 3 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions;
+  Cache.remove c "a";
+  Alcotest.(check int) "invalidations" 1 (Cache.stats c).Cache.invalidations;
+  Alcotest.(check int) "length" 1 (Cache.length c)
+
+let test_cache_filter_rekey () =
+  let c = Cache.create ~capacity:8 in
+  List.iter (fun i -> Cache.add c (i, 0) i) [ 1; 2; 3; 4 ];
+  let dropped = Cache.filter_inplace c ~f:(fun _ v -> v mod 2 = 0) in
+  Alcotest.(check int) "dropped odds" 2 dropped;
+  Cache.rekey c ~f:(fun (i, g) -> (i, g + 1));
+  Alcotest.(check (option int)) "rekeyed 2" (Some 2) (Cache.find c (2, 1));
+  Alcotest.(check (option int)) "rekeyed 4" (Some 4) (Cache.find c (4, 1));
+  Alcotest.(check (option int)) "old key gone" None (Cache.find c (2, 0));
+  (* MRU-first fold sees both survivors *)
+  Alcotest.(check int) "fold size" 2 (Cache.fold c ~init:0 ~f:(fun n _ _ -> n + 1))
+
+(* --- warm-start repair ------------------------------------------------------ *)
+
+let test_repair () =
+  let g = diamond () in
+  let t = Instance.create g ~src:0 ~dst:3 ~k:2 ~delay_bound:30 in
+  (* both paths intact: kept verbatim *)
+  (match Krsp.repair t ~paths:[ [ 0; 1 ]; [ 2; 3 ] ] with
+  | Some ps -> Alcotest.(check bool) "intact kept" true (ps = [ [ 0; 1 ]; [ 2; 3 ] ])
+  | None -> Alcotest.fail "repair failed on intact solution");
+  (* one path damaged (edge id -1 marks a dead edge): re-routed disjointly *)
+  (match Krsp.repair t ~paths:[ [ 0; -1 ]; [ 2; 3 ] ] with
+  | Some ps ->
+    Alcotest.(check bool) "repaired valid" true (Instance.is_structurally_valid t ps);
+    Alcotest.(check bool) "survivor kept" true (List.mem [ 2; 3 ] ps)
+  | None -> Alcotest.fail "repair failed with one damaged path");
+  (* all damaged: full re-route *)
+  (match Krsp.repair t ~paths:[ [ -1 ]; [ -1 ] ] with
+  | Some ps -> Alcotest.(check bool) "full reroute valid" true (Instance.is_structurally_valid t ps)
+  | None -> Alcotest.fail "repair failed with all paths damaged")
+
+let test_solve_warm_start () =
+  let g = diamond () in
+  let t = Instance.create g ~src:0 ~dst:3 ~k:2 ~delay_bound:30 in
+  match Krsp.solve t ~warm_start:[ [ 0; 1 ]; [ 2; 3 ] ] () with
+  | Ok (sol, stats) ->
+    Alcotest.(check bool) "warm flag" true stats.Krsp.warm_started;
+    Alcotest.(check bool) "feasible" true (Instance.is_feasible t sol)
+  | Error _ -> Alcotest.fail "warm-started solve failed"
+
+(* --- engine lifecycle ------------------------------------------------------- *)
+
+let solve_req ~src ~dst ~k ~d =
+  Protocol.Solve { src; dst; k; delay_bound = d; epsilon = None }
+
+(* (cost, delay, source, paths); inline records cannot escape the match *)
+let expect_solution name = function
+  | Protocol.Solution { cost; delay; source; ms = _; paths } -> (cost, delay, source, paths)
+  | other -> Alcotest.failf "%s: expected SOLUTION, got %s" name (Protocol.print_response other)
+
+let stats_field kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> v
+  | None -> Alcotest.failf "STATS missing %s" key
+
+let test_engine_lifecycle () =
+  let engine = Engine.create (diamond ()) in
+  (* cold solve: the two cheap 2-hop routes *)
+  let cost1, delay1, source1, _ =
+    expect_solution "cold" (Engine.handle engine (solve_req ~src:0 ~dst:3 ~k:2 ~d:30))
+  in
+  Alcotest.(check int) "cold cost" 6 cost1;
+  Alcotest.(check int) "cold delay" 22 delay1;
+  Alcotest.(check bool) "cold source" true (source1 = Protocol.Cold);
+  (* identical query: served from cache *)
+  let cost2, _, source2, _ =
+    expect_solution "hit" (Engine.handle engine (solve_req ~src:0 ~dst:3 ~k:2 ~d:30))
+  in
+  Alcotest.(check bool) "cache source" true (source2 = Protocol.Cache_hit);
+  Alcotest.(check int) "cache cost" 6 cost2;
+  (* fail the used edge 1→3: cache entry invalidated, donor warm-starts *)
+  (match Engine.handle engine (Protocol.Fail { u = 1; v = 3 }) with
+  | Protocol.Mutated { generation = 1; edges = 1 } -> ()
+  | other -> Alcotest.failf "FAIL: got %s" (Protocol.print_response other));
+  let cost3, delay3, source3, paths3 =
+    expect_solution "warm" (Engine.handle engine (solve_req ~src:0 ~dst:3 ~k:2 ~d:30))
+  in
+  Alcotest.(check bool) "warm source" true (source3 = Protocol.Warm_start);
+  Alcotest.(check int) "warm cost" 14 cost3 (* 0→2→3 survivor + direct 0→3 *);
+  Alcotest.(check bool) "warm delay within bound" true (delay3 <= 30);
+  Alcotest.(check int) "warm path count" 2 (List.length paths3);
+  (* second failure cuts the graph below k = 2 *)
+  (match Engine.handle engine (Protocol.Fail { u = 0; v = 2 }) with
+  | Protocol.Mutated { generation = 2; edges = 1 } -> ()
+  | other -> Alcotest.failf "FAIL2: got %s" (Protocol.print_response other));
+  (match Engine.handle engine (solve_req ~src:0 ~dst:3 ~k:2 ~d:30) with
+  | Protocol.Err Protocol.Infeasible_disjoint -> ()
+  | other -> Alcotest.failf "expected infeasible, got %s" (Protocol.print_response other));
+  (* restore brings the optimum back *)
+  (match Engine.handle engine (Protocol.Restore { u = 1; v = 3 }) with
+  | Protocol.Mutated { generation = 3; edges = 1 } -> ()
+  | other -> Alcotest.failf "RESTORE: got %s" (Protocol.print_response other));
+  (match Engine.handle engine (Protocol.Restore { u = 1; v = 3 }) with
+  | Protocol.Err Protocol.No_such_link -> ()
+  | other -> Alcotest.failf "double RESTORE: got %s" (Protocol.print_response other));
+  let _, delay4, _, _ =
+    expect_solution "recover" (Engine.handle engine (solve_req ~src:0 ~dst:3 ~k:2 ~d:30))
+  in
+  Alcotest.(check bool) "recovered delay" true (delay4 <= 30);
+  (* counters tell the same story *)
+  match Engine.handle engine Protocol.Stats with
+  | Protocol.Stats_dump kvs ->
+    Alcotest.(check string) "cold solves" "2" (stats_field kvs "solve_cold");
+    Alcotest.(check string) "warm solves" "1" (stats_field kvs "solve_warm");
+    Alcotest.(check string) "cache hits" "1" (stats_field kvs "solve_cache_hit");
+    Alcotest.(check string) "infeasible" "1" (stats_field kvs "solve_infeasible");
+    Alcotest.(check string) "generation" "3" (stats_field kvs "generation");
+    Alcotest.(check string) "failed edges" "1" (stats_field kvs "failed_edges")
+  | other -> Alcotest.failf "STATS: got %s" (Protocol.print_response other)
+
+let test_engine_validation () =
+  let engine = Engine.create (diamond ()) in
+  let bad r =
+    match Engine.handle engine r with
+    | Protocol.Err (Protocol.Bad_request _) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "src out of range" true (bad (solve_req ~src:9 ~dst:3 ~k:2 ~d:30));
+  Alcotest.(check bool) "src = dst" true (bad (solve_req ~src:1 ~dst:1 ~k:2 ~d:30));
+  Alcotest.(check bool) "k = 0" true (bad (solve_req ~src:0 ~dst:3 ~k:0 ~d:30));
+  Alcotest.(check bool) "negative D" true (bad (solve_req ~src:0 ~dst:3 ~k:2 ~d:(-1)));
+  match Engine.handle engine (Protocol.Fail { u = 2; v = 0 }) with
+  (* links are undirected for FAIL: 2 0 matches the 0→2 edge *)
+  | Protocol.Mutated { edges = 1; _ } -> ()
+  | other -> Alcotest.failf "FAIL 2 0: got %s" (Protocol.print_response other)
+
+let test_engine_epsilon_and_qos () =
+  let engine = Engine.create (diamond ()) in
+  let _, eps_delay, _, _ =
+    expect_solution "eps"
+      (Engine.handle engine
+         (Protocol.Solve { src = 0; dst = 3; k = 2; delay_bound = 30; epsilon = Some 0.1 }))
+  in
+  (* Theorem 4: delay at most (2 + eps) * D *)
+  Alcotest.(check bool) "eps delay within slack" true (float_of_int eps_delay <= 2.1 *. 30.);
+  let _, qos_delay, _, _ =
+    expect_solution "qos"
+      (Engine.handle engine (Protocol.Qos { src = 0; dst = 3; k = 2; per_path_delay = 15 }))
+  in
+  Alcotest.(check bool) "qos total within k*D" true (qos_delay <= 2 * 15)
+
+(* --- daemon loop over a socketpair ------------------------------------------ *)
+
+let test_serve_fd_socketpair () =
+  let client_fd, server_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let requests =
+    [ "PING"; "SOLVE 0 3 2 30"; "SOLVE 0 3 2 30"; "FAIL 1 3"; "SOLVE 0 3 2 30"; "NONSENSE";
+      "STATS"
+    ]
+  in
+  let payload = String.concat "\n" requests ^ "\n" in
+  (* socketpair buffers comfortably hold the session in both directions, so
+     the whole exchange can run single-threaded: write, half-close, serve,
+     then read all responses *)
+  let written = Unix.write_substring client_fd payload 0 (String.length payload) in
+  Alcotest.(check int) "request bytes written" (String.length payload) written;
+  Unix.shutdown client_fd Unix.SHUTDOWN_SEND;
+  let engine = Engine.create (diamond ()) in
+  Server.serve_fd engine server_fd;
+  Unix.close server_fd;
+  let ic = Unix.in_channel_of_descr client_fd in
+  let responses = List.map (fun _ -> input_line ic) requests in
+  close_in ic;
+  (match responses with
+  | [ pong; cold; hit; mutated; warm; err; stats ] ->
+    Alcotest.(check string) "pong" "PONG" pong;
+    let check_solution name line expected_source =
+      match Protocol.parse_response line with
+      | Ok (Protocol.Solution { source; delay; _ }) ->
+        Alcotest.(check bool) (name ^ " source") true (source = expected_source);
+        Alcotest.(check bool) (name ^ " delay") true (delay <= 30)
+      | _ -> Alcotest.failf "%s: unexpected %s" name line
+    in
+    check_solution "cold" cold Protocol.Cold;
+    check_solution "hit" hit Protocol.Cache_hit;
+    check_solution "warm" warm Protocol.Warm_start;
+    (match Protocol.parse_response mutated with
+    | Ok (Protocol.Mutated { edges = 1; _ }) -> ()
+    | _ -> Alcotest.failf "mutated: unexpected %s" mutated);
+    (match Protocol.parse_response err with
+    | Ok (Protocol.Err (Protocol.Bad_request _)) -> ()
+    | _ -> Alcotest.failf "err: unexpected %s" err);
+    (match Protocol.parse_response stats with
+    | Ok (Protocol.Stats_dump kvs) ->
+      Alcotest.(check string) "stats warm" "1" (stats_field kvs "solve_warm")
+    | _ -> Alcotest.failf "stats: unexpected %s" stats)
+  | _ -> Alcotest.fail "wrong response count")
+(* close_in above closed client_fd's descriptor; nothing left to release *)
+
+(* --- metrics ----------------------------------------------------------------- *)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "reqs" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Metrics.value c);
+  Alcotest.check_raises "monotonic" (Invalid_argument "Metrics.incr: counters are monotonic")
+    (fun () -> Metrics.incr ~by:(-1) c);
+  let h = Metrics.histogram m "lat" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 4.0; 8.0; 100.0 ];
+  Alcotest.(check int) "hist count" 5 (Metrics.count h);
+  Alcotest.(check (float 0.001)) "hist sum" 115.0 (Metrics.sum h);
+  let p50 = Metrics.percentile h 50. in
+  Alcotest.(check bool) "p50 in range" true (p50 >= 1.0 && p50 <= 8.0);
+  Alcotest.(check (float 0.001)) "p100 = max" 100.0 (Metrics.percentile h 100.);
+  (* same-name lookups share state; cross-kind lookups are rejected *)
+  Alcotest.(check int) "shared counter" 5 (Metrics.value (Metrics.counter m "reqs"));
+  Alcotest.check_raises "kind clash" (Invalid_argument "Metrics.counter: \"lat\" is a histogram")
+    (fun () -> ignore (Metrics.counter m "lat"));
+  let kv = Metrics.to_kv m in
+  Alcotest.(check (option string)) "kv counter" (Some "5") (List.assoc_opt "reqs" kv);
+  Alcotest.(check (option string)) "kv count" (Some "5") (List.assoc_opt "lat.count" kv)
+
+let suites =
+  [ ( "server.protocol",
+      [ request_roundtrip; response_roundtrip;
+        Alcotest.test_case "parse error taxonomy" `Quick test_parse_errors
+      ] );
+    ( "server.cache",
+      [ Alcotest.test_case "lru eviction and counters" `Quick test_cache_lru;
+        Alcotest.test_case "filter and rekey" `Quick test_cache_filter_rekey
+      ] );
+    ( "server.warm_start",
+      [ Alcotest.test_case "repair" `Quick test_repair;
+        Alcotest.test_case "solve ~warm_start" `Quick test_solve_warm_start
+      ] );
+    ( "server.engine",
+      [ Alcotest.test_case "solve/fail/re-solve lifecycle" `Quick test_engine_lifecycle;
+        Alcotest.test_case "request validation" `Quick test_engine_validation;
+        Alcotest.test_case "epsilon and qos requests" `Quick test_engine_epsilon_and_qos
+      ] );
+    ( "server.daemon",
+      [ Alcotest.test_case "socketpair session" `Quick test_serve_fd_socketpair ] );
+    ("server.metrics", [ Alcotest.test_case "counters and histograms" `Quick test_metrics ])
+  ]
