@@ -57,6 +57,9 @@ type sample = {
    stays bounded) *)
 let config = { Engine.default_config with Engine.max_iterations = 300 }
 
+(* KRSP_BENCH_SMOKE=1: CI-sized workloads (same topologies, fewer events) *)
+let smoke = Sys.getenv_opt "KRSP_BENCH_SMOKE" <> None
+
 let run_family table name g queries =
   let engine = Engine.create ~config g in
   let s = { cold = []; hit = []; warm = []; cold_damaged = []; warm_misses = 0 } in
@@ -120,15 +123,16 @@ let run () =
   let waxman =
     Krsp_gen.Topology.waxman rng ~n:48 ~alpha:0.9 ~beta:0.3 Krsp_gen.Topology.default_weights
   in
+  let count = if smoke then 3 else 12 in
   Printf.printf "sampling waxman workload...\n%!";
-  let wq = workload rng waxman ~k:2 ~tightness:0.9 ~count:12 in
+  let wq = workload rng waxman ~k:2 ~tightness:0.9 ~count in
   let sw = run_family table "waxman n=48 k=2" waxman wq in
   let fat = Krsp_gen.Topology.fat_tree rng ~pods:4 Krsp_gen.Topology.default_weights in
   Printf.printf "sampling fat-tree workload...\n%!";
   (* the fat-tree's path diversity makes post-failure re-solves trivial at
      loose budgets (sub-0.1ms for warm and cold alike); a tighter budget is
      the regime where the warm start actually has work to save *)
-  let fq = workload rng fat ~k:2 ~tightness:0.5 ~count:12 in
+  let fq = workload rng fat ~k:2 ~tightness:0.5 ~count in
   let sf = run_family table "fat-tree pods=4 k=2" fat fq in
   Table.print table;
   let speedup s = ratio (median s.cold_damaged) (median s.warm) in

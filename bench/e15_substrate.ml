@@ -1,0 +1,288 @@
+(* E15 — graph substrate: frozen CSR views vs list adjacency, and arena
+   reuse in the cancellation loop.
+
+   Three measurements, one per layer of the substrate refactor:
+
+   + Dijkstra sweeps over grid graphs, the same algorithm on the two
+     adjacency representations (List.iter over out-lists vs the frozen CSR
+     view). The CSR side pays one [freeze] per graph, amortised over the
+     sweep — the serving pattern (one topology, many queries).
+   + One cancellation round's residual machinery, old shape vs new:
+     Residual.build + product-graph construction per round, against
+     Residual.of_arena (mask refill) + a reused prepared searcher.
+   + Full Algorithm 1 solves with the per-phase attribution histograms
+     Krsp.metrics records (residual build vs cycle search vs augmentation).
+
+   KRSP_BENCH_SMOKE=1 shrinks every size for the CI smoke job. *)
+
+open Common
+module V = G.View
+module Heap = Krsp_graph.Heap
+module Residual = Krsp_core.Residual
+module Dp = Krsp_core.Cycle_search_dp
+module Phase1 = Krsp_core.Phase1
+module Bicameral = Krsp_core.Bicameral
+module Metrics = Krsp_util.Metrics
+
+let smoke = Sys.getenv_opt "KRSP_BENCH_SMOKE" <> None
+
+(* ---- part 1: Dijkstra sweep, list vs CSR --------------------------------- *)
+
+(* the pre-CSR hot loop, verbatim: chase the adjacency lists *)
+let dijkstra_list g ~src dist =
+  Array.fill dist 0 (Array.length dist) max_int;
+  let heap = Heap.create ~capacity:(G.n g + 1) () in
+  dist.(src) <- 0;
+  Heap.push heap ~prio:0 ~value:src;
+  let rec loop () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+      if d = dist.(u) then
+        List.iter
+          (fun e ->
+            let v = G.dst g e in
+            let nd = d + G.cost g e in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              Heap.push heap ~prio:nd ~value:v
+            end)
+          (G.out_edges g u);
+      loop ()
+  in
+  loop ()
+
+(* the same loop on the frozen view *)
+let dijkstra_csr view ~src dist =
+  Array.fill dist 0 (Array.length dist) max_int;
+  let heap = Heap.create ~capacity:(V.n view + 1) () in
+  dist.(src) <- 0;
+  Heap.push heap ~prio:0 ~value:src;
+  let rec loop () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+      if d = dist.(u) then
+        V.iter_out view u (fun e ->
+            let v = V.dst view e in
+            let nd = d + V.cost view e in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              Heap.push heap ~prio:nd ~value:v
+            end);
+      loop ()
+  in
+  loop ()
+
+let checksum dist = Array.fold_left (fun acc d -> if d = max_int then acc else acc + d) 0 dist
+
+(* m random edges over n vertices (parallel edges and self-loops allowed):
+   the serving-realistic shape — edges arrive in arbitrary order, so the
+   adjacency lists' cons cells scatter across the heap, while the frozen
+   CSR lays each vertex's span out contiguously. *)
+let random_multigraph rng ~n ~m =
+  let g = G.create ~expected_edges:m ~n () in
+  for _ = 1 to m do
+    let u = Krsp_util.Xoshiro.int rng n and v = Krsp_util.Xoshiro.int rng n in
+    ignore (G.add_edge g ~src:u ~dst:v ~cost:(1 + Krsp_util.Xoshiro.int rng 20) ~delay:1)
+  done;
+  g
+
+let sweep table rng name g ~sources =
+  let n = G.n g in
+  let srcs = Array.init sources (fun _ -> Krsp_util.Xoshiro.int rng n) in
+  let dist = Array.make n 0 in
+  let view = G.freeze g in
+  (* warm both code paths and the graph's working set, then interleave the
+     timed runs so neither side benefits from running second on a warm
+     cache; checksums guard substrate agreement *)
+  dijkstra_list g ~src:srcs.(0) dist;
+  dijkstra_csr view ~src:srcs.(0) dist;
+  Gc.major ();
+  let sum_list = ref 0 and sum_csr = ref 0 in
+  let list_ms = ref 0. and csr_ms = ref 0. in
+  Array.iter
+    (fun s ->
+      let (), c = Timer.time_ms (fun () -> dijkstra_csr view ~src:s dist) in
+      sum_csr := !sum_csr + checksum dist;
+      let (), l = Timer.time_ms (fun () -> dijkstra_list g ~src:s dist) in
+      sum_list := !sum_list + checksum dist;
+      list_ms := !list_ms +. l;
+      csr_ms := !csr_ms +. c)
+    srcs;
+  if !sum_list <> !sum_csr then
+    failwith
+      (Printf.sprintf "substrate mismatch on %s: list %d vs csr %d" name !sum_list !sum_csr);
+  let f = Table.fmt_float ~decimals:2 in
+  Table.add_row table
+    [ name; string_of_int n; string_of_int (G.m g); string_of_int sources; f !list_ms;
+      f !csr_ms; Table.fmt_ratio (ratio !list_ms !csr_ms)
+    ];
+  ratio !list_ms !csr_ms
+
+(* ---- part 2: per-round residual machinery, rebuild vs arena -------------- *)
+
+let round_bench table name t ~rounds =
+  let g = t.Instance.graph in
+  let paths =
+    match Phase1.min_sum t with
+    | Phase1.Start s -> s.Phase1.paths
+    | _ -> failwith "e15: phase-1 start expected"
+  in
+  let guess =
+    match Phase1.min_delay t with
+    | Phase1.Start s -> max 1 s.Phase1.cost
+    | _ -> failwith "e15: min-delay fallback expected"
+  in
+  let total_abs_cost = G.fold_edges g ~init:0 ~f:(fun acc e -> acc + abs (G.cost g e)) in
+  let bound = max 1 (min guess total_abs_cost) in
+  let sol = Instance.solution_of_paths t paths in
+  let ctx =
+    {
+      Bicameral.delta_d = t.Instance.delay_bound - sol.Instance.delay;
+      delta_c = guess - sol.Instance.cost;
+      cost_cap = guess;
+    }
+  in
+  (* old shape: a fresh residual graph and a fresh product graph per round *)
+  let rebuilt = ref None in
+  let (), rebuild_ms =
+    Timer.time_ms (fun () ->
+        for _ = 1 to rounds do
+          let res = Residual.build g ~paths in
+          rebuilt := Dp.find res ~ctx ~bound ()
+        done)
+  in
+  (* new shape: one arena + one searcher, O(m) mask refill per round *)
+  let arena = Residual.arena g in
+  let searcher = Dp.prepare (Residual.of_arena arena ~paths) ~bound in
+  let reused = ref None in
+  let (), arena_ms =
+    Timer.time_ms (fun () ->
+        for _ = 1 to rounds do
+          let res = Residual.of_arena arena ~paths in
+          reused := Dp.find res ~ctx ~bound ~searcher ()
+        done)
+  in
+  (* both engines must agree on what the round produces *)
+  let sig_of = function
+    | None -> (max_int, max_int)
+    | Some c -> (c.Dp.cost, c.Dp.delay)
+  in
+  if sig_of !rebuilt <> sig_of !reused then
+    failwith (Printf.sprintf "e15: %s rebuild/arena rounds disagree" name);
+  let f = Table.fmt_float ~decimals:3 in
+  Table.add_row table
+    [ name; string_of_int bound; string_of_int rounds;
+      f (rebuild_ms /. float_of_int rounds); f (arena_ms /. float_of_int rounds);
+      Table.fmt_ratio (ratio rebuild_ms arena_ms)
+    ]
+
+(* ---- part 3: full Algorithm 1 with phase attribution --------------------- *)
+
+let solve_batch table name instances =
+  let times =
+    List.map
+      (fun t ->
+        let outcome, ms = Timer.time_ms (fun () -> Krsp.solve t ()) in
+        (match outcome with Ok _ -> () | Error _ -> failwith "e15: infeasible sample");
+        ms)
+      instances
+  in
+  let mean = List.fold_left ( +. ) 0. times /. float_of_int (List.length times) in
+  let f = Table.fmt_float ~decimals:1 in
+  Table.add_row table
+    [ name; string_of_int (List.length times); f mean;
+      f (List.fold_left max 0. times)
+    ]
+
+let run () =
+  header "E15" "graph substrate — CSR views, arena reuse, phase attribution";
+  note "mode: %s\n" (if smoke then "smoke (tiny sizes)" else "full");
+
+  note "\n-- Dijkstra sweeps: identical algorithm, list adjacency vs frozen CSR --\n";
+  let rng = Krsp_util.Xoshiro.create ~seed:15 in
+  let t1 =
+    Table.create
+      ~columns:
+        [ ("family", Table.Left); ("n", Table.Right); ("m", Table.Right);
+          ("sources", Table.Right); ("list ms", Table.Right); ("csr ms", Table.Right);
+          ("speedup", Table.Right)
+        ]
+  in
+  let grid ~rows ~cols ~sources =
+    let g =
+      Krsp_gen.Topology.grid rng ~rows ~cols ~bidirectional:true
+        Krsp_gen.Topology.default_weights
+    in
+    sweep t1 rng (Printf.sprintf "grid %dx%d" rows cols) g ~sources
+  in
+  let rand ~n ~deg ~sources =
+    let g = random_multigraph rng ~n ~m:(n * deg) in
+    sweep t1 rng (Printf.sprintf "random deg=%d" deg) g ~sources
+  in
+  (* List.map, not a literal: rows must land in print order *)
+  let grid_speedups =
+    List.map
+      (fun (rows, cols, sources) -> grid ~rows ~cols ~sources)
+      (if smoke then [ (10, 10, 8) ] else [ (40, 25, 64); (100, 100, 64); (200, 160, 32) ])
+  in
+  let rand_speedups =
+    List.map
+      (fun (n, deg, sources) -> rand ~n ~deg ~sources)
+      (if smoke then [ (400, 8, 8) ]
+       else [ (10_000, 4, 32); (10_000, 16, 32); (30_000, 16, 16) ])
+  in
+  ignore grid_speedups;
+  Table.print t1;
+  let best = List.fold_left max 0. rand_speedups in
+  note
+    "best random-order sweep: csr %.2fx over list (target >= 2x at n >= 1e4;\n\
+     insertion-ordered grids bound the list side's best case)\n"
+    best;
+
+  note "\n-- one cancellation round: rebuild-per-round vs arena mask refill --\n";
+  let t2 =
+    Table.create
+      ~columns:
+        [ ("family", Table.Left); ("bound", Table.Right); ("rounds", Table.Right);
+          ("rebuild ms/round", Table.Right); ("arena ms/round", Table.Right);
+          ("speedup", Table.Right)
+        ]
+  in
+  let rounds = if smoke then 3 else 25 in
+  let pick mk = match sample_instances ~seed:151 ~count:1 mk with
+    | [ t ] -> t
+    | _ -> failwith "e15: no feasible sample"
+  in
+  let n_small = if smoke then 14 else 24 in
+  let n_big = if smoke then 16 else 36 in
+  round_bench t2
+    (Printf.sprintf "erdos n=%d k=2" n_small)
+    (pick (erdos_instance ~n:n_small ~k:2 ~tightness:0.5))
+    ~rounds;
+  round_bench t2
+    (Printf.sprintf "waxman n=%d k=2" n_big)
+    (pick (waxman_instance ~n:n_big ~k:2 ~tightness:0.5))
+    ~rounds;
+  Table.print t2;
+
+  note "\n-- full Algorithm 1 (Krsp.solve) with phase attribution --\n";
+  let t3 =
+    Table.create
+      ~columns:
+        [ ("family", Table.Left); ("instances", Table.Right); ("mean ms", Table.Right);
+          ("max ms", Table.Right)
+        ]
+  in
+  let count = if smoke then 2 else 6 in
+  let n_solve = if smoke then 14 else 28 in
+  solve_batch t3
+    (Printf.sprintf "erdos n=%d k=2" n_solve)
+    (sample_instances ~seed:152 ~count (erdos_instance ~n:n_solve ~k:2 ~tightness:0.5));
+  solve_batch t3
+    (Printf.sprintf "waxman n=%d k=3" n_solve)
+    (sample_instances ~seed:153 ~count (waxman_instance ~n:n_solve ~k:3 ~tightness:0.5));
+  Table.print t3;
+  note "\nsolver phase attribution (process-wide histograms, ms):\n%s"
+    (Metrics.dump Krsp.metrics)

@@ -7,30 +7,100 @@ type candidate = { edges : G.edge list; cost : int; delay : int; kind : Bicamera
 (* The product (state) graph: vertex (u, c) for residual vertex u and
    accumulated cost c in [-B, B]; its edge "cost" field carries the residual
    *delay* (the quantity Bellman-Ford minimises), and [pmap] maps each state
-   edge back to its residual edge. *)
-let build_state_graph res ~bound =
+   edge back to its residual edge.
+
+   The state graph depends only on the residual graph's {e structure and
+   weights}, not on which residual edges are active this round — so over an
+   arena-backed residual (static doubled graph) it can be built and frozen
+   once and reused across every cancellation round of a guess, with the
+   current round's inactive residual edges compacted away by a restricted
+   view. That reusable product covers {e all} arena edges and so costs
+   double the active set to build; a one-shot search (the common case — most
+   guesses settle within a round or two) is better served by an ephemeral
+   product over the {e currently active} edges only, which is what [find]
+   builds when no searcher is supplied. *)
+type searcher = {
+  s_graph : G.t; (* the product graph, frozen *)
+  s_pmap : int array; (* product edge -> residual edge *)
+  s_bound : int;
+  s_res : G.t; (* the residual graph the product was built over *)
+  s_generation : int; (* s_res's adjacency generation at build time *)
+  s_masked : bool; (* product contains edges inactive at build time *)
+}
+
+let prepare_product ~skip_inactive res ~bound =
+  if bound < 1 then invalid_arg "Cycle_search_dp.prepare: bound must be >= 1";
   let rg = res.Residual.graph in
   let n = G.n rg in
   let width = (2 * bound) + 1 in
   let idx u c = (u * width) + (c + bound) in
   let p = G.create ~expected_edges:(G.m rg * width) ~n:(n * width) () in
   let pmap = ref [] in
+  let masked = ref false in
   G.iter_edges rg (fun e ->
-      let u = G.src rg e and w = G.dst rg e in
-      let c = G.cost rg e and d = G.delay rg e in
-      let lo = max (-bound) (-bound - c) and hi = min bound (bound - c) in
-      for i = lo to hi do
-        ignore (G.add_edge p ~src:(idx u i) ~dst:(idx w (i + c)) ~cost:d ~delay:0);
-        pmap := e :: !pmap
-      done);
-  (p, Array.of_list (List.rev !pmap), idx)
+      if not res.Residual.active.(e) && skip_inactive then ()
+      else begin
+        if not res.Residual.active.(e) then masked := true;
+        let u = G.src rg e and w = G.dst rg e in
+        let c = G.cost rg e and d = G.delay rg e in
+        let lo = max (-bound) (-bound - c) and hi = min bound (bound - c) in
+        for i = lo to hi do
+          ignore (G.add_edge p ~src:(idx u i) ~dst:(idx w (i + c)) ~cost:d ~delay:0);
+          pmap := e :: !pmap
+        done
+      end);
+  ignore (G.freeze p);
+  {
+    s_graph = p;
+    s_pmap = Array.of_list (List.rev !pmap);
+    s_bound = bound;
+    s_res = rg;
+    s_generation = G.generation rg;
+    s_masked = !masked;
+  }
+
+let prepare res ~bound = prepare_product ~skip_inactive:false res ~bound
+
+let idx_of s u c = (u * ((2 * s.s_bound) + 1)) + (c + s.s_bound)
+
+(* a searcher is reusable for [res] iff it was built over the very same
+   residual graph value (arena reuse hands out the same doubled graph every
+   round), unmutated since, at the same bound *)
+let compatible s res ~bound =
+  s.s_bound = bound
+  && s.s_res == res.Residual.graph
+  && s.s_generation = G.generation s.s_res
+
+let searcher_for ?searcher res ~bound =
+  match searcher with
+  | Some s when compatible s res ~bound -> s
+  | Some _ -> invalid_arg "Cycle_search_dp: searcher does not match residual/bound"
+  | None ->
+    (* one-shot: only active edges enter the product, no masking needed and
+       the build costs the same as a residual freshly materialised by
+       [Residual.build] — reusable searchers pay double for reusability *)
+    prepare_product ~skip_inactive:true res ~bound
+
+(* mask: a product edge is traversable iff its residual edge is active.
+   Rather than a [disabled] predicate paid per edge scan per Bellman–Ford
+   pass, compact the mask into a sub-view once per round — the searches
+   then never touch a masked edge, so an arena-backed round traverses the
+   same edge count a freshly built residual would. Products that contain
+   no inactive edges skip even that compaction pass. *)
+let masked_view s res =
+  if not s.s_masked then G.freeze s.s_graph
+  else begin
+    let pmap = s.s_pmap and active = res.Residual.active in
+    G.View.restrict (G.freeze s.s_graph) ~keep:(fun pe ->
+        Array.unsafe_get active (Array.unsafe_get pmap pe))
+  end
 
 let roots res =
   let rg = res.Residual.graph in
   let mark = Array.make (G.n rg) false in
   Array.iteri
     (fun e reversed ->
-      if reversed then begin
+      if reversed && res.Residual.active.(e) then begin
         mark.(G.src rg e) <- true;
         mark.(G.dst rg e) <- true
       end)
@@ -63,25 +133,27 @@ let better ctx a b =
 (* Phase A: any negative-delay cycle of the state graph projects to residual
    cycles of total cost 0 and total delay < 0, at least one piece of which is
    itself negative-delay. *)
-let phase_a res ctx p pmap =
-  match BF.negative_cycle p ~weight:(G.cost p) () with
+let phase_a res ctx s rv =
+  let p = s.s_graph in
+  match BF.negative_cycle p ~weight:(G.cost p) ~view:rv () with
   | None -> []
-  | Some pcycle -> candidates_of_walk res ctx (List.map (fun pe -> pmap.(pe)) pcycle)
+  | Some pcycle -> candidates_of_walk res ctx (List.map (fun pe -> s.s_pmap.(pe)) pcycle)
 
 (* Phase B for one root: min-delay walks from (root, 0) to every (root, c). *)
-let phase_b res ctx p pmap idx ~bound root =
-  match BF.run p ~weight:(G.cost p) ~src:(idx root 0) () with
+let phase_b res ctx s rv root =
+  let p = s.s_graph and bound = s.s_bound in
+  match BF.run p ~weight:(G.cost p) ~view:rv ~src:(idx_of s root 0) () with
   | BF.Negative_cycle _ -> [] (* handled by phase A *)
   | BF.Dist { dist; parent } ->
     let out = ref [] in
     for c = -bound to bound do
-      if c <> 0 && dist.(idx root c) <> max_int then begin
+      if c <> 0 && dist.(idx_of s root c) <> max_int then begin
         (* reconstruct the state path and project to residual edges *)
         let rec collect acc v =
           let e = parent.(v) in
-          if e = -1 then acc else collect (pmap.(e) :: acc) (G.src p e)
+          if e = -1 then acc else collect (s.s_pmap.(e) :: acc) (G.src p e)
         in
-        let walk = collect [] (idx root c) in
+        let walk = collect [] (idx_of s root c) in
         out := candidates_of_walk res ctx walk @ !out
       end
     done;
@@ -93,17 +165,18 @@ let phase_b res ctx p pmap idx ~bound root =
 let delay_reducing found =
   List.exists (fun c -> c.kind <> Bicameral.Type2) found
 
-let search res ~ctx ~bound ~stop_early =
+let search ?searcher res ~ctx ~bound ~stop_early =
   assert (bound >= 1);
-  let p, pmap, idx = build_state_graph res ~bound in
-  let a = phase_a res ctx p pmap in
+  let s = searcher_for ?searcher res ~bound in
+  let rv = masked_view s res in
+  let a = phase_a res ctx s rv in
   let all = ref a in
   if stop_early && delay_reducing a then !all
   else begin
     let rec scan = function
       | [] -> ()
       | root :: rest ->
-        let found = phase_b res ctx p pmap idx ~bound root in
+        let found = phase_b res ctx s rv root in
         all := found @ !all;
         if stop_early && delay_reducing found then () else scan rest
     in
@@ -111,35 +184,37 @@ let search res ~ctx ~bound ~stop_early =
     !all
   end
 
-let find res ~ctx ~bound ?(exhaustive = false) () =
-  let cands = search res ~ctx ~bound ~stop_early:(not exhaustive) in
+let find res ~ctx ~bound ?(exhaustive = false) ?searcher () =
+  let cands = search ?searcher res ~ctx ~bound ~stop_early:(not exhaustive) in
   List.fold_left (fun best c -> better ctx best (Some c)) None cands
 
 let enumerate res ~ctx ~bound = search res ~ctx ~bound ~stop_early:false
 
 let enumerate_raw res ~bound =
   assert (bound >= 1);
-  let p, pmap, idx = build_state_graph res ~bound in
+  let s = prepare res ~bound in
+  let rv = masked_view s res in
+  let p = s.s_graph in
   let all = ref [] in
   let push cyc =
     all := (cyc, Residual.cycle_cost res cyc, Residual.cycle_delay res cyc) :: !all
   in
-  (match BF.negative_cycle p ~weight:(G.cost p) () with
+  (match BF.negative_cycle p ~weight:(G.cost p) ~view:rv () with
   | Some pcycle ->
-    List.iter push (cycles_of_walk res (List.map (fun pe -> pmap.(pe)) pcycle))
+    List.iter push (cycles_of_walk res (List.map (fun pe -> s.s_pmap.(pe)) pcycle))
   | None ->
     List.iter
       (fun root ->
-        match BF.run p ~weight:(G.cost p) ~src:(idx root 0) () with
+        match BF.run p ~weight:(G.cost p) ~view:rv ~src:(idx_of s root 0) () with
         | BF.Negative_cycle _ -> ()
         | BF.Dist { dist; parent } ->
-          for c = -bound to bound do
-            if c <> 0 && dist.(idx root c) <> max_int then begin
+          for c = -s.s_bound to s.s_bound do
+            if c <> 0 && dist.(idx_of s root c) <> max_int then begin
               let rec collect acc v =
                 let e = parent.(v) in
-                if e = -1 then acc else collect (pmap.(e) :: acc) (G.src p e)
+                if e = -1 then acc else collect (s.s_pmap.(e) :: acc) (G.src p e)
               in
-              let walk = collect [] (idx root c) in
+              let walk = collect [] (idx_of s root c) in
               List.iter push (cycles_of_walk res walk)
             end
           done)

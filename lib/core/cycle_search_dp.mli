@@ -27,18 +27,42 @@ type candidate = {
   kind : Bicameral.kind;
 }
 
+type searcher
+(** A prepared product (state) graph. The product depends only on the
+    residual graph's structure and weights — not on which residual edges
+    are active in a given round — so over an arena-backed residual it can
+    be built and frozen {e once} and reused across a guess's cancellation
+    rounds; each round's inactive residual edges are compacted away with a
+    restricted view before the Bellman–Ford runs. Covering all (active and
+    inactive) arena edges makes it twice the size of a single round's
+    active set, so reuse pays only on round-heavy guesses — {!Krsp}
+    builds one adaptively after a few rounds of the same guess. *)
+
+val prepare : Residual.t -> bound:int -> searcher
+(** Build the reusable product graph over all residual edges (active or
+    not) for cost window [[-bound, bound]]. O(m·bound) space, built and
+    frozen once. Raises [Invalid_argument] when [bound < 1]. *)
+
 val find :
   Residual.t ->
   ctx:Bicameral.context ->
   bound:int ->
   ?exhaustive:bool ->
+  ?searcher:searcher ->
   unit ->
   candidate option
 (** Best bicameral cycle under {!Bicameral.compare_candidates}, or [None]
     when no bicameral cycle with [|cost| ≤ bound] exists in the searched
     space. By default the root scan stops at the first root that yields any
     bicameral cycle (any one suffices for Algorithm 1's progress argument);
-    [~exhaustive:true] scans every root and returns the global best. *)
+    [~exhaustive:true] scans every root and returns the global best.
+
+    [searcher], when given, must come from {!prepare} over the same
+    residual graph value (unmutated) with the same [bound] — arena-reusing
+    callers pass it to skip the per-round product rebuild; anything else
+    raises [Invalid_argument]. Without one, an ephemeral product over the
+    {e currently active} residual edges is built for this call — half the
+    size of the reusable product, the right trade for one-shot searches. *)
 
 val enumerate :
   Residual.t -> ctx:Bicameral.context -> bound:int -> candidate list

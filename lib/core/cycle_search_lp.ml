@@ -9,6 +9,9 @@ module Q = Krsp_bigint.Q
    feasible) carries actual cycles. *)
 let lp_of_layered (h : Layered.t) ~delta_d =
   let hg = h.Layered.graph in
+  (* freeze once: the conservation constraints below and the circulation
+     decomposition afterwards both traverse H's adjacency *)
+  let hv = G.freeze hg in
   let lp = Lp.create () in
   let var =
     Array.init (G.m hg) (fun e ->
@@ -16,8 +19,10 @@ let lp_of_layered (h : Layered.t) ~delta_d =
   in
   for v = 0 to G.n hg - 1 do
     let terms =
-      List.map (fun e -> (var.(e), Q.one)) (G.out_edges hg v)
-      @ List.map (fun e -> (var.(e), Q.minus_one)) (G.in_edges hg v)
+      G.View.fold_out hv v ~init:[] ~f:(fun acc e -> (var.(e), Q.one) :: acc)
+    in
+    let terms =
+      G.View.fold_in hv v ~init:terms ~f:(fun acc e -> (var.(e), Q.minus_one) :: acc)
     in
     if terms <> [] then Lp.add_constraint lp terms Lp.Eq Q.zero
   done;
@@ -61,7 +66,7 @@ let roots res =
   let mark = Array.make (G.n rg) false in
   Array.iteri
     (fun e reversed ->
-      if reversed then begin
+      if reversed && res.Residual.active.(e) then begin
         mark.(G.src rg e) <- true;
         mark.(G.dst rg e) <- true
       end)

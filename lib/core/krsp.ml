@@ -1,7 +1,23 @@
 module G = Krsp_graph.Digraph
 module Path = Krsp_graph.Path
+module Metrics = Krsp_util.Metrics
 
 type engine = Dp | Lp
+
+(* Process-wide attribution of solver time to the three phases of one
+   cancellation round. Histograms, not a profiler: cheap enough to stay on
+   in production serving, precise enough to tell whether residual rebuild,
+   cycle search, or the ⊕-augmentation dominates a regression. *)
+let metrics = Metrics.create ()
+
+let h_residual = Metrics.histogram metrics "solver.residual_build_ms"
+let h_search = Metrics.histogram metrics "solver.cycle_search_ms"
+let h_augment = Metrics.histogram metrics "solver.augment_ms"
+
+let timed h f =
+  let result, ms = Krsp_util.Timer.time_ms f in
+  Metrics.observe h ms;
+  result
 
 type stats = {
   iterations : int;
@@ -24,15 +40,25 @@ let log = Logs.Src.create "krsp" ~doc:"kRSP cycle cancellation"
 
 module L = (val Logs.src_log log : Logs.LOG)
 
-let find_cycle engine ~exhaustive res ~ctx ~bound =
+let find_cycle engine ~exhaustive ?searcher res ~ctx ~bound =
   match engine with
-  | Dp -> Cycle_search_dp.find res ~ctx ~bound ~exhaustive ()
+  | Dp -> Cycle_search_dp.find res ~ctx ~bound ~exhaustive ?searcher ()
   | Lp -> Cycle_search_lp.find res ~ctx ~bound ~exhaustive ()
 
 let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?(max_iterations = 2_000)
-    ?(stall_limit = 40) () =
+    ?(stall_limit = 40) ?arena () =
   let g = t.Instance.graph in
   let total_abs_cost = G.fold_edges g ~init:0 ~f:(fun acc e -> acc + abs (G.cost g e)) in
+  (* Arena reuse: the doubled residual graph is shared by every round (and,
+     via ?arena, by every guess of the outer search) — per round the only
+     residual work is an O(m) mask refill. The DP engine's product graph is
+     additionally shared by the rounds of THIS guess once there are enough
+     of them to amortise it (its cost window is the guess-dependent
+     [bound]). *)
+  let arena = match arena with Some a -> a | None -> Residual.arena g in
+  let searcher = ref None in
+  let searches = ref 0 in
+  let bound = max 1 (min guess total_abs_cost) in
   (* stall detection: a guess that has not produced a new minimum delay for
      [stall_limit] iterations is hopeless (type-2 trade-backs are cycling);
      abort it so the guess search can move on *)
@@ -52,7 +78,7 @@ let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?(max_iteration
       None
     end
     else begin
-      let res = Residual.build g ~paths in
+      let res = timed h_residual (fun () -> Residual.of_arena arena ~paths) in
       let ctx =
         {
           Bicameral.delta_d = t.Instance.delay_bound - sol.Instance.delay;
@@ -60,17 +86,38 @@ let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?(max_iteration
           cost_cap = guess;
         }
       in
-      let bound = max 1 (min guess total_abs_cost) in
-      match find_cycle engine ~exhaustive res ~ctx ~bound with
+      let cycle =
+        timed h_search (fun () ->
+            incr searches;
+            (* Adaptive searcher reuse: the reusable product covers all 2m
+               arena edges — double the cost of the ephemeral active-only
+               product [find] builds on its own — so building it only pays
+               once a guess has proven round-heavy. Most guesses settle in a
+               search or two; E1-style zigzags run hundreds. *)
+            let s =
+              match (engine, !searcher) with
+              | Lp, _ -> None
+              | Dp, Some s -> Some s
+              | Dp, None when !searches >= 3 ->
+                let s = Cycle_search_dp.prepare res ~bound in
+                searcher := Some s;
+                Some s
+              | Dp, None -> None
+            in
+            find_cycle engine ~exhaustive ?searcher:s res ~ctx ~bound)
+      in
+      match cycle with
       | None -> None
       | Some cand ->
-        let edges =
-          Residual.apply_cycle res ~current:(Instance.edge_set sol)
-            ~cycle:cand.Cycle_search_dp.edges
-        in
-        let paths', _cycles =
-          Krsp_graph.Walk.decompose_st g ~src:t.Instance.src ~dst:t.Instance.dst
-            ~k:t.Instance.k edges
+        let paths' =
+          timed h_augment (fun () ->
+              let edges =
+                Residual.apply_cycle res ~current:(Instance.edge_set sol)
+                  ~cycle:cand.Cycle_search_dp.edges
+              in
+              fst
+                (Krsp_graph.Walk.decompose_st g ~src:t.Instance.src ~dst:t.Instance.dst
+                   ~k:t.Instance.k edges))
         in
         let t0, t1, t2 =
           match cand.Cycle_search_dp.kind with
@@ -195,6 +242,9 @@ let solve t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
       else begin
         let lo0 = max 1 start_sol.Instance.cost in
         let hi0 = max lo0 fallback.Instance.cost in
+        (* one doubled residual graph for the whole guess search: every
+           attempt's rounds refill its masks instead of building graphs *)
+        let arena = Residual.arena t.Instance.graph in
         (* binary search the smallest successful guess; remember the best
            verified solution seen *)
         let best = ref None in
@@ -202,7 +252,7 @@ let solve t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
         let tried = ref 0 in
         let attempt guess =
           incr tried;
-          match improve t ~start ~guess ~engine ~exhaustive ~max_iterations () with
+          match improve t ~start ~guess ~engine ~exhaustive ~max_iterations ~arena () with
           | None -> None
           | Some (sol, it, a, b, c) ->
             iters := !iters + it;

@@ -40,6 +40,13 @@ type error =
 
 type outcome = (Instance.solution * stats, error) Stdlib.result
 
+val metrics : Krsp_util.Metrics.t
+(** Process-wide solver phase timings: histograms
+    [solver.residual_build_ms], [solver.cycle_search_ms] and
+    [solver.augment_ms] attribute each cancellation round's time to
+    residual (mask) construction, bicameral cycle search and
+    ⊕-augmentation. Exported by krspd's [STATS]. *)
+
 val improve :
   Instance.t ->
   start:Krsp_graph.Path.t list ->
@@ -48,13 +55,21 @@ val improve :
   ?exhaustive:bool ->
   ?max_iterations:int ->
   ?stall_limit:int ->
+  ?arena:Residual.arena ->
   unit ->
   (Instance.solution * int * int * int * int) option
 (** One run of Algorithm 1's inner loop under a fixed [guess]: returns the
     improved solution and [(iterations, type0, type1, type2)] counts, or
     [None] if no bicameral cycle was found while still over the delay bound
     (guess too low / instance infeasible), the iteration cap was hit, or the
-    delay made no progress for [stall_limit] iterations (default 40). *)
+    delay made no progress for [stall_limit] iterations (default 40).
+
+    Each round's residual comes from an {!Residual.arena} over the instance
+    graph — an O(m) mask refill instead of a graph build — and the DP
+    engine's product graph is prepared once and reused across all rounds.
+    [arena] lets callers running several [improve]s over one instance
+    (e.g. {!solve}'s guess search) share the doubled graph too; it must
+    have been created by [Residual.arena] on this instance's graph. *)
 
 val repair :
   Instance.t -> paths:Krsp_graph.Path.t list -> Krsp_graph.Path.t list option

@@ -25,7 +25,9 @@ let build res ~root ~bound ~side =
     res_edge := re :: !res_edge
   in
   let vtx u level = (u * (bound + 1)) + level in
-  G.iter_edges rg (fun e ->
+  (* only this round's active residual edges materialise in H (the LP gets
+     one variable per H edge, so carrying masked edges is not an option) *)
+  Residual.iter_active res (fun e ->
       let u = G.src rg e and w = G.dst rg e in
       let c = G.cost rg e and d = G.delay rg e in
       if c >= 0 then

@@ -4,7 +4,22 @@
     is replaced by its reversal carrying *negated* cost and delay (both of
     them — the point of the paper, in contrast to [12, 18] which zero the
     reversed cost). The result is a multigraph; parallel arcs with different
-    weights are preserved. *)
+    weights are preserved.
+
+    Two constructions exist:
+
+    - {!build} materialises a fresh residual graph (one edge per base edge,
+      residual ids aligned with base ids). Simple, and what one-off callers
+      (tests, baselines, experiments) use.
+    - {!arena} / {!of_arena} preallocate a static {e doubled} graph — a
+      forward and a reversed copy of every base edge — whose frozen CSR
+      view survives across cancellation rounds; a round's residual is then
+      just an O(m) refill of the [active] mask. Algorithm 1's inner loop
+      runs on this: no per-round graph construction, no re-freeze.
+
+    Consumers that iterate residual edges must skip inactive ones (see
+    {!active} / {!iter_active}); on a {!build} result every edge is active,
+    so one-shot callers can ignore the mask. *)
 
 module G := Krsp_graph.Digraph
 
@@ -12,10 +27,38 @@ type t = {
   graph : G.t;  (** the residual multigraph, same vertex ids as the base *)
   base_edge : int array;  (** residual edge id → base-graph edge id *)
   is_reversed : bool array;  (** residual edge id → was it a reversed path edge *)
+  active : bool array;
+      (** residual edge id → participates in this round's residual (always
+          [true] on a {!build} result; on an {!of_arena} result exactly one
+          of the two copies of each base edge is active) *)
 }
 
 val build : G.t -> paths:Krsp_graph.Path.t list -> t
 (** Raises [Invalid_argument] if the paths are not edge-disjoint. *)
+
+type arena
+(** Preallocated doubled-graph storage for {!of_arena}. One arena serves
+    one base graph; building it costs O(n + m) once (including the CSR
+    freeze of the doubled graph). *)
+
+val arena : G.t -> arena
+(** Capture the base graph's edges into a doubled graph: base edge [e]
+    becomes forward copy [2e] and reversed copy [2e+1] (endpoints swapped,
+    cost and delay negated). Later edges added to the base graph are not
+    seen by the arena. *)
+
+val of_arena : arena -> paths:Krsp_graph.Path.t list -> t
+(** The residual of [paths] as a mask refill over the arena — O(m) and
+    allocation-free apart from the result record. The returned value
+    {e aliases the arena's mask}: a subsequent [of_arena] on the same arena
+    invalidates it (Algorithm 1 holds exactly one residual at a time).
+    Raises [Invalid_argument] if the paths are not edge-disjoint or
+    reference edges outside the arena. *)
+
+val active : t -> G.edge -> bool
+(** Whether a residual edge participates in this round's residual. *)
+
+val iter_active : t -> (G.edge -> unit) -> unit
 
 val cost : t -> G.edge -> int
 (** Cost of a residual edge (negated for reversed ones). Same as

@@ -1,9 +1,13 @@
 open Krsp_bigint
 module G = Krsp_graph.Digraph
+module V = Krsp_graph.Digraph.View
 
 (* Residual values live in a mutable array; support-walking repeatedly peels
    the bottleneck of a simple path/cycle found by following positive-value
-   out-edges. Each peel zeroes at least one edge, so at most m iterations. *)
+   out-edges. Each peel zeroes at least one edge, so at most m iterations.
+   All adjacency scans run on the frozen CSR view — the graphs decomposed
+   here include the layered auxiliary graphs H_v^±(B), whose per-vertex
+   edge lists are long enough for list chasing to show up in profiles. *)
 
 let values_of g value =
   Array.init (G.m g) (fun e ->
@@ -11,44 +15,55 @@ let values_of g value =
       if Q.sign v < 0 then invalid_arg "Decompose: negative flow value";
       v)
 
-let positive_out g values v =
-  List.find_opt (fun e -> Q.sign values.(e) > 0) (G.out_edges g v)
+(* first positive-value out-edge of [v], early-exit cursor scan *)
+let positive_out view values v =
+  let cur, stop = V.out_span view v in
+  let rec go i =
+    if i >= stop then None
+    else begin
+      let e = V.out_entry view i in
+      if Q.sign values.(e) > 0 then Some e else go (i + 1)
+    end
+  in
+  go cur
 
-let imbalance g values v =
-  let sum = List.fold_left (fun acc e -> Q.add acc values.(e)) Q.zero in
-  Q.sub (sum (G.out_edges g v)) (sum (G.in_edges g v))
+let imbalance view values v =
+  let sum_out = V.fold_out view v ~init:Q.zero ~f:(fun acc e -> Q.add acc values.(e)) in
+  let sum_in = V.fold_in view v ~init:Q.zero ~f:(fun acc e -> Q.add acc values.(e)) in
+  Q.sub sum_out sum_in
 
 (* Follow positive out-edges from [start] until either [is_sink] holds or a
    vertex repeats; returns either a simple path to the sink or a simple
    cycle. Assumes every visited non-sink vertex has a positive out-edge. *)
-let trace g values ~start ~is_sink =
-  let rec go stack seen v =
+let trace view values ~start ~is_sink =
+  let seen = Hashtbl.create 64 in
+  let rec go stack v =
     if is_sink v && stack <> [] then `Path (List.rev stack)
     else begin
-      match positive_out g values v with
+      match positive_out view values v with
       | None ->
         (* can only happen at a sink (handled above) or on bad input *)
         invalid_arg "Decompose: conservation violated (dead end)"
       | Some e ->
-        let seen = (v, ()) :: seen in
-        let w = G.dst g e in
-        if List.mem_assoc w seen then begin
-          if G.src g e = w then `Cycle [ e ] (* self-loop *)
+        Hashtbl.replace seen v ();
+        let w = V.dst view e in
+        if Hashtbl.mem seen w then begin
+          if V.src view e = w then `Cycle [ e ] (* self-loop *)
           else begin
             (* pop the cycle w .. v -> w off the stack *)
             let rec cut acc = function
               | [] -> assert false
               | e' :: rest ->
                 let acc = e' :: acc in
-                if G.src g e' = w then acc else cut acc rest
+                if V.src view e' = w then acc else cut acc rest
             in
             `Cycle (cut [ e ] stack)
           end
         end
-        else go (e :: stack) seen w
+        else go (e :: stack) w
     end
   in
-  go [] [] start
+  go [] start
 
 let peel values edges =
   let bottleneck =
@@ -58,16 +73,17 @@ let peel values edges =
   bottleneck
 
 let circulation g value =
+  let view = G.freeze g in
   let values = values_of g value in
   for v = 0 to G.n g - 1 do
-    if not (Q.is_zero (imbalance g values v)) then
+    if not (Q.is_zero (imbalance view values v)) then
       invalid_arg "Decompose.circulation: unbalanced vertex"
   done;
   let out = ref [] in
   let rec drain e =
     if e >= G.m g then ()
     else if Q.sign values.(e) > 0 then begin
-      match trace g values ~start:(G.src g e) ~is_sink:(fun _ -> false) with
+      match trace view values ~start:(G.src g e) ~is_sink:(fun _ -> false) with
       | `Path _ -> assert false
       | `Cycle cyc ->
         let w = peel values cyc in
@@ -80,18 +96,19 @@ let circulation g value =
   !out
 
 let st_flow g ~src ~dst value =
+  let view = G.freeze g in
   let values = values_of g value in
   for v = 0 to G.n g - 1 do
-    if v <> src && v <> dst && not (Q.is_zero (imbalance g values v)) then
+    if v <> src && v <> dst && not (Q.is_zero (imbalance view values v)) then
       invalid_arg "Decompose.st_flow: conservation violated"
   done;
-  if Q.sign (imbalance g values src) < 0 then
+  if Q.sign (imbalance view values src) < 0 then
     invalid_arg "Decompose.st_flow: negative surplus at source";
   let paths = ref [] and cycles = ref [] in
   (* first peel src->dst paths until src is balanced *)
   let rec peel_paths () =
-    if Q.sign (imbalance g values src) > 0 then begin
-      match trace g values ~start:src ~is_sink:(fun v -> v = dst) with
+    if Q.sign (imbalance view values src) > 0 then begin
+      match trace view values ~start:src ~is_sink:(fun v -> v = dst) with
       | `Path p ->
         let w = peel values p in
         paths := (w, p) :: !paths;

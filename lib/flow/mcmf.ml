@@ -1,14 +1,27 @@
 module G = Krsp_graph.Digraph
+module V = Krsp_graph.Digraph.View
 module Heap = Krsp_graph.Heap
 
 type result = { cost : int; flow : int array }
+
+(* Johnson-potential invariant checks. Off by default: the reduced-cost
+   non-negativity proof is standard and the check sits on the innermost
+   relaxation, where even a dead branch costs a compare per scanned arc.
+   The test suite turns it on globally. *)
+let check_invariants = ref false
+
+let invariant_failure rc =
+  invalid_arg (Printf.sprintf "Mcmf: negative reduced cost %d (potentials corrupt)" rc)
 
 (* Successive shortest paths. Residual arcs are represented implicitly:
    forward over edge e while flow.(e) < cap e (reduced cost c(e)+π(u)−π(v)),
    backward while flow.(e) > 0 (reduced cost −c(e)+π(v)−π(u)). With
    potentials maintained after every augmentation, all reduced costs stay
-   non-negative and Dijkstra applies. *)
+   non-negative and Dijkstra applies. Both residual directions scan the
+   frozen CSR view — the backward scan previously walked in-edge lists,
+   the dominant allocation-free-but-cache-hostile cost of the whole MCMF. *)
 let min_cost_flow g ~capacity ~cost ~src ~dst ~amount =
+  let view = G.freeze g in
   let n = G.n g and m = G.m g in
   G.iter_edges g (fun e ->
       if cost e < 0 then invalid_arg "Mcmf: negative cost";
@@ -31,11 +44,11 @@ let min_cost_flow g ~capacity ~cost ~src ~dst ~amount =
       | None -> ()
       | Some (d, u) ->
         if d = dist.(u) then begin
-          G.iter_out g u (fun e ->
+          V.iter_out view u (fun e ->
               if flow.(e) < capacity e then begin
-                let v = G.dst g e in
+                let v = V.dst view e in
                 let rc = cost e + pi.(u) - pi.(v) in
-                assert (rc >= 0);
+                if !check_invariants && rc < 0 then invariant_failure rc;
                 if dist.(u) + rc < dist.(v) then begin
                   dist.(v) <- dist.(u) + rc;
                   parent.(v) <- e;
@@ -43,12 +56,11 @@ let min_cost_flow g ~capacity ~cost ~src ~dst ~amount =
                   Heap.push heap ~prio:dist.(v) ~value:v
                 end
               end);
-          List.iter
-            (fun e ->
+          V.iter_in view u (fun e ->
               if flow.(e) > 0 then begin
-                let v = G.src g e in
+                let v = V.src view e in
                 let rc = -cost e + pi.(u) - pi.(v) in
-                assert (rc >= 0);
+                if !check_invariants && rc < 0 then invariant_failure rc;
                 if dist.(u) + rc < dist.(v) then begin
                   dist.(v) <- dist.(u) + rc;
                   parent.(v) <- e;
@@ -56,7 +68,6 @@ let min_cost_flow g ~capacity ~cost ~src ~dst ~amount =
                   Heap.push heap ~prio:dist.(v) ~value:v
                 end
               end)
-            (G.in_edges g u)
         end;
         loop ()
     in

@@ -5,6 +5,13 @@
     the engine behind the min-sum disjoint-paths solver ({!Suurballe}) and
     the min-sum baseline. *)
 
+val check_invariants : bool ref
+(** When set, the reduced-cost non-negativity invariant of the Johnson
+    potentials is verified on every scanned residual arc and a violation
+    raises [Invalid_argument] instead of silently producing a wrong flow.
+    Off by default (it sits on the innermost relaxation of the hot loop);
+    the test suite enables it globally. *)
+
 type result = {
   cost : int;  (** total cost of the flow found *)
   flow : int array;  (** flow on each edge id, [0 <= flow e <= capacity e] *)

@@ -1,4 +1,5 @@
 module G = Digraph
+module V = Digraph.View
 
 type result =
   | Dist of { dist : int array; parent : int array }
@@ -29,7 +30,7 @@ let extract_cycle g parent start =
    the bicameral search builds, with the classic enqueue-count bound for
    negative-cycle detection (a vertex re-entering the queue more than n
    times lies downstream of a negative cycle). *)
-let run_from g ~weight ~disabled dist =
+let run_from g ~weight ~disabled ~view dist =
   let n = G.n g in
   let parent = Array.make n (-1) in
   let in_queue = Array.make n false in
@@ -48,9 +49,9 @@ let run_from g ~weight ~disabled dist =
        let u = Queue.pop q in
        in_queue.(u) <- false;
        let du = dist.(u) in
-       G.iter_out g u (fun e ->
+       V.iter_out view u (fun e ->
            if not (disabled e) then begin
-             let v = G.dst g e in
+             let v = V.dst view e in
              let nd = du + weight e in
              if nd < dist.(v) then begin
                dist.(v) <- nd;
@@ -72,15 +73,19 @@ let run_from g ~weight ~disabled dist =
   | Some c -> Negative_cycle c
   | None -> Dist { dist; parent }
 
-let run g ~weight ?(disabled = fun _ -> false) ~src () =
+let view_of g = function
+  | Some v -> v
+  | None -> G.freeze g
+
+let run g ~weight ?(disabled = fun _ -> false) ?view ~src () =
   let dist = Array.make (G.n g) max_int in
   dist.(src) <- 0;
-  run_from g ~weight ~disabled dist
+  run_from g ~weight ~disabled ~view:(view_of g view) dist
 
-let negative_cycle g ~weight ?(disabled = fun _ -> false) () =
+let negative_cycle g ~weight ?(disabled = fun _ -> false) ?view () =
   (* virtual super-source: every vertex starts at distance 0 *)
   let dist = Array.make (G.n g) 0 in
-  match run_from g ~weight ~disabled dist with
+  match run_from g ~weight ~disabled ~view:(view_of g view) dist with
   | Dist _ -> None
   | Negative_cycle c -> Some c
 

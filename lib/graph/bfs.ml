@@ -1,15 +1,17 @@
 module G = Digraph
+module V = Digraph.View
 
 let reachable g ?(disabled = fun _ -> false) ~src () =
+  let view = G.freeze g in
   let seen = Array.make (G.n g) false in
   let queue = Queue.create () in
   seen.(src) <- true;
   Queue.add src queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    G.iter_out g u (fun e ->
+    V.iter_out view u (fun e ->
         if not (disabled e) then begin
-          let v = G.dst g e in
+          let v = V.dst view e in
           if not seen.(v) then begin
             seen.(v) <- true;
             Queue.add v queue
@@ -19,6 +21,7 @@ let reachable g ?(disabled = fun _ -> false) ~src () =
   seen
 
 let hop_path g ?(disabled = fun _ -> false) ~src ~dst () =
+  let view = G.freeze g in
   let n = G.n g in
   let parent = Array.make n (-1) in
   let seen = Array.make n false in
@@ -28,9 +31,9 @@ let hop_path g ?(disabled = fun _ -> false) ~src ~dst () =
   let found = ref (src = dst) in
   while (not !found) && not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    G.iter_out g u (fun e ->
+    V.iter_out view u (fun e ->
         if (not (disabled e)) && not !found then begin
-          let v = G.dst g e in
+          let v = V.dst view e in
           if not seen.(v) then begin
             seen.(v) <- true;
             parent.(v) <- e;
@@ -53,6 +56,7 @@ let hop_path g ?(disabled = fun _ -> false) ~src ~dst () =
 let edge_connectivity_at_least g ~src ~dst ~k =
   if src = dst then true
   else begin
+    let view = G.freeze g in
     let m = G.m g in
     let flow = Array.make m false in
     let n = G.n g in
@@ -65,26 +69,24 @@ let edge_connectivity_at_least g ~src ~dst ~k =
       Queue.add src queue;
       while not (Queue.is_empty queue) do
         let u = Queue.pop queue in
-        G.iter_out g u (fun e ->
+        V.iter_out view u (fun e ->
             if not flow.(e) then begin
-              let v = G.dst g e in
+              let v = V.dst view e in
               if not seen.(v) then begin
                 seen.(v) <- true;
                 parent.(v) <- Some (e, true);
                 Queue.add v queue
               end
             end);
-        List.iter
-          (fun e ->
+        V.iter_in view u (fun e ->
             if flow.(e) then begin
-              let v = G.src g e in
+              let v = V.src view e in
               if not seen.(v) then begin
                 seen.(v) <- true;
                 parent.(v) <- Some (e, false);
                 Queue.add v queue
               end
             end)
-          (G.in_edges g u)
       done;
       if not seen.(dst) then false
       else begin

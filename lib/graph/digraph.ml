@@ -1,6 +1,17 @@
-(* Edges live in growable parallel arrays; adjacency is an array of edge-id
-   lists (edges are only ever appended, never removed — algorithms that need
-   edge deletion work on a fresh copy or carry a [disabled] mask). *)
+(* Edges live in growable parallel arrays; adjacency is kept twice:
+
+   - an array of edge-id lists, the mutable ground truth (edges are only
+     ever appended, never removed — algorithms that need edge deletion work
+     on a fresh copy or carry a [disabled] mask);
+   - a frozen CSR (compressed sparse row) snapshot — flat [int array]
+     index+edge arrays for both directions — built on demand by {!freeze}
+     and cached until the next adjacency mutation.
+
+   A generation counter ([version]) ties the two together: [add_edge] and
+   [add_vertex] bump it, so a cached snapshot whose generation lags the
+   graph's is stale and [freeze] rebuilds it. Weight mutation ([set_cost] /
+   [set_delay]) does not invalidate — views read weights through the live
+   arrays, only adjacency is frozen. *)
 
 type vertex = int
 type edge = int
@@ -14,6 +25,19 @@ type t = {
   mutable delay : int array;
   mutable out : edge list array; (* length >= n *)
   mutable inc : edge list array;
+  mutable version : int; (* bumped by add_vertex / add_edge *)
+  mutable csr : view option; (* cached snapshot, valid iff gen = version *)
+}
+
+and view = {
+  vg : t;
+  gen : int; (* vg.version at freeze time *)
+  vn : int;
+  vm : int;
+  out_idx : int array; (* length vn+1; out-edges of u are out_adj.(out_idx.(u) .. out_idx.(u+1)-1) *)
+  out_adj : int array; (* length vm, edge ids grouped by source *)
+  in_idx : int array;
+  in_adj : int array;
 }
 
 let create ?(expected_edges = 16) ~n () =
@@ -27,8 +51,13 @@ let create ?(expected_edges = 16) ~n () =
     delay = Array.make cap 0;
     out = Array.make (max n 1) [];
     inc = Array.make (max n 1) [];
+    version = 0;
+    csr = None;
   }
 
+(* The cached snapshot must not travel: its [vg] back-pointer would keep
+   reading weights from the *original* graph, so a copy that shared it
+   would silently see the original's later [set_cost] writes. *)
 let copy t =
   {
     t with
@@ -38,10 +67,16 @@ let copy t =
     delay = Array.copy t.delay;
     out = Array.copy t.out;
     inc = Array.copy t.inc;
+    csr = None;
   }
 
 let n t = t.n
 let m t = t.m
+let generation t = t.version
+
+let invalidate t =
+  t.version <- t.version + 1;
+  t.csr <- None
 
 let grow_vertices t =
   let cap = Array.length t.out in
@@ -58,6 +93,7 @@ let add_vertex t =
   grow_vertices t;
   let v = t.n in
   t.n <- t.n + 1;
+  invalidate t;
   v
 
 let grow_edges t =
@@ -83,7 +119,142 @@ let add_edge t ~src ~dst ~cost ~delay =
   t.delay.(e) <- delay;
   t.out.(src) <- e :: t.out.(src);
   t.inc.(dst) <- e :: t.inc.(dst);
+  invalidate t;
   e
+
+(* --- frozen CSR snapshot ------------------------------------------------- *)
+
+(* Counting sort of edge ids by endpoint: O(n + m), two passes. Per-vertex
+   edge order is insertion order (the lists hold the reverse). *)
+let build_view t =
+  let n = t.n and m = t.m in
+  let out_idx = Array.make (n + 1) 0 and in_idx = Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    let u = t.src.(e) + 1 and w = t.dst.(e) + 1 in
+    out_idx.(u) <- out_idx.(u) + 1;
+    in_idx.(w) <- in_idx.(w) + 1
+  done;
+  for v = 1 to n do
+    out_idx.(v) <- out_idx.(v) + out_idx.(v - 1);
+    in_idx.(v) <- in_idx.(v) + in_idx.(v - 1)
+  done;
+  let out_adj = Array.make m 0 and in_adj = Array.make m 0 in
+  let out_cur = Array.sub out_idx 0 (max n 1) and in_cur = Array.sub in_idx 0 (max n 1) in
+  for e = 0 to m - 1 do
+    let u = t.src.(e) and w = t.dst.(e) in
+    out_adj.(out_cur.(u)) <- e;
+    out_cur.(u) <- out_cur.(u) + 1;
+    in_adj.(in_cur.(w)) <- e;
+    in_cur.(w) <- in_cur.(w) + 1
+  done;
+  { vg = t; gen = t.version; vn = n; vm = m; out_idx; out_adj; in_idx; in_adj }
+
+let freeze t =
+  match t.csr with
+  | Some v when v.gen == t.version -> v
+  | _ ->
+    let v = build_view t in
+    t.csr <- Some v;
+    v
+
+let is_frozen t =
+  match t.csr with Some v -> v.gen == t.version | None -> false
+
+module View = struct
+  let graph v = v.vg
+  let n v = v.vn
+  let m v = v.vm
+  let valid v = v.gen == v.vg.version
+
+  let check_vertex v u =
+    if u < 0 || u >= v.vn then invalid_arg "Digraph.View: vertex outside snapshot"
+
+  let check_edge v e =
+    if e < 0 || e >= v.vm then invalid_arg "Digraph.View: edge outside snapshot"
+
+  (* Edge ids below [vm] stay valid forever (edges are append-only), so
+     accessors read straight through to the live weight arrays. *)
+  let src v e = check_edge v e; Array.unsafe_get v.vg.src e
+  let dst v e = check_edge v e; Array.unsafe_get v.vg.dst e
+  let cost v e = check_edge v e; Array.unsafe_get v.vg.cost e
+  let delay v e = check_edge v e; Array.unsafe_get v.vg.delay e
+
+  let iter_out v u f =
+    check_vertex v u;
+    let stop = Array.unsafe_get v.out_idx (u + 1) in
+    for i = Array.unsafe_get v.out_idx u to stop - 1 do
+      f (Array.unsafe_get v.out_adj i)
+    done
+
+  let iter_in v u f =
+    check_vertex v u;
+    let stop = Array.unsafe_get v.in_idx (u + 1) in
+    for i = Array.unsafe_get v.in_idx u to stop - 1 do
+      f (Array.unsafe_get v.in_adj i)
+    done
+
+  let fold_out v u ~init ~f =
+    check_vertex v u;
+    let acc = ref init in
+    let stop = Array.unsafe_get v.out_idx (u + 1) in
+    for i = Array.unsafe_get v.out_idx u to stop - 1 do
+      acc := f !acc (Array.unsafe_get v.out_adj i)
+    done;
+    !acc
+
+  let fold_in v u ~init ~f =
+    check_vertex v u;
+    let acc = ref init in
+    let stop = Array.unsafe_get v.in_idx (u + 1) in
+    for i = Array.unsafe_get v.in_idx u to stop - 1 do
+      acc := f !acc (Array.unsafe_get v.in_adj i)
+    done;
+    !acc
+
+  let out_degree v u = check_vertex v u; v.out_idx.(u + 1) - v.out_idx.(u)
+  let in_degree v u = check_vertex v u; v.in_idx.(u + 1) - v.in_idx.(u)
+
+  (* Cursor-style access for iterative DFS frames (Scc) and early-exit
+     scans (Decompose): a half-open span into the flat adjacency order. *)
+  let out_span v u = check_vertex v u; (v.out_idx.(u), v.out_idx.(u + 1))
+  let out_entry v i = Array.unsafe_get v.out_adj i
+  let in_span v u = check_vertex v u; (v.in_idx.(u), v.in_idx.(u + 1))
+  let in_entry v i = Array.unsafe_get v.in_adj i
+
+  (* Sub-view with the adjacency compacted to the edges [keep] accepts —
+     the mask transform of the arena design: O(n + m) once per round buys
+     traversals that never touch a masked edge (as opposed to a [disabled]
+     check paid per scan, per pass). Edge ids are unchanged (vm is still
+     the parent's validity bound), weights still read live, and the result
+     goes stale exactly when the parent does. *)
+  let restrict v ~keep =
+    let n = v.vn in
+    let compact idx adj =
+      let idx' = Array.make (n + 1) 0 in
+      for u = 0 to n - 1 do
+        let kept = ref 0 in
+        for i = idx.(u) to idx.(u + 1) - 1 do
+          if keep (Array.unsafe_get adj i) then incr kept
+        done;
+        idx'.(u + 1) <- idx'.(u) + !kept
+      done;
+      let adj' = Array.make idx'.(n) 0 in
+      for u = 0 to n - 1 do
+        let cur = ref idx'.(u) in
+        for i = idx.(u) to idx.(u + 1) - 1 do
+          let e = Array.unsafe_get adj i in
+          if keep e then begin
+            Array.unsafe_set adj' !cur e;
+            incr cur
+          end
+        done
+      done;
+      (idx', adj')
+    in
+    let out_idx, out_adj = compact v.out_idx v.out_adj in
+    let in_idx, in_adj = compact v.in_idx v.in_adj in
+    { v with out_idx; out_adj; in_idx; in_adj }
+end
 
 let check_edge t e = if e < 0 || e >= t.m then invalid_arg "Digraph: bad edge id"
 
@@ -97,8 +268,29 @@ let set_delay t e d = check_edge t e; t.delay.(e) <- d
 
 let out_edges t v = t.out.(v)
 let in_edges t v = t.inc.(v)
-let out_degree t v = List.length t.out.(v)
-let in_degree t v = List.length t.inc.(v)
+
+(* On a frozen graph the traversals below walk the CSR arrays; otherwise
+   they fall back to the lists (building the snapshot implicitly here would
+   turn a one-off probe on a graph under construction into an O(n+m) hit). *)
+let iter_out t v f =
+  match t.csr with
+  | Some c when c.gen == t.version -> View.iter_out c v f
+  | _ -> List.iter f t.out.(v)
+
+let iter_in t v f =
+  match t.csr with
+  | Some c when c.gen == t.version -> View.iter_in c v f
+  | _ -> List.iter f t.inc.(v)
+
+let out_degree t v =
+  match t.csr with
+  | Some c when c.gen == t.version -> View.out_degree c v
+  | _ -> List.length t.out.(v)
+
+let in_degree t v =
+  match t.csr with
+  | Some c when c.gen == t.version -> View.in_degree c v
+  | _ -> List.length t.inc.(v)
 
 let iter_edges t f =
   for e = 0 to t.m - 1 do
@@ -111,8 +303,6 @@ let fold_edges t ~init ~f =
     acc := f !acc e
   done;
   !acc
-
-let iter_out t v f = List.iter f t.out.(v)
 
 let edges t = List.init t.m (fun e -> e)
 

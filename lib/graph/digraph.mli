@@ -4,7 +4,20 @@
     are dense integer identifiers ([0 .. n-1] / [0 .. m-1]); parallel edges
     and self-loops are allowed (the paper's residual graphs are explicitly
     multigraphs, footnote 1 of Definition 6). Costs and delays may be
-    negative — residual graphs negate both. *)
+    negative — residual graphs negate both.
+
+    {2 Adjacency substrates}
+
+    Adjacency exists in two forms. The mutable ground truth is per-vertex
+    edge-id lists ({!out_edges} / {!in_edges}); it is always current.
+    {!freeze} additionally builds a {!type-view} — a CSR (compressed sparse
+    row) snapshot holding both directions as flat [int array]s — which every
+    hot traversal in the repository runs on. The snapshot is cached inside
+    the graph and keyed by a generation counter: {!add_edge} and
+    {!add_vertex} bump the generation, so the next {!freeze} rebuilds in
+    O(n + m), while repeated freezes of an unchanged graph are O(1).
+    {!set_cost} / {!set_delay} do {e not} invalidate — views read weights
+    through the live arrays; only adjacency is frozen. *)
 
 type t
 
@@ -15,19 +28,26 @@ val create : ?expected_edges:int -> n:int -> unit -> t
 (** [create ~n ()] is a graph with vertices [0..n-1] and no edges. *)
 
 val copy : t -> t
+(** Deep copy. The cached CSR snapshot is deliberately {e not} shared:
+    the copy starts unfrozen, and later mutations of either graph can
+    never leak through a shared snapshot. *)
 
 val add_vertex : t -> vertex
-(** Appends a fresh vertex and returns its id. *)
+(** Appends a fresh vertex and returns its id. Invalidates frozen views. *)
 
 val add_edge : t -> src:vertex -> dst:vertex -> cost:int -> delay:int -> edge
 (** Appends an edge and returns its id. Raises [Invalid_argument] if either
-    endpoint is out of range. *)
+    endpoint is out of range. Invalidates frozen views. *)
 
 val n : t -> int
 (** Number of vertices. *)
 
 val m : t -> int
 (** Number of edges. *)
+
+val generation : t -> int
+(** Adjacency generation counter: increases on every {!add_edge} /
+    {!add_vertex}. A frozen view is current iff its generation matches. *)
 
 val src : t -> edge -> vertex
 val dst : t -> edge -> vertex
@@ -47,7 +67,75 @@ val in_degree : t -> vertex -> int
 
 val iter_edges : t -> (edge -> unit) -> unit
 val fold_edges : t -> init:'a -> f:('a -> edge -> 'a) -> 'a
+
 val iter_out : t -> vertex -> (edge -> unit) -> unit
+(** Iterate the out-edges of [v]. Walks the CSR snapshot when the graph is
+    currently frozen (no list-cell chasing, no allocation), the adjacency
+    list otherwise. *)
+
+val iter_in : t -> vertex -> (edge -> unit) -> unit
+
+(** {2 Frozen CSR views} *)
+
+type view
+(** A frozen adjacency snapshot. A view never mutates: it describes the
+    graph as it was at {!freeze} time ([View.n] / [View.m] are the counts of
+    that moment). Edge weights are read through to the live graph, so
+    {!set_cost} after a freeze is visible — the idiom used by weight-overlay
+    algorithms. Querying a vertex added after the freeze raises
+    [Invalid_argument]. *)
+
+val freeze : t -> view
+(** Build (or fetch the cached) CSR snapshot: O(n + m) when stale, O(1)
+    when the graph has not gained edges or vertices since the last call. *)
+
+val is_frozen : t -> bool
+(** [true] iff the cached snapshot matches the current generation, i.e.
+    {!freeze} would be O(1) and {!iter_out}/{!iter_in} take the CSR path. *)
+
+module View : sig
+  val graph : view -> t
+  val n : view -> int
+  val m : view -> int
+
+  val valid : view -> bool
+  (** [true] while the underlying graph has not been mutated since the
+      freeze. Stale views remain safe to use — they just describe the old
+      adjacency. *)
+
+  val src : view -> edge -> vertex
+  val dst : view -> edge -> vertex
+  val cost : view -> edge -> int
+  val delay : view -> edge -> int
+
+  val iter_out : view -> vertex -> (edge -> unit) -> unit
+  (** List-free out-adjacency scan: walks a contiguous [int array] span. *)
+
+  val iter_in : view -> vertex -> (edge -> unit) -> unit
+
+  val fold_out : view -> vertex -> init:'a -> f:('a -> edge -> 'a) -> 'a
+  val fold_in : view -> vertex -> init:'a -> f:('a -> edge -> 'a) -> 'a
+
+  val out_degree : view -> vertex -> int
+  val in_degree : view -> vertex -> int
+
+  val out_span : view -> vertex -> int * int
+  (** Half-open cursor range [(start, stop)] into the flat out-adjacency
+      order; resolve positions with {!out_entry}. For iterative DFS frames
+      and early-exit scans where a closure-based iterator is awkward. *)
+
+  val out_entry : view -> int -> edge
+  val in_span : view -> vertex -> int * int
+  val in_entry : view -> int -> edge
+
+  val restrict : view -> keep:(edge -> bool) -> view
+  (** Sub-view whose adjacency (both directions) is compacted to the edges
+      [keep] accepts — the preferred way to run a traversal under a mask:
+      O(n + m) once, and the traversal then never touches a masked edge
+      (unlike a per-scan [disabled] predicate). Edge ids, weights and
+      staleness behave exactly as in the parent view; the result is not
+      cached on the graph. *)
+end
 
 val edges : t -> edge list
 (** All edge ids in increasing order. *)

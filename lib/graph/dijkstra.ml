@@ -1,8 +1,10 @@
 module G = Digraph
+module V = Digraph.View
 
 type result = { dist : int array; parent : int array }
 
 let run g ~weight ?(disabled = fun _ -> false) ~src () =
+  let view = G.freeze g in
   let n = G.n g in
   let dist = Array.make n max_int in
   let parent = Array.make n (-1) in
@@ -15,11 +17,11 @@ let run g ~weight ?(disabled = fun _ -> false) ~src () =
     | Some (d, u) ->
       if d = dist.(u) then
         (* not a stale entry *)
-        G.iter_out g u (fun e ->
+        V.iter_out view u (fun e ->
             if not (disabled e) then begin
               let w = weight e in
               if w < 0 then invalid_arg "Dijkstra: negative edge weight";
-              let v = G.dst g e in
+              let v = V.dst view e in
               let nd = d + w in
               if nd < dist.(v) then begin
                 dist.(v) <- nd;

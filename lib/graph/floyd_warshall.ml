@@ -5,17 +5,23 @@ type result =
   | Negative_cycle
 
 let run g ~weight ?(disabled = fun _ -> false) () =
+  let view = G.freeze g in
   let n = G.n g in
   let inf = max_int in
   let dist = Array.make_matrix n n inf in
   for v = 0 to n - 1 do
     dist.(v).(v) <- 0
   done;
-  G.iter_edges g (fun e ->
-      if not (disabled e) then begin
-        let u = G.src g e and v = G.dst g e in
-        if weight e < dist.(u).(v) then dist.(u).(v) <- weight e
-      end);
+  (* seed row by row from the frozen view so each dist.(u) row is written
+     contiguously (parallel edges collapse to the cheapest) *)
+  for u = 0 to n - 1 do
+    let row = dist.(u) in
+    Digraph.View.iter_out view u (fun e ->
+        if not (disabled e) then begin
+          let v = Digraph.View.dst view e in
+          if weight e < row.(v) then row.(v) <- weight e
+        end)
+  done;
   for k = 0 to n - 1 do
     for i = 0 to n - 1 do
       if dist.(i).(k) <> inf then

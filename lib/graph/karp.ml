@@ -1,4 +1,5 @@
 module G = Digraph
+module V = Digraph.View
 
 (* Karp's DP: d.(k).(v) = minimum weight of a k-edge walk ending at v from a
    virtual source that reaches every vertex at cost 0. The minimum cycle mean
@@ -9,24 +10,32 @@ let min_mean_cycle g ~weight ?(disabled = fun _ -> false) () =
   let n = G.n g in
   if n = 0 then None
   else begin
+    let view = G.freeze g in
     let inf = max_int in
     let d = Array.make_matrix (n + 1) n inf in
     let parent = Array.make_matrix (n + 1) n (-1) in
     for v = 0 to n - 1 do
       d.(0).(v) <- 0
     done;
+    (* relax grouped by source vertex (CSR order): d.(k) depends only on
+       d.(k-1), so the per-round relaxation order is irrelevant, and the
+       grouping both skips vertices the DP has not reached and keeps the
+       d.(k-1).(u) read out of the inner loop *)
     for k = 1 to n do
-      G.iter_edges g (fun e ->
-          if not (disabled e) then begin
-            let u = G.src g e and v = G.dst g e in
-            if d.(k - 1).(u) <> inf then begin
-              let nd = d.(k - 1).(u) + weight e in
-              if nd < d.(k).(v) then begin
-                d.(k).(v) <- nd;
-                parent.(k).(v) <- e
-              end
-            end
-          end)
+      let dk1 = d.(k - 1) and dk = d.(k) and pk = parent.(k) in
+      for u = 0 to n - 1 do
+        let du = dk1.(u) in
+        if du <> inf then
+          V.iter_out view u (fun e ->
+              if not (disabled e) then begin
+                let v = V.dst view e in
+                let nd = du + weight e in
+                if nd < dk.(v) then begin
+                  dk.(v) <- nd;
+                  pk.(v) <- e
+                end
+              end)
+      done
     done;
     (* best = (num, den, v) minimizing num/den = max_k (d_n(v)-d_k(v))/(n-k) *)
     let best = ref None in

@@ -1,10 +1,14 @@
 module G = Digraph
+module V = Digraph.View
 
 type result = { count : int; component : int array }
 
-(* Iterative Tarjan: an explicit stack of (vertex, remaining out-edges) frames
-   avoids stack overflow on long path graphs. *)
+(* Iterative Tarjan: an explicit stack of (vertex, adjacency cursor) frames
+   avoids stack overflow on long path graphs. Frames hold half-open cursor
+   ranges into the frozen CSR adjacency instead of edge-list refs, so the
+   DFS allocates nothing per visited edge. *)
 let run g =
+  let view = G.freeze g in
   let n = G.n g in
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in
@@ -14,7 +18,11 @@ let run g =
   let next_index = ref 0 in
   let count = ref 0 in
   let visit root =
-    let frames = ref [ (root, ref (G.out_edges g root)) ] in
+    let frame v =
+      let cur, stop = V.out_span view v in
+      (v, ref cur, stop)
+    in
+    let frames = ref [ frame root ] in
     index.(root) <- !next_index;
     lowlink.(root) <- !next_index;
     incr next_index;
@@ -23,24 +31,25 @@ let run g =
     while !frames <> [] do
       match !frames with
       | [] -> ()
-      | (v, rest) :: parent_frames -> (
-        match !rest with
-        | e :: more ->
-          rest := more;
-          let w = G.dst g e in
+      | (v, cur, stop) :: parent_frames ->
+        if !cur < stop then begin
+          let e = V.out_entry view !cur in
+          incr cur;
+          let w = V.dst view e in
           if index.(w) = -1 then begin
             index.(w) <- !next_index;
             lowlink.(w) <- !next_index;
             incr next_index;
             stack := w :: !stack;
             on_stack.(w) <- true;
-            frames := (w, ref (G.out_edges g w)) :: !frames
+            frames := frame w :: !frames
           end
           else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
-        | [] ->
+        end
+        else begin
           frames := parent_frames;
           (match parent_frames with
-          | (p, _) :: _ -> lowlink.(p) <- min lowlink.(p) lowlink.(v)
+          | (p, _, _) :: _ -> lowlink.(p) <- min lowlink.(p) lowlink.(v)
           | [] -> ());
           if lowlink.(v) = index.(v) then begin
             let rec pop () =
@@ -54,7 +63,8 @@ let run g =
             in
             pop ();
             incr count
-          end)
+          end
+        end
     done
   in
   for v = 0 to n - 1 do

@@ -51,6 +51,8 @@ let spur_candidates g ~weight ~dst ~known last =
 let k_shortest g ~weight ~src ~dst ~k =
   if k <= 0 then []
   else begin
+    (* freeze once: every spur Dijkstra below reuses the cached CSR view *)
+    ignore (G.freeze g);
     match Dijkstra.shortest_path g ~weight ~src ~dst () with
     | None -> []
     | Some first ->

@@ -21,7 +21,12 @@ let budget_dp g ~advance ~relax_cost ~src ~budget =
         end
       done;
     (* relax edges whose budget weight fits into b; zero-budget-weight edges
-       need an inner fixpoint (they stay on the same layer) *)
+       need an inner fixpoint (they stay on the same layer). Any improvement
+       to this layer must re-arm the fixpoint — a positive-weight edge can
+       land a value that a zero-weight edge earlier in scan order then has
+       to propagate; re-arming only on zero-weight improvements leaves that
+       value stranded. Positive-weight relaxations read lower (final)
+       layers, so they are idempotent and the loop still terminates. *)
     let changed = ref true in
     while !changed do
       changed := false;
@@ -34,7 +39,7 @@ let budget_dp g ~advance ~relax_cost ~src ~budget =
               if nc < dist.(b).(v) then begin
                 dist.(b).(v) <- nc;
                 parent.(b).(v) <- e;
-                if w = 0 then changed := true
+                changed := true
               end
             end
           end)

@@ -93,6 +93,9 @@ let live_view t =
     in
     let to_base = Array.make (G.m lgraph) (-1) in
     Array.iteri (fun b l -> if l >= 0 then to_base.(l) <- b) of_base;
+    (* the live graph is immutable until the next FAIL/RESTORE drops it:
+       freeze now so every solve on this generation shares one CSR view *)
+    ignore (G.freeze lgraph);
     let l = { lgraph; to_base; of_base } in
     t.live <- Some l;
     l
@@ -272,6 +275,7 @@ let do_restore t ~u ~v =
 let stats_kv t =
   let c = Cache.stats t.cache in
   Metrics.to_kv t.metrics
+  @ Metrics.to_kv Krsp.metrics
   @ [ ("cache.hits", string_of_int c.Cache.hits); ("cache.misses", string_of_int c.Cache.misses);
       ("cache.evictions", string_of_int c.Cache.evictions);
       ("cache.invalidations", string_of_int c.Cache.invalidations);

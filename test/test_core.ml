@@ -119,6 +119,78 @@ let test_residual_rejects_shared () =
   Alcotest.check_raises "shared edges" (Invalid_argument "Residual.build: paths share edges")
     (fun () -> ignore (Residual.build t.Instance.graph ~paths:[ [ 0; 1 ]; [ 0; 3 ] ]))
 
+(* The arena path must be observationally equivalent to a fresh build: for
+   every base edge exactly one of its two doubled copies is active, and the
+   active copy carries the orientation and weights the built residual gives
+   that edge. The cycle search must then see the same space through either. *)
+let arena_matches_build_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"arena residual = built residual (mask + search)" ~count:50
+       QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let n = 4 + X.int rng 4 in
+         let k = 1 + X.int rng 2 in
+         match random_feasible_instance rng ~n ~k with
+         | None -> true
+         | Some t -> (
+           match Phase1.min_sum t with
+           | Phase1.No_k_paths | Phase1.Lp_infeasible -> true
+           | Phase1.Start s ->
+             let g = t.Instance.graph in
+             let paths = s.Phase1.paths in
+             let res_b = Residual.build g ~paths in
+             let res_a = Residual.of_arena (Residual.arena g) ~paths in
+             let ga = res_a.Residual.graph and gb = res_b.Residual.graph in
+             let ok = ref true in
+             (* build aligns residual ids with base ids; the arena doubles
+                them as forward 2e / reversed 2e+1 *)
+             G.iter_edges g (fun e ->
+                 let fwd = Residual.active res_a (2 * e)
+                 and rev = Residual.active res_a ((2 * e) + 1) in
+                 ok := !ok && fwd <> rev;
+                 let ae = if fwd then 2 * e else (2 * e) + 1 in
+                 ok :=
+                   !ok
+                   && res_a.Residual.base_edge.(ae) = e
+                   && res_a.Residual.is_reversed.(ae) = res_b.Residual.is_reversed.(e)
+                   && G.src ga ae = G.src gb e
+                   && G.dst ga ae = G.dst gb e
+                   && G.cost ga ae = G.cost gb e
+                   && G.delay ga ae = G.delay gb e);
+             let bound = max 1 (min 30 (G.total_cost g)) in
+             let sol = Instance.solution_of_paths t paths in
+             let ctx =
+               {
+                 Bicameral.delta_d = t.Instance.delay_bound - sol.Instance.delay;
+                 delta_c = bound - sol.Instance.cost;
+                 cost_cap = bound;
+               }
+             in
+             let sig_of = function None -> None | Some c -> Some (c.Dp.cost, c.Dp.delay) in
+             let from_build = Dp.find res_b ~ctx ~bound ~exhaustive:true () in
+             let searcher = Dp.prepare res_a ~bound in
+             let from_arena = Dp.find res_a ~ctx ~bound ~exhaustive:true ~searcher () in
+             !ok && sig_of from_build = sig_of from_arena)))
+
+let test_searcher_mismatch_rejected () =
+  let t = diamond_instance ~delay_bound:30 ~k:2 in
+  let g = t.Instance.graph in
+  let paths = [ [ 0; 1 ] ] in
+  let res = Residual.of_arena (Residual.arena g) ~paths in
+  let searcher = Dp.prepare res ~bound:5 in
+  let ctx = { Bicameral.delta_d = 0; delta_c = 0; cost_cap = 5 } in
+  let mismatch = Invalid_argument "Cycle_search_dp: searcher does not match residual/bound" in
+  (* a searcher is tied to one residual graph value at one bound *)
+  Alcotest.check_raises "foreign residual" mismatch (fun () ->
+      ignore (Dp.find (Residual.build g ~paths) ~ctx ~bound:5 ~searcher ()));
+  Alcotest.check_raises "different bound" mismatch (fun () ->
+      ignore (Dp.find res ~ctx ~bound:6 ~searcher ()));
+  (* mutating the residual graph invalidates it too (generation check) *)
+  ignore (G.add_vertex res.Residual.graph);
+  Alcotest.check_raises "mutated residual" mismatch (fun () ->
+      ignore (Dp.find res ~ctx ~bound:5 ~searcher ()))
+
 (* Proposition 7 as a property: applying any simple residual cycle to k
    disjoint paths yields k disjoint paths whose cost/delay shift by exactly
    (c(O), d(O)). *)
@@ -695,6 +767,8 @@ let suites =
     ( "residual",
       [ Alcotest.test_case "structure" `Quick test_residual_structure;
         Alcotest.test_case "rejects shared paths" `Quick test_residual_rejects_shared;
+        Alcotest.test_case "searcher mismatch rejected" `Quick test_searcher_mismatch_rejected;
+        arena_matches_build_prop;
         oplus_prop;
         lemma9_prop
       ] );

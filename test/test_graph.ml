@@ -90,6 +90,150 @@ let test_digraph_copy_isolated () =
   Alcotest.(check int) "original untouched" 1 (G.m g);
   Alcotest.(check int) "copy extended" 2 (G.m g2)
 
+(* --- CSR views ----------------------------------------------------------- *)
+
+module V = G.View
+
+let sorted_iter_out view u =
+  let acc = ref [] in
+  V.iter_out view u (fun e -> acc := e :: !acc);
+  List.sort compare !acc
+
+let sorted_iter_in view u =
+  let acc = ref [] in
+  V.iter_in view u (fun e -> acc := e :: !acc);
+  List.sort compare !acc
+
+(* the graph-level iterators must agree with the lists whether or not the
+   CSR fast path is engaged *)
+let sorted_g_iter_out g u =
+  let acc = ref [] in
+  G.iter_out g u (fun e -> acc := e :: !acc);
+  List.sort compare !acc
+
+let test_freeze_caching () =
+  let g, _, _, _, _, _ = diamond () in
+  let gen0 = G.generation g in
+  Alcotest.(check bool) "fresh graph unfrozen" false (G.is_frozen g);
+  let v1 = G.freeze g in
+  Alcotest.(check bool) "frozen" true (G.is_frozen g);
+  let v2 = G.freeze g in
+  Alcotest.(check bool) "second freeze is cached" true (v1 == v2);
+  ignore (G.add_edge g ~src:3 ~dst:0 ~cost:1 ~delay:1);
+  Alcotest.(check bool) "generation bumped" true (G.generation g > gen0);
+  Alcotest.(check bool) "add_edge invalidates" false (G.is_frozen g);
+  let v3 = G.freeze g in
+  Alcotest.(check bool) "rebuilt after mutation" true (not (v1 == v3));
+  ignore (G.add_vertex g);
+  Alcotest.(check bool) "add_vertex invalidates" false (G.is_frozen g)
+
+let test_view_stale_semantics () =
+  let g, e01, _, _, _, e03 = diamond () in
+  let view = G.freeze g in
+  Alcotest.(check bool) "valid when fresh" true (V.valid view);
+  let e30 = G.add_edge g ~src:3 ~dst:0 ~cost:1 ~delay:1 in
+  Alcotest.(check bool) "stale after add_edge" false (V.valid view);
+  (* the stale view still describes the pre-mutation adjacency *)
+  Alcotest.(check int) "old m" 5 (V.m view);
+  Alcotest.(check (list int)) "old out 3" [] (sorted_iter_out view 3);
+  Alcotest.(check (list int)) "old in 0" [] (sorted_iter_in view 0);
+  let view' = G.freeze g in
+  Alcotest.(check (list int)) "new out 3" [ e30 ] (sorted_iter_out view' 3);
+  let w = G.add_vertex g in
+  Alcotest.check_raises "vertex beyond the freeze"
+    (Invalid_argument "Digraph.View: vertex outside snapshot") (fun () ->
+      V.iter_out view' w (fun _ -> ()));
+  ignore (e01, e03)
+
+let test_view_weight_readthrough () =
+  let g, e01, _, _, _, _ = diamond () in
+  let view = G.freeze g in
+  G.set_cost g e01 42;
+  G.set_delay g e01 7;
+  (* weights are live, adjacency is frozen: the view stays current *)
+  Alcotest.(check bool) "set_cost keeps view valid" true (V.valid view);
+  Alcotest.(check bool) "set_cost keeps graph frozen" true (G.is_frozen g);
+  Alcotest.(check int) "cost reads through" 42 (V.cost view e01);
+  Alcotest.(check int) "delay reads through" 7 (V.delay view e01)
+
+(* regression: [copy] must not share the cached CSR snapshot — a copy that
+   reused it would miss its own subsequent add_edge in iter_out *)
+let test_copy_csr_isolated () =
+  let g, e01, _, _, _, _ = diamond () in
+  let view = G.freeze g in
+  let g2 = G.copy g in
+  let e_new = G.add_edge g2 ~src:3 ~dst:0 ~cost:9 ~delay:9 in
+  Alcotest.(check (list int)) "copy sees its own edge" [ e_new ] (sorted_g_iter_out g2 3);
+  Alcotest.(check bool) "original still frozen" true (G.is_frozen g);
+  Alcotest.(check bool) "original view still valid" true (V.valid view);
+  Alcotest.(check (list int)) "original out 3 untouched" [] (sorted_iter_out view 3);
+  (* weight mutations cannot leak through either direction *)
+  G.set_cost g e01 1000;
+  Alcotest.(check int) "copy keeps its own cost" 1 (G.cost g2 e01);
+  G.set_cost g2 e01 500;
+  Alcotest.(check int) "original keeps its own cost" 1000 (G.cost g e01)
+
+let test_view_restrict () =
+  let g, e01, e13, e02, e23, e03 = diamond () in
+  let view = G.freeze g in
+  let keep e = e <> e02 && e <> e03 in
+  let r = V.restrict view ~keep in
+  Alcotest.(check (list int)) "out 0 filtered" [ e01 ] (sorted_iter_out r 0);
+  Alcotest.(check (list int)) "in 3 filtered" (List.sort compare [ e13; e23 ])
+    (sorted_iter_in r 3);
+  Alcotest.(check (list int)) "out 2 filtered" [ e23 ] (sorted_iter_out r 2);
+  Alcotest.(check int) "degrees follow" 1 (V.out_degree r 0);
+  (* edge ids, endpoints and weights are the parent's *)
+  Alcotest.(check int) "src preserved" (V.src view e01) (V.src r e01);
+  Alcotest.(check int) "cost preserved" (V.cost view e01) (V.cost r e01);
+  (* the parent view is untouched *)
+  Alcotest.(check (list int)) "parent out 0 intact" (List.sort compare [ e01; e02; e03 ])
+    (sorted_iter_out view 0)
+
+(* satellite property: under an interleaved script of add_edge (parallel
+   edges and self-loops included), add_vertex and freeze, every frozen view
+   exposes exactly the adjacency-list edge multisets, in both directions *)
+let csr_matches_lists_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"frozen csr = adjacency lists under interleaved mutation"
+       ~count:200 QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let g = G.create ~expected_edges:4 ~n:(1 + X.int rng 4) () in
+         let ok = ref true in
+         let check_view () =
+           let view = G.freeze g in
+           ok := !ok && V.valid view && V.n view = G.n g && V.m view = G.m g;
+           for u = 0 to G.n g - 1 do
+             ok :=
+               !ok
+               && sorted_iter_out view u = List.sort compare (G.out_edges g u)
+               && sorted_iter_in view u = List.sort compare (G.in_edges g u)
+               && sorted_g_iter_out g u = List.sort compare (G.out_edges g u)
+               && V.out_degree view u = G.out_degree g u
+               && V.in_degree view u = G.in_degree g u
+           done;
+           G.iter_edges g (fun e ->
+               ok :=
+                 !ok
+                 && V.src view e = G.src g e
+                 && V.dst view e = G.dst g e
+                 && V.cost view e = G.cost g e
+                 && V.delay view e = G.delay g e)
+         in
+         for _ = 1 to 25 do
+           match X.int rng 8 with
+           | 0 | 1 | 2 | 3 | 4 ->
+             (* arbitrary endpoints: self-loops and parallel edges welcome *)
+             let n = G.n g in
+             let u = X.int rng n and v = X.int rng n in
+             ignore (G.add_edge g ~src:u ~dst:v ~cost:(X.int_in rng (-9) 9) ~delay:(X.int rng 9))
+           | 5 -> ignore (G.add_vertex g)
+           | _ -> check_view ()
+         done;
+         check_view ();
+         !ok))
+
 (* --- Path --------------------------------------------------------------- *)
 
 let test_path_accessors () =
@@ -451,6 +595,14 @@ let suites =
         Alcotest.test_case "bad edge rejected" `Quick test_digraph_bad_edge;
         Alcotest.test_case "reverse" `Quick test_digraph_reverse;
         Alcotest.test_case "copy isolated" `Quick test_digraph_copy_isolated
+      ] );
+    ( "csr-view",
+      [ Alcotest.test_case "freeze caching" `Quick test_freeze_caching;
+        Alcotest.test_case "stale semantics" `Quick test_view_stale_semantics;
+        Alcotest.test_case "weight read-through" `Quick test_view_weight_readthrough;
+        Alcotest.test_case "copy does not share snapshot" `Quick test_copy_csr_isolated;
+        Alcotest.test_case "restrict" `Quick test_view_restrict;
+        csr_matches_lists_prop
       ] );
     ( "path",
       [ Alcotest.test_case "accessors" `Quick test_path_accessors;

@@ -1,4 +1,7 @@
 let () =
+  (* the whole suite runs with MCMF's reduced-cost assertions armed — the
+     debug invariant is free at test scale and catches potential corruption *)
+  Krsp_flow.Mcmf.check_invariants := true;
   Alcotest.run "krsp"
     (Test_util.suites @ Test_bigint.suites @ Test_graph.suites @ Test_lp.suites
    @ Test_flow.suites @ Test_rsp.suites @ Test_core.suites @ Test_gen.suites
