@@ -10,7 +10,8 @@ let experiments =
     ("e4", E4_baselines.run); ("e5", E5_iterations.run); ("e6", E6_engines.run);
     ("e7", E7_auxiliary.run); ("e8", E8_scalability.run); ("e9", E9_ksweep.run);
     ("e10", E10_lp_bound.run); ("e11", E11_phase1.run); ("e12", E12_policy.run);
-    ("e13", E13_isp_case.run); ("e14", E14_serving.run); ("e15", E15_substrate.run)
+    ("e13", E13_isp_case.run); ("e14", E14_serving.run); ("e15", E15_substrate.run);
+    ("e16", E16_parallel.run)
   ]
 
 let () =

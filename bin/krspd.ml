@@ -46,7 +46,17 @@ let engine_arg =
     value & opt string "dp"
     & info [ "engine" ] ~docv:"ENGINE" ~doc:"Bicameral search engine: dp or lp.")
 
-let run graph_file unix_path tcp_port tcp_host cache_size engine_name =
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domain pool width for parallel solving and solve offload (includes the socket \
+           loop's domain). Default: $(b,KRSP_DOMAINS) when set, else the machine's \
+           recommended domain count. $(docv)=1 disables all parallelism.")
+
+let run graph_file unix_path tcp_port tcp_host cache_size engine_name domains =
   let g =
     try Io.of_edge_list (Io.read_file graph_file)
     with Failure msg | Sys_error msg ->
@@ -55,10 +65,24 @@ let run graph_file unix_path tcp_port tcp_host cache_size engine_name =
   in
   let solver = match engine_name with "lp" -> Krsp_core.Krsp.Lp | _ -> Krsp_core.Krsp.Dp in
   let config = { Engine.default_config with Engine.cache_capacity = cache_size; solver } in
-  let engine = Engine.create ~config g in
+  let pool =
+    match domains with
+    | Some size -> Krsp_util.Pool.create ~size:(max 1 size) ()
+    | None -> Krsp_util.Pool.default ()
+  in
+  let engine = Engine.create ~config ~pool g in
   Sys.set_signal Sys.sigusr1
     (Sys.Signal_handle
-       (fun _ -> Printf.eprintf "--- krspd metrics ---\n%s\n%!" (Metrics.dump (Engine.metrics engine))));
+       (fun _ ->
+         (* stats_kv takes the (error-checked) metric locks; if the signal
+            lands inside one of those critical sections, skip this dump
+            rather than let Sys_error escape into the interrupted code *)
+         try
+           let kv = Engine.stats_kv engine in
+           let b = Buffer.create 256 in
+           List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s=%s\n" k v)) kv;
+           Printf.eprintf "--- krspd metrics ---\n%s%!" (Buffer.contents b)
+         with Sys_error _ -> ()));
   (* a client hanging up mid-write must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   match (unix_path, tcp_port) with
@@ -89,12 +113,21 @@ let cmd =
          invalidate only affected entries, and repeated queries after a failure are re-solved \
          from the previous solution (warm start) instead of from scratch. Send SIGUSR1 for a \
          metrics dump on stderr.";
+      `P
+        "With $(b,--domains) > 1 (or KRSP_DOMAINS set) solves run on a pool of worker \
+         domains: the socket loop keeps answering PING/STATS/cache hits and accepting \
+         FAIL/RESTORE while solves are in flight, per-client response order is preserved, \
+         and the solver itself parallelises its cycle searches and guess bisection \
+         (results are identical at any width). Pool counters (pool.tasks, \
+         pool.queue_depth, pool.domain<i>.busy_us) appear in STATS.";
       `S Manpage.s_exit_status;
       `P "0 on clean shutdown (EOF in stdio mode); 3 when the topology cannot be loaded."
     ]
   in
   Cmd.v
     (Cmd.info "krspd" ~version:Bin_version.version ~doc ~man)
-    Term.(const run $ graph_file $ unix_path $ tcp_port $ tcp_host $ cache_size $ engine_arg)
+    Term.(
+      const run $ graph_file $ unix_path $ tcp_port $ tcp_host $ cache_size $ engine_arg
+      $ domains_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -165,7 +165,7 @@ let phase_b res ctx s rv root =
 let delay_reducing found =
   List.exists (fun c -> c.kind <> Bicameral.Type2) found
 
-let search ?searcher res ~ctx ~bound ~stop_early =
+let search ?pool ?searcher res ~ctx ~bound ~stop_early =
   assert (bound >= 1);
   let s = searcher_for ?searcher res ~bound in
   let rv = masked_view s res in
@@ -173,22 +173,65 @@ let search ?searcher res ~ctx ~bound ~stop_early =
   let all = ref a in
   if stop_early && delay_reducing a then !all
   else begin
-    let rec scan = function
-      | [] -> ()
-      | root :: rest ->
-        let found = phase_b res ctx s rv root in
-        all := found @ !all;
-        if stop_early && delay_reducing found then () else scan rest
+    let rts = roots res in
+    let parallel =
+      match pool with
+      | Some p -> Krsp_util.Pool.width p > 1 && List.length rts > 1
+      | None -> false
     in
-    scan (roots res);
-    !all
+    if parallel then begin
+      (* Speculative fan-out in waves: a wave of roots runs its phase-B
+         searches concurrently (each Bellman–Ford allocates its own
+         dist/parent scratch; the product graph, its masked view and the
+         residual are shared strictly read-only), then the serial scan's
+         early-stop is re-applied to the wave's results as a prefix rule —
+         accumulate roots in id order up to and including the first
+         delay-reducing one — so the candidate list, and hence the cycle
+         [find] picks, is bit-identical to the serial scan's. Waves bound
+         the speculation: at most [wave - 1] roots past the serial stop
+         point are wasted work traded for wall-clock, the same bargain the
+         guess speculation makes. *)
+      let p = Option.get pool in
+      let arr = Array.of_list rts in
+      let wave = if stop_early then 2 * Krsp_util.Pool.width p else Array.length arr in
+      let stop = ref false in
+      let lo = ref 0 in
+      while (not !stop) && !lo < Array.length arr do
+        let len = min wave (Array.length arr - !lo) in
+        let per_root =
+          Krsp_util.Pool.parallel_map ~chunk:1 p
+            (fun root -> phase_b res ctx s rv root)
+            (Array.sub arr !lo len)
+        in
+        (try
+           Array.iter
+             (fun found ->
+               all := found @ !all;
+               if stop_early && delay_reducing found then raise Exit)
+             per_root
+         with Exit -> stop := true);
+        lo := !lo + len
+      done;
+      !all
+    end
+    else begin
+      let rec scan = function
+        | [] -> ()
+        | root :: rest ->
+          let found = phase_b res ctx s rv root in
+          all := found @ !all;
+          if stop_early && delay_reducing found then () else scan rest
+      in
+      scan rts;
+      !all
+    end
   end
 
-let find res ~ctx ~bound ?(exhaustive = false) ?searcher () =
-  let cands = search ?searcher res ~ctx ~bound ~stop_early:(not exhaustive) in
+let find res ~ctx ~bound ?(exhaustive = false) ?searcher ?pool () =
+  let cands = search ?pool ?searcher res ~ctx ~bound ~stop_early:(not exhaustive) in
   List.fold_left (fun best c -> better ctx best (Some c)) None cands
 
-let enumerate res ~ctx ~bound = search res ~ctx ~bound ~stop_early:false
+let enumerate ?pool res ~ctx ~bound = search ?pool res ~ctx ~bound ~stop_early:false
 
 let enumerate_raw res ~bound =
   assert (bound >= 1);

@@ -49,6 +49,7 @@ val find :
   bound:int ->
   ?exhaustive:bool ->
   ?searcher:searcher ->
+  ?pool:Krsp_util.Pool.t ->
   unit ->
   candidate option
 (** Best bicameral cycle under {!Bicameral.compare_candidates}, or [None]
@@ -62,10 +63,21 @@ val find :
     callers pass it to skip the per-round product rebuild; anything else
     raises [Invalid_argument]. Without one, an ephemeral product over the
     {e currently active} residual edges is built for this call — half the
-    size of the reusable product, the right trade for one-shot searches. *)
+    size of the reusable product, the right trade for one-shot searches.
+
+    [pool], when wider than 1, fans the per-root phase-B Bellman–Ford runs
+    out across domains: the frozen product view and the residual are shared
+    read-only, each search allocates its own scratch, and the serial scan's
+    early-stop is replayed as a prefix rule over the per-root results — so
+    the returned candidate is {e bit-identical} to the serial scan's at any
+    pool width (see DESIGN.md §10 for the determinism contract). *)
 
 val enumerate :
-  Residual.t -> ctx:Bicameral.context -> bound:int -> candidate list
+  ?pool:Krsp_util.Pool.t ->
+  Residual.t ->
+  ctx:Bicameral.context ->
+  bound:int ->
+  candidate list
 (** All bicameral candidates found by the exhaustive scan (for tests and the
     engine cross-validation experiment). *)
 

@@ -14,6 +14,15 @@ let h_residual = Metrics.histogram metrics "solver.residual_build_ms"
 let h_search = Metrics.histogram metrics "solver.cycle_search_ms"
 let h_augment = Metrics.histogram metrics "solver.augment_ms"
 
+(* Speculation accounting for the parallel guess bisection: launched = a
+   flanking guess was evaluated concurrently with the midpoint, hit = the
+   bisection's next midpoint was exactly the speculated guess (result
+   consumed for free), wasted = the speculation ran but the search went the
+   other way. *)
+let c_spec_launched = Metrics.counter metrics "solver.spec_launched"
+let c_spec_hits = Metrics.counter metrics "solver.spec_hits"
+let c_spec_wasted = Metrics.counter metrics "solver.spec_wasted"
+
 let timed h f =
   let result, ms = Krsp_util.Timer.time_ms f in
   Metrics.observe h ms;
@@ -40,13 +49,13 @@ let log = Logs.Src.create "krsp" ~doc:"kRSP cycle cancellation"
 
 module L = (val Logs.src_log log : Logs.LOG)
 
-let find_cycle engine ~exhaustive ?searcher res ~ctx ~bound =
+let find_cycle engine ~exhaustive ?searcher ?pool res ~ctx ~bound =
   match engine with
-  | Dp -> Cycle_search_dp.find res ~ctx ~bound ~exhaustive ?searcher ()
+  | Dp -> Cycle_search_dp.find res ~ctx ~bound ~exhaustive ?searcher ?pool ()
   | Lp -> Cycle_search_lp.find res ~ctx ~bound ~exhaustive ()
 
 let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?(max_iterations = 2_000)
-    ?(stall_limit = 40) ?arena () =
+    ?(stall_limit = 40) ?arena ?pool () =
   let g = t.Instance.graph in
   let total_abs_cost = G.fold_edges g ~init:0 ~f:(fun acc e -> acc + abs (G.cost g e)) in
   (* Arena reuse: the doubled residual graph is shared by every round (and,
@@ -104,7 +113,7 @@ let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?(max_iteration
                 Some s
               | Dp, None -> None
             in
-            find_cycle engine ~exhaustive ?searcher:s res ~ctx ~bound)
+            find_cycle engine ~exhaustive ?searcher:s ?pool res ~ctx ~bound)
       in
       match cycle with
       | None -> None
@@ -195,7 +204,8 @@ let repair t ~paths =
   end
 
 let solve t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
-    ?(max_iterations = 2_000) ?(guess_steps = 12) ?warm_start () =
+    ?(max_iterations = 2_000) ?(guess_steps = 12) ?warm_start ?pool () =
+  let pool = match pool with Some p -> p | None -> Krsp_util.Pool.default () in
   if not (Instance.connectivity_ok t) then Error No_k_disjoint_paths
   else begin
     match Instance.min_possible_delay t with
@@ -243,16 +253,30 @@ let solve t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
         let lo0 = max 1 start_sol.Instance.cost in
         let hi0 = max lo0 fallback.Instance.cost in
         (* one doubled residual graph for the whole guess search: every
-           attempt's rounds refill its masks instead of building graphs *)
+           attempt's rounds refill its masks instead of building graphs. A
+           speculative attempt runs concurrently with the committed one, so
+           it masks its own second arena (built lazily, only once the first
+           speculation actually launches). *)
         let arena = Residual.arena t.Instance.graph in
+        let spec_arena = lazy (Residual.arena t.Instance.graph) in
         (* binary search the smallest successful guess; remember the best
            verified solution seen *)
         let best = ref None in
         let iters = ref 0 and t0s = ref 0 and t1s = ref 0 and t2s = ref 0 in
         let tried = ref 0 in
-        let attempt guess =
+        let attempt_pure ~arena guess =
+          improve t ~start ~guess ~engine ~exhaustive ~max_iterations ~arena ~pool ()
+        in
+        (* Folding an attempt's outcome into the stats and [best] is kept
+           separate from running it: speculative attempts are only committed
+           when the bisection really reaches their guess, so the committed
+           sequence — and with it [best], the iteration totals and the
+           returned solution — is identical to the serial search's at any
+           pool width. Discarded speculations leave no trace beyond the
+           [solver.spec_*] counters. *)
+        let commit guess result =
           incr tried;
-          match improve t ~start ~guess ~engine ~exhaustive ~max_iterations ~arena () with
+          match result with
           | None -> None
           | Some (sol, it, a, b, c) ->
             iters := !iters + it;
@@ -265,21 +289,64 @@ let solve t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
             | _ -> best := Some (sol, guess));
             Some sol
         in
-        (* always try the upper bound first: guaranteed >= C_OPT *)
-        let hi_ok = attempt hi0 <> None in
+        let next_mid lo hi = lo + ((hi - lo) / 2) in
+        let speculate = Krsp_util.Pool.width pool > 1 in
+        (* evaluate [guess]; when a flanking guess is supplied and the pool
+           is real, run both concurrently and hand the flank's result back
+           uncommitted *)
+        let eval guess flank =
+          match flank with
+          | Some fg when speculate && fg <> guess ->
+            Metrics.incr c_spec_launched;
+            let rs =
+              Krsp_util.Pool.parallel_map ~chunk:1 pool
+                (fun (g, spec) ->
+                  attempt_pure ~arena:(if spec then Lazy.force spec_arena else arena) g)
+                [| (guess, false); (fg, true) |]
+            in
+            (rs.(0), Some (fg, rs.(1)))
+          | _ -> (attempt_pure ~arena guess, None)
+        in
+        let discard = function
+          | Some _ -> Metrics.incr c_spec_wasted
+          | None -> ()
+        in
+        (* always try the upper bound first: guaranteed >= C_OPT. Its
+           flanking speculation is the bisection's first midpoint. *)
+        let first_mid = if guess_steps > 0 && lo0 < hi0 then Some (next_mid lo0 hi0) else None in
+        let r_hi, cache0 = eval hi0 first_mid in
+        let hi_ok = commit hi0 r_hi <> None in
         if hi_ok then begin
-          let rec bisect lo hi steps =
-            (* invariant: [hi] succeeded, [lo - 1] region unexplored *)
-            if steps <= 0 || lo >= hi then ()
+          let rec bisect lo hi steps cache =
+            (* invariant: [hi] succeeded, [lo - 1] region unexplored;
+               [cache] holds an uncommitted speculative result *)
+            if steps <= 0 || lo >= hi then discard cache
             else begin
-              let mid = lo + ((hi - lo) / 2) in
-              match attempt mid with
-              | Some _ -> bisect lo mid (steps - 1)
-              | None -> bisect (mid + 1) hi (steps - 1)
+              let mid = next_mid lo hi in
+              let result, cache' =
+                match cache with
+                | Some (g, r) when g = mid ->
+                  Metrics.incr c_spec_hits;
+                  (r, None)
+                | _ ->
+                  discard cache;
+                  (* speculate on the success branch: if [mid] works the
+                     next midpoint shrinks the interval to [lo, mid] *)
+                  let flank =
+                    if steps > 1 && lo < mid then Some (next_mid lo mid) else None
+                  in
+                  eval mid flank
+              in
+              match commit mid result with
+              | Some _ -> bisect lo mid (steps - 1) cache'
+              | None ->
+                discard cache';
+                bisect (mid + 1) hi (steps - 1) None
             end
           in
-          bisect lo0 hi0 guess_steps
-        end;
+          bisect lo0 hi0 guess_steps cache0
+        end
+        else discard cache0;
         match !best with
         | Some (sol, guess) ->
           Ok

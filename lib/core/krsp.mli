@@ -45,7 +45,9 @@ val metrics : Krsp_util.Metrics.t
     [solver.residual_build_ms], [solver.cycle_search_ms] and
     [solver.augment_ms] attribute each cancellation round's time to
     residual (mask) construction, bicameral cycle search and
-    ⊕-augmentation. Exported by krspd's [STATS]. *)
+    ⊕-augmentation; counters [solver.spec_launched], [solver.spec_hits]
+    and [solver.spec_wasted] account for the parallel guess search's
+    speculative attempts. Exported by krspd's [STATS]. Domain-safe. *)
 
 val improve :
   Instance.t ->
@@ -56,6 +58,7 @@ val improve :
   ?max_iterations:int ->
   ?stall_limit:int ->
   ?arena:Residual.arena ->
+  ?pool:Krsp_util.Pool.t ->
   unit ->
   (Instance.solution * int * int * int * int) option
 (** One run of Algorithm 1's inner loop under a fixed [guess]: returns the
@@ -69,7 +72,9 @@ val improve :
     engine's product graph is prepared once and reused across all rounds.
     [arena] lets callers running several [improve]s over one instance
     (e.g. {!solve}'s guess search) share the doubled graph too; it must
-    have been created by [Residual.arena] on this instance's graph. *)
+    have been created by [Residual.arena] on this instance's graph.
+    [pool] is forwarded to the DP engine's root search (see
+    {!Cycle_search_dp.find}); results are pool-width-independent. *)
 
 val repair :
   Instance.t -> paths:Krsp_graph.Path.t list -> Krsp_graph.Path.t list option
@@ -94,6 +99,7 @@ val solve :
   ?max_iterations:int ->
   ?guess_steps:int ->
   ?warm_start:Krsp_graph.Path.t list ->
+  ?pool:Krsp_util.Pool.t ->
   unit ->
   outcome
 (** Full pipeline: feasibility checks, phase 1, guess search over Algorithm 1,
@@ -112,4 +118,13 @@ val solve :
     guarantee: Lemma 11's cost bound needs start cost ≤ [C_OPT], which a
     repaired solution does not promise, so a warm-started solve is
     best-effort on cost. When the repair fails, the solve silently proceeds
-    cold with full guarantees. *)
+    cold with full guarantees.
+
+    [pool] (default {!Krsp_util.Pool.default}, i.e. [KRSP_DOMAINS]-sized)
+    parallelises two layers: the DP engine's per-root cycle searches, and
+    the guess bisection itself — each bisect step evaluates the midpoint
+    and, speculatively, the success branch's next midpoint concurrently on
+    separate residual arenas, committing the speculation only when the
+    search actually reaches that guess. Both layers preserve the serial
+    result bit-for-bit (DESIGN.md §10), so pool width is purely a
+    latency/throughput knob. *)

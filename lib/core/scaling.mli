@@ -26,10 +26,14 @@ val solve :
   ?phase1:Phase1.kind ->
   ?max_iterations:int ->
   ?warm_start:Krsp_graph.Path.t list ->
+  ?pool:Krsp_util.Pool.t ->
   unit ->
   (result, Krsp.error) Stdlib.result
 (** [epsilon1] relaxes the delay bound (total delay ≤ (1+ε₁)·D), [epsilon2]
     the cost ratio. Raises [Invalid_argument] on non-positive epsilons.
     [warm_start] is forwarded to {!Krsp.solve} on the scaled instance —
     valid because scaling keeps every edge, so edge ids coincide; the same
-    caveats apply (feasibility kept, cost guarantee waived). *)
+    caveats apply (feasibility kept, cost guarantee waived). [pool] is
+    forwarded too (see {!Krsp.solve}). An instance whose phase 1 cannot
+    route k disjoint paths reports [Error No_k_disjoint_paths] rather
+    than tripping an internal assertion. *)

@@ -3,6 +3,7 @@ module Path = Krsp_graph.Path
 module Instance = Krsp_core.Instance
 module Krsp = Krsp_core.Krsp
 module Metrics = Krsp_util.Metrics
+module Pool = Krsp_util.Pool
 
 let log = Logs.Src.create "krspd.engine" ~doc:"kRSP serving engine"
 
@@ -32,6 +33,7 @@ type live = {
 type t = {
   base : G.t;
   cfg : config;
+  pool : Pool.t;
   failed : bool array;  (** by base edge id *)
   mutable generation : int;
   mutable live : live option;  (** memoized per generation *)
@@ -52,11 +54,12 @@ type t = {
   h_qos : Metrics.histogram;
 }
 
-let create ?(config = default_config) base =
+let create ?(config = default_config) ?pool base =
   let metrics = Metrics.create () in
   {
     base;
     cfg = config;
+    pool = (match pool with Some p -> p | None -> Pool.default ());
     failed = Array.make (G.m base) false;
     generation = 0;
     live = None;
@@ -77,6 +80,7 @@ let create ?(config = default_config) base =
   }
 
 let generation t = t.generation
+let pool t = t.pool
 
 let failed_edges t =
   Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.failed
@@ -116,6 +120,28 @@ let entry_uses_any entry dead =
 
 (* ---- request handlers ------------------------------------------------------ *)
 
+(* A request is handled in up to three stages so the socket loop can stay
+   on the main domain while solves run on pool workers:
+
+   - the {e prologue} (always main domain) validates, consults the cache
+     and snapshots everything the solve needs — the frozen live view, the
+     instance, the warm-start donor, the topology generation;
+   - a [Deferred] {e job} is safe to run on any domain: it only touches
+     the snapshot (the live graph is immutable once built — FAIL/RESTORE
+     just drop the memo and build a new one) and the domain-safe metrics
+     inside the solver;
+   - the job returns a {e commit} closure that must run back on the main
+     domain: it is the only stage that writes engine state (cache, donors,
+     serving metrics), which keeps every mutation single-writer without a
+     single lock in the engine.
+
+   Cache/donor inserts are skipped when the topology generation moved
+   while the job was in flight — the computed solution is still returned
+   to the client (it answers the request as posed), but it must not be
+   carried into a generation it was not solved against. *)
+
+type step = Done of Protocol.response | Deferred of (unit -> unit -> Protocol.response)
+
 let ms_since t0 = (Unix.gettimeofday () -. t0) *. 1000.
 
 let check_endpoints t ~src ~dst ~k =
@@ -128,10 +154,10 @@ let check_endpoints t ~src ~dst ~k =
 
 let do_solve t ~src ~dst ~k ~delay_bound ~epsilon t0 =
   match check_endpoints t ~src ~dst ~k with
-  | Some msg -> Protocol.Err (Protocol.Bad_request msg)
-  | None when delay_bound < 0 -> Protocol.Err (Protocol.Bad_request "delay bound < 0")
+  | Some msg -> Done (Protocol.Err (Protocol.Bad_request msg))
+  | None when delay_bound < 0 -> Done (Protocol.Err (Protocol.Bad_request "delay bound < 0"))
   | None when (match epsilon with Some e -> e <= 0. | None -> false) ->
-    Protocol.Err (Protocol.Bad_request "eps must be > 0")
+    Done (Protocol.Err (Protocol.Bad_request "eps must be > 0"))
   | None -> (
     let key = (src, dst, k, delay_bound, epsilon, t.generation) in
     match Cache.find t.cache key with
@@ -139,87 +165,101 @@ let do_solve t ~src ~dst ~k ~delay_bound ~epsilon t0 =
       Metrics.incr t.c_hits;
       let ms = ms_since t0 in
       Metrics.observe t.h_hit ms;
-      Protocol.Solution
-        {
-          cost = entry.e_cost;
-          delay = entry.e_delay;
-          source = Protocol.Cache_hit;
-          ms;
-          paths = vertex_paths t.base entry.base_paths;
-        }
+      Done
+        (Protocol.Solution
+           {
+             cost = entry.e_cost;
+             delay = entry.e_delay;
+             source = Protocol.Cache_hit;
+             ms;
+             paths = vertex_paths t.base entry.base_paths;
+           })
     | None ->
       let live = live_view t in
+      let gen = t.generation in
       let inst = Instance.create live.lgraph ~src ~dst ~k ~delay_bound in
       let warm_start =
         Option.map
           (fun donor -> List.map (List.map (fun e -> live.of_base.(e))) donor.base_paths)
           (Hashtbl.find_opt t.donors (src, dst, k, delay_bound, epsilon))
       in
-      let outcome =
-        match epsilon with
-        | None ->
-          Result.map
-            (fun (sol, stats) -> (sol, stats.Krsp.warm_started))
-            (Krsp.solve inst ~engine:t.cfg.solver ~max_iterations:t.cfg.max_iterations
-               ?warm_start ())
-        | Some eps ->
-          Result.map
-            (fun r ->
-              (r.Krsp_core.Scaling.solution, r.Krsp_core.Scaling.stats.Krsp.warm_started))
-            (Krsp_core.Scaling.solve inst ~epsilon1:eps ~epsilon2:eps ~engine:t.cfg.solver
-               ~max_iterations:t.cfg.max_iterations ?warm_start ())
-      in
-      (match outcome with
-      | Error e ->
-        Metrics.incr t.c_infeasible;
-        Protocol.Err (Protocol.error_of_outcome e)
-      | Ok (sol, warm_started) ->
-        let entry = entry_of_solution live sol in
-        Cache.add t.cache key entry;
-        Hashtbl.replace t.donors (src, dst, k, delay_bound, epsilon) entry;
-        let source = if warm_started then Protocol.Warm_start else Protocol.Cold in
-        let ms = ms_since t0 in
-        (if warm_started then begin
-           Metrics.incr t.c_warm;
-           Metrics.observe t.h_warm ms
-         end
-         else begin
-           Metrics.incr t.c_cold;
-           Metrics.observe t.h_cold ms
-         end);
-        Protocol.Solution
-          {
-            cost = entry.e_cost;
-            delay = entry.e_delay;
-            source;
-            ms;
-            paths = vertex_paths t.base entry.base_paths;
-          }))
+      Deferred
+        (fun () ->
+          let outcome =
+            match epsilon with
+            | None ->
+              Result.map
+                (fun (sol, stats) -> (sol, stats.Krsp.warm_started))
+                (Krsp.solve inst ~engine:t.cfg.solver ~max_iterations:t.cfg.max_iterations
+                   ?warm_start ~pool:t.pool ())
+            | Some eps ->
+              Result.map
+                (fun r ->
+                  (r.Krsp_core.Scaling.solution, r.Krsp_core.Scaling.stats.Krsp.warm_started))
+                (Krsp_core.Scaling.solve inst ~epsilon1:eps ~epsilon2:eps ~engine:t.cfg.solver
+                   ~max_iterations:t.cfg.max_iterations ?warm_start ~pool:t.pool ())
+          in
+          fun () ->
+            match outcome with
+            | Error e ->
+              Metrics.incr t.c_infeasible;
+              Protocol.Err (Protocol.error_of_outcome e)
+            | Ok (sol, warm_started) ->
+              let entry = entry_of_solution live sol in
+              if t.generation = gen then begin
+                Cache.add t.cache key entry;
+                Hashtbl.replace t.donors (src, dst, k, delay_bound, epsilon) entry
+              end;
+              let source = if warm_started then Protocol.Warm_start else Protocol.Cold in
+              let ms = ms_since t0 in
+              (if warm_started then begin
+                 Metrics.incr t.c_warm;
+                 Metrics.observe t.h_warm ms
+               end
+               else begin
+                 Metrics.incr t.c_cold;
+                 Metrics.observe t.h_cold ms
+               end);
+              Protocol.Solution
+                {
+                  cost = entry.e_cost;
+                  delay = entry.e_delay;
+                  source;
+                  ms;
+                  paths = vertex_paths t.base entry.base_paths;
+                }))
 
 let do_qos t ~src ~dst ~k ~per_path_delay t0 =
   match check_endpoints t ~src ~dst ~k with
-  | Some msg -> Protocol.Err (Protocol.Bad_request msg)
-  | None when per_path_delay < 0 -> Protocol.Err (Protocol.Bad_request "per-path delay < 0")
-  | None -> (
+  | Some msg -> Done (Protocol.Err (Protocol.Bad_request msg))
+  | None when per_path_delay < 0 ->
+    Done (Protocol.Err (Protocol.Bad_request "per-path delay < 0"))
+  | None ->
     let live = live_view t in
-    match Krsp_core.Qos_paths.solve live.lgraph ~src ~dst ~k ~per_path_delay () with
-    | Krsp_core.Qos_paths.No_k_disjoint_paths ->
-      Metrics.incr t.c_infeasible;
-      Protocol.Err Protocol.Infeasible_disjoint
-    | Krsp_core.Qos_paths.Relaxation_infeasible d ->
-      Metrics.incr t.c_infeasible;
-      Protocol.Err (Protocol.Infeasible_delay d)
-    | Krsp_core.Qos_paths.Paths (sol, _quality) ->
-      let ms = ms_since t0 in
-      Metrics.observe t.h_qos ms;
-      Protocol.Solution
-        {
-          cost = sol.Instance.cost;
-          delay = sol.Instance.delay;
-          source = Protocol.Cold;
-          ms;
-          paths = vertex_paths live.lgraph sol.Instance.paths;
-        })
+    Deferred
+      (fun () ->
+        let result =
+          Krsp_core.Qos_paths.solve live.lgraph ~src ~dst ~k ~per_path_delay ()
+        in
+        fun () ->
+          match result with
+          | Krsp_core.Qos_paths.No_k_disjoint_paths ->
+            Metrics.incr t.c_infeasible;
+            Protocol.Err Protocol.Infeasible_disjoint
+          | Krsp_core.Qos_paths.Relaxation_infeasible d ->
+            Metrics.incr t.c_infeasible;
+            Protocol.Err (Protocol.Infeasible_delay d)
+          | Krsp_core.Qos_paths.Paths (sol, _quality) ->
+            let ms = ms_since t0 in
+            Metrics.observe t.h_qos ms;
+            Protocol.Solution
+              {
+                cost = sol.Instance.cost;
+                delay = sol.Instance.delay;
+                source = Protocol.Cold;
+                ms;
+                paths = vertex_paths live.lgraph sol.Instance.paths;
+              })
 
 let link_edges t ~u ~v ~state =
   (* base edges between u and v, either direction, currently in [state] *)
@@ -276,6 +316,7 @@ let stats_kv t =
   let c = Cache.stats t.cache in
   Metrics.to_kv t.metrics
   @ Metrics.to_kv Krsp.metrics
+  @ Pool.to_kv t.pool
   @ [ ("cache.hits", string_of_int c.Cache.hits); ("cache.misses", string_of_int c.Cache.misses);
       ("cache.evictions", string_of_int c.Cache.evictions);
       ("cache.invalidations", string_of_int c.Cache.invalidations);
@@ -286,28 +327,56 @@ let stats_kv t =
       ("topology.n", string_of_int (G.n t.base)); ("topology.m", string_of_int (G.m t.base))
     ]
 
-let handle t request =
+let internal_error exn =
+  L.err (fun m -> m "request failed: %s" (Printexc.to_string exn));
+  Protocol.Err (Protocol.Internal (Printexc.to_string exn))
+
+let handle_async t request =
   Metrics.incr t.c_requests;
   let t0 = Unix.gettimeofday () in
-  try
+  match
     match request with
-    | Protocol.Ping -> Protocol.Pong
-    | Protocol.Stats -> Protocol.Stats_dump (stats_kv t)
+    | Protocol.Ping -> Done Protocol.Pong
+    | Protocol.Stats -> Done (Protocol.Stats_dump (stats_kv t))
     | Protocol.Solve { src; dst; k; delay_bound; epsilon } ->
       do_solve t ~src ~dst ~k ~delay_bound ~epsilon t0
     | Protocol.Qos { src; dst; k; per_path_delay } -> do_qos t ~src ~dst ~k ~per_path_delay t0
-    | Protocol.Fail { u; v } -> do_fail t ~u ~v
-    | Protocol.Restore { u; v } -> do_restore t ~u ~v
-  with exn ->
-    L.err (fun m -> m "request failed: %s" (Printexc.to_string exn));
-    Protocol.Err (Protocol.Internal (Printexc.to_string exn))
+    | Protocol.Fail { u; v } -> Done (do_fail t ~u ~v)
+    | Protocol.Restore { u; v } -> Done (do_restore t ~u ~v)
+  with
+  | step -> step
+  | exception exn -> Done (internal_error exn)
+
+let handle t request =
+  match handle_async t request with
+  | Done r -> r
+  | Deferred job -> (
+    (* run both stages inline, each guarded like the async path would be *)
+    match job () with
+    | commit -> ( match commit () with r -> r | exception exn -> internal_error exn)
+    | exception exn -> internal_error exn)
+
+let handle_line_async t line =
+  match Protocol.parse_request line with
+  | Error e ->
+    Metrics.incr t.c_bad;
+    `Reply (Protocol.print_response (Protocol.Err (Protocol.Bad_request (Protocol.describe_parse_error e))))
+  | Ok request -> (
+    match handle_async t request with
+    | Done r -> `Reply (Protocol.print_response r)
+    | Deferred job ->
+      `Job
+        (fun () ->
+          (* runs on a pool worker: fail into the commit closure so logging
+             and metrics stay on the main domain *)
+          match job () with
+          | commit ->
+            fun () ->
+              Protocol.print_response
+                (match commit () with r -> r | exception exn -> internal_error exn)
+          | exception exn -> fun () -> Protocol.print_response (internal_error exn)))
 
 let handle_line t line =
-  let response =
-    match Protocol.parse_request line with
-    | Ok request -> handle t request
-    | Error e ->
-      Metrics.incr t.c_bad;
-      Protocol.Err (Protocol.Bad_request (Protocol.describe_parse_error e))
-  in
-  Protocol.print_response response
+  match handle_line_async t line with
+  | `Reply s -> s
+  | `Job job -> (job ()) ()

@@ -31,7 +31,18 @@
     re-solves via {!Krsp_core.Krsp.solve}[ ~warm_start]: surviving paths
     are kept, damaged ones re-routed by Suurballe, and bicameral
     cancellation resumes — skipping phase 1. Donors are dropped on
-    [RESTORE] for the same quality reason as cache entries. *)
+    [RESTORE] for the same quality reason as cache entries.
+
+    {2 Offloading solves to a domain pool}
+
+    {!handle_line_async} splits a request into a main-domain {e prologue}
+    (validation, cache lookup, live-view snapshot), an optional pool-safe
+    {e job} (the solve itself, pure over the frozen snapshot) and a
+    main-domain {e commit} (cache/donor/metric writes). The engine itself
+    is single-writer and lock-free: only the socket loop's domain ever
+    mutates it, jobs read immutable snapshots, and cache inserts are
+    skipped when the topology generation moved while a job was in
+    flight. *)
 
 type t
 
@@ -43,21 +54,36 @@ type config = {
 
 val default_config : config
 
-val create : ?config:config -> Krsp_graph.Digraph.t -> t
+val create : ?config:config -> ?pool:Krsp_util.Pool.t -> Krsp_graph.Digraph.t -> t
+(** [pool] (default {!Krsp_util.Pool.default}) runs the solver's parallel
+    layers and carries the deferred jobs of {!handle_line_async}. *)
 
 val handle : t -> Protocol.request -> Protocol.response
-(** Total: never raises; unexpected exceptions become [Error (Internal _)]. *)
+(** Total: never raises; unexpected exceptions become [Error (Internal _)].
+    Runs any deferred job inline — the synchronous entry point for tests
+    and the replay benchmark. *)
 
 val handle_line : t -> string -> string
 (** [print_response (handle (parse_request line))], with parse errors
-    rendered as [ERR bad-request]. The daemon loop is this function. *)
+    rendered as [ERR bad-request]. *)
+
+val handle_line_async :
+  t -> string -> [ `Reply of string | `Job of (unit -> unit -> string) ]
+(** The daemon loop's entry point. [`Reply line] is a complete response
+    (parse errors, validation errors, cache hits, PING/STATS/FAIL/RESTORE —
+    everything that must or can run on the engine's domain). [`Job run]
+    defers a solve: [run ()] may execute on any domain (it only reads the
+    frozen snapshot taken in the prologue) and yields a commit closure
+    that must be called back on the engine's domain to write the cache and
+    metrics and produce the response line. Both closures are total. *)
 
 val generation : t -> int
 val failed_edges : t -> int
 
 val metrics : t -> Krsp_util.Metrics.t
+val pool : t -> Krsp_util.Pool.t
 
 val stats_kv : t -> (string * string) list
-(** The [STATS] payload: metrics snapshot plus cache hit/miss/eviction/
-    invalidation counts, cache occupancy, generation and failed-edge
-    count. *)
+(** The [STATS] payload: metrics snapshot plus solver and pool counters,
+    cache hit/miss/eviction/invalidation counts, cache occupancy,
+    generation and failed-edge count. *)

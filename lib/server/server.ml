@@ -31,7 +31,20 @@ let serve_fd engine fd =
 
 (* ---- multi-client accept loop ---------------------------------------------- *)
 
-type client = { fd : Unix.file_descr; buf : Buffer.t }
+module Pool = Krsp_util.Pool
+
+(* One pending response. Requests are answered strictly in arrival order
+   per client, but solves complete in any order on the pool — so each
+   request claims a slot in the client's FIFO at parse time and the writer
+   only ever drains filled slots from the front. *)
+type slot = { mutable reply : string option }
+
+type client = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  slots : slot Queue.t;
+  mutable alive : bool;
+}
 
 let rec restart_on_eintr f =
   try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
@@ -77,13 +90,61 @@ let bind_endpoint = function
     sock
 
 let listen_and_serve ?(max_clients = 64) ?(on_listen = fun () -> ()) engine endpoint =
+  let pool = Engine.pool engine in
   let sock = bind_endpoint endpoint in
   Unix.listen sock max_clients;
   on_listen ();
+  (* Self-pipe: pool workers finishing a solve push its commit closure onto
+     [completions] and write one byte here, turning job completion into a
+     select-visible event. Everything else — engine state, client fds, the
+     slot queues — is touched only by this (the main) domain. *)
+  let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock pipe_w;
+  let comp_mu = Mutex.create () in
+  let completions : (client * slot * (unit -> string)) Queue.t = Queue.create () in
+  let wake () =
+    try ignore (Unix.write_substring pipe_w "!" 0 1)
+    with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      (* a wake-up byte is already pending: the loop will drain us anyway *)
+      ()
+  in
   let clients = ref [] in
   let close_client c =
-    clients := List.filter (fun c' -> c' != c) !clients;
-    try Unix.close c.fd with Unix.Unix_error _ -> ()
+    if c.alive then begin
+      c.alive <- false;
+      clients := List.filter (fun c' -> c' != c) !clients;
+      try Unix.close c.fd with Unix.Unix_error _ -> ()
+    end
+  in
+  (* write out the contiguous filled prefix of the client's reply FIFO *)
+  let flush_client c =
+    try
+      let continue = ref true in
+      while !continue do
+        match Queue.peek_opt c.slots with
+        | Some { reply = Some line } ->
+          ignore (Queue.pop c.slots);
+          write_all c.fd (line ^ "\n")
+        | Some { reply = None } | None -> continue := false
+      done
+    with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_client c
+  in
+  let submit c line =
+    match Engine.handle_line_async engine line with
+    | `Reply line -> Queue.add { reply = Some line } c.slots
+    | `Job run ->
+      let slot = { reply = None } in
+      Queue.add slot c.slots;
+      if Pool.width pool <= 1 then
+        (* no workers to offload to: solve inline, reply this round *)
+        slot.reply <- Some ((run ()) ())
+      else
+        Pool.async pool (fun () ->
+            let commit = run () in
+            Mutex.lock comp_mu;
+            Queue.add (c, slot, commit) completions;
+            Mutex.unlock comp_mu;
+            wake ())
   in
   let serve_ready c =
     let chunk = Bytes.create 4096 in
@@ -92,23 +153,41 @@ let listen_and_serve ?(max_clients = 64) ?(on_listen = fun () -> ()) engine endp
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_client c
     | n ->
       Buffer.add_subbytes c.buf chunk 0 n;
-      List.iter
-        (fun line ->
-          let reply = Engine.handle_line engine line ^ "\n" in
-          try write_all c.fd reply
-          with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_client c)
-        (drain_lines c.buf)
+      List.iter (submit c) (drain_lines c.buf);
+      flush_client c
+  in
+  let drain_completions () =
+    let junk = Bytes.create 512 in
+    (try ignore (restart_on_eintr (fun () -> Unix.read pipe_r junk 0 (Bytes.length junk)))
+     with Unix.Unix_error _ -> ());
+    let ready = Queue.create () in
+    Mutex.lock comp_mu;
+    Queue.transfer completions ready;
+    Mutex.unlock comp_mu;
+    Queue.iter
+      (fun (c, slot, commit) ->
+        (* the commit always runs — it owns the cache/metric writes; only
+           the response line is dropped when the client has since left *)
+        let line = commit () in
+        if c.alive then begin
+          slot.reply <- Some line;
+          flush_client c
+        end)
+      ready
   in
   while true do
-    let fds = sock :: List.map (fun c -> c.fd) !clients in
+    let fds = sock :: pipe_r :: List.map (fun c -> c.fd) !clients in
     let ready, _, _ = restart_on_eintr (fun () -> Unix.select fds [] [] (-1.0)) in
     List.iter
       (fun fd ->
         if fd == sock then begin
           let conn, _addr = restart_on_eintr (fun () -> Unix.accept sock) in
           L.info (fun m -> m "client connected (%d active)" (List.length !clients + 1));
-          clients := { fd = conn; buf = Buffer.create 256 } :: !clients
+          clients :=
+            { fd = conn; buf = Buffer.create 256; slots = Queue.create (); alive = true }
+            :: !clients
         end
+        else if fd == pipe_r then drain_completions ()
         else
           match List.find_opt (fun c -> c.fd == fd) !clients with
           | Some c -> serve_ready c

@@ -20,9 +20,15 @@ val serve_channels : Engine.t -> in_channel -> out_channel -> unit
 
 val listen_and_serve :
   ?max_clients:int -> ?on_listen:(unit -> unit) -> Engine.t -> endpoint -> unit
-(** Bind, listen and serve forever ([select]-multiplexed, so slow clients
-    do not block each other's request lines; solves themselves are
-    sequential — the engine is single-threaded by design). [on_listen]
-    fires once the socket is ready (used to print the address). Never
-    returns normally; raises on bind/listen failure. [EINTR] from signals
-    (SIGUSR1 stats dumps) is retried transparently. *)
+(** Bind, listen and serve forever, [select]-multiplexed. Solves are
+    offloaded to the engine's domain pool via {!Engine.handle_line_async}
+    (a self-pipe turns job completion into a select event), so the loop
+    keeps accepting connections and answering cheap requests — PING,
+    STATS, cache hits, topology mutations — while solves run; on a width-1
+    pool solves run inline and the loop degrades to the classic
+    serial-select shape. Responses per client are strictly in request
+    order regardless of completion order, and all engine mutation stays on
+    this loop's domain (commits run here). [on_listen] fires once the
+    socket is ready (used to print the address). Never returns normally;
+    raises on bind/listen failure. [EINTR] from signals (SIGUSR1 stats
+    dumps) is retried transparently. *)

@@ -11,7 +11,12 @@ let bounds =
   Array.init n_buckets (fun i ->
       if i = n_buckets - 1 then infinity else lowest *. (ratio ** float_of_int i))
 
-type counter = { mutable c : int }
+(* Every series carries its own mutex: observations come from pool worker
+   domains as well as the main one (speculative guess attempts, offloaded
+   krspd solves), and OCaml's memory model makes unsynchronised read-write
+   races lose increments. A per-series lock keeps contention off unrelated
+   series; the critical sections are a handful of loads and stores. *)
+type counter = { mutable c : int; c_mu : Mutex.t }
 
 type histogram = {
   buckets : int array;
@@ -19,6 +24,7 @@ type histogram = {
   mutable hsum : float;
   mutable vmin : float;
   mutable vmax : float;
+  h_mu : Mutex.t;
 }
 
 type series = Counter of counter | Histogram of histogram
@@ -26,28 +32,41 @@ type series = Counter of counter | Histogram of histogram
 type t = {
   tbl : (string, series) Hashtbl.t;
   mutable order : string list; (* reverse creation order *)
+  reg_mu : Mutex.t; (* guards tbl/order: handle lookup can race with creation *)
 }
 
-let create () = { tbl = Hashtbl.create 16; order = [] }
+let create () = { tbl = Hashtbl.create 16; order = []; reg_mu = Mutex.create () }
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 let get_or_create t name make =
-  match Hashtbl.find_opt t.tbl name with
-  | Some s -> s
-  | None ->
-    let s = make () in
-    Hashtbl.replace t.tbl name s;
-    t.order <- name :: t.order;
-    s
+  with_lock t.reg_mu (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some s -> s
+      | None ->
+        let s = make () in
+        Hashtbl.replace t.tbl name s;
+        t.order <- name :: t.order;
+        s)
 
 let counter t name =
-  match get_or_create t name (fun () -> Counter { c = 0 }) with
+  match get_or_create t name (fun () -> Counter { c = 0; c_mu = Mutex.create () }) with
   | Counter c -> c
   | Histogram _ -> invalid_arg (Printf.sprintf "Metrics.counter: %S is a histogram" name)
 
 let histogram t name =
   let make () =
     Histogram
-      { buckets = Array.make n_buckets 0; total = 0; hsum = 0.; vmin = infinity; vmax = 0. }
+      {
+        buckets = Array.make n_buckets 0;
+        total = 0;
+        hsum = 0.;
+        vmin = infinity;
+        vmax = 0.;
+        h_mu = Mutex.create ();
+      }
   in
   match get_or_create t name make with
   | Histogram h -> h
@@ -55,9 +74,9 @@ let histogram t name =
 
 let incr ?(by = 1) c =
   if by < 0 then invalid_arg "Metrics.incr: counters are monotonic";
-  c.c <- c.c + by
+  with_lock c.c_mu (fun () -> c.c <- c.c + by)
 
-let value c = c.c
+let value c = with_lock c.c_mu (fun () -> c.c)
 
 let bucket_of v =
   (* smallest i with v <= bounds.(i); bounds are sorted so a binary search
@@ -68,15 +87,19 @@ let bucket_of v =
 let observe h v =
   let v = if v < 0. then 0. else v in
   let i = bucket_of v in
-  h.buckets.(i) <- h.buckets.(i) + 1;
-  h.total <- h.total + 1;
-  h.hsum <- h.hsum +. v;
-  if v < h.vmin then h.vmin <- v;
-  if v > h.vmax then h.vmax <- v
+  with_lock h.h_mu (fun () ->
+      h.buckets.(i) <- h.buckets.(i) + 1;
+      h.total <- h.total + 1;
+      h.hsum <- h.hsum +. v;
+      if v < h.vmin then h.vmin <- v;
+      if v > h.vmax then h.vmax <- v)
 
-let count h = h.total
-let sum h = h.hsum
+let count h = with_lock h.h_mu (fun () -> h.total)
+let sum h = with_lock h.h_mu (fun () -> h.hsum)
 
+(* percentile/to_kv read bucket counts without the lock: they run on the
+   main domain for diagnostics, and a torn read costs at most one
+   observation's worth of skew in an estimate that is already bucketed *)
 let percentile h p =
   if p < 0. || p > 100. then invalid_arg "Metrics.percentile";
   if h.total = 0 then 0.
@@ -95,17 +118,18 @@ let percentile h p =
 
 let to_kv t =
   let f3 x = Printf.sprintf "%.3f" x in
+  let names = with_lock t.reg_mu (fun () -> List.rev t.order) in
   List.concat_map
     (fun name ->
-      match Hashtbl.find t.tbl name with
-      | Counter c -> [ (name, string_of_int c.c) ]
+      match with_lock t.reg_mu (fun () -> Hashtbl.find t.tbl name) with
+      | Counter c -> [ (name, string_of_int (value c)) ]
       | Histogram h ->
         [ (name ^ ".count", string_of_int h.total); (name ^ ".sum_ms", f3 h.hsum);
           (name ^ ".p50", f3 (percentile h 50.)); (name ^ ".p90", f3 (percentile h 90.));
           (name ^ ".p99", f3 (percentile h 99.));
           (name ^ ".max", f3 (if h.total = 0 then 0. else h.vmax))
         ])
-    (List.rev t.order)
+    names
 
 let dump t =
   to_kv t |> List.map (fun (k, v) -> Printf.sprintf "%s %s" k v) |> String.concat "\n"

@@ -5,7 +5,11 @@
     Everything is O(1) per observation and allocation-free on the hot path:
     histograms are log-bucketed (geometric bucket bounds), so percentiles
     are estimates with bounded relative error, which is the standard
-    trade-off for always-on serving telemetry. *)
+    trade-off for always-on serving telemetry.
+
+    All operations are domain-safe: handles can be shared freely with
+    {!Pool} workers (each series carries its own lock, so concurrent
+    observations on different series never contend). *)
 
 type t
 (** A metrics registry. *)

@@ -1,0 +1,79 @@
+(** A fixed pool of worker domains with a shared FIFO work queue — the
+    parallel substrate under the solver stack (parallel phase-B root
+    searches, speculative guess bisection, krspd solve offload).
+
+    Design points:
+
+    - {b Hand-rolled, zero dependencies}: [Domain] + [Mutex]/[Condition]
+      from the OCaml 5 stdlib, nothing else.
+    - {b Width includes the caller.} A pool of width [w] spawns [w - 1]
+      worker domains; the domain that calls {!parallel_map} executes tasks
+      too while it waits, so [w] tasks genuinely run at once and a width-1
+      pool degenerates to plain serial execution with no queue, no locks
+      and no spawned domains.
+    - {b Help-first waiting makes nesting safe.} A domain blocked on a
+      batch drains the shared queue instead of sleeping while work is
+      available, so a task may itself call {!parallel_map} on the same pool
+      (the solver does: a speculative guess attempt fans its root searches
+      out again) without deadlocking even at width 2.
+    - {b Reuse.} Pools are meant to be long-lived — create one per process
+      (or use {!default}) and share it across calls; workers park on a
+      condition variable between batches.
+
+    Determinism: {!parallel_map} returns results positionally, so callers
+    that combine them in index order are bit-identical to a serial run
+    regardless of execution interleaving. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [create ()] sizes the pool from the [KRSP_DOMAINS] environment variable
+    when set (clamped to ≥ 1), else [Domain.recommended_domain_count ()].
+    [~size] overrides both. The pool spawns [size - 1] worker domains
+    immediately. *)
+
+val width : t -> int
+(** Total parallelism including the calling domain; ≥ 1. *)
+
+val default : unit -> t
+(** The process-wide shared pool, created on first use (and registered for
+    shutdown at exit). Solver entry points that are not handed an explicit
+    pool use this one, so [KRSP_DOMAINS=1] serialises the whole stack. *)
+
+val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f arr] is [Array.map f arr] with the applications
+    distributed over the pool. Results are positional. [~chunk] sets how
+    many consecutive elements one task covers (default: [length / 4·width],
+    at least 1 — small enough to balance, large enough to amortise queue
+    traffic).
+
+    If any application raises, the exception of the lowest-indexed failing
+    chunk is re-raised in the caller (with its backtrace) after all chunks
+    of the batch have finished — workers are never left running a stale
+    batch. On a width-1 pool this is exactly [Array.map]. *)
+
+val parallel_for : ?chunk:int -> t -> int -> (int -> unit) -> unit
+(** [parallel_for pool n f] runs [f 0 .. f (n-1)] over the pool with the
+    same chunking, ordering and exception contract as {!parallel_map}. *)
+
+val async : t -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueue one task and return immediately. The task's
+    exceptions are swallowed (deliver errors through your own channel — the
+    krspd completion queue does). On a width-1 pool the task runs inline
+    in the caller before [async] returns. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join all workers. Idempotent. Subsequent
+    [parallel_map]/[async] calls run inline (serial fallback). *)
+
+val metrics : t -> Metrics.t
+(** The pool's counter registry: [pool.tasks] (tasks executed),
+    [pool.max_queue_depth] (high-water mark of the shared queue) and
+    [pool.domain<i>.busy_us] (per-domain cumulative task execution time in
+    microseconds; domain 0 is the calling/helping domain, 1.. are spawned
+    workers). *)
+
+val to_kv : t -> (string * string) list
+(** {!metrics} flattened via {!Metrics.to_kv}, plus the instantaneous
+    [pool.width] and [pool.queue_depth] — the shape krspd's [STATS]
+    appends. *)
