@@ -1,0 +1,104 @@
+(* E17 — certificate checker overhead (bechamel).
+
+   How much does independently re-verifying a solution cost relative to
+   producing it? One Test.make per E8 problem size for: the full solve, a
+   structural certification (path validity + disjointness + sums + delay
+   bound), and a full certification (structural plus the LP / min-cost-flow
+   cost audit — the audit re-solves a fractional flow, so it is expected to
+   cost a solve-sized amount of work, while structural checking is a few
+   linear scans). *)
+
+open Common
+open Bechamel
+
+module Check = Krsp_check.Check
+
+type prepared = { t : Instance.t; sol : Instance.solution }
+
+let prepare n =
+  let candidates =
+    sample_instances ~seed:(900 + n) ~count:5 (fun rng ->
+        waxman_instance ~n ~k:2 ~tightness:0.3 rng)
+  in
+  List.find_map
+    (fun t ->
+      match Krsp.solve t ~guess_steps:6 () with
+      | Ok (sol, _) -> Some { t; sol }
+      | Error _ -> None)
+    candidates
+
+let tests () =
+  let sizes = [ 12; 16; 20 ] in
+  let prepared = List.filter_map (fun n -> Option.map (fun p -> (n, p)) (prepare n)) sizes in
+  let solve_tests =
+    List.map
+      (fun (n, p) ->
+        Test.make
+          ~name:(Printf.sprintf "solve/n=%d" n)
+          (Staged.stage (fun () -> ignore (Krsp.solve p.t ~guess_steps:6 ()))))
+      prepared
+  in
+  let structural_tests =
+    List.map
+      (fun (n, p) ->
+        Test.make
+          ~name:(Printf.sprintf "certify-structural/n=%d" n)
+          (Staged.stage (fun () ->
+               ignore (Check.certify ~level:Check.Structural p.t p.sol))))
+      prepared
+  in
+  let full_tests =
+    List.map
+      (fun (n, p) ->
+        Test.make
+          ~name:(Printf.sprintf "certify-full/n=%d" n)
+          (Staged.stage (fun () -> ignore (Check.certify ~level:Check.Full p.t p.sol))))
+      prepared
+  in
+  Test.make_grouped ~name:"e17" (solve_tests @ structural_tests @ full_tests)
+
+let run () =
+  header "E17" "certificate checker overhead vs solve (bechamel, OLS ns/run)";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (x :: _) -> x
+          | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols_result) in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let table =
+    Table.create
+      ~columns:
+        [ ("benchmark", Table.Left); ("time/run", Table.Right); ("r²", Table.Right) ]
+  in
+  let pretty ns =
+    if Float.is_nan ns then "-"
+    else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, ns, r2) ->
+      Table.add_row table
+        [ name; pretty ns; (if Float.is_nan r2 then "single sample" else Table.fmt_float ~decimals:3 r2) ])
+    rows;
+  Table.print table;
+  note
+    "expected shape: structural certification is orders of magnitude cheaper\n\
+     than the solve that produced the solution (linear scans vs cycle\n\
+     cancellation), so the KRSP_CERTIFY=1 hook is safe to leave on; the full\n\
+     cost audit pays one fractional-LP + min-cost-flow solve and lands in the\n\
+     same ballpark as the solve itself — opt-in per query.\n"

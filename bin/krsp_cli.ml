@@ -5,6 +5,8 @@
      solve      run Algorithm 1 (optionally the Theorem 4 scaling) on a file
      exact      branch-and-bound optimum for small instances
      compare    run every algorithm on one instance and tabulate
+     verify     solve and independently certify the outcome (Krsp_check)
+     fuzz       seeded differential/metamorphic fuzzing with shrinking
      client     talk to a running krspd daemon
      dot        render a graph (and optionally a solution) as Graphviz DOT
 
@@ -328,6 +330,172 @@ let route_cmd =
     (Cmd.info "route" ~exits ~doc:"Solve, then dispatch traffic classes over the paths by urgency.")
     Term.(const route $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg $ classes)
 
+(* ---- verify ------------------------------------------------------------------ *)
+
+module Check = Krsp_check.Check
+
+let level_arg =
+  Arg.(
+    value & opt string "full"
+    & info [ "level" ] ~docv:"LEVEL"
+        ~doc:"Certification level: $(b,structural) (validity, disjointness, sums, delay \
+              bound) or $(b,full) (adds the LP/flow cost-bound audit).")
+
+let parse_level = function "structural" -> Check.Structural | _ -> Check.Full
+
+let verify repro graph src dst k delay_bound level differential =
+  let t =
+    match (repro, graph, src, dst, delay_bound) with
+    | Some file, _, _, _, _ -> (
+      try Krsp_check.Corpus.load file
+      with Failure msg | Sys_error msg ->
+        Printf.eprintf "cannot load %s: %s\n" file msg;
+        exit exit_parse_io)
+    | None, Some file, Some src, Some dst, Some delay_bound ->
+      load_instance file ~src ~dst ~k ~delay_bound
+    | None, _, _, _, _ ->
+      Printf.eprintf "verify: need --repro FILE, or --graph with --src --dst --delay-bound\n";
+      exit exit_parse_io
+  in
+  let level = parse_level level in
+  let diff_code =
+    if not differential then 0
+    else begin
+      match Krsp_check.Differential.all ~level t with
+      | [] ->
+        Printf.printf "differential: engines, widths, warm/cold and metamorphic all agree\n";
+        0
+      | mismatches ->
+        List.iter (fun m -> Printf.eprintf "differential: %s\n" m) mismatches;
+        1
+    end
+  in
+  match Krsp.solve t () with
+  | Error err ->
+    let verdict =
+      match err with
+      | Krsp.No_k_disjoint_paths -> Check.Too_few_disjoint_paths
+      | Krsp.Delay_bound_unreachable d -> Check.Delay_unreachable d
+    in
+    (match Check.audit_infeasible t verdict with
+    | Ok () ->
+      Printf.printf "infeasible (independently confirmed)\n";
+      if diff_code = 0 then exit_infeasible else 1
+    | Error msg ->
+      Printf.eprintf "UNCONFIRMED infeasibility verdict: %s\n" msg;
+      1)
+  | Ok (sol, _) ->
+    print_solution t sol;
+    let cert = Check.certify ~level t sol in
+    print_string (Check.to_string cert);
+    if Check.ok cert && diff_code = 0 then 0 else 1
+
+let verify_cmd =
+  let repro =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro"; "r" ] ~docv:"FILE"
+          ~doc:"A $(b,.krsp) instance file (graph + query line), e.g. a fuzz repro.")
+  in
+  let graph_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "graph"; "g" ] ~docv:"FILE" ~doc:"Graph in edge-list format (see Io).")
+  in
+  let src_opt =
+    Arg.(value & opt (some int) None & info [ "src"; "s" ] ~docv:"V" ~doc:"Source vertex.")
+  in
+  let dst_opt =
+    Arg.(value & opt (some int) None & info [ "dst"; "t" ] ~docv:"V" ~doc:"Sink vertex.")
+  in
+  let delay_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "delay-bound"; "D" ] ~docv:"D" ~doc:"Bound on the paths' total delay.")
+  in
+  let differential =
+    Arg.(
+      value & flag
+      & info [ "differential" ]
+          ~doc:
+            "Also run the differential harness: DP vs LP engines, pool width 1 vs 4, warm vs \
+             cold, and the metamorphic transformations.")
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Solves the instance, then re-checks the outcome without trusting the solver: path \
+         validity, edge-disjointness and the delay bound from the raw edge lists, the \
+         claimed sums against the edge weights, and (at $(b,--level full)) the cost against \
+         independently computed bounds on the optimum. An infeasibility verdict is checked \
+         against a fresh max-flow / min-delay-flow computation. Exit 0 = certified, 2 = \
+         infeasibility confirmed, 1 = certification failed."
+    ]
+  in
+  Cmd.v
+    (Cmd.info "verify" ~exits ~man ~doc:"Solve and independently certify the outcome.")
+    Term.(
+      const verify $ repro $ graph_opt $ src_opt $ dst_opt $ k_arg $ delay_opt $ level_arg
+      $ differential)
+
+(* ---- fuzz -------------------------------------------------------------------- *)
+
+let fuzz seed count inject level corpus max_failures =
+  let inject =
+    match Krsp_check.Fuzz.inject_of_string inject with
+    | Some i -> i
+    | None ->
+      Printf.eprintf "fuzz: unknown --inject %S (clean, share-edge, drop-edge, tamper-cost)\n"
+        inject;
+      exit exit_parse_io
+  in
+  let outcome =
+    Krsp_check.Fuzz.run ~level:(parse_level level) ~inject ~count ~max_failures
+      ?corpus_dir:corpus ~log:print_endline ~seed ()
+  in
+  if outcome.Krsp_check.Fuzz.failures = [] then 0 else 1
+
+let fuzz_cmd =
+  let count =
+    Arg.(value & opt int 50 & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of cases.")
+  in
+  let inject =
+    Arg.(
+      value & opt string "clean"
+      & info [ "inject" ] ~docv:"MODE"
+          ~doc:
+            "Plant a bug by mutating the solver's output before certification: $(b,clean) \
+             (no mutation), $(b,share-edge), $(b,drop-edge), $(b,tamper-cost). Non-clean \
+             sweeps are expected to fail — they test the harness itself.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Save shrunk repros as $(b,.krsp) files here.")
+  in
+  let max_failures =
+    Arg.(
+      value & opt int 3
+      & info [ "max-failures" ] ~docv:"N" ~doc:"Stop after this many shrunk failures.")
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Generates small random instances from the seed, runs the full solve pipeline and \
+         certifies every outcome. Failing cases are shrunk (greedy edge removal, then k \
+         reduction, then vertex compaction — re-running the identical pipeline after each \
+         step) to a minimal repro. Fully deterministic: the same seed visits the same \
+         instances and produces byte-identical repros."
+    ]
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~exits ~man ~doc:"Seeded deterministic fuzzing with shrinking.")
+    Term.(const fuzz $ seed_arg $ count $ inject $ level_arg $ corpus $ max_failures)
+
 (* ---- client ------------------------------------------------------------------ *)
 
 let code_of_response line =
@@ -452,6 +620,7 @@ let dot_cmd =
 (* ---- main ------------------------------------------------------------------- *)
 
 let () =
+  ignore (Krsp_check.Hook.install_from_env ());
   let info =
     Cmd.info "krsp" ~version:Bin_version.version
       ~doc:"k disjoint restricted shortest paths (Guo, Liao, Shen & Li, SPAA 2015)"
@@ -459,6 +628,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; solve_cmd; exact_cmd; compare_cmd; qos_cmd; route_cmd; client_cmd;
-            dot_cmd
+          [ generate_cmd; solve_cmd; exact_cmd; compare_cmd; qos_cmd; route_cmd; verify_cmd;
+            fuzz_cmd; client_cmd; dot_cmd
           ]))

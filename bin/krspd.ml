@@ -71,6 +71,11 @@ let run graph_file unix_path tcp_port tcp_host cache_size engine_name domains =
     | None -> Krsp_util.Pool.default ()
   in
   let engine = Engine.create ~config ~pool g in
+  (match Krsp_check.Hook.install_from_env () with
+  | Some level ->
+    Printf.eprintf "krspd: KRSP_CERTIFY on — every solve is post-checked (%s)\n%!"
+      (match level with Krsp_check.Check.Full -> "full" | Krsp_check.Check.Structural -> "structural")
+  | None -> ());
   Sys.set_signal Sys.sigusr1
     (Sys.Signal_handle
        (fun _ ->

@@ -1,0 +1,273 @@
+(* Solver-independent certificate checking. Deliberately re-derives
+   everything from the instance graph and the raw edge lists; the only
+   [lib/core] import is the Instance type module. *)
+
+module G = Krsp_graph.Digraph
+module Instance = Krsp_core.Instance
+module Q = Krsp_bigint.Q
+module Metrics = Krsp_util.Metrics
+
+let metrics = Metrics.create ()
+let c_certified = Metrics.counter metrics "check.certified"
+let c_violations = Metrics.counter metrics "check.violations"
+let h_certify = Metrics.histogram metrics "check.certify_ms"
+
+type level = Structural | Full
+
+type violation =
+  | Wrong_path_count of { expected : int; got : int }
+  | Bad_edge_id of { path : int; edge : int }
+  | Broken_path of { path : int }
+  | Shared_edge of { edge : int; first : int; second : int }
+  | Sum_mismatch of {
+      claimed_cost : int;
+      actual_cost : int;
+      claimed_delay : int;
+      actual_delay : int;
+    }
+  | Delay_exceeded of { delay : int; bound : int }
+  | Cost_refuted of { cost : int; upper : int }
+  | Lower_bound_vanished
+
+type cost_audit =
+  | Cost_skipped
+  | Cost_proved of { lower : Q.t }
+  | Cost_unknown of { lower : Q.t; upper : int }
+  | Cost_refuted_by of { upper : int }
+
+type t = {
+  level : level;
+  violations : violation list;
+  cost : int;
+  delay : int;
+  delay_bound : int;
+  cost_audit : cost_audit;
+}
+
+(* --- structural clauses ------------------------------------------------------ *)
+
+(* A path is checked edge by edge so a violation carries a witness instead
+   of a boolean: bad ids and broken connectivity are reported per path, a
+   disjointness failure names the shared edge and both owners. *)
+let structural_violations inst (sol : Instance.solution) =
+  let g = inst.Instance.graph in
+  let m = G.m g in
+  let acc = ref [] in
+  let push v = acc := v :: !acc in
+  let got = List.length sol.Instance.paths in
+  if got <> inst.Instance.k then
+    push (Wrong_path_count { expected = inst.Instance.k; got });
+  let owner = Hashtbl.create 64 in
+  List.iteri
+    (fun i path ->
+      let bad_id = List.exists (fun e -> e < 0 || e >= m) path in
+      if bad_id then
+        push (Bad_edge_id { path = i; edge = List.find (fun e -> e < 0 || e >= m) path })
+      else begin
+        (* contiguity: consecutive edges chain, endpoints are src/dst *)
+        let rec walk prev = function
+          | [] -> prev = inst.Instance.dst
+          | e :: rest -> G.src g e = prev && walk (G.dst g e) rest
+        in
+        if path = [] || not (walk inst.Instance.src path) then push (Broken_path { path = i });
+        List.iter
+          (fun e ->
+            match Hashtbl.find_opt owner e with
+            | Some first when first <> i -> push (Shared_edge { edge = e; first; second = i })
+            | Some _ -> push (Shared_edge { edge = e; first = i; second = i })
+            | None -> Hashtbl.replace owner e i)
+          path
+      end)
+    sol.Instance.paths;
+  (* recompute the claimed totals over whatever ids are in range *)
+  let in_range e = e >= 0 && e < m in
+  let actual_cost =
+    List.fold_left
+      (fun a p -> List.fold_left (fun a e -> if in_range e then a + G.cost g e else a) a p)
+      0 sol.Instance.paths
+  in
+  let actual_delay =
+    List.fold_left
+      (fun a p -> List.fold_left (fun a e -> if in_range e then a + G.delay g e else a) a p)
+      0 sol.Instance.paths
+  in
+  if actual_cost <> sol.Instance.cost || actual_delay <> sol.Instance.delay then
+    push
+      (Sum_mismatch
+         {
+           claimed_cost = sol.Instance.cost;
+           actual_cost;
+           claimed_delay = sol.Instance.delay;
+           actual_delay;
+         });
+  if actual_delay > inst.Instance.delay_bound then
+    push (Delay_exceeded { delay = actual_delay; bound = inst.Instance.delay_bound });
+  (List.rev !acc, actual_cost, actual_delay)
+
+(* --- cost bounds ------------------------------------------------------------- *)
+
+(* Lower bound on C_OPT: the better of the delay-budgeted fractional k-flow
+   LP (any optimal k disjoint paths are a feasible 0/1 point) and the
+   delay-oblivious min-cost k disjoint paths (fewer constraints). *)
+let lower_bound inst =
+  let lp =
+    Option.map
+      (fun f -> f.Krsp_lp.Lp_flow.objective)
+      (Krsp_lp.Lp_flow.solve inst.Instance.graph ~src:inst.Instance.src ~dst:inst.Instance.dst
+         ~k:inst.Instance.k ~delay_bound:inst.Instance.delay_bound)
+  in
+  let min_sum =
+    Option.map Q.of_int
+      (Krsp_flow.Suurballe.min_cost inst.Instance.graph ~src:inst.Instance.src
+         ~dst:inst.Instance.dst ~k:inst.Instance.k)
+  in
+  match (lp, min_sum) with
+  | Some a, Some b -> Some (Q.max a b)
+  | _ ->
+    (* the LP is infeasible, or no k disjoint paths exist at all — with a
+       structurally feasible solution in hand both are impossible *)
+    None
+
+(* Upper bound on C_OPT: the cost of the min-delay k-flow. That flow's
+   delay is the minimum achievable, which a feasible solution proves is
+   within the bound, so its edges carry a feasible solution whose cost
+   bounds C_OPT from above. (Leftover zero-delay cycles only add cost, so
+   summing over all flow edges stays an upper bound.) *)
+let upper_bound inst =
+  let g = inst.Instance.graph in
+  match
+    Krsp_flow.Mcmf.min_cost_flow g
+      ~capacity:(fun _ -> 1)
+      ~cost:(G.delay g) ~src:inst.Instance.src ~dst:inst.Instance.dst ~amount:inst.Instance.k
+  with
+  | Some r when r.Krsp_flow.Mcmf.cost <= inst.Instance.delay_bound ->
+    let u = ref 0 in
+    Array.iteri (fun e f -> if f > 0 then u := !u + G.cost g e) r.Krsp_flow.Mcmf.flow;
+    Some !u
+  | Some _ | None -> None
+
+let audit_cost ?opt_cost inst ~cost =
+  let lower = lower_bound inst in
+  let upper = upper_bound inst in
+  let lower = match (lower, opt_cost) with
+    | Some l, Some o -> Some (Q.max l (Q.of_int o))
+    | None, Some o -> Some (Q.of_int o)
+    | l, None -> l
+  in
+  let upper = match (upper, opt_cost) with
+    | Some u, Some o -> Some (min u o)
+    | None, Some o -> Some o
+    | u, None -> u
+  in
+  match lower with
+  | None -> (Cost_skipped, [ Lower_bound_vanished ])
+  | Some lower ->
+    if Q.compare (Q.of_int cost) (Q.mul (Q.of_int 2) lower) <= 0 then
+      (Cost_proved { lower }, [])
+    else begin
+      match upper with
+      | Some upper when cost > 2 * upper ->
+        (Cost_refuted_by { upper }, [ Cost_refuted { cost; upper } ])
+      | Some upper -> (Cost_unknown { lower; upper }, [])
+      | None -> (Cost_unknown { lower; upper = max_int }, [])
+    end
+
+(* --- certify ----------------------------------------------------------------- *)
+
+let certify ?(level = Structural) ?opt_cost inst sol =
+  let cert, ms =
+    Krsp_util.Timer.time_ms (fun () ->
+        let structural, cost, delay = structural_violations inst sol in
+        let cost_audit, cost_violations =
+          match level with
+          | Structural -> (Cost_skipped, [])
+          | Full ->
+            (* a C_OPT audit only makes sense against a feasible solution *)
+            if structural <> [] || delay > inst.Instance.delay_bound then (Cost_skipped, [])
+            else audit_cost ?opt_cost inst ~cost
+        in
+        {
+          level;
+          violations = structural @ cost_violations;
+          cost;
+          delay;
+          delay_bound = inst.Instance.delay_bound;
+          cost_audit;
+        })
+  in
+  Metrics.observe h_certify ms;
+  if cert.violations = [] then Metrics.incr c_certified else Metrics.incr c_violations;
+  cert
+
+let ok t = t.violations = []
+
+(* --- rendering --------------------------------------------------------------- *)
+
+let pp_violation fmt = function
+  | Wrong_path_count { expected; got } ->
+    Format.fprintf fmt "FAIL path-count: expected %d paths, got %d" expected got
+  | Bad_edge_id { path; edge } ->
+    Format.fprintf fmt "FAIL edge-id: path %d references edge %d outside the graph" path edge
+  | Broken_path { path } ->
+    Format.fprintf fmt "FAIL path-valid: path %d is not a src→dst walk" path
+  | Shared_edge { edge; first; second } ->
+    Format.fprintf fmt "FAIL disjoint: edge %d used by paths %d and %d" edge first second
+  | Sum_mismatch { claimed_cost; actual_cost; claimed_delay; actual_delay } ->
+    Format.fprintf fmt "FAIL sums: claimed cost=%d delay=%d, recomputed cost=%d delay=%d"
+      claimed_cost claimed_delay actual_cost actual_delay
+  | Delay_exceeded { delay; bound } ->
+    Format.fprintf fmt "FAIL delay: total %d exceeds bound %d" delay bound
+  | Cost_refuted { cost; upper } ->
+    Format.fprintf fmt "FAIL cost: %d > 2·%d, yet C_OPT ≤ %d is certified" cost upper upper
+  | Lower_bound_vanished ->
+    Format.fprintf fmt
+      "FAIL lower-bound: relaxation infeasible although a feasible solution exists"
+
+let pp fmt t =
+  if t.violations = [] then
+    Format.fprintf fmt "PASS structural (cost=%d delay=%d ≤ %d)@." t.cost t.delay t.delay_bound
+  else
+    List.iter (fun v -> Format.fprintf fmt "%a@." pp_violation v) t.violations;
+  match t.cost_audit with
+  | Cost_skipped -> ()
+  | Cost_proved { lower } ->
+    Format.fprintf fmt "PASS cost ≤ 2·C_OPT (proved: %d ≤ 2·%s)@." t.cost (Q.to_string lower)
+  | Cost_unknown { lower; upper } ->
+    Format.fprintf fmt
+      "UNKNOWN cost ≤ 2·C_OPT (gap: lower %s < cost %d ≤ 2·upper %s)@."
+      (Q.to_string lower) t.cost
+      (if upper = max_int then "∞" else string_of_int (2 * upper))
+  | Cost_refuted_by { upper } ->
+    Format.fprintf fmt "REFUTED cost ≤ 2·C_OPT (cost %d > 2·%d)@." t.cost upper
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* --- infeasibility audit ------------------------------------------------------ *)
+
+type infeasibility = Too_few_disjoint_paths | Delay_unreachable of int
+
+let audit_infeasible inst claim =
+  let g = inst.Instance.graph in
+  let flow cost =
+    Krsp_flow.Mcmf.min_cost_flow g
+      ~capacity:(fun _ -> 1)
+      ~cost ~src:inst.Instance.src ~dst:inst.Instance.dst ~amount:inst.Instance.k
+  in
+  match claim with
+  | Too_few_disjoint_paths -> (
+    match flow (fun _ -> 0) with
+    | None -> Ok ()
+    | Some _ ->
+      Error
+        (Printf.sprintf "claimed <%d disjoint paths, but a %d-flow exists" inst.Instance.k
+           inst.Instance.k))
+  | Delay_unreachable d -> (
+    match flow (G.delay g) with
+    | None -> Error "claimed delay unreachable, but no k-flow exists at all"
+    | Some r when r.Krsp_flow.Mcmf.cost <> d ->
+      Error
+        (Printf.sprintf "claimed minimum delay %d, recomputed %d" d r.Krsp_flow.Mcmf.cost)
+    | Some _ when d <= inst.Instance.delay_bound ->
+      Error (Printf.sprintf "claimed unreachable, but minimum %d ≤ bound %d" d
+               inst.Instance.delay_bound)
+    | Some _ -> Ok ())

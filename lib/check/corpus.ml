@@ -1,0 +1,47 @@
+module Io = Krsp_graph.Io
+module Instance = Krsp_core.Instance
+
+let to_string ?comment inst =
+  let b = Buffer.create 256 in
+  (match comment with
+  | Some c ->
+    String.split_on_char '\n' c
+    |> List.iter (fun line -> Buffer.add_string b (Printf.sprintf "# %s\n" line))
+  | None -> ());
+  Buffer.add_string b (Io.to_edge_list inst.Instance.graph);
+  Buffer.add_string b
+    (Printf.sprintf "q %d %d %d %d\n" inst.Instance.src inst.Instance.dst inst.Instance.k
+       inst.Instance.delay_bound);
+  Buffer.contents b
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let is_query l = String.length l > 1 && l.[0] = 'q' && l.[1] = ' ' in
+  let graph_text =
+    String.concat "\n" (List.filter (fun l -> not (is_query l)) lines)
+  in
+  let graph = Io.of_edge_list graph_text in
+  match List.filter is_query lines with
+  | [] -> failwith "corpus: missing q <src> <dst> <k> <delay-bound> line"
+  | _ :: _ :: _ -> failwith "corpus: more than one q line"
+  | [ q ] -> (
+    match Scanf.sscanf_opt q "q %d %d %d %d" (fun s t k d -> (s, t, k, d)) with
+    | None -> failwith (Printf.sprintf "corpus: malformed query line %S" q)
+    | Some (src, dst, k, delay_bound) -> (
+      try Instance.create graph ~src ~dst ~k ~delay_bound
+      with Invalid_argument msg -> failwith (Printf.sprintf "corpus: %s" msg)))
+
+let save path ?comment inst = Io.write_file path (to_string ?comment inst)
+let load path = of_string (Io.read_file path)
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".krsp")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           match load path with
+           | inst -> (f, inst)
+           | exception Failure msg -> failwith (Printf.sprintf "%s: %s" path msg))

@@ -1,0 +1,30 @@
+(** On-disk kRSP instances ([.krsp] files) — the fuzz corpus format.
+
+    A [.krsp] file is the {!Krsp_graph.Io} edge-list format plus one query
+    line binding the instance parameters:
+
+    {v
+      # optional comments
+      n <vertex-count>
+      e <src> <dst> <cost> <delay>
+      ...
+      q <src> <dst> <k> <delay-bound>
+    v}
+
+    Shrunk fuzz failures are saved in this format under [test/corpus/] and
+    replayed by the test suite and the CI fuzz-smoke job. *)
+
+module Instance := Krsp_core.Instance
+
+val to_string : ?comment:string -> Instance.t -> string
+val of_string : string -> Instance.t
+(** Raises [Failure] with a line-precise message on malformed input
+    (missing or duplicate [q] line, bad instance parameters). *)
+
+val save : string -> ?comment:string -> Instance.t -> unit
+val load : string -> Instance.t
+
+val load_dir : string -> (string * Instance.t) list
+(** All [*.krsp] files of a directory, sorted by file name; [[]] when the
+    directory does not exist. Raises [Failure] on a malformed file, naming
+    it. *)

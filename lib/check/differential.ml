@@ -1,0 +1,183 @@
+module Instance = Krsp_core.Instance
+module Krsp = Krsp_core.Krsp
+module Pool = Krsp_util.Pool
+
+(* The harness drives the solver, so unlike {!Check} it imports the solver
+   API on purpose: its job is to compare configurations, the certificate's
+   to distrust all of them. *)
+
+(* pools are long-lived by design (spawning domains per comparison would
+   dominate the harness): one per width, kept for the process lifetime *)
+let pools : (int, Pool.t) Hashtbl.t = Hashtbl.create 4
+
+let pool_of width =
+  match Hashtbl.find_opt pools width with
+  | Some p -> p
+  | None ->
+    let p = Pool.create ~size:width () in
+    Hashtbl.add pools width p;
+    p
+
+let infeasibility_of = function
+  | Krsp.No_k_disjoint_paths -> Check.Too_few_disjoint_paths
+  | Krsp.Delay_bound_unreachable d -> Check.Delay_unreachable d
+
+let describe_error = function
+  | Krsp.No_k_disjoint_paths -> "No_k_disjoint_paths"
+  | Krsp.Delay_bound_unreachable d -> Printf.sprintf "Delay_bound_unreachable %d" d
+
+let certified ~level ~what inst sol =
+  let cert = Check.certify ~level inst sol in
+  if Check.ok cert then []
+  else [ Printf.sprintf "%s: solution does not certify:\n%s" what (Check.to_string cert) ]
+
+let audited ~what inst err =
+  match Check.audit_infeasible inst (infeasibility_of err) with
+  | Ok () -> []
+  | Error msg -> [ Printf.sprintf "%s: infeasibility verdict fails audit: %s" what msg ]
+
+(* both runs must land on the same side; each side is then audited *)
+let pairwise ~level ~axis inst (name_a, a) (name_b, b) =
+  match (a, b) with
+  | Ok (sol_a, _), Ok (sol_b, _) ->
+    certified ~level ~what:(axis ^ "/" ^ name_a) inst sol_a
+    @ certified ~level ~what:(axis ^ "/" ^ name_b) inst sol_b
+  | Error ea, Error eb ->
+    (if ea = eb then []
+     else
+       [ Printf.sprintf "%s: %s says %s but %s says %s" axis name_a (describe_error ea) name_b
+           (describe_error eb)
+       ])
+    @ audited ~what:(axis ^ "/" ^ name_a) inst ea
+  | Ok _, Error e ->
+    [ Printf.sprintf "%s: %s solved but %s reports %s" axis name_a name_b (describe_error e) ]
+  | Error e, Ok _ ->
+    [ Printf.sprintf "%s: %s solved but %s reports %s" axis name_b name_a (describe_error e) ]
+
+let engines ?(level = Check.Structural) inst =
+  let dp = Krsp.solve inst ~engine:Krsp.Dp () in
+  let lp = Krsp.solve inst ~engine:Krsp.Lp () in
+  pairwise ~level ~axis:"engines" inst ("dp", dp) ("lp", lp)
+
+let canon (sol : Instance.solution) =
+  (sol.Instance.cost, sol.Instance.delay, List.sort compare sol.Instance.paths)
+
+let widths ?(w1 = 1) ?(w2 = 4) ?(level = Check.Structural) inst =
+  let run w = Krsp.solve inst ~pool:(pool_of w) () in
+  let a = run w1 and b = run w2 in
+  let names = (Printf.sprintf "width-%d" w1, Printf.sprintf "width-%d" w2) in
+  let base = pairwise ~level ~axis:"widths" inst (fst names, a) (snd names, b) in
+  match (a, b) with
+  | Ok (sa, _), Ok (sb, _) when canon sa <> canon sb ->
+    Printf.sprintf
+      "widths: not bit-identical: %s gives cost=%d delay=%d, %s gives cost=%d delay=%d"
+      (fst names) sa.Instance.cost sa.Instance.delay (snd names) sb.Instance.cost
+      sb.Instance.delay
+    :: base
+  | _ -> base
+
+let warm_cold ?(level = Check.Structural) inst =
+  match Krsp.solve inst () with
+  | Error e -> audited ~what:"warm-cold/cold" inst e
+  | Ok (cold, _) -> (
+    let miss_cold = certified ~level ~what:"warm-cold/cold" inst cold in
+    (* intact warm start: the repair keeps it, the resume must re-certify *)
+    let warm intact_name start =
+      match Krsp.solve inst ~warm_start:start () with
+      | Ok (sol, _) -> certified ~level ~what:("warm-cold/" ^ intact_name) inst sol
+      | Error e ->
+        Printf.sprintf "warm-cold/%s: cold solved but warm start reports %s" intact_name
+          (describe_error e)
+        :: []
+    in
+    let damaged =
+      (* simulate a failed link: poison the first path's ids, keep the rest *)
+      match cold.Instance.paths with
+      | first :: rest -> List.map (fun _ -> -1) first :: rest
+      | [] -> [ [ -1 ] ]
+    in
+    miss_cold @ warm "warm-intact" cold.Instance.paths @ warm "warm-damaged" damaged)
+
+let metamorphic ?transforms inst =
+  let transforms = match transforms with Some ts -> ts | None -> Transform.all inst in
+  match Krsp.solve inst () with
+  | Error e ->
+    (* infeasibility must be preserved by every OPT-preserving transform *)
+    List.concat_map
+      (fun tr ->
+        if tr.Transform.cost_factor <> 1 then []
+        else begin
+          match Krsp.solve tr.Transform.instance () with
+          | Error e' when e' = e -> []
+          | Error e' ->
+            [ Printf.sprintf "metamorphic/%s: infeasibility changed: %s vs %s"
+                tr.Transform.name (describe_error e) (describe_error e')
+            ]
+          | Ok _ ->
+            [ Printf.sprintf "metamorphic/%s: original infeasible (%s) but transform solved"
+                tr.Transform.name (describe_error e)
+            ]
+        end)
+      transforms
+  | Ok (orig, orig_stats) ->
+    List.concat_map
+      (fun tr ->
+        let name = "metamorphic/" ^ tr.Transform.name in
+        match Krsp.solve tr.Transform.instance () with
+        | Error e -> [ Printf.sprintf "%s: transform became infeasible (%s)" name
+                         (describe_error e) ]
+        | Ok (sol', stats') ->
+          let cert' = Check.certify tr.Transform.instance sol' in
+          let miss_cert =
+            if Check.ok cert' then []
+            else [ Printf.sprintf "%s: transformed solve does not certify:\n%s" name
+                     (Check.to_string cert') ]
+          in
+          (* mapped-back paths must certify on the original instance, and
+             the zero-cost auxiliary edges account for the whole difference:
+             factor · cost(mapped) = cost(transformed) exactly *)
+          let mapped = tr.Transform.map_back sol'.Instance.paths in
+          let mapped_sol =
+            {
+              Instance.paths = mapped;
+              cost =
+                List.fold_left
+                  (fun a p -> a + Krsp_graph.Path.cost inst.Instance.graph p)
+                  0 mapped;
+              delay =
+                List.fold_left
+                  (fun a p -> a + Krsp_graph.Path.delay inst.Instance.graph p)
+                  0 mapped;
+            }
+          in
+          let cert_mapped = Check.certify inst mapped_sol in
+          let miss_mapped =
+            if Check.ok cert_mapped then []
+            else [ Printf.sprintf "%s: mapped-back paths do not certify:\n%s" name
+                     (Check.to_string cert_mapped) ]
+          in
+          let miss_factor =
+            if tr.Transform.cost_factor * mapped_sol.Instance.cost = sol'.Instance.cost then []
+            else [ Printf.sprintf "%s: cost accounting broken: %d·%d ≠ %d" name
+                     tr.Transform.cost_factor mapped_sol.Instance.cost sol'.Instance.cost ]
+          in
+          (* both sides carry the Lemma 3 guarantee unless they fell back,
+             so the costs bracket each other through C_OPT *)
+          let miss_bracket =
+            if orig_stats.Krsp.used_fallback || stats'.Krsp.used_fallback then []
+            else begin
+              let f = tr.Transform.cost_factor in
+              if sol'.Instance.cost > 2 * f * orig.Instance.cost then
+                [ Printf.sprintf "%s: transformed cost %d > 2·%d·%d" name sol'.Instance.cost f
+                    orig.Instance.cost ]
+              else if 2 * sol'.Instance.cost < f * orig.Instance.cost then
+                [ Printf.sprintf "%s: original cost %d > 2·(%d/%d)" name orig.Instance.cost
+                    sol'.Instance.cost f ]
+              else []
+            end
+          in
+          miss_cert @ miss_mapped @ miss_factor @ miss_bracket)
+      transforms
+
+let all ?(level = Check.Structural) inst =
+  engines ~level inst @ widths ~level inst @ warm_cold ~level inst @ metamorphic inst

@@ -1,0 +1,35 @@
+(** Differential verification: run the same instance through independent
+    solver configurations and check that the results are
+    certified-equivalent.
+
+    Three axes, matching the repository's redundancy:
+
+    - {b engines} (DP vs LP bicameral search): the solutions may differ —
+      the engines explore different cycle spaces — but both must certify
+      under {!Check.certify}, and infeasibility verdicts must agree and
+      pass {!Check.audit_infeasible};
+    - {b widths} (serial vs [KRSP_DOMAINS] > 1): DESIGN.md §10 promises a
+      {e bit-identical} result at any pool width, so here equivalence is
+      literal equality of cost, delay and the path multiset — plus a
+      certificate on the solution;
+    - {b warm vs cold}: a warm-started re-solve waives the cost guarantee
+      but not feasibility — both runs must certify.
+
+    {!metamorphic} adds the {!Transform} relations: the transformed solve
+    must certify, its mapped-back paths must certify on the original
+    instance, and the cost accounting must match the transformation's
+    factor exactly.
+
+    Every function returns the list of mismatches found ([[]] = all
+    equivalent); a mismatch message names the axis and the witness. *)
+
+module Instance := Krsp_core.Instance
+
+val engines : ?level:Check.level -> Instance.t -> string list
+val widths : ?w1:int -> ?w2:int -> ?level:Check.level -> Instance.t -> string list
+val warm_cold : ?level:Check.level -> Instance.t -> string list
+val metamorphic : ?transforms:Transform.t list -> Instance.t -> string list
+
+val all : ?level:Check.level -> Instance.t -> string list
+(** Engines, widths (1 vs 4), warm/cold and the four standard
+    transformations. *)

@@ -1,0 +1,235 @@
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+module Instance = Krsp_core.Instance
+module Krsp = Krsp_core.Krsp
+module Xoshiro = Krsp_util.Xoshiro
+
+type inject = Clean | Share_edge | Drop_edge | Tamper_cost
+
+let inject_to_string = function
+  | Clean -> "clean"
+  | Share_edge -> "share-edge"
+  | Drop_edge -> "drop-edge"
+  | Tamper_cost -> "tamper-cost"
+
+let inject_of_string = function
+  | "clean" -> Some Clean
+  | "share-edge" -> Some Share_edge
+  | "drop-edge" -> Some Drop_edge
+  | "tamper-cost" -> Some Tamper_cost
+  | _ -> None
+
+type failure = {
+  case : int;
+  reason : string;
+  instance : Instance.t;
+  edges_before_shrink : int;
+}
+
+type outcome = {
+  cases : int;
+  solved : int;
+  infeasible : int;
+  failures : failure list;
+}
+
+(* per-case stream: everything downstream is a pure function of (seed, case) *)
+let case_rng ~seed ~case =
+  Xoshiro.create ~seed:((seed * 1_000_003) lxor (case * 8_191) land max_int)
+
+(* Small dense-ish DAG-leaning instances: forward backbone 0→1→…→n-1 plus
+   random extra edges (occasionally backward, so cycles appear too). Small
+   weights keep the LP audit cheap and shrunk repros readable. *)
+let gen_instance rng ~inject =
+  let n = Xoshiro.int_in rng 4 8 in
+  let g = G.create ~n () in
+  for v = 0 to n - 2 do
+    ignore
+      (G.add_edge g ~src:v ~dst:(v + 1) ~cost:(Xoshiro.int rng 9) ~delay:(Xoshiro.int rng 6))
+  done;
+  let extra = Xoshiro.int_in rng n (3 * n) in
+  for _ = 1 to extra do
+    let u = Xoshiro.int rng n in
+    let v = Xoshiro.int rng n in
+    if u <> v then
+      let u, v = if Xoshiro.int rng 5 = 0 then (v, u) else (min u v, max u v) in
+      ignore (G.add_edge g ~src:u ~dst:v ~cost:(Xoshiro.int rng 9) ~delay:(Xoshiro.int rng 6))
+  done;
+  let k = match inject with Clean -> Xoshiro.int_in rng 1 3 | _ -> Xoshiro.int_in rng 2 3 in
+  let probe = Instance.create g ~src:0 ~dst:(n - 1) ~k ~delay_bound:(G.total_delay g + 1) in
+  let delay_bound =
+    match Instance.min_possible_delay probe with
+    | Some d -> d + Xoshiro.int rng 5 (* feasible, often tight *)
+    | None -> Xoshiro.int rng 10 (* disconnected: exercises the infeasibility audit *)
+  in
+  Instance.create g ~src:0 ~dst:(n - 1) ~k ~delay_bound
+
+let resum inst paths =
+  {
+    Instance.paths;
+    cost = List.fold_left (fun a p -> a + Path.cost inst.Instance.graph p) 0 paths;
+    delay = List.fold_left (fun a p -> a + Path.delay inst.Instance.graph p) 0 paths;
+  }
+
+let apply_inject rng inject inst (sol : Instance.solution) =
+  match (inject, sol.Instance.paths) with
+  | Clean, _ -> sol
+  | Share_edge, first :: _ :: rest -> resum inst (first :: first :: rest)
+  | Drop_edge, paths when List.exists (fun p -> List.length p > 1) paths ->
+    let idx =
+      let candidates =
+        List.filteri (fun _ p -> List.length p > 1) paths |> List.length
+      in
+      Xoshiro.int rng candidates
+    in
+    let seen = ref (-1) in
+    let paths' =
+      List.map
+        (fun p ->
+          if List.length p > 1 then begin
+            incr seen;
+            if !seen = idx then
+              let victim = Xoshiro.int rng (List.length p) in
+              List.filteri (fun i _ -> i <> victim) p
+            else p
+          end
+          else p)
+        paths
+    in
+    resum inst paths'
+  | Tamper_cost, _ -> { sol with Instance.cost = sol.Instance.cost + 1 + Xoshiro.int rng 5 }
+  | (Share_edge | Drop_edge), _ -> sol (* too small to mutate; case passes *)
+
+(* one pipeline run; [Some reason] = this configuration fails on [inst].
+   The injection stream is re-derived from (seed, case) so the predicate is
+   stable across shrink re-runs. *)
+let run_case ~seed ~case ~level ~inject inst =
+  match Krsp.solve inst () with
+  | Error err ->
+    let verdict =
+      match err with
+      | Krsp.No_k_disjoint_paths -> Check.Too_few_disjoint_paths
+      | Krsp.Delay_bound_unreachable d -> Check.Delay_unreachable d
+    in
+    (match Check.audit_infeasible inst verdict with
+    | Ok () -> (`Infeasible, None)
+    | Error msg -> (`Infeasible, Some ("infeasibility audit: " ^ msg)))
+  | Ok (sol, _) ->
+    let rng = case_rng ~seed ~case in
+    let sol = apply_inject rng inject inst sol in
+    let cert = Check.certify ~level inst sol in
+    if Check.ok cert then (`Solved, None)
+    else (`Solved, Some (Check.to_string cert))
+
+let drop_edge inst victim =
+  let g = inst.Instance.graph in
+  let g', _ = G.filter_map_edges g ~f:(fun e ->
+      if e = victim then None else Some (G.cost g e, G.delay g e))
+  in
+  Instance.create g' ~src:inst.Instance.src ~dst:inst.Instance.dst ~k:inst.Instance.k
+    ~delay_bound:inst.Instance.delay_bound
+
+(* drop vertices no edge touches (src/dst kept), preserving edge order/ids *)
+let compact inst =
+  let g = inst.Instance.graph in
+  let n = G.n g in
+  let used = Array.make n false in
+  used.(inst.Instance.src) <- true;
+  used.(inst.Instance.dst) <- true;
+  G.iter_edges g (fun e ->
+      used.(G.src g e) <- true;
+      used.(G.dst g e) <- true);
+  if Array.for_all Fun.id used then inst
+  else begin
+    let remap = Array.make n (-1) in
+    let next = ref 0 in
+    Array.iteri (fun v u -> if u then begin remap.(v) <- !next; incr next end) used;
+    let g' = G.create ~expected_edges:(G.m g) ~n:!next () in
+    G.iter_edges g (fun e ->
+        ignore
+          (G.add_edge g' ~src:remap.(G.src g e) ~dst:remap.(G.dst g e) ~cost:(G.cost g e)
+             ~delay:(G.delay g e)));
+    Instance.create g' ~src:remap.(inst.Instance.src) ~dst:remap.(inst.Instance.dst)
+      ~k:inst.Instance.k ~delay_bound:inst.Instance.delay_bound
+  end
+
+let shrink still_fails inst =
+  (* greedy first-improvement: retry from edge 0 after every success, so the
+     result is a local minimum under single-edge removal *)
+  let rec edge_pass inst =
+    let m = G.m inst.Instance.graph in
+    let rec try_from e =
+      if e >= m then inst
+      else
+        let candidate = drop_edge inst e in
+        if still_fails candidate then edge_pass candidate else try_from (e + 1)
+    in
+    try_from 0
+  in
+  let rec k_pass inst =
+    if inst.Instance.k <= 1 then inst
+    else
+      let candidate = { inst with Instance.k = inst.Instance.k - 1 } in
+      if still_fails candidate then k_pass (edge_pass candidate) else inst
+  in
+  let shrunk = k_pass (edge_pass inst) in
+  let compacted = compact shrunk in
+  if still_fails compacted then compacted else shrunk
+
+let run ?(level = Check.Full) ?(inject = Clean) ?(count = 50) ?(max_failures = 3) ?corpus_dir
+    ?(log = fun _ -> ()) ~seed () =
+  let solved = ref 0 and infeasible = ref 0 and failures = ref [] in
+  (match corpus_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  let case = ref 0 in
+  while !case < count && List.length !failures < max_failures do
+    let c = !case in
+    incr case;
+    let rng = case_rng ~seed ~case:c in
+    let inst = gen_instance rng ~inject in
+    let kind, failed = run_case ~seed ~case:c ~level ~inject inst in
+    (match kind with `Solved -> incr solved | `Infeasible -> incr infeasible);
+    match failed with
+    | None -> ()
+    | Some reason ->
+      let edges_before_shrink = G.m inst.Instance.graph in
+      let still_fails inst' =
+        snd (run_case ~seed ~case:c ~level ~inject inst') <> None
+      in
+      let repro = shrink still_fails inst in
+      let reason =
+        match snd (run_case ~seed ~case:c ~level ~inject repro) with
+        | Some r -> r
+        | None -> reason (* unreachable: shrink preserves failure *)
+      in
+      log
+        (Printf.sprintf "case %d FAILED (%d edges, shrunk from %d):\n%s" c
+           (G.m repro.Instance.graph) edges_before_shrink reason);
+      (match corpus_dir with
+      | Some dir ->
+        let file = Printf.sprintf "seed%d-case%d.krsp" seed c in
+        let comment =
+          Printf.sprintf "fuzz repro: seed=%d case=%d inject=%s\n%s" seed c
+            (inject_to_string inject)
+            (String.concat "\n" (String.split_on_char '\n' reason))
+        in
+        Corpus.save (Filename.concat dir file) ~comment repro;
+        log (Printf.sprintf "  saved %s" (Filename.concat dir file))
+      | None -> ());
+      failures := { case = c; reason; instance = repro; edges_before_shrink } :: !failures
+  done;
+  let outcome =
+    {
+      cases = !case;
+      solved = !solved;
+      infeasible = !infeasible;
+      failures = List.rev !failures;
+    }
+  in
+  log
+    (Printf.sprintf "fuzz: %d cases (%d solved, %d infeasible), %d failure%s" outcome.cases
+       outcome.solved outcome.infeasible
+       (List.length outcome.failures)
+       (if List.length outcome.failures = 1 then "" else "s"));
+  outcome

@@ -1,0 +1,69 @@
+(** Seeded deterministic fuzzing with shrinking.
+
+    Each case derives its own {!Krsp_util.Xoshiro} stream from
+    [(seed, case)], generates a small random instance, runs the full solve
+    pipeline and certifies the outcome with {!Check}: a solution must pass
+    {!Check.certify}, an infeasibility verdict must pass
+    {!Check.audit_infeasible}. Everything is a pure function of the seed —
+    two runs with the same arguments visit the same instances, find the
+    same failures and shrink them to the same repros.
+
+    {2 Planted bugs}
+
+    [?inject] mutates the solver's output before certification, simulating
+    a buggy solver so the harness-catches-the-bug path is itself testable
+    (the CI fuzz-smoke job runs an injected sweep and requires it to
+    fail):
+
+    - {!Share_edge}: a path is replaced by a copy of another, breaking
+      edge-disjointness;
+    - {!Drop_edge}: one edge is deleted from a path, breaking contiguity;
+    - {!Tamper_cost}: the claimed cost total is inflated.
+
+    {2 Shrinking}
+
+    A failing case is shrunk before it is reported: greedy first-improvement
+    edge removal to a fixpoint, then [k] reduction, then unused-vertex
+    compaction — re-running the identical pipeline after every candidate
+    step, so the repro still fails for the same configuration. Shrinking is
+    deterministic (candidates are tried in id order) and typically lands
+    planted bugs on repros of a handful of edges. *)
+
+module Instance := Krsp_core.Instance
+
+type inject = Clean | Share_edge | Drop_edge | Tamper_cost
+
+val inject_of_string : string -> inject option
+(** Recognises ["clean"], ["share-edge"], ["drop-edge"], ["tamper-cost"]. *)
+
+val inject_to_string : inject -> string
+
+type failure = {
+  case : int;  (** case index within the run *)
+  reason : string;  (** first mismatch, with witnesses *)
+  instance : Instance.t;  (** shrunk repro *)
+  edges_before_shrink : int;
+}
+
+type outcome = {
+  cases : int;
+  solved : int;  (** cases where the solver returned a solution *)
+  infeasible : int;  (** cases the solver (verifiably) called infeasible *)
+  failures : failure list;  (** in case order; empty = clean run *)
+}
+
+val run :
+  ?level:Check.level ->
+  ?inject:inject ->
+  ?count:int ->
+  ?max_failures:int ->
+  ?corpus_dir:string ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  unit ->
+  outcome
+(** [run ~seed ()] fuzzes [count] (default 50) cases at [level] (default
+    {!Check.Full}). Stops early after [max_failures] (default 3) shrunk
+    failures. When [corpus_dir] is given, each repro is saved there as
+    [seed<seed>-case<case>.krsp] (directory created if missing). [log]
+    receives one line per failure and a summary line. *)

@@ -1,0 +1,21 @@
+module Krsp = Krsp_core.Krsp
+
+exception Certification_failed of string
+
+let enable ?(level = Check.Structural) () =
+  Krsp.post_solve_hook :=
+    fun inst sol ->
+      let cert = Check.certify ~level inst sol in
+      if not (Check.ok cert) then raise (Certification_failed (Check.to_string cert))
+
+let disable () = Krsp.post_solve_hook := fun _ _ -> ()
+
+let install_from_env () =
+  match Sys.getenv_opt "KRSP_CERTIFY" with
+  | None | Some "" | Some "0" -> None
+  | Some "full" ->
+    enable ~level:Check.Full ();
+    Some Check.Full
+  | Some _ ->
+    enable ~level:Check.Structural ();
+    Some Check.Structural

@@ -1,0 +1,29 @@
+(** Opt-in post-solve certification.
+
+    {!Krsp_core.Krsp.solve} fires {!Krsp_core.Krsp.post_solve_hook} on every
+    solution it returns; this module points that hook at {!Check.certify}.
+    Keeping the wiring here (and not in [check.ml]) preserves the
+    certificate checker's solver independence — [Check] itself never
+    imports the solver.
+
+    On a certificate with violations the hook raises {!Certification_failed}
+    out of the [solve] call: an uncertified solution never reaches the
+    caller unnoticed. Certified solves only pay the check itself
+    ([Structural] is O(k·n)); every call is recorded in the [check.*]
+    metrics either way. *)
+
+exception Certification_failed of string
+(** Payload is {!Check.to_string} of the failing certificate. *)
+
+val enable : ?level:Check.level -> unit -> unit
+(** Install the certifying hook (default level {!Check.Structural}).
+    Idempotent; a second call replaces the level. *)
+
+val disable : unit -> unit
+(** Restore the default no-op hook. *)
+
+val install_from_env : unit -> Check.level option
+(** Read [KRSP_CERTIFY]: unset, [""] or ["0"] leave the hook untouched and
+    return [None]; ["full"] enables at {!Check.Full}; any other value
+    (["1"], ["structural"], …) enables at {!Check.Structural}. Returns the
+    installed level. Called by the CLI and krspd at startup. *)

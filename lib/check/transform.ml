@@ -1,0 +1,94 @@
+module G = Krsp_graph.Digraph
+module Instance = Krsp_core.Instance
+
+type t = {
+  name : string;
+  instance : Instance.t;
+  cost_factor : int;
+  map_back : Krsp_graph.Path.t list -> Krsp_graph.Path.t list;
+}
+
+let cost_scale ~factor inst =
+  if factor < 1 then invalid_arg "Transform.cost_scale: factor < 1";
+  let g = inst.Instance.graph in
+  (* filter_map_edges keeps every edge, so ids coincide with the original *)
+  let g', _ = G.filter_map_edges g ~f:(fun e -> Some (factor * G.cost g e, G.delay g e)) in
+  {
+    name = Printf.sprintf "cost-scale×%d" factor;
+    instance =
+      Instance.create g' ~src:inst.Instance.src ~dst:inst.Instance.dst ~k:inst.Instance.k
+        ~delay_bound:inst.Instance.delay_bound;
+    cost_factor = factor;
+    map_back = (fun paths -> paths);
+  }
+
+let subdivide inst =
+  let g = inst.Instance.graph in
+  let n = G.n g and m = G.m g in
+  let g' = G.create ~expected_edges:(2 * m) ~n:(n + m) () in
+  (* edge e = (u,v,c,d) becomes 2e = (u, n+e, c, d) and 2e+1 = (n+e, v, 0, 0) *)
+  for e = 0 to m - 1 do
+    ignore (G.add_edge g' ~src:(G.src g e) ~dst:(n + e) ~cost:(G.cost g e) ~delay:(G.delay g e));
+    ignore (G.add_edge g' ~src:(n + e) ~dst:(G.dst g e) ~cost:0 ~delay:0)
+  done;
+  {
+    name = "subdivide";
+    instance =
+      Instance.create g' ~src:inst.Instance.src ~dst:inst.Instance.dst ~k:inst.Instance.k
+        ~delay_bound:inst.Instance.delay_bound;
+    cost_factor = 1;
+    map_back =
+      (fun paths ->
+        List.map (fun p -> List.filter_map (fun e -> if e mod 2 = 0 then Some (e / 2) else None) p)
+          paths);
+  }
+
+let split_vertices inst =
+  let g = inst.Instance.graph in
+  let n = G.n g and m = G.m g in
+  let k = inst.Instance.k in
+  (* in-copy of v is v, out-copy is n+v; original edge e = (u,v) keeps id e
+     as (n+u → v); then k parallel zero/zero bridges v → n+v per vertex *)
+  let g' = G.create ~expected_edges:(m + (k * n)) ~n:(2 * n) () in
+  for e = 0 to m - 1 do
+    ignore
+      (G.add_edge g' ~src:(n + G.src g e) ~dst:(G.dst g e) ~cost:(G.cost g e)
+         ~delay:(G.delay g e))
+  done;
+  for v = 0 to n - 1 do
+    for _ = 1 to k do
+      ignore (G.add_edge g' ~src:v ~dst:(n + v) ~cost:0 ~delay:0)
+    done
+  done;
+  {
+    name = "split-vertices";
+    instance =
+      Instance.create g' ~src:(n + inst.Instance.src) ~dst:inst.Instance.dst ~k
+        ~delay_bound:inst.Instance.delay_bound;
+    cost_factor = 1;
+    map_back = (fun paths -> List.map (List.filter (fun e -> e < m)) paths);
+  }
+
+let super_terminals inst =
+  let g = inst.Instance.graph in
+  let n = G.n g and m = G.m g in
+  let k = inst.Instance.k in
+  let g' = G.create ~expected_edges:(m + (2 * k)) ~n:(n + 2) () in
+  for e = 0 to m - 1 do
+    ignore
+      (G.add_edge g' ~src:(G.src g e) ~dst:(G.dst g e) ~cost:(G.cost g e) ~delay:(G.delay g e))
+  done;
+  let s' = n and t' = n + 1 in
+  for _ = 1 to k do
+    ignore (G.add_edge g' ~src:s' ~dst:inst.Instance.src ~cost:0 ~delay:0);
+    ignore (G.add_edge g' ~src:inst.Instance.dst ~dst:t' ~cost:0 ~delay:0)
+  done;
+  {
+    name = "super-terminals";
+    instance = Instance.create g' ~src:s' ~dst:t' ~k ~delay_bound:inst.Instance.delay_bound;
+    cost_factor = 1;
+    map_back = (fun paths -> List.map (List.filter (fun e -> e < m)) paths);
+  }
+
+let all inst =
+  [ cost_scale ~factor:3 inst; subdivide inst; split_vertices inst; super_terminals inst ]

@@ -1,0 +1,41 @@
+(** Metamorphic instance transformations with known effect on [C_OPT].
+
+    Each transformation rewrites an instance into one whose optimum relates
+    to the original's in a provable way, together with a mapping from
+    transformed solutions back to original edge lists. A metamorphic test
+    solves both sides and checks the relations — no oracle needed:
+
+    - {!cost_scale}[ ~factor]: every cost ×[factor]; [C_OPT' = factor·C_OPT],
+      a mapped-back solution's cost is exactly [cost'/factor];
+    - {!subdivide}: every edge [u→v] becomes [u→x_e→v] with the weight on
+      the first half and a zero/zero second half; optimum unchanged;
+    - {!split_vertices}: every vertex gets an in/out copy joined by [k]
+      parallel zero/zero bridges, edges run out-copy → in-copy; optimum
+      unchanged (with [k] bridges, edge-disjointness is preserved both
+      ways);
+    - {!super_terminals}: fresh super-source/super-sink tied to [s]/[t]
+      with [k] parallel zero/zero edges each; optimum unchanged.
+
+    All transformations keep the graph deterministically ordered, so solver
+    runs on transformed instances are reproducible. *)
+
+module Instance := Krsp_core.Instance
+
+type t = {
+  name : string;
+  instance : Instance.t;  (** the transformed instance *)
+  cost_factor : int;  (** [C_OPT' = cost_factor · C_OPT] *)
+  map_back : Krsp_graph.Path.t list -> Krsp_graph.Path.t list;
+      (** transformed solution paths → original edge lists (drops the
+          zero-weight auxiliary edges) *)
+}
+
+val cost_scale : factor:int -> Instance.t -> t
+(** Requires [factor ≥ 1]. *)
+
+val subdivide : Instance.t -> t
+val split_vertices : Instance.t -> t
+val super_terminals : Instance.t -> t
+
+val all : Instance.t -> t list
+(** The four transformations above (cost scaling at factor 3). *)

@@ -203,7 +203,9 @@ let repair t ~paths =
         | None, None -> None))
   end
 
-let solve t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
+let post_solve_hook : (Instance.t -> Instance.solution -> unit) ref = ref (fun _ _ -> ())
+
+let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
     ?(max_iterations = 2_000) ?(guess_steps = 12) ?warm_start ?pool () =
   let pool = match pool with Some p -> p | None -> Krsp_util.Pool.default () in
   if not (Instance.connectivity_ok t) then Error No_k_disjoint_paths
@@ -377,3 +379,13 @@ let solve t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
               } )
       end
   end
+
+(* Every Ok the pipeline produces — early feasible start, guess-search best,
+   min-delay fallback — passes through here, so an installed hook (see
+   Krsp_check.Hook) sees every solution this module ever returns. *)
+let solve t ?engine ?exhaustive ?phase1 ?max_iterations ?guess_steps ?warm_start ?pool () =
+  let outcome =
+    solve_impl t ?engine ?exhaustive ?phase1 ?max_iterations ?guess_steps ?warm_start ?pool ()
+  in
+  (match outcome with Ok (sol, _) -> !post_solve_hook t sol | Error _ -> ());
+  outcome

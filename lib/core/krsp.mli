@@ -91,6 +91,13 @@ val repair :
     re-route would find, so [None] does not prove infeasibility — callers
     fall back to a cold solve). *)
 
+val post_solve_hook : (Instance.t -> Instance.solution -> unit) ref
+(** Fired by {!solve} with every solution it returns (all [Ok] paths: early
+    feasible start, guess-search best, min-delay fallback), before the
+    outcome reaches the caller. Default: no-op. [Krsp_check.Hook] points it
+    at the certificate checker when [KRSP_CERTIFY] is set; an exception
+    raised by the hook propagates out of [solve]. *)
+
 val solve :
   Instance.t ->
   ?engine:engine ->

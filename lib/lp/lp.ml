@@ -8,17 +8,20 @@ type t = {
   mutable nvars : int;
   mutable objs : Q.t list; (* reversed *)
   mutable names : string list; (* reversed *)
+  mutable uppers : Q.t option list; (* reversed *)
   mutable constraints : ((var * Q.t) list * relation * Q.t) list; (* reversed *)
   mutable nconstraints : int;
 }
 
-let create () = { nvars = 0; objs = []; names = []; constraints = []; nconstraints = 0 }
+let create () =
+  { nvars = 0; objs = []; names = []; uppers = []; constraints = []; nconstraints = 0 }
 
 let copy t =
   {
     nvars = t.nvars;
     objs = t.objs;
     names = t.names;
+    uppers = t.uppers;
     constraints = t.constraints;
     nconstraints = t.nconstraints;
   }
@@ -27,14 +30,15 @@ let add_constraint_unchecked t terms rel rhs =
   t.constraints <- (terms, rel, rhs) :: t.constraints;
   t.nconstraints <- t.nconstraints + 1
 
+(* Box bounds are NOT materialised as rows: the simplex handles them
+   implicitly (nonbasic-at-upper status + bound flips), which keeps the
+   tableau at the size of the real constraint system. *)
 let add_var t ?upper ~obj name =
   let v = t.nvars in
   t.nvars <- t.nvars + 1;
   t.objs <- obj :: t.objs;
   t.names <- name :: t.names;
-  (match upper with
-  | None -> ()
-  | Some u -> add_constraint_unchecked t [ (v, Q.one) ] Le u);
+  t.uppers <- upper :: t.uppers;
   v
 
 let add_constraint t terms rel rhs =
@@ -58,5 +62,6 @@ let num_constraints t = t.nconstraints
 
 let objective t v = List.nth (List.rev t.objs) v
 let var_name t v = List.nth (List.rev t.names) v
+let upper t v = List.nth (List.rev t.uppers) v
 
 let rows t = List.rev t.constraints

@@ -31,11 +31,14 @@ val add_constraint : t -> (var * Q.t) list -> relation -> Q.t -> unit
 
 val num_vars : t -> int
 val num_constraints : t -> int
-(** Box upper bounds count as constraints here. *)
+(** Explicit constraints only; box upper bounds are carried per-variable
+    (see {!upper}) and handled implicitly by the simplex. *)
 
 val objective : t -> var -> Q.t
 val var_name : t -> var -> string
 
+val upper : t -> var -> Q.t option
+(** The variable's box upper bound, if it was declared with one. *)
+
 val rows : t -> ((var * Q.t) list * relation * Q.t) list
-(** All constraints (including materialised box bounds), in insertion
-    order. *)
+(** All explicit constraints, in insertion order (box bounds excluded). *)

@@ -7,11 +7,23 @@ type outcome =
   | Infeasible
   | Unbounded
 
-(* Tableau layout:
-   - rows 0..m-1: constraints in the form  B^{-1}A x = B^{-1}b,
+(* Bounded-variable primal simplex.
+
+   Tableau layout:
+   - rows 0..m-1: the explicit constraints in the form B^{-1}A x = rhs,
      columns 0..ncols-1 are variables (original, then slack/surplus, then
      artificial), column ncols is the rhs;
    - basis.(i) is the variable index basic in row i.
+
+   Box bounds [0, u_j] are handled implicitly: a nonbasic variable sits at
+   either bound (at_upper tracks which), and the stored rhs column is the
+   CURRENT VALUE of each basic variable, i.e. B^{-1}b minus the
+   contributions of the nonbasic-at-upper columns. A variable about to
+   enter from its upper bound is first re-expressed as y = u - x (its
+   column and reduced cost negate; flipped records the substitution so the
+   original value can be recovered), after which every entering step
+   increases a column from zero. This keeps the tableau at the size of the
+   real constraint system instead of adding one row per box bound.
    All entries are exact rationals. *)
 
 type tableau = {
@@ -19,29 +31,42 @@ type tableau = {
   ncols : int;
   a : Q.t array array; (* m rows, ncols+1 columns *)
   basis : int array;
+  upper : Q.t option array; (* per column; None = unbounded above *)
+  at_upper : bool array; (* nonbasic and sitting at its upper bound *)
+  flipped : bool array; (* column holds u - x instead of x *)
 }
 
+(* Rational arithmetic dominates the pivot, so both loops touch only the
+   pivot row's nonzero columns — conservation-style rows stay sparse even
+   after fill-in, and skipping an entry is an integer sign test against a
+   Q.mul + Q.sub on big rationals. *)
 let pivot t ~row ~col =
   let piv = t.a.(row).(col) in
   assert (Q.sign piv <> 0);
+  let r = t.a.(row) in
   let inv = Q.inv piv in
-  for j = 0 to t.ncols do
-    t.a.(row).(j) <- Q.mul t.a.(row).(j) inv
+  let nz = ref [] in
+  for j = t.ncols downto 0 do
+    if Q.sign r.(j) <> 0 then begin
+      r.(j) <- Q.mul r.(j) inv;
+      nz := j :: !nz
+    end
   done;
+  let nz = !nz in
   for i = 0 to t.m - 1 do
     if i <> row then begin
       let factor = t.a.(i).(col) in
-      if Q.sign factor <> 0 then
-        for j = 0 to t.ncols do
-          t.a.(i).(j) <- Q.sub t.a.(i).(j) (Q.mul factor t.a.(row).(j))
-        done
+      if Q.sign factor <> 0 then begin
+        let ai = t.a.(i) in
+        List.iter (fun j -> ai.(j) <- Q.sub ai.(j) (Q.mul factor r.(j))) nz
+      end
     end
   done;
   t.basis.(row) <- col
 
 (* Reduced costs for objective vector [c] (length ncols) given the current
-   basis: z_j = c_j - c_B · B^{-1}A_j. Returns the reduced-cost row and the
-   current objective value c_B · B^{-1}b. *)
+   basis: z_j = c_j - c_B · B^{-1}A_j. Returns the reduced-cost row and
+   c_B · rhs (the basic variables' objective contribution). *)
 let reduced_costs t c =
   let red = Array.make t.ncols Q.zero in
   let obj = ref Q.zero in
@@ -50,58 +75,174 @@ let reduced_costs t c =
   for i = 0 to t.m - 1 do
     let cb = c.(t.basis.(i)) in
     if Q.sign cb <> 0 then begin
+      let ai = t.a.(i) in
       for j = 0 to t.ncols - 1 do
-        red.(j) <- Q.sub red.(j) (Q.mul cb t.a.(i).(j))
+        if Q.sign ai.(j) <> 0 then red.(j) <- Q.sub red.(j) (Q.mul cb ai.(j))
       done;
-      obj := Q.add !obj (Q.mul cb t.a.(i).(t.ncols))
+      obj := Q.add !obj (Q.mul cb ai.(t.ncols))
     end
   done;
   (red, !obj)
 
+(* Re-express column [col], currently nonbasic at its upper bound u, as
+   y = u - x: the column and its reduced cost negate, and [flipped] records
+   the substitution. The rhs is unchanged — it already accounts for the
+   at-upper contribution, which the substitution moves into the constant
+   side. [c] is negated in place so later reduced-cost recomputations stay
+   consistent with the flipped column. *)
+let flip_to_lower t c red ~col =
+  for i = 0 to t.m - 1 do
+    t.a.(i).(col) <- Q.neg t.a.(i).(col)
+  done;
+  red.(col) <- Q.neg red.(col);
+  c.(col) <- Q.neg c.(col);
+  t.at_upper.(col) <- false;
+  t.flipped.(col) <- not t.flipped.(col)
+
 (* One phase of the simplex: minimise c·x from the current basis. [allowed j]
    gates which columns may enter (used to lock out artificials in phase 2).
-   Returns [`Optimal] or [`Unbounded]. Bland's rule throughout. *)
+   Returns [`Optimal] or [`Unbounded]. [c] is mutated by column flips.
+
+   The reduced-cost row is computed once on entry and then folded into every
+   pivot — the from-scratch recomputation is O(m·n), the same order as the
+   pivot itself, so maintaining it halves the per-iteration work. Pricing is
+   Dantzig (most negative reduced cost), which reaches the optimum in far
+   fewer pivots than Bland on the degenerate layered-circulation LPs this
+   solver feeds it; because Dantzig alone can cycle on degenerate bases, a
+   run of [stall_cap] consecutive pivots without objective improvement drops
+   the phase permanently to Bland's rule, whose termination is guaranteed
+   (the leaving-row tie-break below is already Bland's; bound flips always
+   strictly improve, so they cannot take part in a cycle). *)
 let run_phase t c ~allowed =
+  let red, _ = reduced_costs t c in
+  let stall_cap = (2 * (t.m + t.ncols)) + 16 in
+  let stalled = ref 0 in
+  (* a variable fixed at zero (upper = 0) can never usefully enter, and
+     letting it in would flip it back and forth forever *)
+  let fixed j = match t.upper.(j) with Some u -> Q.is_zero u | None -> false in
+  (* attractiveness of column j as the entering variable: nonbasic-at-lower
+     columns improve when red < 0, at-upper columns when red > 0 (the value
+     would come DOWN from the bound) *)
+  let score j = if t.at_upper.(j) then Q.neg red.(j) else red.(j) in
   let rec iterate () =
-    let red, _ = reduced_costs t c in
-    (* entering column: smallest index with negative reduced cost *)
     let entering = ref (-1) in
-    (try
-       for j = 0 to t.ncols - 1 do
-         if allowed j && Q.sign red.(j) < 0 then begin
-           entering := j;
-           raise Exit
-         end
-       done
-     with Exit -> ());
+    if !stalled <= stall_cap then begin
+      let best = ref Q.zero in
+      for j = 0 to t.ncols - 1 do
+        if allowed j && not (fixed j) then begin
+          let s = score j in
+          if Q.compare s !best < 0 then begin
+            best := s;
+            entering := j
+          end
+        end
+      done
+    end
+    else (
+      try
+        for j = 0 to t.ncols - 1 do
+          if allowed j && (not (fixed j)) && Q.sign (score j) < 0 then begin
+            entering := j;
+            raise Exit
+          end
+        done
+      with Exit -> ());
     if !entering = -1 then `Optimal
     else begin
       let col = !entering in
-      (* ratio test: min rhs_i / a_i,col over a_i,col > 0; ties by smallest
-         basis index (Bland) *)
+      if t.at_upper.(col) then flip_to_lower t c red ~col;
+      (* ratio test: how far can the entering column rise from zero before a
+         basic variable hits one of ITS bounds (-> pivot) or the entering
+         variable hits its own upper bound (-> bound flip, no pivot)?
+         Row ties go to the smallest basis index (Bland). *)
       let leave = ref (-1) in
-      let best = ref Q.zero in
+      let leave_at_upper = ref false in
+      let theta = ref t.upper.(col) in
       for i = 0 to t.m - 1 do
-        if Q.sign t.a.(i).(col) > 0 then begin
-          let ratio = Q.div t.a.(i).(t.ncols) t.a.(i).(col) in
-          if
-            !leave = -1
-            || Q.compare ratio !best < 0
-            || (Q.equal ratio !best && t.basis.(i) < t.basis.(!leave))
-          then begin
+        let v = t.a.(i).(col) in
+        let candidate =
+          if Q.sign v > 0 then Some (Q.div t.a.(i).(t.ncols) v, false)
+          else if Q.sign v < 0 then
+            match t.upper.(t.basis.(i)) with
+            | Some ub -> Some (Q.div (Q.sub ub t.a.(i).(t.ncols)) (Q.neg v), true)
+            | None -> None
+          else None
+        in
+        match candidate with
+        | None -> ()
+        | Some (ratio, to_upper) ->
+          let better =
+            match !theta with
+            | None -> true
+            | Some best ->
+              Q.compare ratio best < 0
+              || Q.equal ratio best
+                 && !leave >= 0
+                 && t.basis.(i) < t.basis.(!leave)
+          in
+          if better then begin
+            theta := Some ratio;
             leave := i;
-            best := ratio
+            leave_at_upper := to_upper
           end
-        end
       done;
-      if !leave = -1 then `Unbounded
-      else begin
-        pivot t ~row:!leave ~col;
+      match !theta with
+      | None -> `Unbounded
+      | Some theta ->
+        let delta = Q.mul red.(col) theta in
+        if !leave = -1 then begin
+          (* the entering variable reaches its own upper bound first: shift
+             it there and keep the basis *)
+          for i = 0 to t.m - 1 do
+            if Q.sign t.a.(i).(col) <> 0 then
+              t.a.(i).(t.ncols) <-
+                Q.sub t.a.(i).(t.ncols) (Q.mul t.a.(i).(col) theta)
+          done;
+          t.at_upper.(col) <- true
+        end
+        else begin
+          let row = !leave in
+          let leaving = t.basis.(row) in
+          pivot t ~row ~col;
+          let f = red.(col) in
+          if Q.sign f <> 0 then
+            for j = 0 to t.ncols - 1 do
+              if Q.sign t.a.(row).(j) <> 0 then
+                red.(j) <- Q.sub red.(j) (Q.mul f t.a.(row).(j))
+            done;
+          if !leave_at_upper then begin
+            (* the leaving variable exits AT its upper bound: fold that
+               contribution into the rhs so it keeps holding current basic
+               values *)
+            let ub = Option.get t.upper.(leaving) in
+            if Q.sign ub <> 0 then
+              for i = 0 to t.m - 1 do
+                if Q.sign t.a.(i).(leaving) <> 0 then
+                  t.a.(i).(t.ncols) <-
+                    Q.sub t.a.(i).(t.ncols) (Q.mul t.a.(i).(leaving) ub)
+              done;
+            t.at_upper.(leaving) <- true
+          end
+        end;
+        if Q.sign delta = 0 then incr stalled else stalled := 0;
         iterate ()
-      end
     end
   in
   iterate ()
+
+(* Current value of every column: basic -> rhs, nonbasic -> 0 or its upper
+   bound; flipped columns translate back to the original variable. *)
+let column_values t =
+  let raw = Array.make t.ncols Q.zero in
+  for j = 0 to t.ncols - 1 do
+    if t.at_upper.(j) then raw.(j) <- Option.get t.upper.(j)
+  done;
+  for i = 0 to t.m - 1 do
+    raw.(t.basis.(i)) <- t.a.(i).(t.ncols)
+  done;
+  Array.mapi
+    (fun j v -> if t.flipped.(j) then Q.sub (Option.get t.upper.(j)) v else v)
+    raw
 
 let solve lp =
   let nvars = Lp.num_vars lp in
@@ -126,6 +267,10 @@ let solve lp =
   let ncols = nvars + nslack + nartif in
   let a = Array.init m (fun _ -> Array.make (ncols + 1) Q.zero) in
   let basis = Array.make m (-1) in
+  let upper = Array.make ncols None in
+  for v = 0 to nvars - 1 do
+    upper.(v) <- Lp.upper lp v
+  done;
   let slack_base = nvars in
   let artif_base = nvars + nslack in
   let next_slack = ref 0 and next_artif = ref 0 in
@@ -153,7 +298,17 @@ let solve lp =
         a.(i).(art) <- Q.one;
         basis.(i) <- art))
     rows;
-  let t = { m; ncols; a; basis } in
+  let t =
+    {
+      m;
+      ncols;
+      a;
+      basis;
+      upper;
+      at_upper = Array.make ncols false;
+      flipped = Array.make ncols false;
+    }
+  in
   (* phase 1: minimise sum of artificials *)
   let c1 = Array.make ncols Q.zero in
   for j = artif_base to ncols - 1 do
@@ -162,19 +317,30 @@ let solve lp =
   (match run_phase t c1 ~allowed:(fun _ -> true) with
   | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
   | `Optimal -> ());
+  (* artificials never flip (they carry no upper bound), so c1 still prices
+     them at one and the basic-value sum below is their total *)
   let _, phase1_obj = reduced_costs t c1 in
   if Q.sign phase1_obj > 0 then Infeasible
   else begin
+    (* pin every artificial to [0,0]: phase 2 locks them out of ENTERING,
+       but one left basic at zero could still drift positive when its row
+       takes part in a pivot — with a zero upper bound the ratio test
+       clamps any such step to a degenerate pivot that ejects it instead *)
+    for j = artif_base to ncols - 1 do
+      upper.(j) <- Some Q.zero
+    done;
     (* drive remaining zero-valued artificials out of the basis when
        possible; rows where no real column has a nonzero coefficient are
        redundant and harmless (the artificial stays basic at zero and is
-       locked out of phase 2). *)
+       locked out of phase 2). Only at-lower columns qualify — a column
+       sitting at its upper bound has a nonzero value and cannot become
+       basic at this row's zero rhs. *)
     for i = 0 to m - 1 do
       if t.basis.(i) >= artif_base then begin
         let found = ref (-1) in
         (try
            for j = 0 to artif_base - 1 do
-             if Q.sign t.a.(i).(j) <> 0 then begin
+             if Q.sign t.a.(i).(j) <> 0 && not t.at_upper.(j) then begin
                found := j;
                raise Exit
              end
@@ -183,18 +349,23 @@ let solve lp =
         if !found >= 0 then pivot t ~row:i ~col:!found
       end
     done;
-    (* phase 2: original objective, artificial columns locked out *)
+    (* phase 2: original objective (negated on columns phase 1 left
+       flipped), artificial columns locked out *)
     let c2 = Array.make ncols Q.zero in
     for v = 0 to nvars - 1 do
-      c2.(v) <- Lp.objective lp v
+      let c = Lp.objective lp v in
+      c2.(v) <- (if t.flipped.(v) then Q.neg c else c)
     done;
     match run_phase t c2 ~allowed:(fun j -> j < artif_base) with
     | `Unbounded -> Unbounded
     | `Optimal ->
-      let values = Array.make nvars Q.zero in
-      for i = 0 to m - 1 do
-        if t.basis.(i) < nvars then values.(t.basis.(i)) <- t.a.(i).(ncols)
+      let cols = column_values t in
+      let values = Array.sub cols 0 nvars in
+      let objective =
+        ref Q.zero
+      in
+      for v = 0 to nvars - 1 do
+        objective := Q.add !objective (Q.mul (Lp.objective lp v) values.(v))
       done;
-      let _, obj = reduced_costs t c2 in
-      Optimal { objective = obj; values }
+      Optimal { objective = !objective; values }
   end

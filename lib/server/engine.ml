@@ -316,6 +316,7 @@ let stats_kv t =
   let c = Cache.stats t.cache in
   Metrics.to_kv t.metrics
   @ Metrics.to_kv Krsp.metrics
+  @ Metrics.to_kv Krsp_check.Check.metrics
   @ Pool.to_kv t.pool
   @ [ ("cache.hits", string_of_int c.Cache.hits); ("cache.misses", string_of_int c.Cache.misses);
       ("cache.evictions", string_of_int c.Cache.evictions);

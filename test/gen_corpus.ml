@@ -1,0 +1,37 @@
+(* Regenerates the static entries of test/corpus/ (run from the repo root:
+   `dune exec test/gen_corpus.exe`). Shrunk fuzz repros are added next to
+   them by `krsp fuzz --corpus test/corpus` and committed as found; this
+   tool only maintains the hand-picked instances. *)
+
+module G = Krsp_graph.Digraph
+module Instance = Krsp_core.Instance
+module Corpus = Krsp_check.Corpus
+module Hard = Krsp_gen.Hard
+
+let diamond_tight () =
+  let g = G.create ~n:4 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:1 ~dst:3 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:0 ~dst:2 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:2 ~dst:3 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:0 ~dst:3 ~cost:10 ~delay:5);
+  Instance.create g ~src:0 ~dst:3 ~k:2 ~delay_bound:22
+
+let () =
+  let dir = "test/corpus" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Corpus.save
+    (Filename.concat dir "diamond-tight.krsp")
+    ~comment:"diamond at the tight bound: both cheap-and-slow routes needed"
+    (diamond_tight ());
+  Corpus.save
+    (Filename.concat dir "figure1.krsp")
+    ~comment:
+      "paper Figure 1 (cost_unit=3, D=4): without the |c(O)| <= C_OPT cap\n\
+       cancellation pays ~C*(D+1) for the decoy route"
+    (Hard.figure1 ~cost_unit:3 ~delay_bound:4);
+  Corpus.save
+    (Filename.concat dir "zigzag-4.krsp")
+    ~comment:"zigzag family, 4 levels: the min-sum start needs 4 cancellations"
+    (Hard.zigzag ~levels:4);
+  print_endline "regenerated test/corpus/{diamond-tight,figure1,zigzag-4}.krsp"

@@ -2,9 +2,13 @@ let () =
   (* the whole suite runs with MCMF's reduced-cost assertions armed — the
      debug invariant is free at test scale and catches potential corruption *)
   Krsp_flow.Mcmf.check_invariants := true;
+  (* ...and with the structural certificate hook installed: every end-to-end
+     Krsp.solve in any suite is independently re-checked by Check.certify,
+     and an uncertified solution fails the test that produced it *)
+  Krsp_check.Hook.enable ~level:Krsp_check.Check.Structural ();
   Alcotest.run "krsp"
     (Test_util.suites @ Test_bigint.suites @ Test_graph.suites @ Test_lp.suites
    @ Test_flow.suites @ Test_rsp.suites @ Test_core.suites @ Test_gen.suites
    @ Test_extras.suites @ Test_variants.suites @ Test_invariants.suites
    @ Test_scaling_large.suites @ Test_milp.suites @ Test_route.suites
-   @ Test_server.suites @ Test_parallel.suites)
+   @ Test_server.suites @ Test_parallel.suites @ Test_check.suites)
