@@ -1,0 +1,358 @@
+(* E18 — multi-shard serving under open-loop load.
+
+   Drives a Shard fleet (the same submit/broadcast path krspd's socket
+   front uses) with a seeded trace of queries and topology churn, replayed
+   two ways:
+
+   - a closed-loop saturation probe: flood the fleet, retrying shed
+     requests after their advertised backoff, to measure the saturation
+     throughput at each shard count (the req/s-vs-shards curve);
+   - open-loop fixed-rate runs below (0.6x) and above (1.5x) saturation:
+     each request has a scheduled arrival time and is submitted exactly
+     once — latency is measured from the {e scheduled} arrival, so a
+     front that falls behind pays for it in the percentiles
+     (no coordinated omission), and arrivals beyond capacity are shed
+     with OVERLOAD rather than queueing unboundedly.
+
+   The trace mixes repeat queries (cache hits), distinct queries (solves)
+   and FAIL/RESTORE churn (broadcast behind the generation barrier), so
+   the fleet exercises every serving path. Replies are classified on the
+   worker domains: infeasible answers after churn and OVERLOAD sheds are
+   expected outcomes; bad-request/internal/unparseable replies are
+   protocol errors and the smoke run requires zero of them.
+
+   NOTE on machine width: the fleet's throughput scaling needs cores.
+   On a single-core container every shard worker timeshares one CPU, so
+   the req/s-vs-shards curve is flat there — the harness still validates
+   admission control, shedding and the latency pipeline (see
+   EXPERIMENTS.md for recorded curves). *)
+
+open Common
+module Shard = Krsp_server.Shard
+module Engine = Krsp_server.Engine
+module Protocol = Krsp_server.Protocol
+module Metrics = Krsp_util.Metrics
+
+let smoke = Sys.getenv_opt "KRSP_BENCH_SMOKE" <> None
+let now () = Unix.gettimeofday ()
+
+(* serving config, as in E14: cap the pathological guess-search tail so
+   per-request latency stays bounded — a daemon would run the same cap *)
+let config = { Engine.default_config with Engine.max_iterations = 300 }
+
+(* small bound so the over-saturation run demonstrably sheds instead of
+   absorbing the whole trace into the queue *)
+let queue_bound = 8
+
+(* --- trace ------------------------------------------------------------------- *)
+
+type event = Query of string | Churn of string
+
+(* distinct feasible (src, dst, k, D) queries on g, rendered as SOLVE lines *)
+let query_pool rng g ~k ~tightness ~count =
+  let seen = Hashtbl.create 32 in
+  let rec go acc n attempts =
+    if n = 0 || attempts > count * 40 then Array.of_list (List.rev acc)
+    else begin
+      match Krsp_gen.Instgen.instance rng g { Krsp_gen.Instgen.k; tightness } with
+      | Some t ->
+        let key = (t.Instance.src, t.Instance.dst) in
+        if Hashtbl.mem seen key then go acc n (attempts + 1)
+        else begin
+          Hashtbl.replace seen key ();
+          let line =
+            Printf.sprintf "SOLVE %d %d %d %d" t.Instance.src t.Instance.dst t.Instance.k
+              t.Instance.delay_bound
+          in
+          go (line :: acc) (n - 1) (attempts + 1)
+        end
+      | None -> go acc n (attempts + 1)
+    end
+  in
+  go [] count 0
+
+(* every [churn_every]-th event is a mutation; FAIL and RESTORE alternate on
+   the same randomly chosen link so the trace leaves the topology intact *)
+let make_trace rng g pool ~length ~churn_every =
+  let edges =
+    G.fold_edges g ~init:[] ~f:(fun acc e -> (G.src g e, G.dst g e) :: acc) |> Array.of_list
+  in
+  let failed = ref None in
+  Array.init length (fun i ->
+      if churn_every > 0 && i mod churn_every = churn_every - 1 then
+        match !failed with
+        | Some (u, v) ->
+          failed := None;
+          Churn (Printf.sprintf "RESTORE %d %d" u v)
+        | None ->
+          let u, v = Krsp_util.Xoshiro.pick rng edges in
+          failed := Some (u, v);
+          Churn (Printf.sprintf "FAIL %d %d" u v)
+      else Query (Krsp_util.Xoshiro.pick rng pool))
+
+(* --- reply classification (runs on the shard worker domains) ----------------- *)
+
+type tally = {
+  m : Metrics.t;
+  h_lat : Metrics.histogram;  (* ms from scheduled arrival to completion *)
+  c_done : Metrics.counter;
+  c_ok : Metrics.counter;
+  c_infeasible : Metrics.counter;
+  c_errors : Metrics.counter;  (* bad request / internal / unparseable *)
+}
+
+let tally () =
+  let m = Metrics.create () in
+  {
+    m;
+    h_lat = Metrics.histogram m "lat_ms";
+    c_done = Metrics.counter m "done";
+    c_ok = Metrics.counter m "ok";
+    c_infeasible = Metrics.counter m "infeasible";
+    c_errors = Metrics.counter m "errors";
+  }
+
+let classify t reply =
+  (match Protocol.parse_response reply with
+  | Ok (Protocol.Solution _ | Protocol.Mutated _) -> Metrics.incr t.c_ok
+  | Ok (Protocol.Err (Protocol.Infeasible_disjoint | Protocol.Infeasible_delay _)) ->
+    Metrics.incr t.c_infeasible
+  | Ok (Protocol.Err (Protocol.Overload _)) ->
+    (* sheds are front outcomes, never completions *)
+    Metrics.incr t.c_errors
+  | Ok (Protocol.Pong | Protocol.Stats_dump _) -> Metrics.incr t.c_ok
+  | Ok (Protocol.Err _) | Error _ -> Metrics.incr t.c_errors);
+  Metrics.incr t.c_done
+
+let await_completions t ~admitted =
+  while Metrics.value t.c_done < admitted do
+    Unix.sleepf 0.0005
+  done
+
+(* --- saturation probe (closed loop) ------------------------------------------ *)
+
+(* flood the fleet; a shed request is retried after (a fraction of) its
+   advertised backoff, so the probe measures sustained service capacity
+   rather than shed throughput *)
+let saturation fleet trace t =
+  let admitted = ref 0 in
+  let t0 = now () in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Churn line -> (
+        match Shard.submit fleet ~complete:ignore line with
+        | Shard.Replied reply ->
+          classify t reply;
+          incr admitted
+        | _ -> ())
+      | Query line ->
+        let t_arr = now () in
+        let complete reply =
+          Metrics.observe t.h_lat ((now () -. t_arr) *. 1000.);
+          classify t reply
+        in
+        let rec push () =
+          match Shard.submit fleet ~complete line with
+          | Shard.Queued _ -> incr admitted
+          | Shard.Shed { retry_after_ms; _ } ->
+            Unix.sleepf (Float.min 0.002 (float_of_int retry_after_ms /. 4000.));
+            push ()
+          | Shard.Replied reply ->
+            classify t reply;
+            incr admitted
+        in
+        push ())
+    trace;
+  await_completions t ~admitted:!admitted;
+  let elapsed = now () -. t0 in
+  (float_of_int !admitted /. elapsed, elapsed)
+
+(* --- fixed-rate open-loop run ------------------------------------------------- *)
+
+type run = {
+  rate : float;  (* offered, req/s *)
+  admitted : int;
+  shed : int;
+  achieved : float;  (* completed req/s over the run's wall time *)
+  p50 : float;
+  p99 : float;
+  p999 : float;
+  errors : int;
+  infeasible : int;
+  max_depth : int;  (* queue-depth high-water across shards *)
+  busy_frac : float;  (* sum of shard busy time / (wall * shards) *)
+}
+
+let fleet_counter fleet name =
+  match List.assoc_opt name (Metrics.to_kv (Shard.metrics fleet)) with
+  | Some v -> ( match int_of_string_opt v with Some n -> n | None -> 0)
+  | None -> 0
+
+let open_loop fleet trace ~rate =
+  let t = tally () in
+  let shed = ref 0 and admitted = ref 0 in
+  let busy0 =
+    let sum = ref 0 in
+    for i = 0 to Shard.shards fleet - 1 do
+      sum := !sum + fleet_counter fleet (Printf.sprintf "shard%d.busy_us" i)
+    done;
+    !sum
+  in
+  let start = now () in
+  Array.iteri
+    (fun i ev ->
+      let sched = start +. (float_of_int i /. rate) in
+      (* sleep to just before the scheduled arrival, then spin the rest *)
+      let rec wait () =
+        let d = sched -. now () in
+        if d > 0.0015 then begin
+          Unix.sleepf (d -. 0.001);
+          wait ()
+        end
+        else if d > 0. then wait ()
+      in
+      wait ();
+      let line = match ev with Query l | Churn l -> l in
+      let complete reply =
+        Metrics.observe t.h_lat ((now () -. sched) *. 1000.);
+        classify t reply
+      in
+      match Shard.submit fleet ~complete line with
+      | Shard.Queued _ -> incr admitted
+      | Shard.Shed _ -> incr shed
+      | Shard.Replied reply ->
+        (* mutations (barrier) and front-inline answers still pay their
+           latency from the scheduled arrival *)
+        Metrics.observe t.h_lat ((now () -. sched) *. 1000.);
+        classify t reply;
+        incr admitted)
+    trace;
+  await_completions t ~admitted:!admitted;
+  let wall = now () -. start in
+  let busy1 =
+    let sum = ref 0 in
+    for i = 0 to Shard.shards fleet - 1 do
+      sum := !sum + fleet_counter fleet (Printf.sprintf "shard%d.busy_us" i)
+    done;
+    !sum
+  in
+  let max_depth =
+    let hw = ref 0 in
+    for i = 0 to Shard.shards fleet - 1 do
+      hw := max !hw (fleet_counter fleet (Printf.sprintf "shard%d.max_queue_depth" i))
+    done;
+    !hw
+  in
+  {
+    rate;
+    admitted = !admitted;
+    shed = !shed;
+    achieved = float_of_int (Metrics.value t.c_done) /. wall;
+    p50 = Metrics.percentile t.h_lat 50.;
+    p99 = Metrics.percentile t.h_lat 99.;
+    p999 = Metrics.percentile t.h_lat 99.9;
+    errors = Metrics.value t.c_errors;
+    infeasible = Metrics.value t.c_infeasible;
+    max_depth;
+    busy_frac = float_of_int (busy1 - busy0) /. (wall *. 1e6 *. float_of_int (Shard.shards fleet));
+  }
+
+(* --- experiment --------------------------------------------------------------- *)
+
+let run () =
+  header "E18" "multi-shard serving under open-loop load";
+  let rng = Krsp_util.Xoshiro.create ~seed:18 in
+  let g =
+    Krsp_gen.Topology.waxman rng ~n:48 ~alpha:0.9 ~beta:0.3 Krsp_gen.Topology.default_weights
+  in
+  let pool_size, length, churn_every, shard_counts =
+    if smoke then (5, 60, 27, [ 2 ]) else (16, 300, 49, [ 1; 2; 4 ])
+  in
+  Printf.printf "sampling query pool (%d distinct)...\n%!" pool_size;
+  let pool = query_pool rng g ~k:2 ~tightness:0.9 ~count:pool_size in
+  if Array.length pool = 0 then begin
+    Printf.eprintf "E18: no feasible queries sampled\n";
+    exit 1
+  end;
+  let trace = make_trace rng g pool ~length ~churn_every in
+  let sat_table =
+    Table.create
+      ~columns:
+        [ ("shards", Table.Right); ("saturation req/s", Table.Right);
+          ("wall s", Table.Right); ("errors", Table.Right)
+        ]
+  in
+  let run_table =
+    Table.create
+      ~columns:
+        [ ("shards", Table.Right); ("offered req/s", Table.Right); ("regime", Table.Left);
+          ("achieved req/s", Table.Right); ("shed %", Table.Right); ("p50 ms", Table.Right);
+          ("p99 ms", Table.Right); ("p999 ms", Table.Right); ("max depth", Table.Right);
+          ("busy %", Table.Right); ("errors", Table.Right)
+        ]
+  in
+  let f1 = Table.fmt_float ~decimals:1 in
+  let f3 = Table.fmt_float ~decimals:3 in
+  let total_errors = ref 0 in
+  let sat_rates =
+    List.map
+      (fun shards ->
+        Printf.printf "probing saturation at %d shard(s)...\n%!" shards;
+        let fleet = Shard.create ~config ~queue_bound ~shards (G.copy g) in
+        let t = tally () in
+        let sat, wall =
+          Fun.protect ~finally:(fun () -> Shard.shutdown fleet) (fun () ->
+              saturation fleet trace t)
+        in
+        let errors = Metrics.value t.c_errors in
+        total_errors := !total_errors + errors;
+        Table.add_row sat_table
+          [ string_of_int shards; f1 sat; Table.fmt_float ~decimals:2 wall;
+            string_of_int errors
+          ];
+        (shards, sat))
+      shard_counts
+  in
+  List.iter
+    (fun (shards, sat) ->
+      List.iter
+        (fun (label, factor) ->
+          let rate = Float.max 1.0 (sat *. factor) in
+          Printf.printf "open-loop at %d shard(s), %.0f req/s (%s)...\n%!" shards rate label;
+          let fleet = Shard.create ~config ~queue_bound ~shards (G.copy g) in
+          let r =
+            Fun.protect ~finally:(fun () -> Shard.shutdown fleet) (fun () ->
+                open_loop fleet trace ~rate)
+          in
+          total_errors := !total_errors + r.errors;
+          let offered = r.admitted + r.shed in
+          let shed_pct =
+            if offered = 0 then 0. else 100. *. float_of_int r.shed /. float_of_int offered
+          in
+          Table.add_row run_table
+            [ string_of_int shards; f1 r.rate; label; f1 r.achieved; f1 shed_pct; f3 r.p50;
+              f3 r.p99; f3 r.p999; string_of_int r.max_depth; f1 (100. *. r.busy_frac);
+              string_of_int r.errors
+            ])
+        [ ("0.6x sat", 0.6); ("1.5x sat", 1.5) ])
+    sat_rates;
+  Printf.printf "\nsaturation throughput vs shard count (closed loop, shed = retry):\n";
+  Table.print sat_table;
+  Printf.printf "\nopen-loop fixed-rate runs (latency from scheduled arrival):\n";
+  Table.print run_table;
+  note
+    "expected shape: below saturation the shed rate is ~0 and p99 stays\n\
+     near the service time; above saturation the fleet sheds the excess\n\
+     with OVERLOAD while admitted-request latency stays bounded by the\n\
+     queue. The req/s-vs-shards curve needs cores to climb: on a\n\
+     single-core machine all shards timeshare one CPU and the curve is\n\
+     flat (EXPERIMENTS.md records both).\n";
+  if smoke then begin
+    let sat_ok = List.for_all (fun (_, sat) -> sat > 0.) sat_rates in
+    if !total_errors = 0 && sat_ok then Printf.printf "E18 smoke: OK\n"
+    else begin
+      Printf.eprintf "E18 smoke: FAILED (errors=%d, saturation ok=%b)\n" !total_errors sat_ok;
+      exit 1
+    end
+  end

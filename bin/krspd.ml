@@ -2,12 +2,15 @@
 
    Loads a topology once, then serves SOLVE/QOS/FAIL/RESTORE/STATS/PING
    requests over a Unix-domain socket, TCP, or stdio (see
-   Krsp_server.Protocol for the grammar). SIGUSR1 dumps the metrics
-   registry to stderr without disturbing clients. *)
+   Krsp_server.Protocol for the grammar) from a fleet of engine shards
+   (see Krsp_server.Shard). SIGUSR1 dumps the per-shard and aggregated
+   metrics to stderr without disturbing clients; SIGTERM drains the fleet
+   gracefully and exits 0. *)
 
 open Cmdliner
 module Io = Krsp_graph.Io
 module Engine = Krsp_server.Engine
+module Shard = Krsp_server.Shard
 module Server = Krsp_server.Server
 module Metrics = Krsp_util.Metrics
 
@@ -39,12 +42,35 @@ let cache_size =
   Arg.(
     value
     & opt int Engine.default_config.Engine.cache_capacity
-    & info [ "cache" ] ~docv:"N" ~doc:"Solution-cache capacity (LRU entries).")
+    & info [ "cache" ] ~docv:"N" ~doc:"Solution-cache capacity (LRU entries) per shard.")
 
 let engine_arg =
   Arg.(
     value & opt string "dp"
     & info [ "engine" ] ~docv:"ENGINE" ~doc:"Bicameral search engine: dp or lp.")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards"; "s" ] ~docv:"N"
+        ~doc:
+          "Number of engine shards. Each shard owns a private engine (cache, frozen \
+           topology views, solver pool) and a bounded admission queue drained by its own \
+           domain; queries are routed by a hash of (src, dst) so repeat queries hit their \
+           shard's cache, and FAIL/RESTORE are broadcast to all shards behind a generation \
+           barrier. Default: $(b,KRSP_SHARDS) when set, else 1.")
+
+let queue_bound_arg =
+  Arg.(
+    value
+    & opt int Shard.default_queue_bound
+    & info [ "queue-bound" ] ~docv:"N"
+        ~doc:
+          "Admission-queue bound per shard. When a shard's queue is full, new requests \
+           routed to it are shed with $(b,ERR overload retry-after-ms=...) instead of \
+           queueing unboundedly — offered load beyond capacity degrades by shedding while \
+           the latency of admitted requests stays bounded.")
 
 let domains_arg =
   Arg.(
@@ -52,11 +78,13 @@ let domains_arg =
     & opt (some int) None
     & info [ "domains" ] ~docv:"N"
         ~doc:
-          "Domain pool width for parallel solving and solve offload (includes the socket \
-           loop's domain). Default: $(b,KRSP_DOMAINS) when set, else the machine's \
-           recommended domain count. $(docv)=1 disables all parallelism.")
+          "Solver-pool width per shard (parallel cycle searches and guess bisection \
+           within one solve). Default: $(b,KRSP_DOMAINS) when set, else the machine's \
+           recommended domain count divided by the shard count. $(docv)=1 disables \
+           within-solve parallelism; total domains are roughly shards × $(docv).")
 
-let run graph_file unix_path tcp_port tcp_host cache_size engine_name domains =
+let run graph_file unix_path tcp_port tcp_host cache_size engine_name shards queue_bound
+    domains =
   let g =
     try Io.of_edge_list (Io.read_file graph_file)
     with Failure msg | Sys_error msg ->
@@ -65,12 +93,20 @@ let run graph_file unix_path tcp_port tcp_host cache_size engine_name domains =
   in
   let solver = match engine_name with "lp" -> Krsp_core.Krsp.Lp | _ -> Krsp_core.Krsp.Dp in
   let config = { Engine.default_config with Engine.cache_capacity = cache_size; solver } in
-  let pool =
-    match domains with
-    | Some size -> Krsp_util.Pool.create ~size:(max 1 size) ()
-    | None -> Krsp_util.Pool.default ()
+  let shards =
+    match shards with
+    | Some n -> max 1 n
+    | None -> ( match Shard.env_shards () with Some n -> n | None -> 1)
   in
-  let engine = Engine.create ~config ~pool g in
+  let domains_per_shard =
+    match domains with
+    | Some n -> max 1 n
+    | None -> (
+      match Krsp_util.Pool.env_width () with
+      | Some w -> w
+      | None -> max 1 (Domain.recommended_domain_count () / shards))
+  in
+  let fleet = Shard.create ~config ~queue_bound ~domains_per_shard ~shards g in
   (match Krsp_check.Hook.install_from_env () with
   | Some level ->
     Printf.eprintf "krspd: KRSP_CERTIFY on — every solve is post-checked (%s)\n%!"
@@ -79,29 +115,40 @@ let run graph_file unix_path tcp_port tcp_host cache_size engine_name domains =
   Sys.set_signal Sys.sigusr1
     (Sys.Signal_handle
        (fun _ ->
-         (* stats_kv takes the (error-checked) metric locks; if the signal
+         (* the dump takes the (error-checked) metric locks; if the signal
             lands inside one of those critical sections, skip this dump
-            rather than let Sys_error escape into the interrupted code *)
+            rather than let Sys_error escape into the interrupted code.
+            The dump is composed into one string and written with a single
+            call, so per-shard sections never interleave. *)
          try
-           let kv = Engine.stats_kv engine in
-           let b = Buffer.create 256 in
-           List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s=%s\n" k v)) kv;
-           Printf.eprintf "--- krspd metrics ---\n%s%!" (Buffer.contents b)
-         with Sys_error _ -> ()));
+           let s = "--- krspd metrics ---\n" ^ Shard.dump fleet in
+           ignore (Unix.write_substring Unix.stderr s 0 (String.length s))
+         with Sys_error _ | Unix.Unix_error _ -> ()));
   (* a client hanging up mid-write must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   match (unix_path, tcp_port) with
-  | Some path, _ ->
-    Server.listen_and_serve engine (Server.Unix_socket path) ~on_listen:(fun () ->
-        Printf.eprintf "krspd: serving on unix:%s (pid %d)\n%!" path (Unix.getpid ()));
-    0
-  | None, Some port ->
-    Server.listen_and_serve engine (Server.Tcp (tcp_host, port)) ~on_listen:(fun () ->
-        Printf.eprintf "krspd: serving on %s:%d (pid %d)\n%!" tcp_host port (Unix.getpid ()));
-    0
   | None, None ->
     (* stdio mode: one session on stdin/stdout, handy for piping and tests *)
-    Server.serve_channels engine stdin stdout;
+    Server.serve_channels fleet stdin stdout;
+    Shard.shutdown fleet;
+    0
+  | _ ->
+    (* SIGTERM → graceful drain: stop accepting, finish every admitted
+       request, write the replies, exit 0 *)
+    let stop = ref false in
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+     with Invalid_argument _ -> ());
+    let endpoint, describe =
+      match (unix_path, tcp_port) with
+      | Some path, _ ->
+        (Server.Unix_socket path, Printf.sprintf "unix:%s" path)
+      | None, Some port -> (Server.Tcp (tcp_host, port), Printf.sprintf "%s:%d" tcp_host port)
+      | None, None -> assert false
+    in
+    Server.listen_and_serve fleet endpoint ~stop ~on_listen:(fun () ->
+        Printf.eprintf "krspd: serving on %s (pid %d, %d shard(s))\n%!" describe
+          (Unix.getpid ()) (Shard.shards fleet));
+    Printf.eprintf "krspd: drained, bye\n%!";
     0
 
 let cmd =
@@ -114,25 +161,37 @@ let cmd =
          (SOLUTION/MUTATED/STATS/PONG/ERR). Without $(b,--unix) or $(b,--port) the daemon \
          serves a single session on stdin/stdout.";
       `P
+        "With $(b,--shards) N (or KRSP_SHARDS) the daemon runs N engine shards, each with a \
+         private solution cache, topology view and solver pool, fed by bounded admission \
+         queues. Queries are routed by a hash of (src, dst) — stable across topology \
+         generations so caches and warm-start donors stay co-located — while FAIL/RESTORE \
+         are applied to every shard behind a generation barrier (no shard answers from a \
+         newer topology generation than another). When a shard's queue is full the request \
+         is shed with $(b,ERR overload retry-after-ms=...): back off at least that long and \
+         retry. STATS and SIGUSR1 report both the fleet-aggregated view and per-shard \
+         queue depths, busy time and caches.";
+      `P
         "Solutions are cached (LRU, keyed by query and topology generation); FAIL/RESTORE \
          invalidate only affected entries, and repeated queries after a failure are re-solved \
          from the previous solution (warm start) instead of from scratch. Send SIGUSR1 for a \
-         metrics dump on stderr.";
+         metrics dump on stderr. SIGTERM drains gracefully: the daemon stops accepting, \
+         completes every admitted request, then exits 0.";
       `P
-        "With $(b,--domains) > 1 (or KRSP_DOMAINS set) solves run on a pool of worker \
-         domains: the socket loop keeps answering PING/STATS/cache hits and accepting \
-         FAIL/RESTORE while solves are in flight, per-client response order is preserved, \
-         and the solver itself parallelises its cycle searches and guess bisection \
-         (results are identical at any width). Pool counters (pool.tasks, \
-         pool.queue_depth, pool.domain<i>.busy_us) appear in STATS.";
+        "With $(b,--domains) > 1 each shard's solver additionally parallelises its cycle \
+         searches and guess bisection on a private domain pool (results are identical at \
+         any width). Pool counters appear in STATS.";
       `S Manpage.s_exit_status;
-      `P "0 on clean shutdown (EOF in stdio mode); 3 when the topology cannot be loaded."
+      `P
+        "0 on clean shutdown (EOF in stdio mode, or SIGTERM after a graceful drain); 3 when \
+         the topology cannot be loaded. Note that $(b,ERR overload) is a per-request \
+         response, not a daemon failure: the daemon keeps serving and the shed request can \
+         be retried."
     ]
   in
   Cmd.v
     (Cmd.info "krspd" ~version:Bin_version.version ~doc ~man)
     Term.(
       const run $ graph_file $ unix_path $ tcp_port $ tcp_host $ cache_size $ engine_arg
-      $ domains_arg)
+      $ shards_arg $ queue_bound_arg $ domains_arg)
 
 let () = exit (Cmd.eval' cmd)

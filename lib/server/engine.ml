@@ -312,11 +312,15 @@ let do_restore t ~u ~v =
       Protocol.Mutated { generation = t.generation; edges = List.length back }
   end
 
-let stats_kv t =
+let cache_stats t = Cache.stats t.cache
+let cache_occupancy t = (Cache.length t.cache, Cache.capacity t.cache)
+
+(* series owned by this engine instance only — what a fleet aggregates
+   per shard (the process-global solver/checker registries would be
+   counted once per shard if they were included here) *)
+let local_kv t =
   let c = Cache.stats t.cache in
   Metrics.to_kv t.metrics
-  @ Metrics.to_kv Krsp.metrics
-  @ Metrics.to_kv Krsp_check.Check.metrics
   @ Pool.to_kv t.pool
   @ [ ("cache.hits", string_of_int c.Cache.hits); ("cache.misses", string_of_int c.Cache.misses);
       ("cache.evictions", string_of_int c.Cache.evictions);
@@ -324,9 +328,14 @@ let stats_kv t =
       ("cache.length", string_of_int (Cache.length t.cache));
       ("cache.capacity", string_of_int (Cache.capacity t.cache));
       ("generation", string_of_int t.generation);
-      ("failed_edges", string_of_int (failed_edges t));
-      ("topology.n", string_of_int (G.n t.base)); ("topology.m", string_of_int (G.m t.base))
+      ("failed_edges", string_of_int (failed_edges t))
     ]
+
+let stats_kv t =
+  local_kv t
+  @ Metrics.to_kv Krsp.metrics
+  @ Metrics.to_kv Krsp_check.Check.metrics
+  @ [ ("topology.n", string_of_int (G.n t.base)); ("topology.m", string_of_int (G.m t.base)) ]
 
 let internal_error exn =
   L.err (fun m -> m "request failed: %s" (Printexc.to_string exn));

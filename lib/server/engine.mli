@@ -83,7 +83,18 @@ val failed_edges : t -> int
 val metrics : t -> Krsp_util.Metrics.t
 val pool : t -> Krsp_util.Pool.t
 
+val cache_stats : t -> Cache.stats
+val cache_occupancy : t -> int * int
+(** [(length, capacity)] of the solution cache. *)
+
+val local_kv : t -> (string * string) list
+(** The engine-instance-owned slice of {!stats_kv}: this engine's metrics
+    registry, its pool counters, cache hit/miss/eviction/invalidation and
+    occupancy, generation and failed-edge count — and nothing from the
+    process-global solver/checker registries. This is what {!Shard}
+    aggregates per shard (globals would otherwise be counted once per
+    shard). *)
+
 val stats_kv : t -> (string * string) list
-(** The [STATS] payload: metrics snapshot plus solver and pool counters,
-    cache hit/miss/eviction/invalidation counts, cache occupancy,
-    generation and failed-edge count. *)
+(** The [STATS] payload: {!local_kv} plus the process-global solver and
+    checker registries and the topology dimensions. *)

@@ -20,6 +20,7 @@ type server_error =
   | Infeasible_disjoint
   | Infeasible_delay of int
   | No_such_link
+  | Overload of { retry_after_ms : int }
   | Internal of string
 
 type response =
@@ -161,6 +162,8 @@ let print_response = function
   | Err Infeasible_disjoint -> "ERR infeasible-disjoint"
   | Err (Infeasible_delay d) -> Printf.sprintf "ERR infeasible-delay min=%d" d
   | Err No_such_link -> "ERR no-such-link"
+  | Err (Overload { retry_after_ms }) ->
+    Printf.sprintf "ERR overload retry-after-ms=%d" retry_after_ms
   | Err (Internal msg) -> append_detail "ERR internal" msg
 
 let split_kv tok =
@@ -234,6 +237,10 @@ let parse_response line =
       let* d = req_int kvs "min" in
       Ok (Err (Infeasible_delay d))
     | "no-such-link" -> Ok (Err No_such_link)
+    | "overload" ->
+      let* kvs = kv_list rest in
+      let* retry_after_ms = req_int kvs "retry-after-ms" in
+      Ok (Err (Overload { retry_after_ms }))
     | "internal" -> Ok (Err (Internal detail))
     | other -> Error (Printf.sprintf "unknown error kind %S" other))
   | other :: _ -> Error (Printf.sprintf "unknown response %S" other)

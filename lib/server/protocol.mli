@@ -25,8 +25,17 @@
     out-of-range argument, detail is human text), [infeasible-disjoint]
     (fewer than k disjoint paths), [infeasible-delay] (detail [min=<int>],
     the minimum achievable total delay), [no-such-link] (FAIL/RESTORE names
-    a vertex pair with no live/failed edge), [internal] (detail is the
-    exception text).
+    a vertex pair with no live/failed edge), [overload] (detail
+    [retry-after-ms=<int>]: the request was {e shed} — the target shard's
+    admission queue is full; the request was never enqueued and had no
+    effect, so retrying it after the hinted delay is always safe),
+    [internal] (detail is the exception text).
+
+    [overload] is backpressure, not failure: a sharded daemon under an
+    offered load beyond its capacity degrades by shedding excess requests
+    with this reply (keeping the latency of admitted requests bounded by
+    the queue bound) instead of queueing unboundedly. Clients should treat
+    it like HTTP 429 and back off for at least [retry-after-ms].
 
     Both directions have total printers and parsers with
     [parse (print x) = Ok x] on every value whose strings contain no
@@ -54,6 +63,8 @@ type server_error =
   | Infeasible_disjoint
   | Infeasible_delay of int  (** minimum achievable total delay *)
   | No_such_link
+  | Overload of { retry_after_ms : int }
+      (** request shed by admission control; retry after the hinted delay *)
   | Internal of string
 
 type response =

@@ -8,17 +8,17 @@ let strip_cr line =
   let n = String.length line in
   if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
 
-let serve_channels engine ic oc =
+let serve_channels fleet ic oc =
   try
     while true do
       let line = strip_cr (input_line ic) in
-      output_string oc (Engine.handle_line engine line);
+      output_string oc (Shard.handle_line fleet line);
       output_char oc '\n';
       flush oc
     done
   with End_of_file -> ()
 
-let serve_fd engine fd =
+let serve_fd fleet fd =
   (* channels over a dup so closing them cannot steal the caller's fd *)
   let dup = Unix.dup fd in
   let ic = Unix.in_channel_of_descr dup in
@@ -27,14 +27,12 @@ let serve_fd engine fd =
     ~finally:(fun () ->
       (try flush oc with Sys_error _ -> ());
       try close_in ic with Sys_error _ -> ())
-    (fun () -> serve_channels engine ic oc)
+    (fun () -> serve_channels fleet ic oc)
 
 (* ---- multi-client accept loop ---------------------------------------------- *)
 
-module Pool = Krsp_util.Pool
-
 (* One pending response. Requests are answered strictly in arrival order
-   per client, but solves complete in any order on the pool — so each
+   per client, but replies complete in any order across shards — so each
    request claims a slot in the client's FIFO at parse time and the writer
    only ever drains filled slots from the front. *)
 type slot = { mutable reply : string option }
@@ -44,6 +42,9 @@ type client = {
   buf : Buffer.t;
   slots : slot Queue.t;
   mutable alive : bool;
+  mutable eof : bool;
+      (** client half-closed its write side: read no more, but keep the
+          connection until every claimed reply slot has been written *)
 }
 
 let rec restart_on_eintr f =
@@ -89,19 +90,22 @@ let bind_endpoint = function
     Unix.bind sock (Unix.ADDR_INET (addr, port));
     sock
 
-let listen_and_serve ?(max_clients = 64) ?(on_listen = fun () -> ()) engine endpoint =
-  let pool = Engine.pool engine in
+let listen_and_serve ?(max_clients = 64) ?(on_listen = fun () -> ()) ?stop fleet endpoint =
+  let stop = match stop with Some r -> r | None -> ref false in
   let sock = bind_endpoint endpoint in
   Unix.listen sock max_clients;
   on_listen ();
-  (* Self-pipe: pool workers finishing a solve push its commit closure onto
-     [completions] and write one byte here, turning job completion into a
-     select-visible event. Everything else — engine state, client fds, the
-     slot queues — is touched only by this (the main) domain. *)
+  (* Self-pipe: shard workers finishing a query push its (client, slot,
+     reply) onto [completions] and write one byte here, turning completion
+     into a select-visible event. Everything else — client fds, buffers,
+     the slot queues — is touched only by this (the front's) domain. *)
   let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock pipe_w;
+  (* the read side too: the final post-loop drain must not block when the
+     wake byte was already consumed by an earlier select round *)
+  Unix.set_nonblock pipe_r;
   let comp_mu = Mutex.create () in
-  let completions : (client * slot * (unit -> string)) Queue.t = Queue.create () in
+  let completions : (client * slot * string) Queue.t = Queue.create () in
   let wake () =
     try ignore (Unix.write_substring pipe_w "!" 0 1)
     with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
@@ -118,38 +122,47 @@ let listen_and_serve ?(max_clients = 64) ?(on_listen = fun () -> ()) engine endp
   in
   (* write out the contiguous filled prefix of the client's reply FIFO *)
   let flush_client c =
-    try
-      let continue = ref true in
-      while !continue do
-        match Queue.peek_opt c.slots with
-        | Some { reply = Some line } ->
-          ignore (Queue.pop c.slots);
-          write_all c.fd (line ^ "\n")
-        | Some { reply = None } | None -> continue := false
-      done
-    with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_client c
+    (try
+       let continue = ref true in
+       while !continue do
+         match Queue.peek_opt c.slots with
+         | Some { reply = Some line } ->
+           ignore (Queue.pop c.slots);
+           write_all c.fd (line ^ "\n")
+         | Some { reply = None } | None -> continue := false
+       done
+     with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_client c);
+    (* a half-closed client is done once its pipeline has fully drained *)
+    if c.alive && c.eof && Queue.is_empty c.slots then close_client c
   in
   let submit c line =
-    match Engine.handle_line_async engine line with
-    | `Reply line -> Queue.add { reply = Some line } c.slots
-    | `Job run ->
-      let slot = { reply = None } in
-      Queue.add slot c.slots;
-      if Pool.width pool <= 1 then
-        (* no workers to offload to: solve inline, reply this round *)
-        slot.reply <- Some ((run ()) ())
-      else
-        Pool.async pool (fun () ->
-            let commit = run () in
-            Mutex.lock comp_mu;
-            Queue.add (c, slot, commit) completions;
-            Mutex.unlock comp_mu;
-            wake ())
+    (* the slot is claimed before dispatch, so even if a worker completes
+       the request instantly the reply still drains in FIFO position *)
+    let slot = { reply = None } in
+    Queue.add slot c.slots;
+    match
+      Shard.submit fleet line ~complete:(fun reply ->
+          (* runs on a shard worker domain *)
+          Mutex.lock comp_mu;
+          Queue.add (c, slot, reply) completions;
+          Mutex.unlock comp_mu;
+          wake ())
+    with
+    | Shard.Replied reply -> slot.reply <- Some reply
+    | Shard.Queued _ -> ()
+    | Shard.Shed { retry_after_ms; _ } ->
+      (* admission control: answer instead of queueing unboundedly *)
+      slot.reply <- Some (Shard.overload_reply retry_after_ms)
   in
   let serve_ready c =
     let chunk = Bytes.create 4096 in
     match restart_on_eintr (fun () -> Unix.read c.fd chunk 0 (Bytes.length chunk)) with
-    | 0 -> close_client c
+    | 0 ->
+      (* EOF on the read side only: replies already admitted (a pipelining
+         client that half-closed after its last request) must still be
+         delivered before the connection is torn down *)
+      c.eof <- true;
+      if Queue.is_empty c.slots then close_client c
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_client c
     | n ->
       Buffer.add_subbytes c.buf chunk 0 n;
@@ -165,32 +178,52 @@ let listen_and_serve ?(max_clients = 64) ?(on_listen = fun () -> ()) engine endp
     Queue.transfer completions ready;
     Mutex.unlock comp_mu;
     Queue.iter
-      (fun (c, slot, commit) ->
-        (* the commit always runs — it owns the cache/metric writes; only
-           the response line is dropped when the client has since left *)
-        let line = commit () in
-        if c.alive then begin
-          slot.reply <- Some line;
-          flush_client c
-        end)
+      (fun (c, slot, reply) ->
+        slot.reply <- Some reply;
+        if c.alive then flush_client c)
       ready
   in
-  while true do
-    let fds = sock :: pipe_r :: List.map (fun c -> c.fd) !clients in
-    let ready, _, _ = restart_on_eintr (fun () -> Unix.select fds [] [] (-1.0)) in
-    List.iter
-      (fun fd ->
-        if fd == sock then begin
-          let conn, _addr = restart_on_eintr (fun () -> Unix.accept sock) in
-          L.info (fun m -> m "client connected (%d active)" (List.length !clients + 1));
-          clients :=
-            { fd = conn; buf = Buffer.create 256; slots = Queue.create (); alive = true }
-            :: !clients
-        end
-        else if fd == pipe_r then drain_completions ()
-        else
-          match List.find_opt (fun c -> c.fd == fd) !clients with
-          | Some c -> serve_ready c
-          | None -> () (* already closed during this round *))
-      ready
-  done
+  while not !stop do
+    (* an eof'd client's fd would report readable forever: select only on
+       clients that may still send requests *)
+    let readable = List.filter (fun c -> not c.eof) !clients in
+    let fds = sock :: pipe_r :: List.map (fun c -> c.fd) readable in
+    match Unix.select fds [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      (* a signal (SIGTERM sets [stop], SIGUSR1 dumps) woke us: re-check *)
+      ()
+    | ready, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd == sock then begin
+            let conn, _addr = restart_on_eintr (fun () -> Unix.accept sock) in
+            L.info (fun m -> m "client connected (%d active)" (List.length !clients + 1));
+            clients :=
+              {
+                fd = conn;
+                buf = Buffer.create 256;
+                slots = Queue.create ();
+                alive = true;
+                eof = false;
+              }
+              :: !clients
+          end
+          else if fd == pipe_r then drain_completions ()
+          else
+            match List.find_opt (fun c -> c.fd == fd) !clients with
+            | Some c -> serve_ready c
+            | None -> () (* already closed during this round *))
+        ready
+  done;
+  (* graceful drain: stop accepting, let every admitted request finish on
+     its shard, deliver the replies, then hand control back (krspd exits 0) *)
+  L.info (fun m -> m "stopping: draining %d shard(s)" (Shard.shards fleet));
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (match endpoint with
+  | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+  | Tcp _ -> ());
+  Shard.shutdown fleet;
+  drain_completions ();
+  List.iter (fun c -> close_client c) !clients;
+  (try Unix.close pipe_r with Unix.Unix_error _ -> ());
+  try Unix.close pipe_w with Unix.Unix_error _ -> ()

@@ -1,34 +1,44 @@
-(** Socket front end for the serving engine.
+(** Socket front end for the sharded serving fleet.
 
     The protocol is strictly one request line in → one response line out
     (LF-terminated; a trailing CR is stripped), so clients can pipeline.
-    All parsing/solving happens in {!Engine.handle_line}; this module only
-    moves bytes. *)
+    All parsing, routing, admission and solving happens in {!Shard}; this
+    module only moves bytes and multiplexes descriptors. *)
 
 type endpoint =
   | Unix_socket of string  (** path; an existing socket file is replaced *)
   | Tcp of string * int  (** bind host (name or dotted quad) and port *)
 
-val serve_fd : Engine.t -> Unix.file_descr -> unit
+val serve_fd : Shard.t -> Unix.file_descr -> unit
 (** Serve one already-connected descriptor until EOF: read request lines,
-    write one response line each, flush after every response. The
-    descriptor is not closed (the caller owns it). This is the in-process
-    entry point used by the tests over a socketpair. *)
+    write one response line each, flush after every response. Dispatch is
+    the synchronous {!Shard.handle_line} (blocking push — backpressure,
+    not shedding). The descriptor is not closed (the caller owns it). This
+    is the in-process entry point used by the tests over a socketpair. *)
 
-val serve_channels : Engine.t -> in_channel -> out_channel -> unit
-(** Same loop over stdio-style channels ([krspd --stdio]). *)
+val serve_channels : Shard.t -> in_channel -> out_channel -> unit
+(** Same loop over stdio-style channels ([krspd] without [--unix]/[--port]). *)
 
 val listen_and_serve :
-  ?max_clients:int -> ?on_listen:(unit -> unit) -> Engine.t -> endpoint -> unit
-(** Bind, listen and serve forever, [select]-multiplexed. Solves are
-    offloaded to the engine's domain pool via {!Engine.handle_line_async}
-    (a self-pipe turns job completion into a select event), so the loop
-    keeps accepting connections and answering cheap requests — PING,
-    STATS, cache hits, topology mutations — while solves run; on a width-1
-    pool solves run inline and the loop degrades to the classic
-    serial-select shape. Responses per client are strictly in request
-    order regardless of completion order, and all engine mutation stays on
-    this loop's domain (commits run here). [on_listen] fires once the
-    socket is ready (used to print the address). Never returns normally;
-    raises on bind/listen failure. [EINTR] from signals (SIGUSR1 stats
-    dumps) is retried transparently. *)
+  ?max_clients:int ->
+  ?on_listen:(unit -> unit) ->
+  ?stop:bool ref ->
+  Shard.t ->
+  endpoint ->
+  unit
+(** Bind, listen and serve until [!stop]. The front routes each request
+    via {!Shard.submit}: queries are admitted to their shard's bounded
+    queue (a self-pipe turns completion on the worker domain into a select
+    event) or shed with [ERR overload] when the queue is at its bound;
+    PING/STATS are answered inline; FAIL/RESTORE block the front on the
+    fleet-wide generation barrier — which is what guarantees no two shards
+    answer from different topology generations. Responses per client are
+    strictly in request order regardless of completion order.
+
+    [on_listen] fires once the socket is ready (used to print the
+    address). [stop] (default: a private ref, i.e. serve forever) is
+    polled after every select round and on [EINTR], so a signal handler
+    that sets it (krspd's SIGTERM) triggers a {e graceful drain}: the
+    listening socket closes, every already-admitted request completes on
+    its shard and its reply is written, then the function returns.
+    Raises on bind/listen failure. *)

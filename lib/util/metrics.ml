@@ -116,6 +116,30 @@ let percentile h p =
     Float.min h.vmax (Float.max h.vmin est)
   end
 
+let merge ~into src =
+  let names = with_lock src.reg_mu (fun () -> List.rev src.order) in
+  List.iter
+    (fun name ->
+      match with_lock src.reg_mu (fun () -> Hashtbl.find_opt src.tbl name) with
+      | None -> ()
+      | Some (Counter c) -> incr ~by:(value c) (counter into name)
+      | Some (Histogram h) ->
+        (* snapshot under the source lock, then fold into the destination
+           under its own lock — never hold both at once *)
+        let buckets, total, hsum, vmin, vmax =
+          with_lock h.h_mu (fun () ->
+              (Array.copy h.buckets, h.total, h.hsum, h.vmin, h.vmax))
+        in
+        let d = histogram into name in
+        if total > 0 then
+          with_lock d.h_mu (fun () ->
+              Array.iteri (fun i n -> d.buckets.(i) <- d.buckets.(i) + n) buckets;
+              d.total <- d.total + total;
+              d.hsum <- d.hsum +. hsum;
+              if vmin < d.vmin then d.vmin <- vmin;
+              if vmax > d.vmax then d.vmax <- vmax))
+    names
+
 let to_kv t =
   let f3 x = Printf.sprintf "%.3f" x in
   let names = with_lock t.reg_mu (fun () -> List.rev t.order) in

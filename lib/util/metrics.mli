@@ -46,6 +46,18 @@ val percentile : histogram -> float -> float
     for the recorded minimum and maximum and within one bucket (≤ ~19%
     relative error) elsewhere. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds every series of [src] into the same-named
+    series of [into], creating it if absent: counters add their values,
+    histograms add bucket-wise (count, sum, min and max combine exactly;
+    percentiles of the merged histogram are therefore as accurate as if
+    every observation had been recorded in [into] directly). [src] is not
+    modified; it may be observed concurrently from other domains (each
+    series is snapshotted under its own lock). Merging a counter into a
+    histogram of the same name raises [Invalid_argument]. This is how the
+    sharded server aggregates per-shard engine registries into one fleet
+    view. *)
+
 val to_kv : t -> (string * string) list
 (** Flat snapshot for line-oriented protocols: counters as
     [name=<int>]; histograms as [name.count], [name.sum_ms], [name.p50],

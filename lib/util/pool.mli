@@ -35,6 +35,12 @@ val create : ?size:int -> unit -> t
 val width : t -> int
 (** Total parallelism including the calling domain; ≥ 1. *)
 
+val env_width : unit -> int option
+(** [KRSP_DOMAINS] when set and numeric (clamped to ≥ 1) — the same value
+    {!create} defaults to. Exposed so callers that divide a machine among
+    several pools (krspd's shard fleet) can honour it in their own
+    arithmetic. *)
+
 val default : unit -> t
 (** The process-wide shared pool, created on first use (and registered for
     shutdown at exit). Solver entry points that are not handed an explicit

@@ -1,7 +1,9 @@
 (* Tests for the serving subsystem: the wire protocol codec (qcheck
-   roundtrips + error taxonomy), the LRU solution cache, warm-start repair,
-   the engine's solve → FAIL → re-solve lifecycle, and the daemon loop
-   driven in-process over a socketpair. *)
+   roundtrips + error taxonomy incl. OVERLOAD), the LRU solution cache,
+   warm-start repair, the engine's solve → FAIL → re-solve lifecycle, the
+   shard fleet (router determinism, generation barrier, admission control
+   and shedding, graceful drain), and the daemon loop driven in-process
+   over a socketpair (fleet sized from KRSP_SHARDS). *)
 
 module G = Krsp_graph.Digraph
 module Instance = Krsp_core.Instance
@@ -9,6 +11,7 @@ module Krsp = Krsp_core.Krsp
 module Protocol = Krsp_server.Protocol
 module Cache = Krsp_server.Cache
 module Engine = Krsp_server.Engine
+module Shard = Krsp_server.Shard
 module Server = Krsp_server.Server
 module Metrics = Krsp_util.Metrics
 
@@ -74,6 +77,8 @@ let gen_response =
       (let* d = gen_small in
        return (Protocol.Err (Protocol.Infeasible_delay d)));
       return (Protocol.Err Protocol.No_such_link);
+      (let* retry_after_ms = int_range 1 60_000 in
+       return (Protocol.Err (Protocol.Overload { retry_after_ms })));
       (let* detail = gen_detail in
        return (Protocol.Err (Protocol.Internal detail)))
     ]
@@ -107,6 +112,17 @@ let test_parse_errors () =
     (Protocol.Bad_float { command = "SOLVE"; field = "eps"; value = "x" });
   (* command word is case-insensitive *)
   Alcotest.(check bool) "lowercase ping" true (Protocol.parse_request "ping" = Ok Protocol.Ping)
+
+(* OVERLOAD is a first-class wire concept: exact rendering and parse *)
+let test_overload_codec () =
+  let e = Protocol.Err (Protocol.Overload { retry_after_ms = 37 }) in
+  Alcotest.(check string) "print" "ERR overload retry-after-ms=37" (Protocol.print_response e);
+  Alcotest.(check bool) "parse" true
+    (Protocol.parse_response "ERR overload retry-after-ms=37" = Ok e);
+  Alcotest.(check bool) "parse rejects missing hint" true
+    (Result.is_error (Protocol.parse_response "ERR overload"));
+  Alcotest.(check bool) "parse rejects bad hint" true
+    (Result.is_error (Protocol.parse_response "ERR overload retry-after-ms=soon"))
 
 (* --- cache ------------------------------------------------------------------ *)
 
@@ -270,6 +286,206 @@ let test_engine_epsilon_and_qos () =
   in
   Alcotest.(check bool) "qos total within k*D" true (qos_delay <= 2 * 15)
 
+(* --- shard fleet ------------------------------------------------------------- *)
+
+let with_fleet ?queue_bound ~shards f =
+  let fleet = Shard.create ?queue_bound ~shards (diamond ()) in
+  Fun.protect ~finally:(fun () -> Shard.shutdown fleet) (fun () -> f fleet)
+
+(* the route is a pure function of (src, dst): equal keys give equal shards,
+   in this fleet, in a second fleet of the same width, and across topology
+   generations (generation-stability is what keeps caches and warm-start
+   donors co-located after FAIL/RESTORE) *)
+let test_router_determinism () =
+  with_fleet ~shards:4 (fun f1 ->
+      with_fleet ~shards:4 (fun f2 ->
+          QCheck2.Test.check_exn
+            (QCheck2.Test.make ~name:"route deterministic and generation-stable" ~count:500
+               QCheck2.Gen.(triple (int_range 0 100_000) (int_range 0 100_000) (int_range 0 64))
+               (fun (src, dst, generation) ->
+                 let r = Shard.route f1 ~src ~dst ~generation in
+                 r >= 0 && r < 4
+                 && r = Shard.route f1 ~src ~dst ~generation
+                 && r = Shard.route f2 ~src ~dst ~generation
+                 && r = Shard.route f1 ~src ~dst ~generation:(generation + 1)));
+          (* and it actually spreads: 256 distinct keys must hit all 4 shards *)
+          let hit = Array.make 4 false in
+          for src = 0 to 15 do
+            for dst = 0 to 15 do
+              hit.(Shard.route f1 ~src ~dst ~generation:0) <- true
+            done
+          done;
+          Alcotest.(check bool) "all shards hit" true (Array.for_all Fun.id hit)))
+
+(* FAIL/RESTORE are broadcast behind a generation barrier: when the mutation
+   reply comes back, (a) every query admitted before it has completed (the
+   per-shard queues are FIFO and the barrier waits for all shards), and
+   (b) every shard's engine sits at the same generation — no shard can
+   answer from generation g+1 while another still serves g *)
+let test_generation_barrier () =
+  with_fleet ~shards:4 (fun fleet ->
+      let completed = Atomic.make 0 in
+      let queries =
+        [ (0, 1); (0, 2); (0, 3); (1, 3); (2, 3); (1, 2); (3, 0); (2, 1) ]
+      in
+      let assert_all_generation name g =
+        Alcotest.(check (array int)) name
+          (Array.make 4 g)
+          (Shard.generations fleet)
+      in
+      assert_all_generation "initial generations" 0;
+      List.iter
+        (fun (src, dst) ->
+          match
+            Shard.submit fleet
+              ~complete:(fun _ -> Atomic.incr completed)
+              (Printf.sprintf "SOLVE %d %d 1 30" src dst)
+          with
+          | Shard.Queued _ -> ()
+          | Shard.Replied r -> Alcotest.failf "query answered inline: %s" r
+          | Shard.Shed _ -> Alcotest.fail "query shed below the queue bound")
+        queries;
+      (match Shard.submit fleet ~complete:ignore "FAIL 1 3" with
+      | Shard.Replied r -> (
+        match Protocol.parse_response r with
+        | Ok (Protocol.Mutated { generation = 1; edges = 1 }) -> ()
+        | _ -> Alcotest.failf "FAIL: unexpected %s" r)
+      | _ -> Alcotest.fail "mutation must be answered inline (after the barrier)");
+      (* the barrier ordered the drain: every pre-mutation query completed *)
+      Alcotest.(check int) "pre-mutation queries drained" (List.length queries)
+        (Atomic.get completed);
+      assert_all_generation "generations in lockstep after FAIL" 1;
+      (* a post-mutation query is consistent with the mutated topology *)
+      (match Protocol.parse_response (Shard.handle_line fleet "SOLVE 0 3 2 30") with
+      | Ok (Protocol.Solution { cost = 14; delay; _ }) ->
+        Alcotest.(check bool) "post-FAIL delay" true (delay <= 30)
+      | Ok other -> Alcotest.failf "post-FAIL solve: %s" (Protocol.print_response other)
+      | Error _ -> Alcotest.fail "post-FAIL solve: unparseable");
+      (match Shard.submit fleet ~complete:ignore "RESTORE 1 3" with
+      | Shard.Replied r -> (
+        match Protocol.parse_response r with
+        | Ok (Protocol.Mutated { generation = 2; edges = 1 }) -> ()
+        | _ -> Alcotest.failf "RESTORE: unexpected %s" r)
+      | _ -> Alcotest.fail "mutation must be answered inline");
+      assert_all_generation "generations in lockstep after RESTORE" 2;
+      Alcotest.(check int) "fleet generation mirror" 2 (Shard.generation fleet);
+      (* fleet STATS carries the fleet shape and the aggregated engine view *)
+      let kvs = Shard.stats_kv fleet in
+      Alcotest.(check string) "fleet.shards" "4" (stats_field kvs "fleet.shards");
+      Alcotest.(check string) "fleet.generation" "2" (stats_field kvs "fleet.generation");
+      Alcotest.(check string) "mutations broadcast" "2" (stats_field kvs "front.mutations");
+      ignore (int_of_string (stats_field kvs "front.routed"));
+      (* the dump is one string with a fleet section then one per shard *)
+      let dump = Shard.dump fleet in
+      let has needle =
+        let nl = String.length needle and dl = String.length dump in
+        let rec go i = i + nl <= dl && (String.sub dump i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "dump fleet section" true (has "--- fleet (4 shard(s)) ---");
+      Alcotest.(check bool) "dump shard 0" true (has "--- shard 0 ---");
+      Alcotest.(check bool) "dump shard 3" true (has "--- shard 3 ---"))
+
+(* admission control: a full queue sheds with OVERLOAD instead of queueing
+   unboundedly. The worker is parked inside a completion hook that blocks on
+   a mutex we hold, which makes the fill deterministic: q1 is popped and
+   stuck in [complete], q2/q3 fill the bound-2 queue, q4 must shed. *)
+let test_overload_shedding () =
+  let gate = Mutex.create () in
+  let completed = Atomic.make 0 in
+  let fleet = Shard.create ~queue_bound:2 ~shards:1 (diamond ()) in
+  Mutex.lock gate;
+  let submit () =
+    Shard.submit fleet
+      ~complete:(fun _ ->
+        Mutex.lock gate;
+        Mutex.unlock gate;
+        Atomic.incr completed)
+      "SOLVE 0 3 2 30"
+  in
+  (match submit () with
+  | Shard.Queued 0 -> ()
+  | _ -> Alcotest.fail "q1 not admitted");
+  (* wait for the worker to pop q1 (it then blocks in [complete] on the
+     gate, so nothing else can be popped until we release it) *)
+  while (Shard.queue_depths fleet).(0) > 0 do
+    Domain.cpu_relax ()
+  done;
+  (match (submit (), submit ()) with
+  | Shard.Queued 0, Shard.Queued 0 -> ()
+  | _ -> Alcotest.fail "q2/q3 not admitted");
+  (match submit () with
+  | Shard.Shed { shard; retry_after_ms } ->
+    Alcotest.(check int) "shed by the routed shard" 0 shard;
+    Alcotest.(check bool) "retry hint positive" true (retry_after_ms >= 1);
+    Alcotest.(check string) "overload reply rendering"
+      (Printf.sprintf "ERR overload retry-after-ms=%d" retry_after_ms)
+      (Shard.overload_reply retry_after_ms)
+  | Shard.Queued _ -> Alcotest.fail "q4 admitted beyond the bound"
+  | Shard.Replied r -> Alcotest.failf "q4 answered inline: %s" r);
+  Alcotest.(check int) "nothing completed while gated" 0 (Atomic.get completed);
+  Mutex.unlock gate;
+  Shard.shutdown fleet;
+  (* shedding means q4 was never enqueued: exactly q1..q3 completed *)
+  Alcotest.(check int) "admitted requests all completed" 3 (Atomic.get completed);
+  (* a drained fleet sheds everything *)
+  match submit () with
+  | Shard.Shed _ -> ()
+  | _ -> Alcotest.fail "post-shutdown submission not shed"
+
+(* graceful drain: shutdown lets every admitted request complete and fire
+   its completion hook before the workers exit *)
+let test_drain_completes_queued () =
+  let gate = Mutex.create () in
+  let replies_mu = Mutex.create () in
+  let replies = ref [] in
+  let record r =
+    Mutex.lock replies_mu;
+    replies := r :: !replies;
+    Mutex.unlock replies_mu
+  in
+  let fleet = Shard.create ~queue_bound:4 ~shards:1 (diamond ()) in
+  Mutex.lock gate;
+  (* q1 will be popped and parked on the gate inside [complete] *)
+  (match
+     Shard.submit fleet
+       ~complete:(fun r ->
+         Mutex.lock gate;
+         Mutex.unlock gate;
+         record r)
+       "SOLVE 0 3 2 30"
+   with
+  | Shard.Queued 0 -> ()
+  | _ -> Alcotest.fail "q1 not admitted");
+  while (Shard.queue_depths fleet).(0) > 0 do
+    Domain.cpu_relax ()
+  done;
+  (* q2 sits queued behind the parked worker *)
+  (match Shard.submit fleet ~complete:record "SOLVE 0 3 2 30" with
+  | Shard.Queued 0 -> ()
+  | _ -> Alcotest.fail "q2 not admitted");
+  Alcotest.(check int) "q2 queued" 1 (Shard.queue_depths fleet).(0);
+  (* shutdown from another domain: it must block draining, not discard q2 *)
+  let shut = Domain.spawn (fun () -> Shard.shutdown fleet) in
+  while not (Shard.draining fleet) do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check int) "q2 survives the drain mark" 1 (Shard.queue_depths fleet).(0);
+  Mutex.unlock gate;
+  Domain.join shut;
+  let got = List.rev !replies in
+  Alcotest.(check int) "both admitted requests replied" 2 (List.length got);
+  List.iter
+    (fun r ->
+      match Protocol.parse_response r with
+      | Ok (Protocol.Solution { cost = 6; _ }) -> ()
+      | _ -> Alcotest.failf "drained reply: unexpected %s" r)
+    got;
+  (* after the drain the synchronous path answers OVERLOAD, never hangs *)
+  match Protocol.parse_response (Shard.handle_line fleet "SOLVE 0 3 2 30") with
+  | Ok (Protocol.Err (Protocol.Overload _)) -> ()
+  | _ -> Alcotest.fail "post-drain handle_line must answer ERR overload"
+
 (* --- daemon loop over a socketpair ------------------------------------------ *)
 
 let test_serve_fd_socketpair () =
@@ -286,8 +502,13 @@ let test_serve_fd_socketpair () =
   let written = Unix.write_substring client_fd payload 0 (String.length payload) in
   Alcotest.(check int) "request bytes written" (String.length payload) written;
   Unix.shutdown client_fd Unix.SHUTDOWN_SEND;
-  let engine = Engine.create (diamond ()) in
-  Server.serve_fd engine server_fd;
+  (* the daemon serves a fleet; KRSP_SHARDS lets CI run this same session
+     sharded — routing is generation-stable, so the cache-hit and
+     warm-start assertions hold at any width *)
+  let shards = match Shard.env_shards () with Some n -> n | None -> 1 in
+  let fleet = Shard.create ~shards (diamond ()) in
+  Server.serve_fd fleet server_fd;
+  Shard.shutdown fleet;
   Unix.close server_fd;
   let ic = Unix.in_channel_of_descr client_fd in
   let responses = List.map (fun _ -> input_line ic) requests in
@@ -343,10 +564,41 @@ let test_metrics () =
   Alcotest.(check (option string)) "kv counter" (Some "5") (List.assoc_opt "reqs" kv);
   Alcotest.(check (option string)) "kv count" (Some "5") (List.assoc_opt "lat.count" kv)
 
+(* merge folds one registry into another without touching the source —
+   what the fleet STATS uses to aggregate per-shard engine registries *)
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter a "c");
+  Metrics.incr ~by:4 (Metrics.counter b "c");
+  Metrics.incr ~by:5 (Metrics.counter b "only_b");
+  let ha = Metrics.histogram a "h" in
+  List.iter (Metrics.observe ha) [ 1.0; 2.0 ];
+  Metrics.observe (Metrics.histogram b "h") 4.0;
+  Metrics.merge ~into:a b;
+  Alcotest.(check int) "shared counter summed" 7 (Metrics.value (Metrics.counter a "c"));
+  Alcotest.(check int) "new counter materialized" 5 (Metrics.value (Metrics.counter a "only_b"));
+  let h = Metrics.histogram a "h" in
+  Alcotest.(check int) "hist count summed" 3 (Metrics.count h);
+  Alcotest.(check (float 0.001)) "hist sum summed" 7.0 (Metrics.sum h);
+  Alcotest.(check (option string)) "hist max carried" (Some "4.000")
+    (List.assoc_opt "h.max" (Metrics.to_kv a));
+  (* the source registry is read, never written *)
+  Alcotest.(check int) "src counter intact" 4 (Metrics.value (Metrics.counter b "c"));
+  Alcotest.(check int) "src hist intact" 1 (Metrics.count (Metrics.histogram b "h"));
+  (* merging is idempotent in shape: a second merge doubles values, not series *)
+  Metrics.merge ~into:a b;
+  Alcotest.(check int) "second merge sums again" 11 (Metrics.value (Metrics.counter a "c"));
+  (* kind clashes are rejected, same as direct registration *)
+  let c = Metrics.create () in
+  ignore (Metrics.histogram c "c");
+  Alcotest.check_raises "kind clash" (Invalid_argument "Metrics.counter: \"c\" is a histogram")
+    (fun () -> Metrics.merge ~into:c a)
+
 let suites =
   [ ( "server.protocol",
       [ request_roundtrip; response_roundtrip;
-        Alcotest.test_case "parse error taxonomy" `Quick test_parse_errors
+        Alcotest.test_case "parse error taxonomy" `Quick test_parse_errors;
+        Alcotest.test_case "overload codec" `Quick test_overload_codec
       ] );
     ( "server.cache",
       [ Alcotest.test_case "lru eviction and counters" `Quick test_cache_lru;
@@ -361,7 +613,16 @@ let suites =
         Alcotest.test_case "request validation" `Quick test_engine_validation;
         Alcotest.test_case "epsilon and qos requests" `Quick test_engine_epsilon_and_qos
       ] );
+    ( "server.fleet",
+      [ Alcotest.test_case "router determinism" `Quick test_router_determinism;
+        Alcotest.test_case "generation barrier" `Quick test_generation_barrier;
+        Alcotest.test_case "overload shedding" `Quick test_overload_shedding;
+        Alcotest.test_case "graceful drain" `Quick test_drain_completes_queued
+      ] );
     ( "server.daemon",
       [ Alcotest.test_case "socketpair session" `Quick test_serve_fd_socketpair ] );
-    ("server.metrics", [ Alcotest.test_case "counters and histograms" `Quick test_metrics ])
+    ( "server.metrics",
+      [ Alcotest.test_case "counters and histograms" `Quick test_metrics;
+        Alcotest.test_case "merge" `Quick test_metrics_merge
+      ] )
   ]
