@@ -7,6 +7,7 @@ module Timer = Krsp_util.Timer
 module Instance = Krsp_core.Instance
 module Krsp = Krsp_core.Krsp
 module Q = Krsp_bigint.Q
+module Numeric = Krsp_numeric.Numeric
 
 let header id title =
   Printf.printf "\n================================================================\n";
@@ -15,11 +16,12 @@ let header id title =
 
 let note fmt = Printf.printf fmt
 
-(* LP lower bound on C_OPT (delay-budgeted fractional k-flow). *)
-let lp_lower_bound t =
+(* LP lower bound on C_OPT (delay-budgeted fractional k-flow). [numeric]
+   picks the simplex tier; the bound is exact at either tier. *)
+let lp_lower_bound ?numeric t =
   Option.map
     (fun f -> Q.to_float f.Krsp_lp.Lp_flow.objective)
-    (Krsp_lp.Lp_flow.solve t.Instance.graph ~src:t.Instance.src ~dst:t.Instance.dst
+    (Krsp_lp.Lp_flow.solve ?numeric t.Instance.graph ~src:t.Instance.src ~dst:t.Instance.dst
        ~k:t.Instance.k ~delay_bound:t.Instance.delay_bound)
 
 (* Cost lower bound that is always available: min-sum disjoint paths. *)

@@ -20,7 +20,8 @@ let run () =
       ~columns:
         [ ("bound B", Table.Right); ("cases", Table.Right); ("both find", Table.Right);
           ("only DP", Table.Right); ("only LP", Table.Right); ("neither", Table.Right);
-          ("DP ms", Table.Right); ("LP ms", Table.Right)
+          ("DP ms", Table.Right); ("LP exact ms", Table.Right); ("LP float ms", Table.Right);
+          ("tier mismatch", Table.Right); ("fallbacks", Table.Right)
         ]
   in
   List.iter
@@ -35,7 +36,9 @@ let run () =
             Krsp_gen.Instgen.instance rng g { Krsp_gen.Instgen.k = 1; tightness = 0.0 })
       in
       let both = ref 0 and only_dp = ref 0 and only_lp = ref 0 and neither = ref 0 in
-      let dp_ms = ref [] and lp_ms = ref [] in
+      let dp_ms = ref [] and lp_ms = ref [] and lpf_ms = ref [] in
+      let tier_mismatch = ref 0 in
+      let fallbacks0 = Common.Numeric.exact_fallbacks () in
       List.iter
         (fun t ->
           match (Phase1.min_sum t, Exact.solve t) with
@@ -54,10 +57,21 @@ let run () =
                 Timer.time_ms (fun () -> Dp.find res ~ctx ~bound ~exhaustive:true ())
               in
               let lp, ms2 =
-                Timer.time_ms (fun () -> Lp_engine.find res ~ctx ~bound ~exhaustive:true ())
+                Timer.time_ms (fun () ->
+                    Lp_engine.find res ~ctx ~bound ~exhaustive:true
+                      ~numeric:Common.Numeric.Exact_only ())
               in
+              (* same search on the float-first tier: cycle/no-cycle must
+                 agree (the float basis is exact-validated before use) *)
+              let lpf, ms3 =
+                Timer.time_ms (fun () ->
+                    Lp_engine.find res ~ctx ~bound ~exhaustive:true
+                      ~numeric:Common.Numeric.Float_first ())
+              in
+              if Option.is_some lp <> Option.is_some lpf then incr tier_mismatch;
               dp_ms := ms1 :: !dp_ms;
               lp_ms := ms2 :: !lp_ms;
+              lpf_ms := ms3 :: !lpf_ms;
               match (dp, lp) with
               | Some _, Some _ -> incr both
               | Some _, None -> incr only_dp
@@ -67,12 +81,15 @@ let run () =
           | _ -> ())
         instances;
       let total = !both + !only_dp + !only_lp + !neither in
+      let fallbacks = Common.Numeric.exact_fallbacks () - fallbacks0 in
       if total > 0 then
         Table.add_row table
           [ string_of_int bound; string_of_int total; string_of_int !both;
             string_of_int !only_dp; string_of_int !only_lp; string_of_int !neither;
             Table.fmt_float ~decimals:2 (Krsp_util.Stats.mean !dp_ms);
-            Table.fmt_float ~decimals:2 (Krsp_util.Stats.mean !lp_ms)
+            Table.fmt_float ~decimals:2 (Krsp_util.Stats.mean !lp_ms);
+            Table.fmt_float ~decimals:2 (Krsp_util.Stats.mean !lpf_ms);
+            string_of_int !tier_mismatch; string_of_int fallbacks
           ])
     [ 3; 5; 8 ];
   Table.print table;
@@ -80,4 +97,6 @@ let run () =
     "expected shape: 'only LP' stays 0 (anything the faithful LP (6) sees,\n\
      the DP engine sees); 'only DP' may be positive — LP (6) caps the\n\
      circulation's total delay at ΔD and so misses shallow cycles (see\n\
-     DESIGN.md); the DP engine is orders of magnitude faster.\n"
+     DESIGN.md); the DP engine is orders of magnitude faster. The two LP\n\
+     columns attribute the engine's time per numeric tier ('tier mismatch'\n\
+     must be 0; 'fallbacks' counts exact re-runs on the float-first runs).\n"

@@ -11,7 +11,8 @@ let experiments =
     ("e7", E7_auxiliary.run); ("e8", E8_scalability.run); ("e9", E9_ksweep.run);
     ("e10", E10_lp_bound.run); ("e11", E11_phase1.run); ("e12", E12_policy.run);
     ("e13", E13_isp_case.run); ("e14", E14_serving.run); ("e15", E15_substrate.run);
-    ("e16", E16_parallel.run); ("e17", E17_certify.run); ("e18", E18_load.run)
+    ("e16", E16_parallel.run); ("e17", E17_certify.run); ("e18", E18_load.run);
+    ("e19", E19_numeric.run)
   ]
 
 let () =

@@ -61,6 +61,28 @@ let delay_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let numeric_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "numeric" ] ~docv:"TIER"
+        ~doc:
+          "Numeric tier for the solver's LP/DP arithmetic: $(b,float) (double-precision \
+           first, certificate-gated exact fallback) or $(b,exact) (rational arithmetic \
+           only). Default: $(b,KRSP_NUMERIC) when set, else float. Answers are exact at \
+           either tier.")
+
+(* pins the process-wide default so every LP/DP below the subcommand —
+   including the certifier's audit LPs — follows the flag *)
+let apply_numeric = function
+  | None -> ()
+  | Some s -> (
+    match Krsp_numeric.Numeric.tier_of_string s with
+    | Ok tier -> Krsp_numeric.Numeric.set_default tier
+    | Error msg ->
+      Printf.eprintf "--numeric: %s\n" msg;
+      exit exit_parse_io)
+
 let load_graph file =
   try Io.of_edge_list (Io.read_file file)
   with Failure msg | Sys_error msg ->
@@ -126,7 +148,8 @@ let generate_cmd =
 
 (* ---- solve ----------------------------------------------------------------- *)
 
-let solve file src dst k delay_bound epsilon engine dot_out =
+let solve file src dst k delay_bound epsilon engine numeric dot_out =
+  apply_numeric numeric;
   let t = load_instance file ~src ~dst ~k ~delay_bound in
   let engine = match engine with "lp" -> Krsp.Lp | _ -> Krsp.Dp in
   let outcome =
@@ -193,11 +216,12 @@ let solve_cmd =
     (Cmd.info "solve" ~exits ~doc:"Solve a kRSP instance with Algorithm 1.")
     Term.(
       const solve $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg $ epsilon $ engine
-      $ dot_out)
+      $ numeric_arg $ dot_out)
 
 (* ---- exact ----------------------------------------------------------------- *)
 
-let exact file src dst k delay_bound =
+let exact file src dst k delay_bound numeric =
+  apply_numeric numeric;
   let t = load_instance file ~src ~dst ~k ~delay_bound in
   match Krsp_core.Exact.solve t with
   | Some r ->
@@ -212,11 +236,12 @@ let exact file src dst k delay_bound =
 let exact_cmd =
   Cmd.v
     (Cmd.info "exact" ~exits ~doc:"Branch-and-bound optimum (small instances only).")
-    Term.(const exact $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg)
+    Term.(const exact $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg $ numeric_arg)
 
 (* ---- compare ---------------------------------------------------------------- *)
 
-let compare_algorithms file src dst k delay_bound =
+let compare_algorithms file src dst k delay_bound numeric =
+  apply_numeric numeric;
   let t = load_instance file ~src ~dst ~k ~delay_bound in
   let module B = Krsp_core.Baselines in
   let table =
@@ -249,11 +274,14 @@ let compare_algorithms file src dst k delay_bound =
 let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~exits ~doc:"Run every algorithm on one instance and tabulate.")
-    Term.(const compare_algorithms $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg)
+    Term.(
+      const compare_algorithms $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg
+      $ numeric_arg)
 
 (* ---- qos (Definition 1: per-path delay bounds) -------------------------------- *)
 
-let qos file src dst k per_path_delay =
+let qos file src dst k per_path_delay numeric =
+  apply_numeric numeric;
   let g = load_graph file in
   match Krsp_core.Qos_paths.solve g ~src ~dst ~k ~per_path_delay () with
   | Krsp_core.Qos_paths.Paths (sol, quality) ->
@@ -285,7 +313,7 @@ let qos_cmd =
   in
   Cmd.v
     (Cmd.info "qos" ~exits ~doc:"Per-path delay bounds (Definition 1) via the kRSP reduction.")
-    Term.(const qos $ graph_file $ src_arg $ dst_arg $ k_arg $ per_path)
+    Term.(const qos $ graph_file $ src_arg $ dst_arg $ k_arg $ per_path $ numeric_arg)
 
 (* ---- route ------------------------------------------------------------------ *)
 
@@ -343,7 +371,8 @@ let level_arg =
 
 let parse_level = function "structural" -> Check.Structural | _ -> Check.Full
 
-let verify repro graph src dst k delay_bound level differential =
+let verify repro graph src dst k delay_bound level differential numeric =
+  apply_numeric numeric;
   let t =
     match (repro, graph, src, dst, delay_bound) with
     | Some file, _, _, _, _ -> (
@@ -439,11 +468,12 @@ let verify_cmd =
     (Cmd.info "verify" ~exits ~man ~doc:"Solve and independently certify the outcome.")
     Term.(
       const verify $ repro $ graph_opt $ src_opt $ dst_opt $ k_arg $ delay_opt $ level_arg
-      $ differential)
+      $ differential $ numeric_arg)
 
 (* ---- fuzz -------------------------------------------------------------------- *)
 
-let fuzz seed count inject level corpus max_failures =
+let fuzz seed count inject level corpus max_failures numeric =
+  apply_numeric numeric;
   let inject =
     match Krsp_check.Fuzz.inject_of_string inject with
     | Some i -> i
@@ -494,7 +524,9 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~exits ~man ~doc:"Seeded deterministic fuzzing with shrinking.")
-    Term.(const fuzz $ seed_arg $ count $ inject $ level_arg $ corpus $ max_failures)
+    Term.(
+      const fuzz $ seed_arg $ count $ inject $ level_arg $ corpus $ max_failures
+      $ numeric_arg)
 
 (* ---- client ------------------------------------------------------------------ *)
 

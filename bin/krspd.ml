@@ -49,6 +49,18 @@ let engine_arg =
     value & opt string "dp"
     & info [ "engine" ] ~docv:"ENGINE" ~doc:"Bicameral search engine: dp or lp.")
 
+let numeric_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "numeric" ] ~docv:"TIER"
+        ~doc:
+          "Numeric tier for every LP/DP the solver runs: $(b,float) (default; \
+           double-precision first, certificate-gated exact fallback) or $(b,exact) \
+           (rational arithmetic only). Default: $(b,KRSP_NUMERIC) when set, else float. \
+           Answers are exact at either tier; the fallback counters appear in STATS as \
+           numeric.*.")
+
 let shards_arg =
   Arg.(
     value
@@ -83,8 +95,8 @@ let domains_arg =
            recommended domain count divided by the shard count. $(docv)=1 disables \
            within-solve parallelism; total domains are roughly shards × $(docv).")
 
-let run graph_file unix_path tcp_port tcp_host cache_size engine_name shards queue_bound
-    domains =
+let run graph_file unix_path tcp_port tcp_host cache_size engine_name numeric shards
+    queue_bound domains =
   let g =
     try Io.of_edge_list (Io.read_file graph_file)
     with Failure msg | Sys_error msg ->
@@ -92,7 +104,23 @@ let run graph_file unix_path tcp_port tcp_host cache_size engine_name shards que
       exit 3
   in
   let solver = match engine_name with "lp" -> Krsp_core.Krsp.Lp | _ -> Krsp_core.Krsp.Dp in
-  let config = { Engine.default_config with Engine.cache_capacity = cache_size; solver } in
+  let numeric =
+    match numeric with
+    | None -> None
+    | Some s -> (
+      match Krsp_numeric.Numeric.tier_of_string s with
+      | Ok tier ->
+        (* also pin the process default so LPs outside the engine config's
+           reach (e.g. KRSP_CERTIFY's Full-level audit) follow the flag *)
+        Krsp_numeric.Numeric.set_default tier;
+        Some tier
+      | Error msg ->
+        Printf.eprintf "krspd: --numeric: %s\n" msg;
+        exit 3)
+  in
+  let config =
+    { Engine.default_config with Engine.cache_capacity = cache_size; solver; numeric }
+  in
   let shards =
     match shards with
     | Some n -> max 1 n
@@ -192,6 +220,6 @@ let cmd =
     (Cmd.info "krspd" ~version:Bin_version.version ~doc ~man)
     Term.(
       const run $ graph_file $ unix_path $ tcp_port $ tcp_host $ cache_size $ engine_arg
-      $ shards_arg $ queue_bound_arg $ domains_arg)
+      $ numeric_arg $ shards_arg $ queue_bound_arg $ domains_arg)
 
 let () = exit (Cmd.eval' cmd)

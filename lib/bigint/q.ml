@@ -45,6 +45,9 @@ let max x y = if compare x y >= 0 then x else y
 
 let to_float t = B.to_float t.num /. B.to_float t.den
 
+(* the canonical formatter (see the mli): relies on the representation
+   invariant — den > 0 and gcd(num, den) = 1 — so "n/d" is already the
+   reduced fraction and integers show without a denominator *)
 let to_string t =
   if B.equal t.den B.one then B.to_string t.num
   else B.to_string t.num ^ "/" ^ B.to_string t.den

@@ -43,8 +43,18 @@ val min : t -> t -> t
 val max : t -> t -> t
 
 val to_float : t -> float
+
 val to_string : t -> string
+(** The canonical formatter — the one every diagnostic and error path in
+    the repo must share, so the same value always prints the same way.
+    Prints the unique reduced representation: integers without a
+    denominator (["7"], ["-3"], ["0"]), everything else as ["num/den"]
+    with [den > 1] and the sign on the numerator (["-7/2"], never
+    ["7/-2"] or ["14/4"]). Canonical form is an invariant of [t], so no
+    normalisation happens at print time. *)
+
 val pp : Format.formatter -> t -> unit
+(** [Format]-friendly alias of {!to_string}. *)
 
 (* Infix aliases, intended for local [open Q.Infix]. *)
 module Infix : sig

@@ -109,12 +109,12 @@ let structural_violations inst (sol : Instance.solution) =
 (* Lower bound on C_OPT: the better of the delay-budgeted fractional k-flow
    LP (any optimal k disjoint paths are a feasible 0/1 point) and the
    delay-oblivious min-cost k disjoint paths (fewer constraints). *)
-let lower_bound inst =
+let lower_bound ?numeric inst =
   let lp =
     Option.map
       (fun f -> f.Krsp_lp.Lp_flow.objective)
-      (Krsp_lp.Lp_flow.solve inst.Instance.graph ~src:inst.Instance.src ~dst:inst.Instance.dst
-         ~k:inst.Instance.k ~delay_bound:inst.Instance.delay_bound)
+      (Krsp_lp.Lp_flow.solve ?numeric inst.Instance.graph ~src:inst.Instance.src
+         ~dst:inst.Instance.dst ~k:inst.Instance.k ~delay_bound:inst.Instance.delay_bound)
   in
   let min_sum =
     Option.map Q.of_int
@@ -146,8 +146,8 @@ let upper_bound inst =
     Some !u
   | Some _ | None -> None
 
-let audit_cost ?opt_cost inst ~cost =
-  let lower = lower_bound inst in
+let audit_cost ?numeric ?opt_cost inst ~cost =
+  let lower = lower_bound ?numeric inst in
   let upper = upper_bound inst in
   let lower = match (lower, opt_cost) with
     | Some l, Some o -> Some (Q.max l (Q.of_int o))
@@ -174,7 +174,7 @@ let audit_cost ?opt_cost inst ~cost =
 
 (* --- certify ----------------------------------------------------------------- *)
 
-let certify ?(level = Structural) ?opt_cost inst sol =
+let certify ?(level = Structural) ?numeric ?opt_cost inst sol =
   let cert, ms =
     Krsp_util.Timer.time_ms (fun () ->
         let structural, cost, delay = structural_violations inst sol in
@@ -184,7 +184,7 @@ let certify ?(level = Structural) ?opt_cost inst sol =
           | Full ->
             (* a C_OPT audit only makes sense against a feasible solution *)
             if structural <> [] || delay > inst.Instance.delay_bound then (Cost_skipped, [])
-            else audit_cost ?opt_cost inst ~cost
+            else audit_cost ?numeric ?opt_cost inst ~cost
         in
         {
           level;

@@ -71,10 +71,19 @@ type t = {
   cost_audit : cost_audit;
 }
 
-val certify : ?level:level -> ?opt_cost:int -> Instance.t -> Instance.solution -> t
+val certify :
+  ?level:level ->
+  ?numeric:Krsp_numeric.Numeric.tier ->
+  ?opt_cost:int ->
+  Instance.t ->
+  Instance.solution ->
+  t
 (** Re-verify every clause from scratch. Never raises on garbage input —
     malformed paths become violations with witnesses. [opt_cost], when the
-    exact optimum is known (tests), tightens both cost bounds to it. *)
+    exact optimum is known (tests), tightens both cost bounds to it.
+    [numeric] selects the simplex tier of the [Full]-level LP lower bound
+    (default {!Krsp_numeric.Numeric.default}); the bound is exact under
+    both tiers, so verdicts are tier-independent. *)
 
 val ok : t -> bool
 (** No violations. *)

@@ -37,10 +37,12 @@ let lp_of_layered (h : Layered.t) ~delta_d =
   (lp, var)
 
 (* Decompose the optimal circulation of one layered LP into residual-cycle
-   candidates. *)
-let candidates_of_layered res ctx (h : Layered.t) ~delta_d =
+   candidates. The LP runs at the requested numeric tier; either way the
+   solution is exact, and the decomposed cycles are re-validated downstream
+   with integer cycle_cost/cycle_delay in any case. *)
+let candidates_of_layered ?numeric res ctx (h : Layered.t) ~delta_d =
   let lp, var = lp_of_layered h ~delta_d in
-  match Simplex.solve lp with
+  match Simplex.solve ?tier:numeric lp with
   | Simplex.Infeasible | Simplex.Unbounded -> []
   | Simplex.Optimal { values; _ } ->
     let hg = h.Layered.graph in
@@ -75,16 +77,17 @@ let roots res =
   Array.iteri (fun v m -> if m then out := v :: !out) mark;
   List.rev !out
 
-let search res ~ctx ~bound ~stop_early =
+let search ?numeric res ~ctx ~bound ~stop_early =
   let delta_d = ctx.Bicameral.delta_d in
   let all = ref [] in
   let rec scan = function
     | [] -> ()
     | root :: rest ->
       let found =
-        candidates_of_layered res ctx (Layered.build res ~root ~bound ~side:Layered.Plus)
+        candidates_of_layered ?numeric res ctx
+          (Layered.build res ~root ~bound ~side:Layered.Plus)
           ~delta_d
-        @ candidates_of_layered res ctx
+        @ candidates_of_layered ?numeric res ctx
             (Layered.build res ~root ~bound ~side:Layered.Minus)
             ~delta_d
       in
@@ -109,8 +112,9 @@ let better ctx a b =
     then Some ca
     else Some cb
 
-let find res ~ctx ~bound ?(exhaustive = false) () =
-  let cands = search res ~ctx ~bound ~stop_early:(not exhaustive) in
+let find ?numeric res ~ctx ~bound ?(exhaustive = false) () =
+  let cands = search ?numeric res ~ctx ~bound ~stop_early:(not exhaustive) in
   List.fold_left (fun best c -> better ctx best (Some c)) None cands
 
-let enumerate res ~ctx ~bound = search res ~ctx ~bound ~stop_early:false
+let enumerate ?numeric res ~ctx ~bound =
+  search ?numeric res ~ctx ~bound ~stop_early:false

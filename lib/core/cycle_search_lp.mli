@@ -22,6 +22,7 @@
 module G := Krsp_graph.Digraph
 
 val find :
+  ?numeric:Krsp_numeric.Numeric.tier ->
   Residual.t ->
   ctx:Bicameral.context ->
   bound:int ->
@@ -29,7 +30,14 @@ val find :
   unit ->
   Cycle_search_dp.candidate option
 (** Best bicameral cycle found, or [None]. Same candidate type as the DP
-    engine so the two can be compared directly. *)
+    engine so the two can be compared directly. [?numeric] selects the
+    simplex tier for LP (6); candidates are exact under both tiers (the
+    LP solution is certificate-validated or recomputed exactly, and every
+    decomposed cycle is re-measured with integer arithmetic). *)
 
 val enumerate :
-  Residual.t -> ctx:Bicameral.context -> bound:int -> Cycle_search_dp.candidate list
+  ?numeric:Krsp_numeric.Numeric.tier ->
+  Residual.t ->
+  ctx:Bicameral.context ->
+  bound:int ->
+  Cycle_search_dp.candidate list

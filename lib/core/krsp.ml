@@ -49,13 +49,13 @@ let log = Logs.Src.create "krsp" ~doc:"kRSP cycle cancellation"
 
 module L = (val Logs.src_log log : Logs.LOG)
 
-let find_cycle engine ~exhaustive ?searcher ?pool res ~ctx ~bound =
+let find_cycle engine ~exhaustive ?numeric ?searcher ?pool res ~ctx ~bound =
   match engine with
   | Dp -> Cycle_search_dp.find res ~ctx ~bound ~exhaustive ?searcher ?pool ()
-  | Lp -> Cycle_search_lp.find res ~ctx ~bound ~exhaustive ()
+  | Lp -> Cycle_search_lp.find ?numeric res ~ctx ~bound ~exhaustive ()
 
-let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?(max_iterations = 2_000)
-    ?(stall_limit = 40) ?arena ?pool () =
+let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?numeric
+    ?(max_iterations = 2_000) ?(stall_limit = 40) ?arena ?pool () =
   let g = t.Instance.graph in
   let total_abs_cost = G.fold_edges g ~init:0 ~f:(fun acc e -> acc + abs (G.cost g e)) in
   (* Arena reuse: the doubled residual graph is shared by every round (and,
@@ -113,7 +113,7 @@ let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?(max_iteration
                 Some s
               | Dp, None -> None
             in
-            find_cycle engine ~exhaustive ?searcher:s ?pool res ~ctx ~bound)
+            find_cycle engine ~exhaustive ?numeric ?searcher:s ?pool res ~ctx ~bound)
       in
       match cycle with
       | None -> None
@@ -205,7 +205,7 @@ let repair t ~paths =
 
 let post_solve_hook : (Instance.t -> Instance.solution -> unit) ref = ref (fun _ _ -> ())
 
-let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
+let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum) ?numeric
     ?(max_iterations = 2_000) ?(guess_steps = 12) ?warm_start ?pool () =
   let pool = match pool with Some p -> p | None -> Krsp_util.Pool.default () in
   if not (Instance.connectivity_ok t) then Error No_k_disjoint_paths
@@ -229,7 +229,7 @@ let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
         match warm with
         | Some paths -> paths
         | None -> (
-          match Phase1.run phase1 t with
+          match Phase1.run ?numeric phase1 t with
           | Phase1.Start s -> s.Phase1.paths
           | Phase1.No_k_paths -> assert false (* connectivity checked above *)
           | Phase1.Lp_infeasible -> assert false (* dmin <= bound above *))
@@ -267,7 +267,8 @@ let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
         let iters = ref 0 and t0s = ref 0 and t1s = ref 0 and t2s = ref 0 in
         let tried = ref 0 in
         let attempt_pure ~arena guess =
-          improve t ~start ~guess ~engine ~exhaustive ~max_iterations ~arena ~pool ()
+          improve t ~start ~guess ~engine ~exhaustive ?numeric ~max_iterations ~arena
+            ~pool ()
         in
         (* Folding an attempt's outcome into the stats and [best] is kept
            separate from running it: speculative attempts are only committed
@@ -383,9 +384,11 @@ let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
 (* Every Ok the pipeline produces — early feasible start, guess-search best,
    min-delay fallback — passes through here, so an installed hook (see
    Krsp_check.Hook) sees every solution this module ever returns. *)
-let solve t ?engine ?exhaustive ?phase1 ?max_iterations ?guess_steps ?warm_start ?pool () =
+let solve t ?engine ?exhaustive ?phase1 ?numeric ?max_iterations ?guess_steps ?warm_start
+    ?pool () =
   let outcome =
-    solve_impl t ?engine ?exhaustive ?phase1 ?max_iterations ?guess_steps ?warm_start ?pool ()
+    solve_impl t ?engine ?exhaustive ?phase1 ?numeric ?max_iterations ?guess_steps
+      ?warm_start ?pool ()
   in
   (match outcome with Ok (sol, _) -> !post_solve_hook t sol | Error _ -> ());
   outcome

@@ -55,6 +55,7 @@ val improve :
   guess:int ->
   ?engine:engine ->
   ?exhaustive:bool ->
+  ?numeric:Krsp_numeric.Numeric.tier ->
   ?max_iterations:int ->
   ?stall_limit:int ->
   ?arena:Residual.arena ->
@@ -103,6 +104,7 @@ val solve :
   ?engine:engine ->
   ?exhaustive:bool ->
   ?phase1:Phase1.kind ->
+  ?numeric:Krsp_numeric.Numeric.tier ->
   ?max_iterations:int ->
   ?guess_steps:int ->
   ?warm_start:Krsp_graph.Path.t list ->
@@ -126,6 +128,14 @@ val solve :
     repaired solution does not promise, so a warm-started solve is
     best-effort on cost. When the repair fails, the solve silently proceeds
     cold with full guarantees.
+
+    [numeric] (default {!Krsp_numeric.Numeric.default}) picks the numeric
+    tier of every LP the solve runs — the LP engine's cycle-search LPs and
+    the [Lp_rounding] phase 1. Results are exact at either tier (the float
+    tier is certificate-gated inside the simplex), but on degenerate LPs
+    the tiers may pick different — equally optimal — vertices, so LP-engine
+    trajectories can differ; the default DP engine with min-sum phase 1
+    touches no LP at all.
 
     [pool] (default {!Krsp_util.Pool.default}, i.e. [KRSP_DOMAINS]-sized)
     parallelises two layers: the DP engine's per-root cycle searches, and

@@ -47,11 +47,11 @@ let min_delay t =
    support. The support always carries k integral units: the fractional flow
    itself has value k on unit capacities, and unit-capacity max-flow values
    are integral. *)
-let lp_rounding t =
+let lp_rounding ?numeric t =
   let g = t.Instance.graph in
   match
-    Krsp_lp.Lp_flow.solve g ~src:t.Instance.src ~dst:t.Instance.dst ~k:t.Instance.k
-      ~delay_bound:t.Instance.delay_bound
+    Krsp_lp.Lp_flow.solve ?numeric g ~src:t.Instance.src ~dst:t.Instance.dst
+      ~k:t.Instance.k ~delay_bound:t.Instance.delay_bound
   with
   | None -> Lp_infeasible
   | Some { Krsp_lp.Lp_flow.flow; _ } ->
@@ -76,7 +76,8 @@ let lp_rounding t =
 
 type kind = Min_sum | Min_delay | Lp_rounding
 
-let run = function
-  | Min_sum -> min_sum
-  | Min_delay -> min_delay
-  | Lp_rounding -> lp_rounding
+let run ?numeric kind t =
+  match kind with
+  | Min_sum -> min_sum t
+  | Min_delay -> min_delay t
+  | Lp_rounding -> lp_rounding ?numeric t

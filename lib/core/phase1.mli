@@ -28,8 +28,11 @@ type result =
 
 val min_sum : Instance.t -> result
 val min_delay : Instance.t -> result
-val lp_rounding : Instance.t -> result
+
+val lp_rounding : ?numeric:Krsp_numeric.Numeric.tier -> Instance.t -> result
+(** [?numeric] selects the simplex tier of the flow LP (the rounded start
+    and the infeasibility verdict are exact under both tiers). *)
 
 type kind = Min_sum | Min_delay | Lp_rounding
 
-val run : kind -> Instance.t -> result
+val run : ?numeric:Krsp_numeric.Numeric.tier -> kind -> Instance.t -> result

@@ -24,6 +24,7 @@ val solve :
   epsilon2:float ->
   ?engine:Krsp.engine ->
   ?phase1:Phase1.kind ->
+  ?numeric:Krsp_numeric.Numeric.tier ->
   ?max_iterations:int ->
   ?warm_start:Krsp_graph.Path.t list ->
   ?pool:Krsp_util.Pool.t ->

@@ -30,9 +30,9 @@ let build g ~src ~dst ~k ~delay_bound =
 
 type fractional = { objective : Q.t; flow : Q.t array }
 
-let solve g ~src ~dst ~k ~delay_bound =
+let solve ?numeric g ~src ~dst ~k ~delay_bound =
   let { lp; edge_var } = build g ~src ~dst ~k ~delay_bound in
-  match Simplex.solve lp with
+  match Simplex.solve ?tier:numeric lp with
   | Simplex.Infeasible -> None
   | Simplex.Unbounded ->
     (* impossible: all variables are box-bounded *)

@@ -33,6 +33,7 @@ type fractional = {
 }
 
 val solve :
+  ?numeric:Krsp_numeric.Numeric.tier ->
   Krsp_graph.Digraph.t ->
   src:Krsp_graph.Digraph.vertex ->
   dst:Krsp_graph.Digraph.vertex ->
@@ -40,4 +41,6 @@ val solve :
   delay_bound:int ->
   fractional option
 (** [None] when the LP is infeasible (no fractional k-flow meets the delay
-    budget — the kRSP instance is certainly infeasible). *)
+    budget — the kRSP instance is certainly infeasible). [?numeric]
+    selects the simplex tier (default {!Krsp_numeric.Numeric.default});
+    the result is exact under both tiers. *)

@@ -24,7 +24,7 @@ let most_fractional binary values =
       end)
     None binary
 
-let solve_binary lp ~binary ?(node_limit = 20_000) () =
+let solve_binary ?numeric lp ~binary ?(node_limit = 20_000) () =
   let incumbent = ref None in
   let nodes = ref 0 in
   let exhausted = ref false in
@@ -46,7 +46,7 @@ let solve_binary lp ~binary ?(node_limit = 20_000) () =
           (fun (v, value) ->
             Lp.add_constraint sub [ (v, Q.one) ] Lp.Eq (if value = 1 then Q.one else Q.zero))
           fixings;
-        match Simplex.solve sub with
+        match Simplex.solve ?tier:numeric sub with
         | Simplex.Infeasible -> ()
         | Simplex.Unbounded ->
           (* binary vars are boxed; an unbounded relaxation means the caller

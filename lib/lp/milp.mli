@@ -17,7 +17,15 @@ type outcome =
   | Infeasible
   | Node_limit  (** search exhausted its node budget before proving anything *)
 
-val solve_binary : Lp.t -> binary:Lp.var list -> ?node_limit:int -> unit -> outcome
+val solve_binary :
+  ?numeric:Krsp_numeric.Numeric.tier ->
+  Lp.t ->
+  binary:Lp.var list ->
+  ?node_limit:int ->
+  unit ->
+  outcome
 (** Minimise, requiring every variable in [binary] to take value 0 or 1.
     The LP must already bound those variables into [0, 1] (e.g. via
-    [~upper:Q.one] at declaration). [node_limit] defaults to 20_000. *)
+    [~upper:Q.one] at declaration). [node_limit] defaults to 20_000.
+    [?numeric] selects the per-node simplex tier; relaxation optima are
+    exact under both, so pruning decisions are unaffected. *)

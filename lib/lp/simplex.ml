@@ -1,4 +1,5 @@
 open Krsp_bigint
+module Numeric = Krsp_numeric.Numeric
 
 type solution = { objective : Q.t; values : Q.t array }
 
@@ -7,9 +8,12 @@ type outcome =
   | Infeasible
   | Unbounded
 
-(* Bounded-variable primal simplex.
+(* Bounded-variable primal simplex, factored over an abstract numeric core
+   (Numeric.CORE) and instantiated twice: the exact Q core — the reference
+   semantics, bit-identical to the historical all-rational solver — and a
+   double-precision core with ill-conditioning guards.
 
-   Tableau layout:
+   Tableau layout (per core):
    - rows 0..m-1: the explicit constraints in the form B^{-1}A x = rhs,
      columns 0..ncols-1 are variables (original, then slack/surplus, then
      artificial), column ncols is the rhs;
@@ -24,232 +28,37 @@ type outcome =
    original value can be recovered), after which every entering step
    increases a column from zero. This keeps the tableau at the size of the
    real constraint system instead of adding one row per box bound.
-   All entries are exact rationals. *)
 
-type tableau = {
+   The float tier never answers on its own authority: its final basis is
+   re-evaluated in exact rationals (sparse Gaussian elimination on the
+   basis matrix — flow-LP bases are near-triangular, so this costs about
+   one exact pivot, not a whole solve) and checked for primal and dual
+   feasibility. A validated basis IS an exact optimal solution; anything
+   else falls back to the exact core. *)
+
+(* ------------------------------------------------------------------ *)
+(* Tier-independent problem layout: the normalised constraint system in
+   exact rationals, shared by both cores (identical column indexing) and
+   by the exact basis validator. *)
+
+type layout = {
   m : int;
+  nvars : int;
   ncols : int;
-  a : Q.t array array; (* m rows, ncols+1 columns *)
-  basis : int array;
-  upper : Q.t option array; (* per column; None = unbounded above *)
-  at_upper : bool array; (* nonbasic and sitting at its upper bound *)
-  flipped : bool array; (* column holds u - x instead of x *)
+  artif_base : int;
+  rows : (int * Q.t) list array;  (** per row: (col, coeff), col-ascending *)
+  rhs : Q.t array;  (** normalised [>= 0] *)
+  upper : Q.t option array;  (** declared box bound per column *)
+  obj : Q.t array;  (** phase-2 cost, zero beyond nvars *)
+  init_basis : int array;
 }
 
-(* Rational arithmetic dominates the pivot, so both loops touch only the
-   pivot row's nonzero columns — conservation-style rows stay sparse even
-   after fill-in, and skipping an entry is an integer sign test against a
-   Q.mul + Q.sub on big rationals. *)
-let pivot t ~row ~col =
-  let piv = t.a.(row).(col) in
-  assert (Q.sign piv <> 0);
-  let r = t.a.(row) in
-  let inv = Q.inv piv in
-  let nz = ref [] in
-  for j = t.ncols downto 0 do
-    if Q.sign r.(j) <> 0 then begin
-      r.(j) <- Q.mul r.(j) inv;
-      nz := j :: !nz
-    end
-  done;
-  let nz = !nz in
-  for i = 0 to t.m - 1 do
-    if i <> row then begin
-      let factor = t.a.(i).(col) in
-      if Q.sign factor <> 0 then begin
-        let ai = t.a.(i) in
-        List.iter (fun j -> ai.(j) <- Q.sub ai.(j) (Q.mul factor r.(j))) nz
-      end
-    end
-  done;
-  t.basis.(row) <- col
-
-(* Reduced costs for objective vector [c] (length ncols) given the current
-   basis: z_j = c_j - c_B · B^{-1}A_j. Returns the reduced-cost row and
-   c_B · rhs (the basic variables' objective contribution). *)
-let reduced_costs t c =
-  let red = Array.make t.ncols Q.zero in
-  let obj = ref Q.zero in
-  (* start from c, subtract c_basis(i) * row_i *)
-  Array.blit c 0 red 0 t.ncols;
-  for i = 0 to t.m - 1 do
-    let cb = c.(t.basis.(i)) in
-    if Q.sign cb <> 0 then begin
-      let ai = t.a.(i) in
-      for j = 0 to t.ncols - 1 do
-        if Q.sign ai.(j) <> 0 then red.(j) <- Q.sub red.(j) (Q.mul cb ai.(j))
-      done;
-      obj := Q.add !obj (Q.mul cb ai.(t.ncols))
-    end
-  done;
-  (red, !obj)
-
-(* Re-express column [col], currently nonbasic at its upper bound u, as
-   y = u - x: the column and its reduced cost negate, and [flipped] records
-   the substitution. The rhs is unchanged — it already accounts for the
-   at-upper contribution, which the substitution moves into the constant
-   side. [c] is negated in place so later reduced-cost recomputations stay
-   consistent with the flipped column. *)
-let flip_to_lower t c red ~col =
-  for i = 0 to t.m - 1 do
-    t.a.(i).(col) <- Q.neg t.a.(i).(col)
-  done;
-  red.(col) <- Q.neg red.(col);
-  c.(col) <- Q.neg c.(col);
-  t.at_upper.(col) <- false;
-  t.flipped.(col) <- not t.flipped.(col)
-
-(* One phase of the simplex: minimise c·x from the current basis. [allowed j]
-   gates which columns may enter (used to lock out artificials in phase 2).
-   Returns [`Optimal] or [`Unbounded]. [c] is mutated by column flips.
-
-   The reduced-cost row is computed once on entry and then folded into every
-   pivot — the from-scratch recomputation is O(m·n), the same order as the
-   pivot itself, so maintaining it halves the per-iteration work. Pricing is
-   Dantzig (most negative reduced cost), which reaches the optimum in far
-   fewer pivots than Bland on the degenerate layered-circulation LPs this
-   solver feeds it; because Dantzig alone can cycle on degenerate bases, a
-   run of [stall_cap] consecutive pivots without objective improvement drops
-   the phase permanently to Bland's rule, whose termination is guaranteed
-   (the leaving-row tie-break below is already Bland's; bound flips always
-   strictly improve, so they cannot take part in a cycle). *)
-let run_phase t c ~allowed =
-  let red, _ = reduced_costs t c in
-  let stall_cap = (2 * (t.m + t.ncols)) + 16 in
-  let stalled = ref 0 in
-  (* a variable fixed at zero (upper = 0) can never usefully enter, and
-     letting it in would flip it back and forth forever *)
-  let fixed j = match t.upper.(j) with Some u -> Q.is_zero u | None -> false in
-  (* attractiveness of column j as the entering variable: nonbasic-at-lower
-     columns improve when red < 0, at-upper columns when red > 0 (the value
-     would come DOWN from the bound) *)
-  let score j = if t.at_upper.(j) then Q.neg red.(j) else red.(j) in
-  let rec iterate () =
-    let entering = ref (-1) in
-    if !stalled <= stall_cap then begin
-      let best = ref Q.zero in
-      for j = 0 to t.ncols - 1 do
-        if allowed j && not (fixed j) then begin
-          let s = score j in
-          if Q.compare s !best < 0 then begin
-            best := s;
-            entering := j
-          end
-        end
-      done
-    end
-    else (
-      try
-        for j = 0 to t.ncols - 1 do
-          if allowed j && (not (fixed j)) && Q.sign (score j) < 0 then begin
-            entering := j;
-            raise Exit
-          end
-        done
-      with Exit -> ());
-    if !entering = -1 then `Optimal
-    else begin
-      let col = !entering in
-      if t.at_upper.(col) then flip_to_lower t c red ~col;
-      (* ratio test: how far can the entering column rise from zero before a
-         basic variable hits one of ITS bounds (-> pivot) or the entering
-         variable hits its own upper bound (-> bound flip, no pivot)?
-         Row ties go to the smallest basis index (Bland). *)
-      let leave = ref (-1) in
-      let leave_at_upper = ref false in
-      let theta = ref t.upper.(col) in
-      for i = 0 to t.m - 1 do
-        let v = t.a.(i).(col) in
-        let candidate =
-          if Q.sign v > 0 then Some (Q.div t.a.(i).(t.ncols) v, false)
-          else if Q.sign v < 0 then
-            match t.upper.(t.basis.(i)) with
-            | Some ub -> Some (Q.div (Q.sub ub t.a.(i).(t.ncols)) (Q.neg v), true)
-            | None -> None
-          else None
-        in
-        match candidate with
-        | None -> ()
-        | Some (ratio, to_upper) ->
-          let better =
-            match !theta with
-            | None -> true
-            | Some best ->
-              Q.compare ratio best < 0
-              || Q.equal ratio best
-                 && !leave >= 0
-                 && t.basis.(i) < t.basis.(!leave)
-          in
-          if better then begin
-            theta := Some ratio;
-            leave := i;
-            leave_at_upper := to_upper
-          end
-      done;
-      match !theta with
-      | None -> `Unbounded
-      | Some theta ->
-        let delta = Q.mul red.(col) theta in
-        if !leave = -1 then begin
-          (* the entering variable reaches its own upper bound first: shift
-             it there and keep the basis *)
-          for i = 0 to t.m - 1 do
-            if Q.sign t.a.(i).(col) <> 0 then
-              t.a.(i).(t.ncols) <-
-                Q.sub t.a.(i).(t.ncols) (Q.mul t.a.(i).(col) theta)
-          done;
-          t.at_upper.(col) <- true
-        end
-        else begin
-          let row = !leave in
-          let leaving = t.basis.(row) in
-          pivot t ~row ~col;
-          let f = red.(col) in
-          if Q.sign f <> 0 then
-            for j = 0 to t.ncols - 1 do
-              if Q.sign t.a.(row).(j) <> 0 then
-                red.(j) <- Q.sub red.(j) (Q.mul f t.a.(row).(j))
-            done;
-          if !leave_at_upper then begin
-            (* the leaving variable exits AT its upper bound: fold that
-               contribution into the rhs so it keeps holding current basic
-               values *)
-            let ub = Option.get t.upper.(leaving) in
-            if Q.sign ub <> 0 then
-              for i = 0 to t.m - 1 do
-                if Q.sign t.a.(i).(leaving) <> 0 then
-                  t.a.(i).(t.ncols) <-
-                    Q.sub t.a.(i).(t.ncols) (Q.mul t.a.(i).(leaving) ub)
-              done;
-            t.at_upper.(leaving) <- true
-          end
-        end;
-        if Q.sign delta = 0 then incr stalled else stalled := 0;
-        iterate ()
-    end
-  in
-  iterate ()
-
-(* Current value of every column: basic -> rhs, nonbasic -> 0 or its upper
-   bound; flipped columns translate back to the original variable. *)
-let column_values t =
-  let raw = Array.make t.ncols Q.zero in
-  for j = 0 to t.ncols - 1 do
-    if t.at_upper.(j) then raw.(j) <- Option.get t.upper.(j)
-  done;
-  for i = 0 to t.m - 1 do
-    raw.(t.basis.(i)) <- t.a.(i).(t.ncols)
-  done;
-  Array.mapi
-    (fun j v -> if t.flipped.(j) then Q.sub (Option.get t.upper.(j)) v else v)
-    raw
-
-let solve lp =
+let layout_of_lp lp =
   let nvars = Lp.num_vars lp in
-  let rows = Lp.rows lp in
-  let m = List.length rows in
+  let rows0 = Lp.rows lp in
+  let m = List.length rows0 in
   (* normalise rhs >= 0 by flipping rows *)
-  let rows =
+  let rows0 =
     List.map
       (fun (terms, rel, rhs) ->
         if Q.sign rhs < 0 then
@@ -257,115 +66,687 @@ let solve lp =
             (match rel with Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq),
             Q.neg rhs )
         else (terms, rel, rhs))
-      rows
+      rows0
   in
-  (* count slack and artificial columns *)
-  let nslack = List.length (List.filter (fun (_, rel, _) -> rel <> Lp.Eq) rows) in
+  let nslack =
+    List.length (List.filter (fun (_, rel, _) -> rel <> Lp.Eq) rows0)
+  in
   let nartif =
-    List.length (List.filter (fun (_, rel, _) -> rel = Lp.Eq || rel = Lp.Ge) rows)
+    List.length
+      (List.filter (fun (_, rel, _) -> rel = Lp.Eq || rel = Lp.Ge) rows0)
   in
   let ncols = nvars + nslack + nartif in
-  let a = Array.init m (fun _ -> Array.make (ncols + 1) Q.zero) in
-  let basis = Array.make m (-1) in
   let upper = Array.make ncols None in
   for v = 0 to nvars - 1 do
     upper.(v) <- Lp.upper lp v
   done;
+  let obj = Array.make ncols Q.zero in
+  for v = 0 to nvars - 1 do
+    obj.(v) <- Lp.objective lp v
+  done;
+  let rows = Array.make m [] in
+  let rhs = Array.make m Q.zero in
+  let init_basis = Array.make m (-1) in
   let slack_base = nvars in
   let artif_base = nvars + nslack in
   let next_slack = ref 0 and next_artif = ref 0 in
   List.iteri
-    (fun i (terms, rel, rhs) ->
-      List.iter (fun (v, q) -> a.(i).(v) <- Q.add a.(i).(v) q) terms;
-      a.(i).(ncols) <- rhs;
-      (match rel with
-      | Lp.Le ->
-        let s = slack_base + !next_slack in
-        incr next_slack;
-        a.(i).(s) <- Q.one;
-        basis.(i) <- s
-      | Lp.Ge ->
-        let s = slack_base + !next_slack in
-        incr next_slack;
-        a.(i).(s) <- Q.minus_one;
-        let art = artif_base + !next_artif in
-        incr next_artif;
-        a.(i).(art) <- Q.one;
-        basis.(i) <- art
-      | Lp.Eq ->
-        let art = artif_base + !next_artif in
-        incr next_artif;
-        a.(i).(art) <- Q.one;
-        basis.(i) <- art))
-    rows;
-  let t =
+    (fun i (terms, rel, r) ->
+      rhs.(i) <- r;
+      (* merge duplicate variables (defensive — Lp merges already) and drop
+         zero coefficients *)
+      let h = Hashtbl.create (List.length terms) in
+      List.iter
+        (fun (v, q) ->
+          let cur =
+            match Hashtbl.find_opt h v with Some c -> c | None -> Q.zero
+          in
+          Hashtbl.replace h v (Q.add cur q))
+        terms;
+      let merged =
+        Hashtbl.fold (fun v q acc -> if Q.is_zero q then acc else (v, q) :: acc) h []
+      in
+      let merged = List.sort (fun (a, _) (b, _) -> compare a b) merged in
+      let extra =
+        match rel with
+        | Lp.Le ->
+          let s = slack_base + !next_slack in
+          incr next_slack;
+          init_basis.(i) <- s;
+          [ (s, Q.one) ]
+        | Lp.Ge ->
+          let s = slack_base + !next_slack in
+          incr next_slack;
+          let art = artif_base + !next_artif in
+          incr next_artif;
+          init_basis.(i) <- art;
+          [ (s, Q.minus_one); (art, Q.one) ]
+        | Lp.Eq ->
+          let art = artif_base + !next_artif in
+          incr next_artif;
+          init_basis.(i) <- art;
+          [ (art, Q.one) ]
+      in
+      rows.(i) <- merged @ extra)
+    rows0;
+  { m; nvars; ncols; artif_base; rows; rhs; upper; obj; init_basis }
+
+(* ------------------------------------------------------------------ *)
+(* The simplex core, generic over the arithmetic. *)
+
+module Core (N : Numeric.CORE) = struct
+  type tableau = {
+    m : int;
+    ncols : int;
+    a : N.t array array; (* m rows, ncols+1 columns *)
+    basis : int array;
+    upper : N.t option array; (* per column; None = unbounded above *)
+    at_upper : bool array; (* nonbasic and sitting at its upper bound *)
+    flipped : bool array; (* column holds u - x instead of x *)
+    mutable iters : int; (* pivots + bound flips, across both phases *)
+  }
+
+  let of_layout (l : layout) =
+    let a = Array.init l.m (fun _ -> Array.make (l.ncols + 1) N.zero) in
+    Array.iteri
+      (fun i terms ->
+        List.iter (fun (j, q) -> a.(i).(j) <- N.of_q q) terms;
+        a.(i).(l.ncols) <- N.of_q l.rhs.(i))
+      l.rows;
     {
-      m;
-      ncols;
+      m = l.m;
+      ncols = l.ncols;
       a;
-      basis;
-      upper;
-      at_upper = Array.make ncols false;
-      flipped = Array.make ncols false;
+      basis = Array.copy l.init_basis;
+      upper = Array.map (Option.map N.of_q) l.upper;
+      at_upper = Array.make l.ncols false;
+      flipped = Array.make l.ncols false;
+      iters = 0;
     }
-  in
-  (* phase 1: minimise sum of artificials *)
-  let c1 = Array.make ncols Q.zero in
-  for j = artif_base to ncols - 1 do
-    c1.(j) <- Q.one
-  done;
-  (match run_phase t c1 ~allowed:(fun _ -> true) with
-  | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
-  | `Optimal -> ());
-  (* artificials never flip (they carry no upper bound), so c1 still prices
-     them at one and the basic-value sum below is their total *)
-  let _, phase1_obj = reduced_costs t c1 in
-  if Q.sign phase1_obj > 0 then Infeasible
-  else begin
-    (* pin every artificial to [0,0]: phase 2 locks them out of ENTERING,
-       but one left basic at zero could still drift positive when its row
-       takes part in a pivot — with a zero upper bound the ratio test
-       clamps any such step to a degenerate pivot that ejects it instead *)
-    for j = artif_base to ncols - 1 do
-      upper.(j) <- Some Q.zero
-    done;
-    (* drive remaining zero-valued artificials out of the basis when
-       possible; rows where no real column has a nonzero coefficient are
-       redundant and harmless (the artificial stays basic at zero and is
-       locked out of phase 2). Only at-lower columns qualify — a column
-       sitting at its upper bound has a nonzero value and cannot become
-       basic at this row's zero rhs. *)
-    for i = 0 to m - 1 do
-      if t.basis.(i) >= artif_base then begin
-        let found = ref (-1) in
-        (try
-           for j = 0 to artif_base - 1 do
-             if Q.sign t.a.(i).(j) <> 0 && not t.at_upper.(j) then begin
-               found := j;
-               raise Exit
-             end
-           done
-         with Exit -> ());
-        if !found >= 0 then pivot t ~row:i ~col:!found
+
+  (* Arithmetic dominates the pivot, so both loops touch only the pivot
+     row's nonzero columns — conservation-style rows stay sparse even
+     after fill-in, and skipping an entry is a sign test against a
+     mul + sub. *)
+  let pivot t ~row ~col =
+    let piv = t.a.(row).(col) in
+    N.check_pivot piv;
+    assert (N.sign piv <> 0);
+    let r = t.a.(row) in
+    let inv = N.inv piv in
+    let nz = ref [] in
+    for j = t.ncols downto 0 do
+      if N.sign r.(j) <> 0 then begin
+        r.(j) <- N.mul r.(j) inv;
+        nz := j :: !nz
       end
     done;
-    (* phase 2: original objective (negated on columns phase 1 left
-       flipped), artificial columns locked out *)
-    let c2 = Array.make ncols Q.zero in
-    for v = 0 to nvars - 1 do
-      let c = Lp.objective lp v in
-      c2.(v) <- (if t.flipped.(v) then Q.neg c else c)
+    let nz = !nz in
+    for i = 0 to t.m - 1 do
+      if i <> row then begin
+        let factor = t.a.(i).(col) in
+        if N.sign factor <> 0 then begin
+          let ai = t.a.(i) in
+          List.iter (fun j -> ai.(j) <- N.sub ai.(j) (N.mul factor r.(j))) nz
+        end
+      end
     done;
-    match run_phase t c2 ~allowed:(fun j -> j < artif_base) with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
-      let cols = column_values t in
-      let values = Array.sub cols 0 nvars in
-      let objective =
-        ref Q.zero
-      in
-      for v = 0 to nvars - 1 do
-        objective := Q.add !objective (Q.mul (Lp.objective lp v) values.(v))
+    t.basis.(row) <- col
+
+  (* Reduced costs for objective vector [c] (length ncols) given the
+     current basis: z_j = c_j - c_B · B^{-1}A_j. Returns the reduced-cost
+     row and c_B · rhs (the basic variables' objective contribution). *)
+  let reduced_costs t c =
+    let red = Array.make t.ncols N.zero in
+    let obj = ref N.zero in
+    Array.blit c 0 red 0 t.ncols;
+    for i = 0 to t.m - 1 do
+      let cb = c.(t.basis.(i)) in
+      if N.sign cb <> 0 then begin
+        let ai = t.a.(i) in
+        for j = 0 to t.ncols - 1 do
+          if N.sign ai.(j) <> 0 then red.(j) <- N.sub red.(j) (N.mul cb ai.(j))
+        done;
+        obj := N.add !obj (N.mul cb ai.(t.ncols))
+      end
+    done;
+    (red, !obj)
+
+  (* Re-express column [col], currently nonbasic at its upper bound u, as
+     y = u - x: the column and its reduced cost negate, and [flipped]
+     records the substitution. The rhs is unchanged — it already accounts
+     for the at-upper contribution, which the substitution moves into the
+     constant side. [c] is negated in place so later reduced-cost
+     recomputations stay consistent with the flipped column. *)
+  let flip_to_lower t c red ~col =
+    for i = 0 to t.m - 1 do
+      t.a.(i).(col) <- N.neg t.a.(i).(col)
+    done;
+    red.(col) <- N.neg red.(col);
+    c.(col) <- N.neg c.(col);
+    t.at_upper.(col) <- false;
+    t.flipped.(col) <- not t.flipped.(col)
+
+  (* One phase of the simplex: minimise c·x from the current basis.
+     [allowed j] gates which columns may enter (used to lock out
+     artificials in phase 2). Returns [`Optimal] or [`Unbounded]. [c] is
+     mutated by column flips.
+
+     Pricing is Dantzig (most negative reduced cost) with a permanent drop
+     to Bland's rule after [stall_cap] consecutive non-improving pivots;
+     the reduced-cost row is maintained incrementally across pivots. On
+     the float core the tolerance comparisons (N.strictly_less / N.tie)
+     fall through to Bland's index tie-break in exactly the cases the
+     exact core treats as ties, keeping the two pivot sequences aligned,
+     and [max_pivots] converts any tolerance-induced cycling into an
+     Ill_conditioned fallback. *)
+  let run_phase t c ~allowed =
+    let red, _ = reduced_costs t c in
+    let stall_cap = (2 * (t.m + t.ncols)) + 16 in
+    let iter_cap = N.max_pivots ~m:t.m ~ncols:t.ncols in
+    let stalled = ref 0 in
+    (* a variable fixed at zero (upper = 0) can never usefully enter, and
+       letting it in would flip it back and forth forever *)
+    let fixed j =
+      match t.upper.(j) with Some u -> N.is_zero u | None -> false
+    in
+    (* attractiveness of column j as the entering variable:
+       nonbasic-at-lower columns improve when red < 0, at-upper columns
+       when red > 0 (the value would come DOWN from the bound) *)
+    let score j = if t.at_upper.(j) then N.neg red.(j) else red.(j) in
+    let rec iterate () =
+      t.iters <- t.iters + 1;
+      (match iter_cap with
+      | Some cap when t.iters > cap ->
+        raise (Numeric.Ill_conditioned "simplex iteration cap exceeded")
+      | _ -> ());
+      let entering = ref (-1) in
+      if !stalled <= stall_cap then begin
+        let best = ref N.zero in
+        for j = 0 to t.ncols - 1 do
+          if allowed j && not (fixed j) then begin
+            let s = score j in
+            if N.strictly_less s !best then begin
+              best := s;
+              entering := j
+            end
+          end
+        done
+      end
+      else (
+        try
+          for j = 0 to t.ncols - 1 do
+            if allowed j && (not (fixed j)) && N.sign (score j) < 0 then begin
+              entering := j;
+              raise Exit
+            end
+          done
+        with Exit -> ());
+      if !entering = -1 then `Optimal
+      else begin
+        let col = !entering in
+        if t.at_upper.(col) then flip_to_lower t c red ~col;
+        (* ratio test: how far can the entering column rise from zero
+           before a basic variable hits one of ITS bounds (-> pivot) or
+           the entering variable hits its own upper bound (-> bound flip,
+           no pivot)? Row ties go to the smallest basis index (Bland). *)
+        let leave = ref (-1) in
+        let leave_at_upper = ref false in
+        let theta = ref t.upper.(col) in
+        for i = 0 to t.m - 1 do
+          let v = t.a.(i).(col) in
+          let candidate =
+            if N.sign v > 0 then Some (N.div t.a.(i).(t.ncols) v, false)
+            else if N.sign v < 0 then
+              match t.upper.(t.basis.(i)) with
+              | Some ub ->
+                Some (N.div (N.sub ub t.a.(i).(t.ncols)) (N.neg v), true)
+              | None -> None
+            else None
+          in
+          match candidate with
+          | None -> ()
+          | Some (ratio, to_upper) ->
+            let better =
+              match !theta with
+              | None -> true
+              | Some best ->
+                N.strictly_less ratio best
+                || N.tie ratio best
+                   && !leave >= 0
+                   && t.basis.(i) < t.basis.(!leave)
+            in
+            if better then begin
+              theta := Some ratio;
+              leave := i;
+              leave_at_upper := to_upper
+            end
+        done;
+        match !theta with
+        | None -> `Unbounded
+        | Some theta ->
+          let delta = N.mul red.(col) theta in
+          if !leave = -1 then begin
+            (* the entering variable reaches its own upper bound first:
+               shift it there and keep the basis *)
+            for i = 0 to t.m - 1 do
+              if N.sign t.a.(i).(col) <> 0 then
+                t.a.(i).(t.ncols) <-
+                  N.sub t.a.(i).(t.ncols) (N.mul t.a.(i).(col) theta)
+            done;
+            t.at_upper.(col) <- true
+          end
+          else begin
+            let row = !leave in
+            let leaving = t.basis.(row) in
+            pivot t ~row ~col;
+            let f = red.(col) in
+            if N.sign f <> 0 then
+              for j = 0 to t.ncols - 1 do
+                if N.sign t.a.(row).(j) <> 0 then
+                  red.(j) <- N.sub red.(j) (N.mul f t.a.(row).(j))
+              done;
+            if !leave_at_upper then begin
+              (* the leaving variable exits AT its upper bound: fold that
+                 contribution into the rhs so it keeps holding current
+                 basic values *)
+              let ub = Option.get t.upper.(leaving) in
+              if N.sign ub <> 0 then
+                for i = 0 to t.m - 1 do
+                  if N.sign t.a.(i).(leaving) <> 0 then
+                    t.a.(i).(t.ncols) <-
+                      N.sub t.a.(i).(t.ncols) (N.mul t.a.(i).(leaving) ub)
+                done;
+              t.at_upper.(leaving) <- true
+            end
+          end;
+          if N.sign delta = 0 then incr stalled else stalled := 0;
+          iterate ()
+      end
+    in
+    iterate ()
+
+  (* Current value of every column: basic -> rhs, nonbasic -> 0 or its
+     upper bound; flipped columns translate back to the original
+     variable. *)
+  let column_values t =
+    let raw = Array.make t.ncols N.zero in
+    for j = 0 to t.ncols - 1 do
+      if t.at_upper.(j) then raw.(j) <- Option.get t.upper.(j)
+    done;
+    for i = 0 to t.m - 1 do
+      raw.(t.basis.(i)) <- t.a.(i).(t.ncols)
+    done;
+    Array.mapi
+      (fun j v -> if t.flipped.(j) then N.sub (Option.get t.upper.(j)) v else v)
+      raw
+
+  type result =
+    | R_optimal of tableau
+    | R_infeasible of tableau
+    | R_unbounded
+
+  let solve_layout (l : layout) =
+    let t = of_layout l in
+    (* phase 1: minimise sum of artificials *)
+    let c1 = Array.make l.ncols N.zero in
+    for j = l.artif_base to l.ncols - 1 do
+      c1.(j) <- N.one
+    done;
+    (match run_phase t c1 ~allowed:(fun _ -> true) with
+    | `Unbounded ->
+      (* the phase-1 objective is bounded below by 0; on the float core
+         this can only be a numerical artifact *)
+      if N.exact then assert false
+      else raise (Numeric.Ill_conditioned "phase-1 reported unbounded")
+    | `Optimal -> ());
+    (* artificials never flip (they carry no upper bound), so c1 still
+       prices them at one and the basic-value sum below is their total *)
+    let _, phase1_obj = reduced_costs t c1 in
+    if N.sign phase1_obj > 0 then R_infeasible t
+    else begin
+      (* pin every artificial to [0,0]: phase 2 locks them out of
+         ENTERING, but one left basic at zero could still drift positive
+         when its row takes part in a pivot — with a zero upper bound the
+         ratio test clamps any such step to a degenerate pivot that
+         ejects it instead *)
+      for j = l.artif_base to l.ncols - 1 do
+        t.upper.(j) <- Some N.zero
       done;
-      Optimal { objective = !objective; values }
+      (* drive remaining zero-valued artificials out of the basis when
+         possible; rows where no real column has a nonzero coefficient
+         are redundant and harmless (the artificial stays basic at zero
+         and is locked out of phase 2). Only at-lower columns qualify — a
+         column sitting at its upper bound has a nonzero value and cannot
+         become basic at this row's zero rhs. *)
+      for i = 0 to l.m - 1 do
+        if t.basis.(i) >= l.artif_base then begin
+          let found = ref (-1) in
+          (try
+             for j = 0 to l.artif_base - 1 do
+               if N.sign t.a.(i).(j) <> 0 && not t.at_upper.(j) then begin
+                 found := j;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if !found >= 0 then pivot t ~row:i ~col:!found
+        end
+      done;
+      (* phase 2: original objective (negated on columns phase 1 left
+         flipped), artificial columns locked out *)
+      let c2 = Array.make l.ncols N.zero in
+      for v = 0 to l.nvars - 1 do
+        let c = N.of_q l.obj.(v) in
+        c2.(v) <- (if t.flipped.(v) then N.neg c else c)
+      done;
+      match run_phase t c2 ~allowed:(fun j -> j < l.artif_base) with
+      | `Unbounded -> R_unbounded
+      | `Optimal -> R_optimal t
+    end
+end
+
+module QC = Core (Numeric.Qc)
+module FC = Core (Numeric.Fc)
+
+(* ------------------------------------------------------------------ *)
+(* Exact tier. *)
+
+let solve_exact_layout (l : layout) =
+  match QC.solve_layout l with
+  | QC.R_infeasible _ -> Infeasible
+  | QC.R_unbounded -> Unbounded
+  | QC.R_optimal t ->
+    let cols = QC.column_values t in
+    let values = Array.sub cols 0 l.nvars in
+    let objective = ref Q.zero in
+    for v = 0 to l.nvars - 1 do
+      objective := Q.add !objective (Q.mul l.obj.(v) values.(v))
+    done;
+    Optimal { objective = !objective; values }
+
+(* ------------------------------------------------------------------ *)
+(* Exact validation of a float-tier basis claim.
+
+   The float core only proposes a COMBINATORIAL answer: the set of basic
+   columns plus which nonbasic columns sit at their upper bound (plus, for
+   an Infeasible claim, that this is phase 1's optimal basis). Everything
+   numeric is recomputed in exact rationals here: solve B·x_B = b̃ for the
+   basic values, Bᵀ·y = c_B for the duals, then check primal bounds and
+   reduced-cost signs. A basis that passes is an exactly optimal vertex
+   (the bounded-variable optimality conditions are exactly these checks);
+   for an Infeasible claim a validated phase-1 optimum with positive
+   artificial mass is a proof of infeasibility. Any failure — singular
+   basis, bound violation, wrong reduced-cost sign, zero artificial mass —
+   rejects the claim and the caller falls back to the exact simplex. *)
+
+type claim_kind = C_optimal | C_infeasible
+
+type basis_claim = {
+  kind : claim_kind;
+  basic : int array; (* column basic in each row *)
+  nb_at_upper : bool array; (* per column: nonbasic at its (true) upper *)
+}
+
+(* Solve the sparse exact m×m system given by [rows] (row -> col -> coeff
+   hashtables over column ids 0..m-1) with right-hand side [rhs]; both are
+   consumed. Gauss–Jordan, pivoting on the sparsest remaining row (basis
+   matrices of flow LPs are near-triangular, so this mostly peels rows of
+   size one and fill-in stays negligible). Returns the values per column
+   id, or None when the matrix is singular. *)
+let solve_square m (rows : (int, Q.t) Hashtbl.t array) (rhs : Q.t array) =
+  let used = Array.make m false in
+  let pivcol = Array.make m (-1) in
+  let singular = ref false in
+  (try
+     for _step = 0 to m - 1 do
+       let best = ref (-1) and best_n = ref max_int in
+       for i = 0 to m - 1 do
+         if not used.(i) then begin
+           let n = Hashtbl.length rows.(i) in
+           if n > 0 && n < !best_n then begin
+             best := i;
+             best_n := n
+           end
+         end
+       done;
+       if !best = -1 then begin
+         singular := true;
+         raise Exit
+       end;
+       let r = !best in
+       used.(r) <- true;
+       (* prefer a ±1 pivot coefficient: keeps the elimination division-free
+          on the common near-triangular case *)
+       let pc = ref (-1) and pq = ref Q.zero in
+       let unit q = Q.equal q Q.one || Q.equal q Q.minus_one in
+       Hashtbl.iter
+         (fun c q -> if !pc = -1 || (unit q && not (unit !pq)) then begin
+            pc := c;
+            pq := q
+          end)
+         rows.(r);
+       pivcol.(r) <- !pc;
+       if not (Q.equal !pq Q.one) then begin
+         let inv = Q.inv !pq in
+         let updated =
+           Hashtbl.fold (fun c q acc -> (c, Q.mul q inv) :: acc) rows.(r) []
+         in
+         List.iter (fun (c, q) -> Hashtbl.replace rows.(r) c q) updated;
+         rhs.(r) <- Q.mul rhs.(r) inv
+       end;
+       for i = 0 to m - 1 do
+         if i <> r then
+           match Hashtbl.find_opt rows.(i) !pc with
+           | None -> ()
+           | Some f ->
+             Hashtbl.remove rows.(i) !pc;
+             rhs.(i) <- Q.sub rhs.(i) (Q.mul f rhs.(r));
+             Hashtbl.iter
+               (fun c q ->
+                 if c <> !pc then begin
+                   let cur =
+                     match Hashtbl.find_opt rows.(i) c with
+                     | Some x -> x
+                     | None -> Q.zero
+                   in
+                   let nv = Q.sub cur (Q.mul f q) in
+                   if Q.is_zero nv then Hashtbl.remove rows.(i) c
+                   else Hashtbl.replace rows.(i) c nv
+                 end)
+               rows.(r)
+       done
+     done
+   with Exit -> ());
+  if !singular then None
+  else begin
+    let x = Array.make m Q.zero in
+    for r = 0 to m - 1 do
+      x.(pivcol.(r)) <- rhs.(r)
+    done;
+    Some x
   end
+
+let validate_claim (l : layout) (claim : basis_claim) : outcome option =
+  let exception Reject in
+  try
+    (* effective bounds: an Optimal claim is a phase-2 basis, where the
+       artificials are pinned to [0,0]; an Infeasible claim is a phase-1
+       basis with the declared bounds *)
+    let eff_upper j =
+      if claim.kind = C_optimal && j >= l.artif_base then Some Q.zero
+      else l.upper.(j)
+    in
+    let cost j =
+      match claim.kind with
+      | C_optimal -> l.obj.(j)
+      | C_infeasible -> if j >= l.artif_base then Q.one else Q.zero
+    in
+    if Array.length claim.basic <> l.m then raise Reject;
+    let pos_of_col = Array.make l.ncols (-1) in
+    Array.iteri
+      (fun p j ->
+        if j < 0 || j >= l.ncols || pos_of_col.(j) >= 0 then raise Reject;
+        pos_of_col.(j) <- p)
+      claim.basic;
+    (* columns of A from the row lists *)
+    let a_cols = Array.make l.ncols [] in
+    Array.iteri
+      (fun i terms ->
+        List.iter (fun (j, q) -> a_cols.(j) <- (i, q) :: a_cols.(j)) terms)
+      l.rows;
+    (* b̃ = rhs − Σ_{nonbasic j at upper} A_j·u_j *)
+    let btilde = Array.copy l.rhs in
+    for j = 0 to l.ncols - 1 do
+      if claim.nb_at_upper.(j) && pos_of_col.(j) = -1 then
+        match eff_upper j with
+        | None -> raise Reject (* at-upper without an upper bound *)
+        | Some u ->
+          if not (Q.is_zero u) then
+            List.iter
+              (fun (i, q) -> btilde.(i) <- Q.sub btilde.(i) (Q.mul q u))
+              a_cols.(j)
+    done;
+    (* basic values: B·x_B = b̃ *)
+    let brows = Array.init l.m (fun _ -> Hashtbl.create 8) in
+    Array.iteri
+      (fun p j ->
+        List.iter (fun (i, q) -> Hashtbl.replace brows.(i) p q) a_cols.(j))
+      claim.basic;
+    let xb =
+      match solve_square l.m brows btilde with
+      | None -> raise Reject
+      | Some xb -> xb
+    in
+    Array.iteri
+      (fun p x ->
+        if Q.sign x < 0 then raise Reject;
+        match eff_upper claim.basic.(p) with
+        | Some u when Q.compare x u > 0 -> raise Reject
+        | _ -> ())
+      xb;
+    (* duals: Bᵀ·y = c_B *)
+    let trows = Array.init l.m (fun _ -> Hashtbl.create 8) in
+    Array.iteri
+      (fun p j ->
+        List.iter (fun (i, q) -> Hashtbl.replace trows.(p) i q) a_cols.(j))
+      claim.basic;
+    let crhs = Array.map (fun j -> cost j) claim.basic in
+    let y =
+      match solve_square l.m trows crhs with
+      | None -> raise Reject
+      | Some y -> y
+    in
+    (* reduced-cost signs of the nonbasic columns: >= 0 at lower, <= 0 at
+       upper; columns fixed to [0,0] are outside the optimisation (the
+       simplex locks them out of entering) and are skipped *)
+    for j = 0 to l.ncols - 1 do
+      if pos_of_col.(j) = -1 then begin
+        let fixed =
+          match eff_upper j with Some u -> Q.is_zero u | None -> false
+        in
+        if not fixed then begin
+          let r = ref (cost j) in
+          List.iter (fun (i, q) -> r := Q.sub !r (Q.mul q y.(i))) a_cols.(j);
+          if claim.nb_at_upper.(j) then begin
+            if Q.sign !r > 0 then raise Reject
+          end
+          else if Q.sign !r < 0 then raise Reject
+        end
+      end
+    done;
+    match claim.kind with
+    | C_infeasible ->
+      (* a validated phase-1 optimum: infeasible iff artificial mass > 0
+         (artificials carry no upper bound, so their mass is all basic) *)
+      let mass = ref Q.zero in
+      Array.iteri
+        (fun p j -> if j >= l.artif_base then mass := Q.add !mass xb.(p))
+        claim.basic;
+      if Q.sign !mass > 0 then Some Infeasible else None
+    | C_optimal ->
+      let values = Array.make l.nvars Q.zero in
+      for v = 0 to l.nvars - 1 do
+        values.(v) <-
+          (if pos_of_col.(v) >= 0 then xb.(pos_of_col.(v))
+           else if claim.nb_at_upper.(v) then Option.get (eff_upper v)
+           else Q.zero)
+      done;
+      let objective = ref Q.zero in
+      for v = 0 to l.nvars - 1 do
+        objective := Q.add !objective (Q.mul l.obj.(v) values.(v))
+      done;
+      Some (Optimal { objective = !objective; values })
+  with Reject -> None
+
+(* ------------------------------------------------------------------ *)
+(* Float tier. *)
+
+let claim_of_float_tab (l : layout) (t : FC.tableau) kind =
+  let nb_at_upper = Array.make l.ncols false in
+  let is_basic = Array.make l.ncols false in
+  Array.iter (fun j -> if j >= 0 && j < l.ncols then is_basic.(j) <- true) t.FC.basis;
+  for j = 0 to l.ncols - 1 do
+    (* the float tableau may hold the flipped variable y = u − x; the
+       original variable sits at its upper bound iff exactly one of
+       (flipped, at_upper) holds *)
+    if not is_basic.(j) then
+      nb_at_upper.(j) <- t.FC.flipped.(j) <> t.FC.at_upper.(j)
+  done;
+  { kind; basic = Array.copy t.FC.basis; nb_at_upper }
+
+(* Relative-residual guard: before paying for exact validation, check the
+   float solution against the constraint rows in float arithmetic. A large
+   residual means the tableau has drifted — counted as ill-conditioning. *)
+let check_residual (l : layout) (t : FC.tableau) =
+  let vals = FC.column_values t in
+  Array.iteri
+    (fun i terms ->
+      let lhs = ref 0. and scale = ref 1. in
+      List.iter
+        (fun (j, q) ->
+          let x = Q.to_float q *. vals.(j) in
+          lhs := !lhs +. x;
+          scale := !scale +. Float.abs x)
+        terms;
+      let rhs = Q.to_float l.rhs.(i) in
+      let rel = Float.abs (!lhs -. rhs) /. (!scale +. Float.abs rhs) in
+      if not (Float.is_finite rel) || rel > 1e-6 then
+        raise
+          (Numeric.Ill_conditioned
+             (Printf.sprintf "row %d relative residual %.3e" i rel)))
+    l.rows
+
+let float_attempt (l : layout) : outcome option =
+  match FC.solve_layout l with
+  | exception Numeric.Ill_conditioned _ ->
+    Numeric.count_ill_conditioned ();
+    None
+  | FC.R_unbounded ->
+    (* rare outside genuinely unbounded LPs; let the exact core decide *)
+    None
+  | FC.R_optimal t -> (
+    match check_residual l t with
+    | exception Numeric.Ill_conditioned _ ->
+      Numeric.count_ill_conditioned ();
+      None
+    | () -> validate_claim l (claim_of_float_tab l t C_optimal))
+  | FC.R_infeasible t -> validate_claim l (claim_of_float_tab l t C_infeasible)
+
+(* ------------------------------------------------------------------ *)
+
+let solve_float_validated lp = float_attempt (layout_of_lp lp)
+
+let solve ?tier lp =
+  let tier = match tier with Some t -> t | None -> Numeric.default () in
+  let l = layout_of_lp lp in
+  match tier with
+  | Numeric.Exact_only -> solve_exact_layout l
+  | Numeric.Float_first -> (
+    match float_attempt l with
+    | Some o ->
+      Numeric.count_float_hit ();
+      o
+    | None ->
+      Numeric.count_exact_fallback ();
+      solve_exact_layout l)

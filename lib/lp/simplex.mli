@@ -1,10 +1,22 @@
-(** Exact two-phase primal simplex over rationals.
+(** Two-phase bounded-variable primal simplex with tiered numerics.
 
-    Dense tableau, Bland's anti-cycling rule, {!Krsp_bigint.Q} arithmetic
-    throughout — slow but exact, which is what the correctness arguments in
-    the paper's Lemma 14/Theorem 16 need (a "cycle with negative delay" must
-    not be a rounding artifact). Problem sizes are kept small by the layered
-    auxiliary-graph construction, so exactness is affordable. *)
+    The pivoting core is factored over {!Krsp_numeric.Numeric.CORE} and
+    instantiated twice: an exact {!Krsp_bigint.Q} core (dense tableau,
+    Dantzig pricing with a Bland anti-cycling fallback — the reference
+    semantics the correctness arguments of the paper's Lemma 14/Theorem 16
+    rely on) and a double-precision core with ill-conditioning guards
+    (pivot-magnitude threshold, iteration cap, relative-residual check).
+
+    Under [Float_first] the float core runs first, but only to propose a
+    basis: the basis is re-evaluated in exact rational arithmetic (sparse
+    Gaussian elimination on the m×m basis matrix) and checked for primal
+    and dual feasibility. A basis that passes those checks is an exactly
+    optimal vertex — the returned solution is exact, never a float
+    artifact. A rejected basis, an ill-conditioning trip, or a float
+    [Unbounded] verdict falls back to the exact core, counted in
+    [numeric.exact_fallbacks] / [numeric.ill_conditioned]. Infeasibility
+    claims are validated the same way against the phase-1 LP (positive
+    artificial mass at a certified phase-1 optimum). *)
 
 open Krsp_bigint
 
@@ -18,7 +30,17 @@ type outcome =
   | Infeasible
   | Unbounded
 
-val solve : Lp.t -> outcome
+val solve : ?tier:Krsp_numeric.Numeric.tier -> Lp.t -> outcome
 (** Minimise the LP. The returned assignment is a vertex of the feasible
-    polyhedron (basic optimal solution), which the LP-rounding steps of the
-    paper rely on. *)
+    polyhedron (basic optimal solution), which the LP-rounding steps of
+    the paper rely on, and is exact under both tiers. [?tier] defaults to
+    {!Krsp_numeric.Numeric.default}. Note that on degenerate LPs the two
+    tiers may return different optimal vertices; the objective value is
+    identical (both are certified optima). *)
+
+val solve_float_validated : Lp.t -> outcome option
+(** The float tier alone: [Some outcome] when the double-precision run
+    produced a basis that exact validation accepted (the outcome is then
+    exact), [None] when the solve would fall back. Exposed for the
+    numeric-tier tests and benches; does not touch the hit/fallback
+    counters (ill-conditioning trips are still counted). *)

@@ -1,0 +1,155 @@
+module Q = Krsp_bigint.Q
+module Metrics = Krsp_util.Metrics
+
+type tier = Float_first | Exact_only
+
+let tier_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "float" | "float-first" | "float_first" -> Ok Float_first
+  | "exact" | "exact-only" | "exact_only" -> Ok Exact_only
+  | other ->
+    Error
+      (Printf.sprintf "unknown numeric tier %S (expected \"float\" or \"exact\")" other)
+
+let tier_to_string = function Float_first -> "float" | Exact_only -> "exact"
+
+(* The env var is read lazily exactly once so tests can flip the default
+   programmatically without racing a cached getenv; [set_default] wins over
+   the environment. *)
+let default_tier : tier option ref = ref None
+
+let env_default =
+  lazy
+    (match Sys.getenv_opt "KRSP_NUMERIC" with
+    | None | Some "" -> Float_first
+    | Some s -> (
+      match tier_of_string s with
+      | Ok t -> t
+      | Error msg ->
+        Printf.eprintf "krsp: KRSP_NUMERIC: %s; using float-first\n%!" msg;
+        Float_first))
+
+let default () =
+  match !default_tier with Some t -> t | None -> Lazy.force env_default
+
+let set_default t = default_tier := Some t
+
+exception Ill_conditioned of string
+
+module type CORE = sig
+  type t
+
+  val name : string
+  val exact : bool
+  val zero : t
+  val one : t
+  val minus_one : t
+  val of_q : Q.t -> t
+  val sign : t -> int
+  val is_zero : t -> bool
+  val neg : t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val inv : t -> t
+  val strictly_less : t -> t -> bool
+  val tie : t -> t -> bool
+  val check_pivot : t -> unit
+  val max_pivots : m:int -> ncols:int -> int option
+end
+
+module Qc : CORE with type t = Q.t = struct
+  type t = Q.t
+
+  let name = "exact"
+  let exact = true
+  let zero = Q.zero
+  let one = Q.one
+  let minus_one = Q.minus_one
+  let of_q q = q
+  let sign = Q.sign
+  let is_zero = Q.is_zero
+  let neg = Q.neg
+  let add = Q.add
+  let sub = Q.sub
+  let mul = Q.mul
+  let div = Q.div
+  let inv = Q.inv
+  let strictly_less a b = Q.compare a b < 0
+  let tie = Q.equal
+  let check_pivot _ = ()
+  let max_pivots ~m:_ ~ncols:_ = None
+end
+
+module Fc : CORE with type t = float = struct
+  type t = float
+
+  let name = "float"
+  let exact = false
+
+  (* Magnitudes below [eps_zero] are numerical noise: treated as zero by
+     [sign] so they are never chosen as pivots, never enter a ratio test
+     and never read as a nonzero reduced cost. Values this small that are
+     REALLY nonzero lead at worst to a slightly suboptimal stop, which the
+     exact basis validation then rejects — an accepted answer is never
+     wrong, only a fallback triggered. *)
+  let eps_zero = 1e-9
+
+  (* Two quantities within [eps_tie] relative tolerance are treated as
+     equal so the ratio test falls through to Bland's index tie-break in
+     exactly the (mathematically tied) cases where the exact core does —
+     keeping the float pivot sequence aligned with the exact one. The band
+     sits well above accumulated roundoff (~1e-13) and well below typical
+     genuinely-distinct margins of the small-integer LPs this solver
+     sees. *)
+  let eps_tie = 1e-10
+
+  (* Pivot magnitudes below this threshold signal a (numerically) singular
+     basis: dividing by them amplifies error past what the tie band can
+     absorb. Declared ill-conditioned instead. *)
+  let eps_pivot = 1e-8
+
+  let zero = 0.
+  let one = 1.
+  let minus_one = -1.
+  let of_q = Q.to_float
+  let sign x = if x > eps_zero then 1 else if x < -.eps_zero then -1 else 0
+  let is_zero x = Float.abs x <= eps_zero
+  let neg x = -.x
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let inv x = 1. /. x
+  let band a b = eps_tie *. (1. +. Float.abs a +. Float.abs b)
+  let strictly_less a b = a < b -. band a b
+  let tie a b = Float.abs (a -. b) <= band a b
+
+  let check_pivot p =
+    if not (Float.is_finite p) then
+      raise (Ill_conditioned "non-finite pivot candidate")
+    else if Float.abs p < eps_pivot then
+      raise
+        (Ill_conditioned (Printf.sprintf "pivot magnitude %.3e below threshold" p))
+
+  (* Generous: the exact core's Bland fallback kicks in after
+     2*(m+ncols)+16 stalled pivots and terminates by theory; with float
+     tolerances termination is only near-guaranteed, so a hard cap
+     converts potential cycling into an Ill_conditioned fallback. *)
+  let max_pivots ~m ~ncols = Some ((50 * (m + ncols)) + 500)
+end
+
+let metrics = Metrics.create ()
+let c_float_hits = Metrics.counter metrics "numeric.float_hits"
+let c_exact_fallbacks = Metrics.counter metrics "numeric.exact_fallbacks"
+let c_ill_conditioned = Metrics.counter metrics "numeric.ill_conditioned"
+let c_dp_overflows = Metrics.counter metrics "numeric.dp_overflows"
+let count_float_hit () = Metrics.incr c_float_hits
+let count_exact_fallback () = Metrics.incr c_exact_fallbacks
+let count_ill_conditioned () = Metrics.incr c_ill_conditioned
+let count_dp_overflow () = Metrics.incr c_dp_overflows
+let float_hits () = Metrics.value c_float_hits
+let exact_fallbacks () = Metrics.value c_exact_fallbacks
+let ill_conditioned_trips () = Metrics.value c_ill_conditioned
+let dp_overflows () = Metrics.value c_dp_overflows

@@ -1,0 +1,115 @@
+(** Tiered numeric substrate: float-first solving with exact fallback.
+
+    The solver stack runs every numeric kernel (simplex pivots, DP
+    relaxations) over one of two cores: a cheap machine-arithmetic core
+    (double-precision floats for the LP, guarded native ints for the DP)
+    and the exact core (canonical {!Krsp_bigint.Q} rationals / Bigint).
+    The cheap tier is tried first; its answer is only accepted when an
+    exact certificate validates it (the simplex re-evaluates the final
+    basis in rational arithmetic; the DP's native-int path proves the
+    absence of overflow as it runs). Rejection, ill-conditioning or
+    overflow falls back to the exact tier, so results are always exact —
+    the tier only decides how much of the work runs at hardware speed.
+
+    The policy is a per-call [?tier]/[?numeric] optional argument
+    everywhere; unset, it resolves to the process default, which reads
+    [KRSP_NUMERIC] once ([float] / [exact], default float-first) and can
+    be overridden by the [--numeric] CLI flag via {!set_default}. *)
+
+module Q := Krsp_bigint.Q
+
+type tier =
+  | Float_first  (** cheap core first, exact fallback when rejected *)
+  | Exact_only  (** skip the cheap core entirely *)
+
+val tier_of_string : string -> (tier, string) result
+(** Accepts ["float"], ["float-first"], ["float_first"] and ["exact"],
+    ["exact-only"], ["exact_only"] (case-insensitive). *)
+
+val tier_to_string : tier -> string
+(** ["float"] or ["exact"] — the canonical spellings accepted back by
+    {!tier_of_string}. *)
+
+val default : unit -> tier
+(** Process-wide default: the last {!set_default}, else [KRSP_NUMERIC]
+    from the environment (read once), else [Float_first]. An unparsable
+    [KRSP_NUMERIC] warns on stderr once and falls back to [Float_first]. *)
+
+val set_default : tier -> unit
+
+exception Ill_conditioned of string
+(** Raised by the float core when a guard trips: a pivot below the
+    magnitude threshold, a non-finite tableau entry, the iteration cap,
+    or a relative residual above tolerance after the solve. Callers
+    catch it, bump {!metrics}, and re-run the exact core. *)
+
+(** Abstract arithmetic the simplex core is functorized over. Guard
+    hooks are no-ops on the exact instance; tolerance comparisons
+    degenerate to exact ones. *)
+module type CORE = sig
+  type t
+
+  val name : string
+  val exact : bool
+
+  val zero : t
+  val one : t
+  val minus_one : t
+  val of_q : Q.t -> t
+
+  val sign : t -> int
+  (** Sign with the core's zero tolerance: 0 also for float values too
+      small to be trusted as nonzero. Used for sparsity tests and
+      pricing, so a tolerance-zero entry is skipped, not pivoted on. *)
+
+  val is_zero : t -> bool
+  val neg : t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val inv : t -> t
+
+  val strictly_less : t -> t -> bool
+  (** [strictly_less a b]: [a] is smaller than [b] by more than the
+      core's tie tolerance. Exact core: [compare a b < 0]. *)
+
+  val tie : t -> t -> bool
+  (** Within tie tolerance — used to fall through to Bland's index
+      tie-break exactly where the exact core would. *)
+
+  val check_pivot : t -> unit
+  (** Raises {!Ill_conditioned} when the value is unacceptable as a
+      pivot: non-finite or below the magnitude threshold. No-op on the
+      exact core (exact pivots are nonzero by construction). *)
+
+  val max_pivots : m:int -> ncols:int -> int option
+  (** Iteration budget for one phase; [None] = unbounded (exact core,
+      whose Bland fallback terminates by theory). The float core caps
+      pivots to catch tolerance-induced cycling. *)
+end
+
+module Qc : CORE with type t = Q.t
+module Fc : CORE with type t = float
+
+(** {1 Observability}
+
+    One process-global registry, exported into krspd STATS/SIGUSR1 next
+    to the solver and checker registries. Counter semantics:
+    [numeric.float_hits] — cheap-tier answers accepted (exact-validated
+    simplex basis or overflow-free int DP); [numeric.exact_fallbacks] —
+    every exact re-run, whatever the cause; [numeric.ill_conditioned] —
+    the subset of fallbacks due to a float-core guard trip;
+    [numeric.dp_overflows] — the subset due to a DP overflow guard. *)
+
+val metrics : Krsp_util.Metrics.t
+
+val count_float_hit : unit -> unit
+val count_exact_fallback : unit -> unit
+val count_ill_conditioned : unit -> unit
+val count_dp_overflow : unit -> unit
+
+val float_hits : unit -> int
+val exact_fallbacks : unit -> int
+val ill_conditioned_trips : unit -> int
+val dp_overflows : unit -> int

@@ -1,10 +1,24 @@
 module G = Krsp_graph.Digraph
+module B = Krsp_bigint.Bigint
+module Numeric = Krsp_numeric.Numeric
 
 (* dist.(d).(v) = min cost of a walk src→v with total delay <= d. The table
    is monotone in d, so dist.(d) is initialised from dist.(d-1) and relaxed
    with the zero-delay closure handled by a Bellman-style inner fixpoint
-   restricted to zero-delay edges. *)
-let budget_dp g ~advance ~relax_cost ~src ~budget =
+   restricted to zero-delay edges.
+
+   Two arithmetic tiers share this structure. The native-int fast path
+   guards every accumulation against wrap-around (dist + cost can exceed
+   max_int on adversarial weights even though the OPTIMUM fits comfortably:
+   an expensive detour's intermediate label overflows first) and raises
+   [Overflow]; the Bigint path has no such limit. [Float_first] runs the
+   int path and falls back on overflow — an overflow-free int run is exact
+   by construction, so unlike the LP there is nothing to validate.
+   [Exact_only] goes straight to Bigint. *)
+
+exception Overflow
+
+let budget_dp_int g ~advance ~relax_cost ~src ~budget =
   (* generic over which weight plays "budgeted" (advance) vs "minimised"
      (relax_cost) role *)
   let n = G.n g in
@@ -34,14 +48,64 @@ let budget_dp g ~advance ~relax_cost ~src ~budget =
           let w = advance e in
           if w >= 0 && w <= b then begin
             let u = G.src g e and v = G.dst g e in
-            if dist.(b - w).(u) <> inf then begin
-              let nc = dist.(b - w).(u) + relax_cost e in
+            let du = dist.(b - w).(u) in
+            if du <> inf then begin
+              let c = relax_cost e in
+              (* strict guard: nc must stay below the [inf] sentinel *)
+              if du > max_int - 1 - c then raise Overflow;
+              let nc = du + c in
               if nc < dist.(b).(v) then begin
                 dist.(b).(v) <- nc;
                 parent.(b).(v) <- e;
                 changed := true
               end
             end
+          end)
+    done
+  done;
+  (dist, parent)
+
+(* The same DP over Bigint labels ([None] = unreachable). Structurally a
+   mirror of the int path — including the fixpoint re-arming — so either
+   tier computes the identical table. *)
+let budget_dp_big g ~advance ~relax_cost ~src ~budget =
+  let n = G.n g in
+  let dist = Array.make_matrix (budget + 1) n None in
+  let parent = Array.make_matrix (budget + 1) n (-1) in
+  dist.(0).(src) <- Some B.zero;
+  for b = 0 to budget do
+    if b > 0 then
+      for v = 0 to n - 1 do
+        match (dist.(b - 1).(v), dist.(b).(v)) with
+        | Some lo, Some cur when B.compare lo cur < 0 ->
+          dist.(b).(v) <- Some lo;
+          parent.(b).(v) <- parent.(b - 1).(v)
+        | Some _, None ->
+          dist.(b).(v) <- dist.(b - 1).(v);
+          parent.(b).(v) <- parent.(b - 1).(v)
+        | _ -> ()
+      done;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      G.iter_edges g (fun e ->
+          let w = advance e in
+          if w >= 0 && w <= b then begin
+            let u = G.src g e and v = G.dst g e in
+            match dist.(b - w).(u) with
+            | None -> ()
+            | Some du ->
+              let nc = B.add du (B.of_int (relax_cost e)) in
+              let improves =
+                match dist.(b).(v) with
+                | None -> true
+                | Some cur -> B.compare nc cur < 0
+              in
+              if improves then begin
+                dist.(b).(v) <- Some nc;
+                parent.(b).(v) <- e;
+                changed := true
+              end
           end)
     done
   done;
@@ -63,30 +127,50 @@ let reconstruct g ~advance parent budget v =
 
 let check_nonneg g f name = G.iter_edges g (fun e -> if f e < 0 then invalid_arg name)
 
-let solve g ~src ~dst ~delay_bound =
+(* Run the DP at the requested tier and return (value at dst, parent) —
+   [None] when dst is unreachable within the budget. The Bigint value is
+   converted back to the int the public API speaks; an optimum too big for
+   native int cannot be represented in the return type, so that conversion
+   failure surfaces as the (pre-existing) Failure from [B.to_int]. *)
+let run_dp ?tier g ~advance ~relax_cost ~src ~dst ~budget =
+  let tier = match tier with Some t -> t | None -> Numeric.default () in
+  let big () =
+    let dist, parent = budget_dp_big g ~advance ~relax_cost ~src ~budget in
+    match dist.(budget).(dst) with
+    | None -> None
+    | Some c -> Some (B.to_int c, parent)
+  in
+  match tier with
+  | Numeric.Exact_only -> big ()
+  | Numeric.Float_first -> (
+    match budget_dp_int g ~advance ~relax_cost ~src ~budget with
+    | exception Overflow ->
+      Numeric.count_dp_overflow ();
+      Numeric.count_exact_fallback ();
+      big ()
+    | dist, parent ->
+      Numeric.count_float_hit ();
+      if dist.(budget).(dst) = max_int then None
+      else Some (dist.(budget).(dst), parent))
+
+let solve ?tier g ~src ~dst ~delay_bound =
   check_nonneg g (G.delay g) "Rsp_dp.solve: negative delay";
   check_nonneg g (G.cost g) "Rsp_dp.solve: negative cost";
   if delay_bound < 0 then None
   else begin
-    let dist, parent =
-      budget_dp g ~advance:(G.delay g) ~relax_cost:(G.cost g) ~src ~budget:delay_bound
-    in
-    if dist.(delay_bound).(dst) = max_int then None
-    else begin
-      let p = reconstruct g ~advance:(G.delay g) parent delay_bound dst in
-      Some (dist.(delay_bound).(dst), p)
-    end
+    let advance = G.delay g and relax_cost = G.cost g in
+    match run_dp ?tier g ~advance ~relax_cost ~src ~dst ~budget:delay_bound with
+    | None -> None
+    | Some (c, parent) ->
+      Some (c, reconstruct g ~advance parent delay_bound dst)
   end
 
-let min_delay_within_cost g ~weight ~src ~dst ~budget =
+let min_delay_within_cost ?tier g ~weight ~src ~dst ~budget =
   check_nonneg g weight "Rsp_dp.min_delay_within_cost: negative weight";
   check_nonneg g (G.delay g) "Rsp_dp.min_delay_within_cost: negative delay";
   if budget < 0 then None
   else begin
-    let dist, parent = budget_dp g ~advance:weight ~relax_cost:(G.delay g) ~src ~budget in
-    if dist.(budget).(dst) = max_int then None
-    else begin
-      let p = reconstruct g ~advance:weight parent budget dst in
-      Some (dist.(budget).(dst), p)
-    end
+    match run_dp ?tier g ~advance:weight ~relax_cost:(G.delay g) ~src ~dst ~budget with
+    | None -> None
+    | Some (d, parent) -> Some (d, reconstruct g ~advance:weight parent budget dst)
   end

@@ -4,9 +4,18 @@
     This is the classical exact algorithm the RSP FPTAS literature scales
     down from; we use it (a) as the [k = 1] reference in tests (kRSP with
     [k = 1] *is* RSP) and (b) inside the Lorenz–Raz test procedure in its
-    cost-budget form. Complexity O(m·D). *)
+    cost-budget form. Complexity O(m·D).
+
+    Labels are computed at one of two numeric tiers: a native-int fast
+    path whose every accumulation carries an explicit overflow guard, and
+    a Bigint path with no magnitude limit. Under [Float_first] (the
+    default) the int path runs first and a tripped guard falls back to
+    Bigint — an overflow-free int run is exact, so both tiers always
+    return the same answer. [Exact_only] uses Bigint directly. Fallbacks
+    are counted in [numeric.dp_overflows] / [numeric.exact_fallbacks]. *)
 
 val solve :
+  ?tier:Krsp_numeric.Numeric.tier ->
   Krsp_graph.Digraph.t ->
   src:Krsp_graph.Digraph.vertex ->
   dst:Krsp_graph.Digraph.vertex ->
@@ -16,6 +25,7 @@ val solve :
     Requires non-negative costs and delays. *)
 
 val min_delay_within_cost :
+  ?tier:Krsp_numeric.Numeric.tier ->
   Krsp_graph.Digraph.t ->
   weight:(Krsp_graph.Digraph.edge -> int) ->
   src:Krsp_graph.Digraph.vertex ->

@@ -13,9 +13,11 @@ type config = {
   cache_capacity : int;
   solver : Krsp.engine;
   max_iterations : int;
+  numeric : Krsp_numeric.Numeric.tier option;
 }
 
-let default_config = { cache_capacity = 1024; solver = Krsp.Dp; max_iterations = 2_000 }
+let default_config =
+  { cache_capacity = 1024; solver = Krsp.Dp; max_iterations = 2_000; numeric = None }
 
 (* cache key: (s, t, k, D, ε, topology generation) *)
 type key = int * int * int * int * float option * int
@@ -190,14 +192,15 @@ let do_solve t ~src ~dst ~k ~delay_bound ~epsilon t0 =
             | None ->
               Result.map
                 (fun (sol, stats) -> (sol, stats.Krsp.warm_started))
-                (Krsp.solve inst ~engine:t.cfg.solver ~max_iterations:t.cfg.max_iterations
-                   ?warm_start ~pool:t.pool ())
+                (Krsp.solve inst ~engine:t.cfg.solver ?numeric:t.cfg.numeric
+                   ~max_iterations:t.cfg.max_iterations ?warm_start ~pool:t.pool ())
             | Some eps ->
               Result.map
                 (fun r ->
                   (r.Krsp_core.Scaling.solution, r.Krsp_core.Scaling.stats.Krsp.warm_started))
                 (Krsp_core.Scaling.solve inst ~epsilon1:eps ~epsilon2:eps ~engine:t.cfg.solver
-                   ~max_iterations:t.cfg.max_iterations ?warm_start ~pool:t.pool ())
+                   ?numeric:t.cfg.numeric ~max_iterations:t.cfg.max_iterations ?warm_start
+                   ~pool:t.pool ())
           in
           fun () ->
             match outcome with
@@ -335,6 +338,7 @@ let stats_kv t =
   local_kv t
   @ Metrics.to_kv Krsp.metrics
   @ Metrics.to_kv Krsp_check.Check.metrics
+  @ Metrics.to_kv Krsp_numeric.Numeric.metrics
   @ [ ("topology.n", string_of_int (G.n t.base)); ("topology.m", string_of_int (G.m t.base)) ]
 
 let internal_error exn =

@@ -50,6 +50,10 @@ type config = {
   cache_capacity : int;  (** LRU capacity (default 1024) *)
   solver : Krsp_core.Krsp.engine;  (** bicameral search engine (default Dp) *)
   max_iterations : int;  (** per-guess inner-loop cap (default 2000) *)
+  numeric : Krsp_numeric.Numeric.tier option;
+      (** numeric tier for every solve this engine runs; [None] (default)
+          defers to {!Krsp_numeric.Numeric.default}, i.e. the
+          [KRSP_NUMERIC] / [--numeric] process-wide policy *)
 }
 
 val default_config : config

@@ -350,6 +350,7 @@ let stats_kv t =
     ]
   @ Metrics.to_kv Krsp_core.Krsp.metrics
   @ Metrics.to_kv Krsp_check.Check.metrics
+  @ Metrics.to_kv Krsp_numeric.Numeric.metrics
 
 let dump t =
   (* one buffer, one writer: per-shard sections can never interleave *)

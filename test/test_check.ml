@@ -230,7 +230,10 @@ let test_corpus_malformed () =
 (* every committed corpus instance must solve-and-certify (or verifiably
    refuse) — this is the regression replay for shrunk fuzz repros *)
 let test_corpus_replay () =
-  let entries = Corpus.load_dir "corpus" in
+  (* the sandboxed runtest cwd holds `corpus` directly; a `dune exec
+     test/test_main.exe` from the repo root sees it under test/ *)
+  let dir = if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus" in
+  let entries = Corpus.load_dir dir in
   Alcotest.(check bool) "corpus present" true (List.length entries >= 3);
   List.iter
     (fun (name, t) ->

@@ -1,0 +1,211 @@
+(* Tiered numerics: tier parsing, float-vs-exact agreement properties over
+   random instances, directed forced-fallback cases (near-degenerate
+   pivots, int overflow in the DP), and fallback counter accounting. *)
+
+module Lp = Krsp_lp.Lp
+module Simplex = Krsp_lp.Simplex
+module Lp_flow = Krsp_lp.Lp_flow
+module Rsp_dp = Krsp_rsp.Rsp_dp
+module Numeric = Krsp_numeric.Numeric
+module Q = Krsp_bigint.Q
+module G = Krsp_graph.Digraph
+module X = Krsp_util.Xoshiro
+module Instance = Krsp_core.Instance
+module Krsp = Krsp_core.Krsp
+
+let rational = Alcotest.testable Q.pp Q.equal
+
+let prop name ?(count = 40) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* --- tier parsing ------------------------------------------------------------ *)
+
+let test_tier_parsing () =
+  let ok s tier =
+    match Numeric.tier_of_string s with
+    | Ok t -> Alcotest.(check bool) s true (t = tier)
+    | Error msg -> Alcotest.fail (s ^ ": " ^ msg)
+  in
+  ok "float" Numeric.Float_first;
+  ok "float-first" Numeric.Float_first;
+  ok "float_first" Numeric.Float_first;
+  ok "FLOAT" Numeric.Float_first;
+  ok "exact" Numeric.Exact_only;
+  ok "exact-only" Numeric.Exact_only;
+  ok "Exact_Only" Numeric.Exact_only;
+  (match Numeric.tier_of_string "quad" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage tier");
+  (* canonical spellings round-trip *)
+  List.iter
+    (fun t ->
+      match Numeric.tier_of_string (Numeric.tier_to_string t) with
+      | Ok t' -> Alcotest.(check bool) "roundtrip" true (t = t')
+      | Error msg -> Alcotest.fail msg)
+    [ Numeric.Float_first; Numeric.Exact_only ]
+
+(* --- agreement properties ----------------------------------------------------- *)
+
+let random_instance rng =
+  let g =
+    Krsp_gen.Topology.waxman rng ~n:(8 + X.int rng 12) ~alpha:0.9 ~beta:0.4
+      Krsp_gen.Topology.default_weights
+  in
+  Krsp_gen.Instgen.instance rng g
+    { Krsp_gen.Instgen.k = 1 + X.int rng 2; tightness = X.float rng 0.8 }
+
+(* float tier accepted ⇒ bit-identical objective to the exact tier *)
+let flow_lp_tiers_agree =
+  prop "flow LP: float-first and exact-only objectives identical" QCheck2.Gen.int
+    (fun seed ->
+      let rng = X.create ~seed in
+      match random_instance rng with
+      | None -> true
+      | Some t ->
+        let solve numeric =
+          Lp_flow.solve ~numeric t.Instance.graph ~src:t.Instance.src ~dst:t.Instance.dst
+            ~k:t.Instance.k ~delay_bound:t.Instance.delay_bound
+        in
+        (match (solve Numeric.Float_first, solve Numeric.Exact_only) with
+        | Some f, Some x -> Q.equal f.Lp_flow.objective x.Lp_flow.objective
+        | None, None -> true
+        | _ -> false))
+
+(* accepted float basis = exact optimum, straight from the validator *)
+let float_validated_is_exact =
+  prop "simplex: a validated float outcome equals the exact outcome" QCheck2.Gen.int
+    (fun seed ->
+      let rng = X.create ~seed in
+      match random_instance rng with
+      | None -> true
+      | Some t ->
+        let flow =
+          Lp_flow.build t.Instance.graph ~src:t.Instance.src ~dst:t.Instance.dst
+            ~k:t.Instance.k ~delay_bound:t.Instance.delay_bound
+        in
+        (match Simplex.solve_float_validated flow.Lp_flow.lp with
+        | None -> true (* fallback is always allowed *)
+        | Some vf -> (
+          match (vf, Simplex.solve ~tier:Numeric.Exact_only flow.Lp_flow.lp) with
+          | Simplex.Optimal f, Simplex.Optimal x ->
+            Q.equal f.Simplex.objective x.Simplex.objective
+          | Simplex.Infeasible, Simplex.Infeasible -> true
+          | Simplex.Unbounded, _ -> false (* unbounded is never validated *)
+          | _ -> false)))
+
+(* full default-engine pipeline: identical cost, delay and paths *)
+let solve_tiers_identical =
+  prop "Krsp.solve: float-first and exact-only solutions identical" ~count:25
+    QCheck2.Gen.int (fun seed ->
+      let rng = X.create ~seed in
+      match random_instance rng with
+      | None -> true
+      | Some t -> (
+        let solve numeric = Krsp.solve t ~numeric () in
+        match (solve Numeric.Float_first, solve Numeric.Exact_only) with
+        | Ok (sf, _), Ok (sx, _) ->
+          sf.Instance.cost = sx.Instance.cost
+          && sf.Instance.delay = sx.Instance.delay
+          && sf.Instance.paths = sx.Instance.paths
+        | Error ef, Error ex -> ef = ex
+        | _ -> false))
+
+(* DP at both tiers on random k=1 instances *)
+let dp_tiers_agree =
+  prop "Rsp_dp: int fast path and Bigint agree" QCheck2.Gen.int (fun seed ->
+      let rng = X.create ~seed in
+      match random_instance rng with
+      | None -> true
+      | Some t -> (
+        let solve tier =
+          Rsp_dp.solve ~tier t.Instance.graph ~src:t.Instance.src ~dst:t.Instance.dst
+            ~delay_bound:t.Instance.delay_bound
+        in
+        match (solve Numeric.Float_first, solve Numeric.Exact_only) with
+        | Some (cf, pf), Some (cx, px) -> cf = cx && pf = px
+        | None, None -> true
+        | _ -> false))
+
+(* --- directed forced fallbacks ------------------------------------------------ *)
+
+(* near-degenerate pivot: the only useful coefficient is far below the
+   float core's pivot/zero thresholds, so the float tier must refuse and
+   the exact tier must still deliver the exact (huge) optimum *)
+let test_tiny_pivot_falls_back () =
+  let scale = 1_000_000_000_000 in
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~obj:Q.one "x" in
+  Lp.add_constraint lp [ (x, Q.of_ints 1 scale) ] Lp.Ge Q.one;
+  Alcotest.(check bool)
+    "float tier refuses the near-degenerate LP" true
+    (Simplex.solve_float_validated lp = None);
+  let fb0 = Numeric.exact_fallbacks () in
+  (match Simplex.solve ~tier:Numeric.Float_first lp with
+  | Simplex.Optimal s -> Alcotest.check rational "optimum" (Q.of_int scale) s.Simplex.objective
+  | _ -> Alcotest.fail "expected optimal");
+  Alcotest.(check bool) "fallback counted" true (Numeric.exact_fallbacks () > fb0)
+
+let test_pivot_guard_trips () =
+  (* a pivot candidate in the guard's dead zone — above the zero
+     tolerance (1e-9) yet below the pivot threshold (1e-8) — so the float
+     core must raise Ill_conditioned rather than divide by it *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~obj:Q.minus_one "x" in
+  Lp.add_constraint lp [ (x, Q.of_ints 1 300_000_000) ] Lp.Le Q.one;
+  let ill0 = Numeric.ill_conditioned_trips () in
+  (match Simplex.solve ~tier:Numeric.Float_first lp with
+  | Simplex.Optimal s ->
+    Alcotest.check rational "optimum" (Q.of_int (-300_000_000)) s.Simplex.objective
+  | _ -> Alcotest.fail "expected optimal");
+  Alcotest.(check bool) "ill-conditioning counted" true
+    (Numeric.ill_conditioned_trips () > ill0)
+
+let test_dp_overflow_falls_back () =
+  (* the huge detour overflows int accumulation; the true optimum (the
+     cheap slow edge) is still int-sized *)
+  let g = G.create ~n:3 () in
+  let huge = (max_int / 2) + 1 in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:huge ~delay:0);
+  ignore (G.add_edge g ~src:1 ~dst:2 ~cost:huge ~delay:0);
+  ignore (G.add_edge g ~src:0 ~dst:2 ~cost:1 ~delay:2);
+  let ov0 = Numeric.dp_overflows () in
+  (match Rsp_dp.solve ~tier:Numeric.Float_first g ~src:0 ~dst:2 ~delay_bound:2 with
+  | Some (cost, _) -> Alcotest.(check int) "optimum" 1 cost
+  | None -> Alcotest.fail "expected a path");
+  Alcotest.(check bool) "overflow counted" true (Numeric.dp_overflows () > ov0);
+  (* exact-only must find the same answer without the guard firing *)
+  let ov1 = Numeric.dp_overflows () in
+  (match Rsp_dp.solve ~tier:Numeric.Exact_only g ~src:0 ~dst:2 ~delay_bound:2 with
+  | Some (cost, _) -> Alcotest.(check int) "exact optimum" 1 cost
+  | None -> Alcotest.fail "expected a path");
+  Alcotest.(check int) "no guard on exact tier" ov1 (Numeric.dp_overflows ())
+
+(* --- counter accounting -------------------------------------------------------- *)
+
+let test_counter_accounting () =
+  let rng = X.create ~seed:77 in
+  let solves = ref 0 in
+  let hits0 = Numeric.float_hits () and fb0 = Numeric.exact_fallbacks () in
+  for _ = 1 to 10 do
+    match random_instance rng with
+    | None -> ()
+    | Some t ->
+      incr solves;
+      ignore
+        (Lp_flow.solve ~numeric:Numeric.Float_first t.Instance.graph ~src:t.Instance.src
+           ~dst:t.Instance.dst ~k:t.Instance.k ~delay_bound:t.Instance.delay_bound)
+  done;
+  let hits = Numeric.float_hits () - hits0 and fb = Numeric.exact_fallbacks () - fb0 in
+  Alcotest.(check int) "hits + fallbacks = solves" !solves (hits + fb)
+
+let suites =
+  [ ( "numeric",
+      [ Alcotest.test_case "tier parsing" `Quick test_tier_parsing;
+        flow_lp_tiers_agree; float_validated_is_exact; solve_tiers_identical; dp_tiers_agree;
+        Alcotest.test_case "tiny pivot falls back exactly" `Quick test_tiny_pivot_falls_back;
+        Alcotest.test_case "pivot-magnitude guard trips" `Quick test_pivot_guard_trips;
+        Alcotest.test_case "DP overflow falls back exactly" `Quick test_dp_overflow_falls_back;
+        Alcotest.test_case "fallback counters account every solve" `Quick
+          test_counter_accounting
+      ] )
+  ]
