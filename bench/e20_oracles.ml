@@ -1,0 +1,328 @@
+(* E20 — RSP oracle crossover: exact DP vs the Holzmüller FPTAS.
+
+   Three parts, all self-checking (a verdict flip, a broken ratio, a
+   failed certificate or a differential disagreement fails the run):
+
+   1. raw oracle sweep over (n, D) — the DP is O(m·D) while the FPTAS
+      narrows to an O(m·n/ε)-ish cost-scaled table, so the wall-clock
+      crossover appears as the delay budget grows; every FPTAS answer is
+      checked against the DP (same feasibility side, cost within (1+ε));
+   2. the E8-style end-to-end re-run at k = 1 — the legacy guess
+      bisection (k1_oracle:false) against the oracle fast path with the
+      exact DP and with the Holzmüller default, every solution certified
+      by Check.certify;
+   3. the committed fuzz corpus replayed through the differential
+      harness's oracle axis: zero disagreements across all oracles.
+
+   The collected numbers are exposed through {!json} so bench/main.ml can
+   emit BENCH_e20.json for perf tracking across PRs.
+
+   KRSP_BENCH_SMOKE=1 shrinks sizes to CI scale. *)
+
+open Common
+module Rsp_dp = Krsp_rsp.Rsp_dp
+module Rsp_engine = Krsp_rsp.Rsp_engine
+module Oracle = Krsp_rsp.Oracle
+module Path = Krsp_graph.Path
+module Check = Krsp_check.Check
+
+let smoke = Sys.getenv_opt "KRSP_BENCH_SMOKE" <> None
+let wrong = ref 0
+
+let flag_wrong what =
+  incr wrong;
+  Printf.printf "!! WRONG ANSWER: %s\n" what
+
+let eps = Rsp_engine.default_epsilon
+
+(* --- JSON accumulation (emitted by bench/main.ml as BENCH_e20.json) ----------- *)
+
+type sweep_row = { n : int; d : int; dp_ms : float; fptas_ms : float }
+
+let sweep_rows : sweep_row list ref = ref []
+let e2e_ms : (float * float * float) option ref = ref None
+let corpus_counts : (int * int) option ref = ref None
+
+let json () =
+  let rows =
+    List.map
+      (fun r ->
+        Printf.sprintf
+          "    {\"n\": %d, \"delay_bound\": %d, \"dp_ms\": %.3f, \"fptas_ms\": %.3f, \
+           \"speedup\": %.3f}"
+          r.n r.d r.dp_ms r.fptas_ms (ratio r.dp_ms r.fptas_ms))
+      (List.rev !sweep_rows)
+  in
+  let e2e =
+    match !e2e_ms with
+    | None -> "null"
+    | Some (legacy, dp, holz) ->
+      Printf.sprintf
+        "{\"legacy_bisection_ms\": %.3f, \"k1_oracle_dp_ms\": %.3f, \
+         \"k1_oracle_holzmuller_ms\": %.3f}"
+        legacy dp holz
+  in
+  let corpus =
+    match !corpus_counts with
+    | None -> "null"
+    | Some (count, disagreements) ->
+      Printf.sprintf "{\"instances\": %d, \"disagreements\": %d}" count disagreements
+  in
+  String.concat "\n"
+    [ "{";
+      Printf.sprintf "  \"experiment\": \"e20\",";
+      Printf.sprintf "  \"smoke\": %b," smoke;
+      Printf.sprintf "  \"epsilon\": %.2f," eps;
+      Printf.sprintf "  \"wrong_answers\": %d," !wrong;
+      "  \"sweep\": [";
+      String.concat ",\n" rows;
+      "  ],";
+      Printf.sprintf "  \"guess_evaluation\": %s," e2e;
+      Printf.sprintf "  \"corpus\": %s" corpus;
+      "}"; ""
+    ]
+
+(* --- instance family ----------------------------------------------------------- *)
+
+(* sparse digraph whose delay magnitudes we can dial independently of n:
+   edge delays live in [1, dmax], so the delay budget (and with it the
+   DP's O(m·D) table) scales with dmax while the FPTAS's cost-scaled
+   tables do not — Holzmüller's pitch, measured *)
+let rsp_graph rng ~n ~dmax =
+  let p = min 1.0 (6.0 /. float_of_int n) in
+  let g = G.create ~n () in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && X.float rng 1.0 < p then
+        ignore
+          (G.add_edge g ~src:u ~dst:v ~cost:(1 + X.int rng 30) ~delay:(1 + X.int rng dmax))
+    done
+  done;
+  (* a guaranteed backbone so src→dst is never disconnected *)
+  for i = 0 to n - 2 do
+    ignore (G.add_edge g ~src:i ~dst:(i + 1) ~cost:(1 + X.int rng 30) ~delay:(1 + X.int rng dmax))
+  done;
+  g
+
+(* textbook O(n²) Dijkstra — bench-local, returns distance and parent edge *)
+let dijkstra g ~weight ~src =
+  let n = G.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n None in
+  let visited = Array.make n false in
+  dist.(src) <- 0;
+  let rec loop () =
+    let u = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not visited.(v)) && dist.(v) < max_int && (!u = -1 || dist.(v) < dist.(!u)) then
+        u := v
+    done;
+    if !u >= 0 then begin
+      visited.(!u) <- true;
+      G.iter_out g !u (fun e ->
+          let v = G.dst g e in
+          let nd = dist.(!u) + weight e in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            parent.(v) <- Some e
+          end);
+      loop ()
+    end
+  in
+  loop ();
+  (dist, parent)
+
+(* a BINDING delay bound: strictly tighter than the min-cost path's delay
+   (so cheap routing alone is infeasible and the whole cost/delay
+   trade-off machinery runs) yet above the min-delay path's (feasible) *)
+let binding_instance rng ~n ~dmax =
+  let g = rsp_graph rng ~n ~dmax in
+  let src = 0 and dst = n - 1 in
+  let ddist, _ = dijkstra g ~weight:(G.delay g) ~src in
+  let _, cparent = dijkstra g ~weight:(G.cost g) ~src in
+  let rec cheap_delay v acc =
+    match cparent.(v) with
+    | None -> acc
+    | Some e -> cheap_delay (G.src g e) (acc + G.delay g e)
+  in
+  let dmin = ddist.(dst) in
+  let dcheap = cheap_delay dst 0 in
+  let d = if dcheap > dmin then dmin + ((dcheap - dmin) / 3) else dmin in
+  (g, src, dst, d)
+
+(* --- part 1: raw oracle sweep over (n, D) -------------------------------------- *)
+
+let part1 () =
+  let sizes = if smoke then [ 16 ] else [ 48; 96 ] in
+  let mults = if smoke then [ 2; 8 ] else [ 2; 8; 32; 128 ] in
+  let count = if smoke then 2 else 5 in
+  let base = if smoke then 10 else 15 in
+  let table =
+    Table.create
+      ~columns:
+        [ ("n", Table.Right); ("D (med)", Table.Right); ("dp ms (med)", Table.Right);
+          ("fptas ms (med)", Table.Right); ("speedup (med)", Table.Right);
+          ("narrow tests", Table.Right)
+        ]
+  in
+  let crossover = ref None in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun mult ->
+          let dmax = mult * base in
+          let rng = X.create ~seed:(2000 + (n * 7) + mult) in
+          let ms_dp = ref [] and ms_f = ref [] and ds = ref [] in
+          let narrow0 = Rsp_engine.narrow_tests () in
+          for _ = 1 to count do
+            let g, src, dst, d = binding_instance rng ~n ~dmax in
+            ds := float_of_int d :: !ds;
+            let xd, msd =
+              Timer.time_ms (fun () -> Oracle.solve ~kind:Oracle.Dp g ~src ~dst ~delay_bound:d)
+            in
+            let xf, msf =
+              Timer.time_ms (fun () ->
+                  Oracle.solve ~kind:Oracle.Holzmuller g ~src ~dst ~delay_bound:d)
+            in
+            ms_dp := msd :: !ms_dp;
+            ms_f := msf :: !ms_f;
+            match (xd, xf) with
+            | Some dp, Some f ->
+              if f.Rsp_engine.delay > d then
+                flag_wrong (Printf.sprintf "fptas path breaks the bound at n=%d D=%d" n d);
+              if not (Path.is_valid g ~src ~dst f.Rsp_engine.path) then
+                flag_wrong (Printf.sprintf "fptas path invalid at n=%d D=%d" n d);
+              if
+                float_of_int f.Rsp_engine.cost
+                > ((1. +. eps) *. float_of_int dp.Rsp_engine.cost) +. 1e-9
+              then
+                flag_wrong
+                  (Printf.sprintf "fptas cost %d > (1+%.2f)·%d at n=%d D=%d"
+                     f.Rsp_engine.cost eps dp.Rsp_engine.cost n d)
+            | None, None -> ()
+            | _ -> flag_wrong (Printf.sprintf "feasibility verdict differs at n=%d D=%d" n d)
+          done;
+          let med_dp = Krsp_util.Stats.median !ms_dp
+          and med_f = Krsp_util.Stats.median !ms_f
+          and med_d = int_of_float (Krsp_util.Stats.median !ds) in
+          sweep_rows := { n; d = med_d; dp_ms = med_dp; fptas_ms = med_f } :: !sweep_rows;
+          if med_f < med_dp && !crossover = None then crossover := Some (n, med_d);
+          Table.add_row table
+            [ string_of_int n; string_of_int med_d; Table.fmt_float ~decimals:2 med_dp;
+              Table.fmt_float ~decimals:2 med_f; Table.fmt_ratio (ratio med_dp med_f);
+              string_of_int (Rsp_engine.narrow_tests () - narrow0)
+            ])
+        mults)
+    sizes;
+  Table.print table;
+  (match !crossover with
+  | Some (n, d) -> note "crossover: the FPTAS first wins at n=%d, D=%d\n" n d
+  | None -> note "no crossover in this sweep (DP won every band)\n");
+  (* the acceptance bar: at the largest delay-budget band the FPTAS must
+     win on wall clock. Smoke sizes are too small to clear it, so the
+     check is informative there and binding in full mode. *)
+  match !sweep_rows with
+  | last :: _ when not smoke ->
+    if last.fptas_ms >= last.dp_ms then
+      flag_wrong
+        (Printf.sprintf "no FPTAS win at the largest band (n=%d D=%d: dp %.2fms, fptas %.2fms)"
+           last.n last.d last.dp_ms last.fptas_ms)
+  | _ -> ()
+
+(* --- part 2: E8-style end-to-end re-run at k = 1 ------------------------------- *)
+
+let part2 () =
+  let n = if smoke then 16 else 96 in
+  let dmax = if smoke then 80 else 15 * 128 in
+  let count = if smoke then 2 else 5 in
+  let rng = X.create ~seed:2100 in
+  let ms_legacy = ref [] and ms_dp = ref [] and ms_holz = ref [] in
+  let cert_failures = ref 0 in
+  let certify t sol what =
+    if not (Check.ok (Check.certify ~level:Check.Structural t sol)) then begin
+      incr cert_failures;
+      flag_wrong (what ^ ": solution does not certify")
+    end
+  in
+  for _ = 1 to count do
+    let g, src, dst, d = binding_instance rng ~n ~dmax in
+    let t = Instance.create g ~src ~dst ~k:1 ~delay_bound:d in
+    let legacy, ms0 =
+      Timer.time_ms (fun () -> Krsp.solve t ~k1_oracle:false ~rsp_oracle:Oracle.Dp ())
+    in
+    let viadp, ms1 = Timer.time_ms (fun () -> Krsp.solve t ~rsp_oracle:Oracle.Dp ()) in
+    let viaholz, ms2 =
+      Timer.time_ms (fun () -> Krsp.solve t ~rsp_oracle:Oracle.Holzmuller ())
+    in
+    ms_legacy := ms0 :: !ms_legacy;
+    ms_dp := ms1 :: !ms_dp;
+    ms_holz := ms2 :: !ms_holz;
+    match (legacy, viadp, viaholz) with
+    | Ok (sl, _), Ok (sd, _), Ok (sh, _) ->
+      certify t sl "legacy bisection";
+      certify t sd "k1 oracle (dp)";
+      certify t sh "k1 oracle (holzmuller)";
+      (* the dp fast path is exact at k=1; holzmüller may pay ≤ (1+ε) *)
+      if
+        float_of_int sh.Instance.cost > ((1. +. eps) *. float_of_int sd.Instance.cost) +. 1e-9
+      then
+        flag_wrong
+          (Printf.sprintf "k=1 holzmuller cost %d > (1+%.2f)·%d" sh.Instance.cost eps
+             sd.Instance.cost)
+    | Error _, Error _, Error _ -> ()
+    | _ -> flag_wrong "k=1 feasibility verdict differs across configurations"
+  done;
+  let med l = Krsp_util.Stats.median l in
+  e2e_ms := Some (med !ms_legacy, med !ms_dp, med !ms_holz);
+  let table =
+    Table.create
+      ~columns:
+        [ ("config", Table.Left); ("ms (med)", Table.Right); ("vs legacy", Table.Right) ]
+  in
+  let legacy = med !ms_legacy in
+  List.iter
+    (fun (name, ms) ->
+      Table.add_row table
+        [ name; Table.fmt_float ~decimals:2 ms; Table.fmt_ratio (ratio legacy ms) ])
+    [ ("legacy guess bisection (dp)", legacy); ("k=1 oracle fast path (dp)", med !ms_dp);
+      ("k=1 oracle fast path (holzmuller)", med !ms_holz)
+    ];
+  Table.print table;
+  note "certificate failures: %d\n" !cert_failures
+
+(* --- part 3: corpus replay under every oracle ----------------------------------- *)
+
+let part3 () =
+  let dir = if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus" in
+  let entries = Krsp_check.Corpus.load_dir dir in
+  let disagreements = ref 0 in
+  List.iter
+    (fun (name, inst) ->
+      match Krsp_check.Differential.oracles inst with
+      | [] -> ()
+      | ms ->
+        disagreements := !disagreements + List.length ms;
+        List.iter (fun m -> flag_wrong (Printf.sprintf "corpus %s: %s" name m)) ms)
+    entries;
+  corpus_counts := Some (List.length entries, !disagreements);
+  note "corpus: %d instance(s) replayed under %d oracles, %d disagreement(s)\n"
+    (List.length entries) (List.length Oracle.all) !disagreements;
+  if entries = [] then flag_wrong "fuzz corpus not found (run from the repository root)"
+
+let run () =
+  header "E20" "RSP oracles — DP vs Holzmüller FPTAS crossover, gated fast path, corpus";
+  note "mode: %s\n" (if smoke then "smoke (tiny sizes)" else "full");
+  note "\n-- raw oracle sweep over (n, D) --\n";
+  part1 ();
+  note "\n-- end-to-end k=1 guess evaluation (E8 re-run) --\n";
+  part2 ();
+  note "\n-- differential corpus replay --\n";
+  part3 ();
+  note "oracle counters: solves=%d narrow_tests=%d gate_passes=%d gate_fallbacks=%d\n"
+    (Rsp_engine.solves ()) (Rsp_engine.narrow_tests ()) (Rsp_engine.gate_passes ())
+    (Rsp_engine.gate_fallbacks ());
+  if !wrong > 0 then begin
+    Printf.printf "\nE20 FAILED: %d uncaught wrong answer(s)\n" !wrong;
+    exit 1
+  end
+  else note "\nE20: 0 wrong answers; every oracle answer certified or gated\n"

@@ -12,7 +12,7 @@ let experiments =
     ("e10", E10_lp_bound.run); ("e11", E11_phase1.run); ("e12", E12_policy.run);
     ("e13", E13_isp_case.run); ("e14", E14_serving.run); ("e15", E15_substrate.run);
     ("e16", E16_parallel.run); ("e17", E17_certify.run); ("e18", E18_load.run);
-    ("e19", E19_numeric.run)
+    ("e19", E19_numeric.run); ("e20", E20_oracles.run)
   ]
 
 let () =
@@ -29,4 +29,11 @@ let () =
         Printf.eprintf "unknown experiment %S (known: %s)\n" id
           (String.concat ", " (List.map fst experiments));
         exit 1)
-    requested
+    requested;
+  (* machine-readable perf record, so future PRs can track the trajectory *)
+  if List.mem "e20" requested then begin
+    let oc = open_out "BENCH_e20.json" in
+    output_string oc (E20_oracles.json ());
+    close_out oc;
+    Printf.printf "\nwrote BENCH_e20.json\n"
+  end

@@ -83,6 +83,29 @@ let apply_numeric = function
       Printf.eprintf "--numeric: %s\n" msg;
       exit exit_parse_io)
 
+let rsp_oracle_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rsp-oracle" ] ~docv:"ORACLE"
+        ~doc:
+          "RSP engine behind the single-path (k=1) solves: $(b,dp) (exact \
+           pseudo-polynomial), $(b,larac) (Lagrangian heuristic, always \
+           certificate-gated), $(b,lorenz-raz) (reference FPTAS) or $(b,holzmuller) \
+           (fast FPTAS). Default: $(b,KRSP_RSP_ORACLE) when set, else holzmuller. \
+           Answers that could flip a feasibility verdict fall back to the exact DP.")
+
+(* same pinning idea as [apply_numeric]: every oracle call below the
+   subcommand follows the flag via Oracle.default *)
+let apply_rsp_oracle = function
+  | None -> ()
+  | Some s -> (
+    match Krsp_rsp.Oracle.of_string s with
+    | Ok kind -> Krsp_rsp.Oracle.set_default kind
+    | Error msg ->
+      Printf.eprintf "--rsp-oracle: %s\n" msg;
+      exit exit_parse_io)
+
 let load_graph file =
   try Io.of_edge_list (Io.read_file file)
   with Failure msg | Sys_error msg ->
@@ -148,8 +171,9 @@ let generate_cmd =
 
 (* ---- solve ----------------------------------------------------------------- *)
 
-let solve file src dst k delay_bound epsilon engine numeric dot_out =
+let solve file src dst k delay_bound epsilon engine numeric rsp_oracle dot_out =
   apply_numeric numeric;
+  apply_rsp_oracle rsp_oracle;
   let t = load_instance file ~src ~dst ~k ~delay_bound in
   let engine = match engine with "lp" -> Krsp.Lp | _ -> Krsp.Dp in
   let outcome =
@@ -216,7 +240,7 @@ let solve_cmd =
     (Cmd.info "solve" ~exits ~doc:"Solve a kRSP instance with Algorithm 1.")
     Term.(
       const solve $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg $ epsilon $ engine
-      $ numeric_arg $ dot_out)
+      $ numeric_arg $ rsp_oracle_arg $ dot_out)
 
 (* ---- exact ----------------------------------------------------------------- *)
 
@@ -240,8 +264,9 @@ let exact_cmd =
 
 (* ---- compare ---------------------------------------------------------------- *)
 
-let compare_algorithms file src dst k delay_bound numeric =
+let compare_algorithms file src dst k delay_bound numeric rsp_oracle =
   apply_numeric numeric;
+  apply_rsp_oracle rsp_oracle;
   let t = load_instance file ~src ~dst ~k ~delay_bound in
   let module B = Krsp_core.Baselines in
   let table =
@@ -276,7 +301,7 @@ let compare_cmd =
     (Cmd.info "compare" ~exits ~doc:"Run every algorithm on one instance and tabulate.")
     Term.(
       const compare_algorithms $ graph_file $ src_arg $ dst_arg $ k_arg $ delay_arg
-      $ numeric_arg)
+      $ numeric_arg $ rsp_oracle_arg)
 
 (* ---- qos (Definition 1: per-path delay bounds) -------------------------------- *)
 
@@ -371,8 +396,9 @@ let level_arg =
 
 let parse_level = function "structural" -> Check.Structural | _ -> Check.Full
 
-let verify repro graph src dst k delay_bound level differential numeric =
+let verify repro graph src dst k delay_bound level differential numeric rsp_oracle =
   apply_numeric numeric;
+  apply_rsp_oracle rsp_oracle;
   let t =
     match (repro, graph, src, dst, delay_bound) with
     | Some file, _, _, _, _ -> (
@@ -468,12 +494,13 @@ let verify_cmd =
     (Cmd.info "verify" ~exits ~man ~doc:"Solve and independently certify the outcome.")
     Term.(
       const verify $ repro $ graph_opt $ src_opt $ dst_opt $ k_arg $ delay_opt $ level_arg
-      $ differential $ numeric_arg)
+      $ differential $ numeric_arg $ rsp_oracle_arg)
 
 (* ---- fuzz -------------------------------------------------------------------- *)
 
-let fuzz seed count inject level corpus max_failures numeric =
+let fuzz seed count inject level corpus max_failures numeric rsp_oracle =
   apply_numeric numeric;
+  apply_rsp_oracle rsp_oracle;
   let inject =
     match Krsp_check.Fuzz.inject_of_string inject with
     | Some i -> i
@@ -526,7 +553,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~exits ~man ~doc:"Seeded deterministic fuzzing with shrinking.")
     Term.(
       const fuzz $ seed_arg $ count $ inject $ level_arg $ corpus $ max_failures
-      $ numeric_arg)
+      $ numeric_arg $ rsp_oracle_arg)
 
 (* ---- client ------------------------------------------------------------------ *)
 

@@ -61,6 +61,19 @@ let numeric_arg =
            Answers are exact at either tier; the fallback counters appear in STATS as \
            numeric.*.")
 
+let rsp_oracle_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rsp-oracle" ] ~docv:"ORACLE"
+        ~doc:
+          "RSP engine behind every k=1 solve: $(b,dp) (exact pseudo-polynomial), \
+           $(b,larac) (Lagrangian heuristic, always certificate-gated), $(b,lorenz-raz) \
+           (reference FPTAS) or $(b,holzmuller) (default; fast FPTAS). Default: \
+           $(b,KRSP_RSP_ORACLE) when set, else holzmuller. Answers that could flip a \
+           feasibility verdict fall back to the exact DP; the oracle counters appear in \
+           STATS as rsp.oracle_*.")
+
 let shards_arg =
   Arg.(
     value
@@ -95,8 +108,8 @@ let domains_arg =
            recommended domain count divided by the shard count. $(docv)=1 disables \
            within-solve parallelism; total domains are roughly shards × $(docv).")
 
-let run graph_file unix_path tcp_port tcp_host cache_size engine_name numeric shards
-    queue_bound domains =
+let run graph_file unix_path tcp_port tcp_host cache_size engine_name numeric rsp_oracle
+    shards queue_bound domains =
   let g =
     try Io.of_edge_list (Io.read_file graph_file)
     with Failure msg | Sys_error msg ->
@@ -118,8 +131,28 @@ let run graph_file unix_path tcp_port tcp_host cache_size engine_name numeric sh
         Printf.eprintf "krspd: --numeric: %s\n" msg;
         exit 3)
   in
+  let rsp_oracle =
+    match rsp_oracle with
+    | None -> None
+    | Some s -> (
+      match Krsp_rsp.Oracle.of_string s with
+      | Ok kind ->
+        (* pin the process default too, for oracle calls outside the
+           engine config's reach *)
+        Krsp_rsp.Oracle.set_default kind;
+        Some kind
+      | Error msg ->
+        Printf.eprintf "krspd: --rsp-oracle: %s\n" msg;
+        exit 3)
+  in
   let config =
-    { Engine.default_config with Engine.cache_capacity = cache_size; solver; numeric }
+    {
+      Engine.default_config with
+      Engine.cache_capacity = cache_size;
+      solver;
+      numeric;
+      rsp_oracle;
+    }
   in
   let shards =
     match shards with
@@ -220,6 +253,6 @@ let cmd =
     (Cmd.info "krspd" ~version:Bin_version.version ~doc ~man)
     Term.(
       const run $ graph_file $ unix_path $ tcp_port $ tcp_host $ cache_size $ engine_arg
-      $ numeric_arg $ shards_arg $ queue_bound_arg $ domains_arg)
+      $ numeric_arg $ rsp_oracle_arg $ shards_arg $ queue_bound_arg $ domains_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -76,6 +76,40 @@ let widths ?(w1 = 1) ?(w2 = 4) ?(level = Check.Structural) inst =
     :: base
   | _ -> base
 
+(* every RSP oracle must land on the same feasibility side as the exact DP
+   oracle, both sides must certify, and — at k = 1, where the oracle's
+   answer IS the returned solution — a ratio-carrying oracle's cost must
+   stay within (1+ε) of the exact optimum (LARAC promises feasibility
+   only, so it is exempt from the ratio clause, not from certifying) *)
+let oracles ?(level = Check.Structural) ?(epsilon = Krsp_rsp.Rsp_engine.default_epsilon)
+    inst =
+  let run kind = Krsp.solve inst ~rsp_oracle:kind () in
+  let reference = run Krsp_rsp.Oracle.Dp in
+  List.concat_map
+    (fun kind ->
+      if kind = Krsp_rsp.Oracle.Dp then []
+      else begin
+        let name = Krsp_rsp.Oracle.to_string kind in
+        let r = run kind in
+        let base = pairwise ~level ~axis:"oracles" inst ("dp", reference) (name, r) in
+        match (reference, r) with
+        | Ok (exact, es), Ok (approx, os)
+          when inst.Instance.k = 1
+               && Krsp_rsp.Oracle.has_ratio kind
+               && (not es.Krsp.used_fallback)
+               && not os.Krsp.used_fallback ->
+          if
+            float_of_int approx.Instance.cost
+            > ((1. +. epsilon) *. float_of_int exact.Instance.cost) +. 1e-9
+          then
+            Printf.sprintf "oracles/%s: k=1 cost %d exceeds (1+%.2f)·%d" name
+              approx.Instance.cost epsilon exact.Instance.cost
+            :: base
+          else base
+        | _ -> base
+      end)
+    Krsp_rsp.Oracle.all
+
 let warm_cold ?(level = Check.Structural) inst =
   match Krsp.solve inst () with
   | Error e -> audited ~what:"warm-cold/cold" inst e
@@ -180,4 +214,5 @@ let metamorphic ?transforms inst =
       transforms
 
 let all ?(level = Check.Structural) inst =
-  engines ~level inst @ widths ~level inst @ warm_cold ~level inst @ metamorphic inst
+  engines ~level inst @ widths ~level inst @ oracles ~level inst @ warm_cold ~level inst
+  @ metamorphic inst

@@ -2,7 +2,7 @@
     solver configurations and check that the results are
     certified-equivalent.
 
-    Three axes, matching the repository's redundancy:
+    Four axes, matching the repository's redundancy:
 
     - {b engines} (DP vs LP bicameral search): the solutions may differ —
       the engines explore different cycle spaces — but both must certify
@@ -13,7 +13,10 @@
       literal equality of cost, delay and the path multiset — plus a
       certificate on the solution;
     - {b warm vs cold}: a warm-started re-solve waives the cost guarantee
-      but not feasibility — both runs must certify.
+      but not feasibility — both runs must certify;
+    - {b oracles} (every {!Krsp_rsp.Oracle.kind} vs the exact DP): same
+      feasibility verdict, every solution certified, and at k = 1 a
+      ratio-carrying oracle's cost within (1+ε) of the exact optimum.
 
     {!metamorphic} adds the {!Transform} relations: the transformed solve
     must certify, its mapped-back paths must certify on the original
@@ -27,9 +30,10 @@ module Instance := Krsp_core.Instance
 
 val engines : ?level:Check.level -> Instance.t -> string list
 val widths : ?w1:int -> ?w2:int -> ?level:Check.level -> Instance.t -> string list
+val oracles : ?level:Check.level -> ?epsilon:float -> Instance.t -> string list
 val warm_cold : ?level:Check.level -> Instance.t -> string list
 val metamorphic : ?transforms:Transform.t list -> Instance.t -> string list
 
 val all : ?level:Check.level -> Instance.t -> string list
-(** Engines, widths (1 vs 4), warm/cold and the four standard
+(** Engines, widths (1 vs 4), oracles, warm/cold and the four standard
     transformations. *)

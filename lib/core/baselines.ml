@@ -29,7 +29,9 @@ let larac_per_path t =
       match Krsp_rsp.Larac.solve sub ~src:t.Instance.src ~dst:t.Instance.dst ~delay_bound:budget with
       | None -> None
       | Some r ->
-        let path = List.map (fun se -> old_of_new.(se)) r.Krsp_rsp.Larac.path in
+        let path =
+          List.map (fun se -> old_of_new.(se)) r.Krsp_rsp.Larac.best.Krsp_rsp.Rsp_engine.path
+        in
         List.iter (fun e -> used.(e) <- true) path;
         route (i + 1) (path :: acc)
     end

@@ -206,7 +206,8 @@ let repair t ~paths =
 let post_solve_hook : (Instance.t -> Instance.solution -> unit) ref = ref (fun _ _ -> ())
 
 let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum) ?numeric
-    ?(max_iterations = 2_000) ?(guess_steps = 12) ?warm_start ?pool () =
+    ?rsp_oracle ?(k1_oracle = true) ?(max_iterations = 2_000) ?(guess_steps = 12) ?warm_start
+    ?pool () =
   let pool = match pool with Some p -> p | None -> Krsp_util.Pool.default () in
   if not (Instance.connectivity_ok t) then Error No_k_disjoint_paths
   else begin
@@ -229,7 +230,7 @@ let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
         match warm with
         | Some paths -> paths
         | None -> (
-          match Phase1.run ?numeric phase1 t with
+          match Phase1.run ?numeric ?rsp_oracle phase1 t with
           | Phase1.Start s -> s.Phase1.paths
           | Phase1.No_k_paths -> assert false (* connectivity checked above *)
           | Phase1.Lp_infeasible -> assert false (* dmin <= bound above *))
@@ -251,6 +252,54 @@ let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
               used_fallback = false;
               warm_started;
             } )
+      else if t.Instance.k = 1 && k1_oracle then begin
+        (* k = 1 IS the single restricted shortest path: one oracle call
+           replaces the entire guess bisection (each of whose attempts is
+           itself a cancellation run). The answer is certificate-gated —
+           an invalid or bound-violating path (impossible for the shipped
+           engines, but the gate is what makes the oracle swappable) falls
+           back to the exact DP, which must succeed since dmin ≤ D. *)
+        let g = t.Instance.graph in
+        let src = t.Instance.src and dst = t.Instance.dst in
+        let oracle_sol =
+          match
+            Krsp_rsp.Oracle.solve ?kind:rsp_oracle ?tier:numeric g ~src ~dst
+              ~delay_bound:t.Instance.delay_bound
+          with
+          | Some r
+            when Path.is_valid g ~src ~dst r.Krsp_rsp.Rsp_engine.path
+                 && r.Krsp_rsp.Rsp_engine.delay <= t.Instance.delay_bound ->
+            Krsp_rsp.Rsp_engine.count_gate_pass ();
+            Some (Instance.solution_of_paths t [ r.Krsp_rsp.Rsp_engine.path ])
+          | _ ->
+            Krsp_rsp.Rsp_engine.count_gate_fallback ();
+            (match
+               Krsp_rsp.Rsp_dp.solve ?tier:numeric g ~src ~dst
+                 ~delay_bound:t.Instance.delay_bound
+             with
+            | Some (_, p) -> Some (Instance.solution_of_paths t [ p ])
+            | None -> None)
+        in
+        (* the min-delay fallback is feasible too — never return worse *)
+        let sol, used_fallback =
+          match oracle_sol with
+          | Some s when s.Instance.cost <= fallback.Instance.cost -> (s, false)
+          | Some _ -> (fallback, false)
+          | None -> (fallback, true)
+        in
+        Ok
+          ( sol,
+            {
+              iterations = 0;
+              type0 = 0;
+              type1 = 0;
+              type2 = 0;
+              guesses_tried = 1;
+              final_guess = sol.Instance.cost;
+              used_fallback;
+              warm_started;
+            } )
+      end
       else begin
         let lo0 = max 1 start_sol.Instance.cost in
         let hi0 = max lo0 fallback.Instance.cost in
@@ -384,11 +433,11 @@ let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
 (* Every Ok the pipeline produces — early feasible start, guess-search best,
    min-delay fallback — passes through here, so an installed hook (see
    Krsp_check.Hook) sees every solution this module ever returns. *)
-let solve t ?engine ?exhaustive ?phase1 ?numeric ?max_iterations ?guess_steps ?warm_start
-    ?pool () =
+let solve t ?engine ?exhaustive ?phase1 ?numeric ?rsp_oracle ?k1_oracle ?max_iterations
+    ?guess_steps ?warm_start ?pool () =
   let outcome =
-    solve_impl t ?engine ?exhaustive ?phase1 ?numeric ?max_iterations ?guess_steps
-      ?warm_start ?pool ()
+    solve_impl t ?engine ?exhaustive ?phase1 ?numeric ?rsp_oracle ?k1_oracle ?max_iterations
+      ?guess_steps ?warm_start ?pool ()
   in
   (match outcome with Ok (sol, _) -> !post_solve_hook t sol | Error _ -> ());
   outcome

@@ -105,6 +105,8 @@ val solve :
   ?exhaustive:bool ->
   ?phase1:Phase1.kind ->
   ?numeric:Krsp_numeric.Numeric.tier ->
+  ?rsp_oracle:Krsp_rsp.Oracle.kind ->
+  ?k1_oracle:bool ->
   ?max_iterations:int ->
   ?guess_steps:int ->
   ?warm_start:Krsp_graph.Path.t list ->
@@ -128,6 +130,19 @@ val solve :
     repaired solution does not promise, so a warm-started solve is
     best-effort on cost. When the repair fails, the solve silently proceeds
     cold with full guarantees.
+
+    [rsp_oracle] (default {!Krsp_rsp.Oracle.default}) selects the RSP
+    engine behind the hot single-path solves: at [k = 1] — where kRSP {e is}
+    RSP — one oracle call replaces the entire guess bisection
+    ([k1_oracle:false] disables that short-circuit, forcing the legacy
+    guess search even at [k = 1]; for regression tests and benchmarks of
+    the repair loop), and with
+    [phase1 = Rsp_seq] the oracle routes the start paths. Oracle answers
+    are certificate-gated (an invalid or bound-violating path falls back
+    to the exact DP, counted in [rsp.oracle_gate_fallbacks]), so every
+    returned solution stays certified feasible; an approximate oracle
+    bounds the k=1 cost by (1+ε)·OPT ≤ 1.25·OPT at the default ε, within
+    the pipeline's 2·OPT contract.
 
     [numeric] (default {!Krsp_numeric.Numeric.default}) picks the numeric
     tier of every LP the solve runs — the LP engine's cycle-search LPs and

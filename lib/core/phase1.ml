@@ -74,10 +74,46 @@ let lp_rounding ?numeric t =
       in
       of_paths t paths)
 
-type kind = Min_sum | Min_delay | Lp_rounding
+(* Sequential oracle routing: k disjoint paths one at a time, each the
+   selected RSP oracle's min-cost answer under a per-path delay budget
+   D/k on the graph with already-used edges removed. No cost ≤ C_OPT
+   guarantee (like the LP start, it trades the proof invariant for
+   starting near feasibility — the per-path budgets force total delay
+   ≤ D whenever all k routes succeed); when any route fails, falls back
+   to [min_sum] so the returned start is never worse than the default. *)
+let rsp_seq ?numeric ?oracle t =
+  let g = t.Instance.graph in
+  let used = Array.make (G.m g) false in
+  let budget = t.Instance.delay_bound / t.Instance.k in
+  let rec route i acc =
+    if i = t.Instance.k then Some (List.rev acc)
+    else begin
+      let sub, new_of_old =
+        G.filter_map_edges g ~f:(fun e ->
+            if used.(e) then None else Some (G.cost g e, G.delay g e))
+      in
+      let old_of_new = Array.make (G.m sub) (-1) in
+      Array.iteri (fun old ne -> if ne >= 0 then old_of_new.(ne) <- old) new_of_old;
+      match
+        Krsp_rsp.Oracle.solve ?kind:oracle ?tier:numeric sub ~src:t.Instance.src
+          ~dst:t.Instance.dst ~delay_bound:budget
+      with
+      | None -> None
+      | Some r ->
+        let path = List.map (fun se -> old_of_new.(se)) r.Krsp_rsp.Rsp_engine.path in
+        List.iter (fun e -> used.(e) <- true) path;
+        route (i + 1) (path :: acc)
+    end
+  in
+  match route 0 [] with
+  | Some paths -> of_paths t paths
+  | None -> min_sum t
 
-let run ?numeric kind t =
+type kind = Min_sum | Min_delay | Lp_rounding | Rsp_seq
+
+let run ?numeric ?rsp_oracle kind t =
   match kind with
   | Min_sum -> min_sum t
   | Min_delay -> min_delay t
   | Lp_rounding -> lp_rounding ?numeric t
+  | Rsp_seq -> rsp_seq ?numeric ?oracle:rsp_oracle t

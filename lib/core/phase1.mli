@@ -13,7 +13,11 @@
       the LP itself is infeasible.
     - {!min_delay}: minimum total-delay disjoint paths. Feasible whenever
       the instance is (delay is the minimum achievable), so it doubles as
-      the fallback solution and the [C_OPT] upper bound. *)
+      the fallback solution and the [C_OPT] upper bound.
+    - {!rsp_seq}: k sequential single-path RSP oracle calls, each under a
+      per-path delay budget D/k on the residual edge set. Like the LP
+      start it trades the cost ≤ [C_OPT] invariant for starting near (or
+      at) feasibility; falls back to {!min_sum} when a route fails. *)
 
 type start = {
   paths : Krsp_graph.Path.t list;
@@ -33,6 +37,18 @@ val lp_rounding : ?numeric:Krsp_numeric.Numeric.tier -> Instance.t -> result
 (** [?numeric] selects the simplex tier of the flow LP (the rounded start
     and the infeasibility verdict are exact under both tiers). *)
 
-type kind = Min_sum | Min_delay | Lp_rounding
+val rsp_seq :
+  ?numeric:Krsp_numeric.Numeric.tier -> ?oracle:Krsp_rsp.Oracle.kind -> Instance.t -> result
+(** Sequential oracle routing under per-path budgets D/k. [?oracle]
+    (default {!Krsp_rsp.Oracle.default}) selects the RSP engine; every
+    call counts in [rsp.oracle_solves]. Never returns a start worse than
+    {!min_sum}'s. *)
 
-val run : ?numeric:Krsp_numeric.Numeric.tier -> kind -> Instance.t -> result
+type kind = Min_sum | Min_delay | Lp_rounding | Rsp_seq
+
+val run :
+  ?numeric:Krsp_numeric.Numeric.tier ->
+  ?rsp_oracle:Krsp_rsp.Oracle.kind ->
+  kind ->
+  Instance.t ->
+  result

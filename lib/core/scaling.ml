@@ -14,8 +14,8 @@ let scaled_graph g ~theta_cost ~theta_delay =
     (G.filter_map_edges g ~f:(fun e ->
          Some (G.cost g e / theta_cost, G.delay g e / theta_delay)))
 
-let solve t ~epsilon1 ~epsilon2 ?engine ?phase1 ?numeric ?max_iterations ?warm_start ?pool
-    () =
+let solve t ~epsilon1 ~epsilon2 ?engine ?phase1 ?numeric ?rsp_oracle ?max_iterations
+    ?warm_start ?pool () =
   if epsilon1 <= 0. || epsilon2 <= 0. then
     invalid_arg "Scaling.solve: epsilons must be positive";
   if not (Instance.connectivity_ok t) then Stdlib.Error Krsp.No_k_disjoint_paths
@@ -55,7 +55,9 @@ let solve t ~epsilon1 ~epsilon2 ?engine ?phase1 ?numeric ?max_iterations ?warm_s
           Instance.create sg ~src:t.Instance.src ~dst:t.Instance.dst ~k:t.Instance.k
             ~delay_bound:scaled_delay_bound
         in
-        (match Krsp.solve st ?engine ?phase1 ?numeric ?max_iterations ?warm_start ?pool ()
+        (match
+           Krsp.solve st ?engine ?phase1 ?numeric ?rsp_oracle ?max_iterations ?warm_start
+             ?pool ()
          with
         | Stdlib.Error e -> Stdlib.Error e
         | Stdlib.Ok (ssol, stats) ->

@@ -25,6 +25,7 @@ val solve :
   ?engine:Krsp.engine ->
   ?phase1:Phase1.kind ->
   ?numeric:Krsp_numeric.Numeric.tier ->
+  ?rsp_oracle:Krsp_rsp.Oracle.kind ->
   ?max_iterations:int ->
   ?warm_start:Krsp_graph.Path.t list ->
   ?pool:Krsp_util.Pool.t ->
@@ -32,7 +33,9 @@ val solve :
   (result, Krsp.error) Stdlib.result
 (** [epsilon1] relaxes the delay bound (total delay ≤ (1+ε₁)·D), [epsilon2]
     the cost ratio. Raises [Invalid_argument] on non-positive epsilons.
-    [warm_start] is forwarded to {!Krsp.solve} on the scaled instance —
+    [rsp_oracle] is forwarded to {!Krsp.solve} on the scaled instance
+    (the k=1 fast path and [Rsp_seq] starts then run the selected oracle
+    on the scaled weights). [warm_start] is forwarded too —
     valid because scaling keeps every edge, so edge ids coincide; the same
     caveats apply (feasibility kept, cost guarantee waived). [pool] is
     forwarded too (see {!Krsp.solve}). An instance whose phase 1 cannot

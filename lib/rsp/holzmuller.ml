@@ -1,0 +1,97 @@
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+
+(* Holzmüller-style fast FPTAS (arXiv:1711.00284). Three improvements over
+   the reference Lorenz–Raz pipeline in {!Lorenz_raz}:
+
+   1. Geometric-mean pivots b = sqrt(LB·UB) narrow log(UB/LB) doubly
+      logarithmically instead of the linear halving of value-space
+      bisection.
+   2. A strengthened approximate test: on "yes" the returned path's TRUE
+      cost becomes the new UB (the test already paid for the DP table, the
+      path is free), so a yes-answer tightens far more than the worst-case
+      3B bound the classical analysis charges.
+   3. The final phase is ONE cost-scaled DP table scanned for the smallest
+      feasible scaled budget ({!Rsp_dp.min_budget_for_delay}) instead of a
+      binary search that rebuilds the table O(log(n/ε)) times. *)
+
+(* Approximate feasibility test at [bound]. θ = max 1 (bound/slack) keeps
+   the DP table ≤ bound/θ + slack ≈ 2·slack wide. "No" certifies
+   OPT > bound (a true path of cost ≤ bound floor-scales to ≤ bound/θ and
+   loses < 1 per edge to rounding, ≤ slack total). "Yes" returns the
+   witness path, whose true cost bounds OPT from above. When θ = 1 the
+   scaling is lossless, so no slack is added and the test is exact. *)
+let test ?tier g ~src ~dst ~delay_bound ~bound ~slack =
+  Rsp_engine.count_narrow_test ();
+  let theta = max 1 (bound / slack) in
+  let weight e = G.cost g e / theta in
+  let budget = (bound / theta) + if theta = 1 then 0 else slack in
+  match Rsp_dp.min_delay_within_cost ?tier g ~weight ~src ~dst ~budget with
+  | Some (delay, p) when delay <= delay_bound -> Some (Rsp_engine.of_path g p)
+  | _ -> None
+
+(* Stop narrowing once UB ≤ 8·LB: each further test costs a full DP table
+   and the final phase handles a constant ratio at no extra width. Progress
+   per round (slack = n, pivot b ≈ sqrt(LB·UB), UB > 8·LB): a "no" lifts
+   LB to b+1 > 2.8·LB; a "yes" with θ ≥ 2 returns true cost
+   ≤ b + n·θ ≤ 2b < UB/√2, and with θ = 1 the test is exact at budget
+   b < UB. Either way log(UB/LB) shrinks geometrically, so the round cap
+   below is pure paranoia (62 ≈ bits of an int). *)
+let narrow_ratio = 8
+let max_rounds = 62
+
+let solve ?tier g ~src ~dst ~delay_bound ~epsilon =
+  if epsilon <= 0. then invalid_arg "Holzmuller.solve: epsilon must be positive";
+  match Larac.solve ?tier g ~src ~dst ~delay_bound with
+  | None -> None
+  | Some larac ->
+    let best = ref larac.Larac.best in
+    let better (r : Rsp_engine.result) =
+      if r.Rsp_engine.cost < (!best).Rsp_engine.cost then best := r
+    in
+    if (!best).Rsp_engine.cost <= larac.Larac.lower_bound then
+      (* LARAC closed the gap: its path is optimal, skip the DPs. *)
+      Some !best
+    else begin
+      let n = G.n g in
+      let lb = ref (max 1 larac.Larac.lower_bound) in
+      let ub = ref (max 1 (!best).Rsp_engine.cost) in
+      let rounds = ref 0 in
+      while !ub > narrow_ratio * !lb && !rounds < max_rounds do
+        incr rounds;
+        let b = int_of_float (sqrt (float_of_int !lb *. float_of_int !ub)) in
+        let b = max !lb (min b (!ub - 1)) in
+        match test ?tier g ~src ~dst ~delay_bound ~bound:b ~slack:n with
+        | Some r ->
+          better r;
+          ub := min !ub (max 1 r.Rsp_engine.cost)
+        | None -> lb := b + 1
+      done;
+      (* Final cost-scaled DP at precision ε: θ ≤ ε·LB/(n+1), so the
+         optimal path's scaled image fits budget UB/θ + n + 1 and the
+         cheapest feasible table entry loses < (n+1)·θ ≤ ε·LB ≤ ε·OPT in
+         true cost. One table, scanned upward — no budget binary search. *)
+      let slack = int_of_float (ceil (float_of_int (n + 1) /. epsilon)) in
+      let theta = max 1 (!lb / slack) in
+      let weight e = G.cost g e / theta in
+      let budget = (!ub / theta) + n + 1 in
+      Rsp_engine.count_final_dp ();
+      (match
+         Rsp_dp.min_budget_for_delay ?tier g ~weight ~src ~dst ~budget ~delay_bound
+       with
+      | None -> () (* UB is a feasible path's cost, so the table has one;
+                      keep the incumbent regardless *)
+      | Some (_, p) -> better (Rsp_engine.of_path g p));
+      Some !best
+    end
+
+module Engine : Rsp_engine.S = struct
+  let name = "holzmuller"
+  let exact = false
+
+  let solve ?tier ?(epsilon = Rsp_engine.default_epsilon) g ~src ~dst ~delay_bound =
+    solve ?tier g ~src ~dst ~delay_bound ~epsilon
+
+  let min_delay_within_cost ?tier ?epsilon g ~src ~dst ~cost_budget =
+    Rsp_engine.dual_via_swap solve ?tier ?epsilon g ~src ~dst ~cost_budget
+end

@@ -1,0 +1,36 @@
+(** Holzmüller-style fast FPTAS for the single restricted shortest path
+    (arXiv:1711.00284) — the production oracle behind {!Oracle}'s default.
+
+    Same contract as {!Lorenz_raz.solve} (feasible path, cost ≤ (1+ε)·OPT)
+    but structurally faster in the hot guess-evaluation loop:
+
+    - interval narrowing picks geometric-mean pivots b = √(LB·UB), so the
+      number of approximate tests is doubly logarithmic in the initial
+      cost ratio rather than logarithmic;
+    - each "yes" test reuses the cost-budget DP it already built — the
+      witness path's true cost becomes the new upper bound (strengthened
+      test), typically collapsing the interval in one or two rounds;
+    - the final phase builds ONE cost-scaled DP table and scans it for the
+      smallest feasible scaled budget ({!Rsp_dp.min_budget_for_delay})
+      instead of re-running the DP per binary-search probe.
+
+    Narrowing tests are counted in [rsp.oracle_narrow_tests] and the final
+    table in [rsp.oracle_final_dps] (see {!Rsp_engine.metrics}). *)
+
+val solve :
+  ?tier:Krsp_numeric.Numeric.tier ->
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  delay_bound:int ->
+  epsilon:float ->
+  Rsp_engine.result option
+(** [None] exactly when no path meets the delay bound. Requires
+    [epsilon > 0] and non-negative costs/delays. [?tier] (default
+    {!Krsp_numeric.Numeric.default}) is threaded through the seeding LARAC
+    run and every DP. *)
+
+(** The FPTAS as an {!Rsp_engine.S} oracle ([name = "holzmuller"],
+    [exact = false], default ε = {!Rsp_engine.default_epsilon}). The dual
+    direction runs the solve on {!Rsp_engine.swap_roles}. *)
+module Engine : Rsp_engine.S

@@ -1,24 +1,97 @@
 module G = Krsp_graph.Digraph
 module Path = Krsp_graph.Path
 module Dijkstra = Krsp_graph.Dijkstra
+module B = Krsp_bigint.Bigint
+module Numeric = Krsp_numeric.Numeric
 
-type result = { path : Path.t; cost : int; delay : int; lower_bound : int }
+type result = { best : Rsp_engine.result; lower_bound : int }
 
-(* Aggregated shortest path under weight num·d + den·c (λ = num/den kept as
-   an integer pair so Dijkstra runs on exact integer weights). *)
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Dijkstra accumulates the aggregated weights in native ints, so each
+   den·c + num·d is guarded: a wrap-around here would corrupt the search
+   silently. The multipliers are gcd-reduced first, which keeps the
+   products small on the instances that used to sit closest to the edge. *)
+exception Agg_overflow
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    let p = a * b in
+    if p / a <> b || p < 0 then raise Agg_overflow;
+    p
+  end
+
+let checked_add a b =
+  let s = a + b in
+  if s < 0 then raise Agg_overflow;
+  s
+
 let aggregated g ~src ~dst ~num ~den =
-  let weight e = (den * G.cost g e) + (num * G.delay g e) in
+  let weight e =
+    checked_add (checked_mul den (G.cost g e)) (checked_mul num (G.delay g e))
+  in
   Dijkstra.shortest_path g ~weight ~src ~dst ()
 
-let solve g ~src ~dst ~delay_bound =
+(* floor of the Lagrangian dual value L(λ) = c_r + λ·(d_r − D) at λ = num/den:
+   (den·c_r + num·(d_r − D)) / den. Valid lower bound on OPT at ANY λ ≥ 0 (the
+   optimal path is feasible, so c* + λ(d* − D) ≤ c* = OPT), hence safe to take
+   at every iterate, not only the terminal multiplier. The products are where
+   the tier policy bites: [Float_first] runs guarded native ints and falls
+   back to Bigint on a tripped guard (counted), [Exact_only] goes straight to
+   Bigint. Either way the returned bound is exact. *)
+let dual_value ~tier ~num ~den ~c_r ~d_r ~delay_bound =
+  let big () =
+    let lb_num =
+      B.add
+        (B.mul (B.of_int den) (B.of_int c_r))
+        (B.mul (B.of_int num) (B.of_int (d_r - delay_bound)))
+    in
+    B.to_int (B.div lb_num (B.of_int den))
+  in
+  match tier with
+  | Numeric.Exact_only -> big ()
+  | Numeric.Float_first -> (
+    match checked_add (checked_mul den c_r) (checked_mul num (abs (d_r - delay_bound))) with
+    | exception Agg_overflow ->
+      Numeric.count_exact_fallback ();
+      big ()
+    | _ ->
+      (* magnitudes proven safe above (the abs covers the negative branch) *)
+      Numeric.count_float_hit ();
+      ((den * c_r) + (num * (d_r - delay_bound))) / den)
+
+(* λ-optimality probe: den·c + num·d equal on both paths? Same tier split. *)
+let agg_equal ~tier ~num ~den (c1, d1) (c2, d2) =
+  let big () =
+    let v c d =
+      B.add (B.mul (B.of_int den) (B.of_int c)) (B.mul (B.of_int num) (B.of_int d))
+    in
+    B.equal (v c1 d1) (v c2 d2)
+  in
+  match tier with
+  | Numeric.Exact_only -> big ()
+  | Numeric.Float_first -> (
+    let agg c d = checked_add (checked_mul den c) (checked_mul num d) in
+    match (agg c1 d1, agg c2 d2) with
+    | exception Agg_overflow ->
+      Numeric.count_exact_fallback ();
+      big ()
+    | a, b -> a = b)
+
+let solve ?tier g ~src ~dst ~delay_bound =
+  let tier = match tier with Some t -> t | None -> Numeric.default () in
   let eval p = (Path.cost g p, Path.delay g p) in
+  let mk path cost delay lower_bound =
+    { best = { Rsp_engine.path; cost; delay }; lower_bound }
+  in
   match Dijkstra.shortest_path g ~weight:(G.cost g) ~src ~dst () with
   | None -> None
   | Some (_, pc) ->
     let c_pc, d_pc = eval pc in
     if d_pc <= delay_bound then
       (* unconstrained optimum already feasible: exact *)
-      Some { path = pc; cost = c_pc; delay = d_pc; lower_bound = c_pc }
+      Some (mk pc c_pc d_pc c_pc)
     else begin
       match Dijkstra.shortest_path g ~weight:(G.delay g) ~src ~dst () with
       | None -> None
@@ -27,25 +100,34 @@ let solve g ~src ~dst ~delay_bound =
         if d_pd > delay_bound then None (* even the fastest path is too slow *)
         else begin
           (* classic LARAC iteration on (pc: infeasible & cheap, pd: feasible
-             & costly); λ = (c_pd − c_pc) / (d_pc − d_pd) ≥ 0 as num/den *)
+             & costly); λ = (c_pd − c_pc) / (d_pc − d_pd) ≥ 0 as num/den.
+             [best_lb] accumulates the strongest dual bound seen across the
+             iterates, so an aggregation overflow can stop the search without
+             forfeiting the bound already certified. *)
+          let best_lb = ref 0 in
           let rec iterate (c_pc, d_pc) pd (c_pd, d_pd) =
-            let num = c_pd - c_pc and den = d_pc - d_pd in
-            assert (num >= 0 && den > 0);
-            if num = 0 then
+            let num0 = c_pd - c_pc and den0 = d_pc - d_pd in
+            assert (num0 >= 0 && den0 > 0);
+            if num0 = 0 then
               (* cheap path cost equals feasible path cost: pd optimal *)
-              { path = pd; cost = c_pd; delay = d_pd; lower_bound = c_pd }
+              mk pd c_pd d_pd c_pd
             else begin
+              let d = gcd num0 den0 in
+              let num = num0 / d and den = den0 / d in
               match aggregated g ~src ~dst ~num ~den with
+              | exception Agg_overflow ->
+                (* cannot evaluate this multiplier on native ints; return the
+                   feasible incumbent with the best bound certified so far *)
+                Numeric.count_exact_fallback ();
+                mk pd c_pd d_pd !best_lb
               | None -> assert false (* reachable: pd exists *)
               | Some (_, r) ->
                 let c_r, d_r = eval r in
-                let agg p_c p_d = (den * p_c) + (num * p_d) in
-                if agg c_r d_r = agg c_pc d_pc then begin
-                  (* λ is optimal: lower bound L(λ) = c_r + λ(d_r − D) *)
-                  let lb_num = (den * c_r) + (num * (d_r - delay_bound)) in
-                  let lb = lb_num / den in
-                  { path = pd; cost = c_pd; delay = d_pd; lower_bound = lb }
-                end
+                let lb = dual_value ~tier ~num ~den ~c_r ~d_r ~delay_bound in
+                if lb > !best_lb then best_lb := lb;
+                if agg_equal ~tier ~num ~den (c_r, d_r) (c_pc, d_pc) then
+                  (* λ is optimal: the dual value here is the Lagrangian bound *)
+                  mk pd c_pd d_pd !best_lb
                 else if d_r <= delay_bound then iterate (c_pc, d_pc) r (c_r, d_r)
                 else iterate (c_r, d_r) pd (c_pd, d_pd)
             end
@@ -53,3 +135,16 @@ let solve g ~src ~dst ~delay_bound =
           Some (iterate (c_pc, d_pc) pd (c_pd, d_pd))
         end
     end
+
+module Engine : Rsp_engine.S = struct
+  let name = "larac"
+  let exact = false
+
+  let solve ?tier ?epsilon:_ g ~src ~dst ~delay_bound =
+    match solve ?tier g ~src ~dst ~delay_bound with
+    | None -> None
+    | Some r -> Some r.best
+
+  let min_delay_within_cost ?tier ?epsilon g ~src ~dst ~cost_budget =
+    Rsp_engine.dual_via_swap solve ?tier ?epsilon g ~src ~dst ~cost_budget
+end

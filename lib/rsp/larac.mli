@@ -3,22 +3,39 @@
     The classical polynomial heuristic for RSP: binary/secant search over the
     multiplier λ of the aggregated metric [c + λ·d]. Returns both a feasible
     path (delay ≤ D, cost within the Lagrangian gap of optimal) and the
-    Lagrangian lower bound on the optimum, which the FPTAS and the
+    Lagrangian lower bound on the optimum, which the FPTASes and the
     experiments use as a certified [C_OPT] lower bound. *)
 
 type result = {
-  path : Krsp_graph.Path.t;  (** feasible: delay ≤ D *)
-  cost : int;
-  delay : int;
-  lower_bound : int;  (** the Lagrangian dual value at the final multiplier,
-                          rounded down: a valid lower bound on OPT *)
+  best : Rsp_engine.result;  (** feasible: delay ≤ D *)
+  lower_bound : int;
+      (** the strongest Lagrangian dual value seen across the iterates,
+          rounded down: a valid lower bound on OPT (any λ ≥ 0 certifies
+          one, so this is at least the final multiplier's) *)
 }
 
 val solve :
+  ?tier:Krsp_numeric.Numeric.tier ->
   Krsp_graph.Digraph.t ->
   src:Krsp_graph.Digraph.vertex ->
   dst:Krsp_graph.Digraph.vertex ->
   delay_bound:int ->
   result option
 (** [None] when no path meets the delay bound at all. Requires non-negative
-    costs and delays. *)
+    costs and delays.
+
+    [?tier] (default {!Krsp_numeric.Numeric.default}) governs the dual-value
+    and λ-optimality arithmetic, whose products [den·c + num·d] can exceed
+    native ints even when every path cost fits: [Float_first] runs guarded
+    native ints and falls back to Bigint when a guard trips (counted in
+    [numeric.exact_fallbacks]); [Exact_only] computes them in Bigint
+    directly. The aggregated Dijkstra itself always runs on guarded native
+    ints (there is no Bigint Dijkstra); if a multiplier's weights overflow,
+    the search stops early and returns the feasible incumbent with the
+    strongest already-certified bound — still sound, possibly looser. *)
+
+(** LARAC as an {!Rsp_engine.S} oracle ([name = "larac"], [exact = false]).
+    No a-priori approximation ratio — the gap to OPT is instance-dependent —
+    so {!Oracle} always gates its answers that exceed a cost budget. The
+    dual direction runs the solve on {!Rsp_engine.swap_roles}. *)
+module Engine : Rsp_engine.S

@@ -1,7 +1,7 @@
 module G = Krsp_graph.Digraph
 module Path = Krsp_graph.Path
 
-type result = { path : Path.t; cost : int; delay : int }
+type result = Rsp_engine.result = { path : Path.t; cost : int; delay : int }
 
 (* Scaled DP: is there a path of (true) cost roughly <= bound meeting the
    delay constraint? Scaling by theta = bound/(n+1) keeps the table width at
@@ -9,22 +9,23 @@ type result = { path : Path.t; cost : int; delay : int }
    true cost <= bound has scaled cost <= bound/theta, and each of its <= n
    edges loses < 1 unit to rounding, so testing budget floor(bound/theta) + n
    is sound. *)
-let scaled_feasible g ~src ~dst ~delay_bound ~bound ~slack =
+let scaled_feasible ?tier g ~src ~dst ~delay_bound ~bound ~slack =
   let theta = max 1 (bound / slack) in
   let weight e = G.cost g e / theta in
   let budget = (bound / theta) + slack in
-  match Rsp_dp.min_delay_within_cost g ~weight ~src ~dst ~budget with
+  match Rsp_dp.min_delay_within_cost ?tier g ~weight ~src ~dst ~budget with
   | None -> None
   | Some (delay, p) -> if delay <= delay_bound then Some p else None
 
-let solve g ~src ~dst ~delay_bound ~epsilon =
+let solve ?tier g ~src ~dst ~delay_bound ~epsilon =
   if epsilon <= 0. then invalid_arg "Lorenz_raz.solve: epsilon must be positive";
-  match Larac.solve g ~src ~dst ~delay_bound with
+  match Larac.solve ?tier g ~src ~dst ~delay_bound with
   | None -> None
   | Some larac ->
-    if larac.Larac.cost <= larac.Larac.lower_bound then
+    let lbest = larac.Larac.best in
+    if lbest.cost <= larac.Larac.lower_bound then
       (* LARAC already optimal (gap closed) *)
-      Some { path = larac.Larac.path; cost = larac.Larac.cost; delay = larac.Larac.delay }
+      Some lbest
     else begin
       let n = G.n g in
       (* interval narrowing: maintain LB <= OPT <= UB, shrink UB/LB to <= 16
@@ -32,11 +33,11 @@ let solve g ~src ~dst ~delay_bound ~epsilon =
          path has true cost <= B + theta·(budget rounding) <= 3B, a "no"
          certifies OPT > B. *)
       let lb = ref (max 1 larac.Larac.lower_bound) in
-      let ub = ref (max 1 larac.Larac.cost) in
+      let ub = ref (max 1 lbest.cost) in
       while !ub > 16 * !lb do
         let b = int_of_float (sqrt (float_of_int !lb *. float_of_int !ub)) in
         let b = max !lb (min b !ub) in
-        match scaled_feasible g ~src ~dst ~delay_bound ~bound:b ~slack:n with
+        match scaled_feasible ?tier g ~src ~dst ~delay_bound ~bound:b ~slack:n with
         | Some _ -> ub := min !ub (3 * b)
         | None -> lb := max !lb (b + 1)
       done;
@@ -47,7 +48,7 @@ let solve g ~src ~dst ~delay_bound ~epsilon =
       let theta = max 1 (!lb / slack) in
       let weight e = G.cost g e / theta in
       let budget = (!ub / theta) + n + 1 in
-      (match Rsp_dp.min_delay_within_cost g ~weight ~src ~dst ~budget with
+      (match Rsp_dp.min_delay_within_cost ?tier g ~weight ~src ~dst ~budget with
       | None -> assert false (* UB is the cost of a known feasible path *)
       | Some _ ->
         (* scan scaled budgets upward for the cheapest feasible true path *)
@@ -57,7 +58,7 @@ let solve g ~src ~dst ~delay_bound ~epsilon =
           if lo > hi then ()
           else begin
             let mid = (lo + hi) / 2 in
-            match Rsp_dp.min_delay_within_cost g ~weight ~src ~dst ~budget:mid with
+            match Rsp_dp.min_delay_within_cost ?tier g ~weight ~src ~dst ~budget:mid with
             | Some (delay, p) when delay <= delay_bound ->
               best := Some p;
               search lo (mid - 1)
@@ -68,11 +69,20 @@ let solve g ~src ~dst ~delay_bound ~epsilon =
         (match !best with
         | None ->
           (* LARAC path is feasible, so the table must contain one *)
-          Some { path = larac.Larac.path; cost = larac.Larac.cost; delay = larac.Larac.delay }
+          Some lbest
         | Some p ->
           let cost = Path.cost g p and delay = Path.delay g p in
           (* never return something worse than LARAC's feasible path *)
-          if cost <= larac.Larac.cost then Some { path = p; cost; delay }
-          else
-            Some { path = larac.Larac.path; cost = larac.Larac.cost; delay = larac.Larac.delay }))
+          if cost <= lbest.cost then Some { path = p; cost; delay } else Some lbest))
     end
+
+module Engine : Rsp_engine.S = struct
+  let name = "lorenz-raz"
+  let exact = false
+
+  let solve ?tier ?(epsilon = 0.25) g ~src ~dst ~delay_bound =
+    solve ?tier g ~src ~dst ~delay_bound ~epsilon
+
+  let min_delay_within_cost ?tier ?epsilon g ~src ~dst ~cost_budget =
+    Rsp_engine.dual_via_swap solve ?tier ?epsilon g ~src ~dst ~cost_budget
+end

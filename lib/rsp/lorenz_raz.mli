@@ -3,16 +3,22 @@
     This is the "traditional technique for polynomial time approximation
     scheme design" the paper's Theorem 4 invokes (reference [17] there):
     interval narrowing with an approximate test procedure, then one final
-    cost-scaled dynamic program. Returns a path with delay ≤ D and cost
-    ≤ (1+ε)·OPT in time polynomial in the input size and 1/ε. *)
+    cost-scaled dynamic program with a binary search over scaled budgets.
+    Returns a path with delay ≤ D and cost ≤ (1+ε)·OPT in time polynomial
+    in the input size and 1/ε. Kept as the reference FPTAS; {!Holzmuller}
+    is the production one (geometric-mean pivots, strengthened test, one
+    final DP instead of the budget binary search). *)
 
-type result = {
+type result = Rsp_engine.result = {
   path : Krsp_graph.Path.t;
   cost : int;
   delay : int;
 }
+(** Re-export of the shared {!Rsp_engine.result} so the record fields are
+    in scope for direct users of this module. *)
 
 val solve :
+  ?tier:Krsp_numeric.Numeric.tier ->
   Krsp_graph.Digraph.t ->
   src:Krsp_graph.Digraph.vertex ->
   dst:Krsp_graph.Digraph.vertex ->
@@ -20,4 +26,11 @@ val solve :
   epsilon:float ->
   result option
 (** [None] when no path meets the delay bound. Requires [epsilon > 0] and
-    non-negative costs/delays. *)
+    non-negative costs/delays. [?tier] is threaded through every inner
+    cost-budget DP and the seeding LARAC run (previously those silently
+    ran at the process default). *)
+
+(** The FPTAS as an {!Rsp_engine.S} oracle ([name = "lorenz-raz"],
+    [exact = false], default ε = 0.25). The dual direction runs the solve
+    on {!Rsp_engine.swap_roles}. *)
+module Engine : Rsp_engine.S

@@ -1,0 +1,101 @@
+module G = Krsp_graph.Digraph
+
+type kind = Dp | Larac | Lorenz_raz | Holzmuller
+
+let all = [ Dp; Larac; Lorenz_raz; Holzmuller ]
+
+let to_string = function
+  | Dp -> "dp"
+  | Larac -> "larac"
+  | Lorenz_raz -> "lorenz-raz"
+  | Holzmuller -> "holzmuller"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "dp" | "exact" -> Ok Dp
+  | "larac" -> Ok Larac
+  | "lorenz-raz" | "lorenz_raz" | "lorenzraz" -> Ok Lorenz_raz
+  | "holzmuller" | "holzmueller" | "fptas" -> Ok Holzmuller
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown rsp oracle %S (expected \"dp\", \"larac\", \"lorenz-raz\" or \
+          \"holzmuller\")"
+         other)
+
+let engine : kind -> (module Rsp_engine.S) = function
+  | Dp -> (module Rsp_dp.Engine)
+  | Larac -> (module Larac.Engine)
+  | Lorenz_raz -> (module Lorenz_raz.Engine)
+  | Holzmuller -> (module Holzmuller.Engine)
+
+(* LARAC carries no a-priori approximation ratio, so its over-budget
+   answers never certify a "no" — the gate always re-solves those. *)
+let has_ratio = function Larac -> false | Dp | Lorenz_raz | Holzmuller -> true
+
+(* Mirrors Numeric's default handling: the env var is read lazily exactly
+   once so tests can flip the default programmatically without racing a
+   cached getenv; [set_default] wins over the environment. *)
+let default_kind : kind option ref = ref None
+
+let env_default =
+  lazy
+    (match Sys.getenv_opt "KRSP_RSP_ORACLE" with
+    | None | Some "" -> Holzmuller
+    | Some s -> (
+      match of_string s with
+      | Ok k -> k
+      | Error msg ->
+        Printf.eprintf "krsp: KRSP_RSP_ORACLE: %s; using holzmuller\n%!" msg;
+        Holzmuller))
+
+let default () =
+  match !default_kind with Some k -> k | None -> Lazy.force env_default
+
+let set_default k = default_kind := Some k
+let resolve = function Some k -> k | None -> default ()
+
+let solve ?kind ?tier ?epsilon g ~src ~dst ~delay_bound =
+  Rsp_engine.count_solve ();
+  let module E = (val engine (resolve kind)) in
+  E.solve ?tier ?epsilon g ~src ~dst ~delay_bound
+
+let min_delay_within_cost ?kind ?tier ?epsilon g ~src ~dst ~cost_budget =
+  Rsp_engine.count_dual ();
+  let module E = (val engine (resolve kind)) in
+  E.min_delay_within_cost ?tier ?epsilon g ~src ~dst ~cost_budget
+
+(* The certificate-gated budget test. A [None] from any engine is exact
+   ("no path meets the delay bound at all"), and an answer within budget is
+   a witness — both decide the verdict outright. The only case where the
+   (1+ε) slack could flip a feasibility verdict is an approximate answer
+   in the ambiguous band budget < cost ≤ (1+ε)·budget: there OPT may still
+   be ≤ budget, so the exact DP re-decides (counted as a gate fallback).
+   Beyond the band, cost ≤ (1+ε)·OPT forces OPT > budget — a certified
+   "no" with no DP run. The float comparison errs toward the fallback. *)
+let within_cost ?kind ?tier ?epsilon g ~src ~dst ~delay_bound ~cost_budget =
+  let kind = resolve kind in
+  let module E = (val engine kind) in
+  Rsp_engine.count_solve ();
+  match E.solve ?tier ?epsilon g ~src ~dst ~delay_bound with
+  | None -> None
+  | Some r when r.Rsp_engine.cost <= cost_budget ->
+    Rsp_engine.count_gate_pass ();
+    Some r
+  | Some _ when E.exact -> None
+  | Some r ->
+    let eps =
+      match epsilon with Some e -> e | None -> Rsp_engine.default_epsilon
+    in
+    let certified_no =
+      has_ratio kind
+      && float_of_int r.Rsp_engine.cost
+         > ((1. +. eps) *. float_of_int cost_budget) +. 1e-9
+    in
+    if certified_no then None
+    else begin
+      Rsp_engine.count_gate_fallback ();
+      match Rsp_dp.solve ?tier g ~src ~dst ~delay_bound with
+      | Some (cost, p) when cost <= cost_budget -> Some (Rsp_engine.of_path g p)
+      | _ -> None
+    end

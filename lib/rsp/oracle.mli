@@ -1,0 +1,78 @@
+(** The RSP oracle registry: which {!Rsp_engine.S} implementation answers
+    single-path restricted-shortest-path queries, selected per call, per
+    process ([set_default] / [KRSP_RSP_ORACLE]) or left at the built-in
+    default ({!Holzmuller}).
+
+    Consumers ({!Krsp_core.Krsp} k=1 solves, {!Krsp_core.Phase1} sequential
+    routing, the differential harness's oracle axis) dispatch through
+    {!solve} / {!min_delay_within_cost}; feasibility decisions that an
+    approximate answer could flip go through the certificate-gated
+    {!within_cost}. *)
+
+type kind = Dp | Larac | Lorenz_raz | Holzmuller
+
+val all : kind list
+(** Every registered oracle, [Dp] first. *)
+
+val to_string : kind -> string
+(** ["dp"], ["larac"], ["lorenz-raz"], ["holzmuller"] — the names accepted
+    by [KRSP_RSP_ORACLE] and the [--rsp-oracle] flags. *)
+
+val of_string : string -> (kind, string) Result.t
+(** Case-insensitive; accepts the {!to_string} spellings plus a few
+    aliases ("exact" for dp, "fptas" for holzmuller). *)
+
+val engine : kind -> (module Rsp_engine.S)
+
+val has_ratio : kind -> bool
+(** Whether the engine promises cost ≤ (1+ε)·OPT. [false] only for
+    {!Larac}, whose over-budget answers the gate therefore never trusts. *)
+
+val default : unit -> kind
+(** The process default: {!set_default} if called, else [KRSP_RSP_ORACLE]
+    (read lazily once; unknown values warn to stderr and fall back), else
+    {!Holzmuller}. *)
+
+val set_default : kind -> unit
+
+val solve :
+  ?kind:kind ->
+  ?tier:Krsp_numeric.Numeric.tier ->
+  ?epsilon:float ->
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  delay_bound:int ->
+  Rsp_engine.result option
+(** Dispatch a primal solve to [?kind] (default {!default}); counted in
+    [rsp.oracle_solves]. [None] is exact for every engine. *)
+
+val min_delay_within_cost :
+  ?kind:kind ->
+  ?tier:Krsp_numeric.Numeric.tier ->
+  ?epsilon:float ->
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  cost_budget:int ->
+  Rsp_engine.result option
+(** Dispatch the dual direction; counted in [rsp.oracle_duals]. *)
+
+val within_cost :
+  ?kind:kind ->
+  ?tier:Krsp_numeric.Numeric.tier ->
+  ?epsilon:float ->
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  delay_bound:int ->
+  cost_budget:int ->
+  Rsp_engine.result option
+(** The certificate-gated feasibility test: is there a path with delay ≤
+    [delay_bound] and cost ≤ [cost_budget]? The returned witness always
+    satisfies both bounds. When the selected oracle's (1+ε) slack would
+    change the verdict — an approximate answer in the ambiguous band
+    [cost_budget] < cost ≤ (1+ε)·[cost_budget], or any over-budget LARAC
+    answer — the exact DP re-decides ([rsp.oracle_gate_fallbacks]);
+    answers the gate accepts as-is count [rsp.oracle_gate_passes]. The
+    verdict is therefore always exact, whichever oracle is selected. *)

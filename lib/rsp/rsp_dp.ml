@@ -174,3 +174,68 @@ let min_delay_within_cost ?tier g ~weight ~src ~dst ~budget =
     | None -> None
     | Some (d, parent) -> Some (d, reconstruct g ~advance:weight parent budget dst)
   end
+
+(* The whole dst column of one dual-DP table, scanned upward for the first
+   (= smallest) scaled budget whose min-delay meets the bound. The column is
+   non-increasing in the budget, so this is exactly what a binary search over
+   separate [min_delay_within_cost ~budget:b] runs computes — at the price of
+   ONE table instead of O(log budget) of them. The Holzmüller FPTAS's final
+   phase lives on this. *)
+let min_budget_for_delay ?tier g ~weight ~src ~dst ~budget ~delay_bound =
+  check_nonneg g weight "Rsp_dp.min_budget_for_delay: negative weight";
+  check_nonneg g (G.delay g) "Rsp_dp.min_budget_for_delay: negative delay";
+  if budget < 0 || delay_bound < 0 then None
+  else begin
+    let tier = match tier with Some t -> t | None -> Numeric.default () in
+    let advance = weight and relax_cost = G.delay g in
+    let big () =
+      let dist, parent = budget_dp_big g ~advance ~relax_cost ~src ~budget in
+      let bound = B.of_int delay_bound in
+      let rec scan b =
+        if b > budget then None
+        else begin
+          match dist.(b).(dst) with
+          | Some v when B.compare v bound <= 0 ->
+            Some (B.to_int v, reconstruct g ~advance parent b dst)
+          | _ -> scan (b + 1)
+        end
+      in
+      scan 0
+    in
+    match tier with
+    | Numeric.Exact_only -> big ()
+    | Numeric.Float_first -> (
+      match budget_dp_int g ~advance ~relax_cost ~src ~budget with
+      | exception Overflow ->
+        Numeric.count_dp_overflow ();
+        Numeric.count_exact_fallback ();
+        big ()
+      | dist, parent ->
+        Numeric.count_float_hit ();
+        let rec scan b =
+          if b > budget then None
+          else begin
+            let v = dist.(b).(dst) in
+            if v <> max_int && v <= delay_bound then
+              Some (v, reconstruct g ~advance parent b dst)
+            else scan (b + 1)
+          end
+        in
+        scan 0)
+  end
+
+(* The oracle adapter. Exact: ε is irrelevant and ignored. *)
+module Engine : Rsp_engine.S = struct
+  let name = "dp"
+  let exact = true
+
+  let solve ?tier ?epsilon:_ g ~src ~dst ~delay_bound =
+    match solve ?tier g ~src ~dst ~delay_bound with
+    | None -> None
+    | Some (_, p) -> Some (Rsp_engine.of_path g p)
+
+  let min_delay_within_cost ?tier ?epsilon:_ g ~src ~dst ~cost_budget =
+    match min_delay_within_cost ?tier g ~weight:(G.cost g) ~src ~dst ~budget:cost_budget with
+    | None -> None
+    | Some (_, p) -> Some (Rsp_engine.of_path g p)
+end

@@ -34,3 +34,23 @@ val min_delay_within_cost :
   (int * Krsp_graph.Path.t) option
 (** Dual DP: minimum-delay path whose total [weight] (a scaled cost) is
     ≤ [budget]. [weight] must be non-negative. Used by the FPTAS. *)
+
+val min_budget_for_delay :
+  ?tier:Krsp_numeric.Numeric.tier ->
+  Krsp_graph.Digraph.t ->
+  weight:(Krsp_graph.Digraph.edge -> int) ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  budget:int ->
+  delay_bound:int ->
+  (int * Krsp_graph.Path.t) option
+(** One dual-DP table up to [budget], then a scan of the [dst] column for
+    the smallest scaled budget [b ≤ budget] whose min-delay value meets
+    [delay_bound] — semantically a binary search over
+    [min_delay_within_cost ~budget:b] runs, but paying for a single table.
+    Returns that layer's [(delay, path)] ([None] when even the full budget
+    cannot meet the bound). The Holzmüller FPTAS's final phase. *)
+
+(** The exact DP as an {!Rsp_engine.S} oracle ([name = "dp"]). [?epsilon]
+    is ignored; answers are optimal. The dual weighs [G.cost]. *)
+module Engine : Rsp_engine.S

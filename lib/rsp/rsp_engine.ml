@@ -1,0 +1,68 @@
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+module Metrics = Krsp_util.Metrics
+
+type result = { path : Path.t; cost : int; delay : int }
+
+let of_path g p = { path = p; cost = Path.cost g p; delay = Path.delay g p }
+
+module type S = sig
+  val name : string
+  val exact : bool
+
+  val solve :
+    ?tier:Krsp_numeric.Numeric.tier ->
+    ?epsilon:float ->
+    G.t ->
+    src:G.vertex ->
+    dst:G.vertex ->
+    delay_bound:int ->
+    result option
+
+  val min_delay_within_cost :
+    ?tier:Krsp_numeric.Numeric.tier ->
+    ?epsilon:float ->
+    G.t ->
+    src:G.vertex ->
+    dst:G.vertex ->
+    cost_budget:int ->
+    result option
+end
+
+(* Cost and delay swap roles: a min-cost-under-delay solver run on the
+   swapped graph answers min-delay-under-cost on the original. Every edge
+   is kept, so edge ids coincide and the returned path can be re-evaluated
+   at the original weights directly. *)
+let swap_roles g =
+  fst (G.filter_map_edges g ~f:(fun e -> Some (G.delay g e, G.cost g e)))
+
+(* The ε an approximate engine assumes when the caller passes none. 1.25·OPT
+   comfortably satisfies every consumer contract in the tree (Krsp.solve's
+   k=1 fast path promises ≤ 2·OPT), while keeping the final DP table narrow. *)
+let default_epsilon = 0.25
+
+let dual_via_swap solve ?tier ?epsilon g ~src ~dst ~cost_budget =
+  match solve ?tier ?epsilon (swap_roles g) ~src ~dst ~delay_bound:cost_budget with
+  | None -> None
+  | Some r -> Some (of_path g r.path)
+
+(* One registry for the whole oracle layer (every engine, the dispatch in
+   Oracle, and the certificate gates in Krsp/Oracle all count here), so a
+   single [rsp.oracle_*] block lands in krspd STATS. *)
+let metrics = Metrics.create ()
+let c_solves = Metrics.counter metrics "rsp.oracle_solves"
+let c_duals = Metrics.counter metrics "rsp.oracle_duals"
+let c_narrow_tests = Metrics.counter metrics "rsp.oracle_narrow_tests"
+let c_final_dps = Metrics.counter metrics "rsp.oracle_final_dps"
+let c_gate_fallbacks = Metrics.counter metrics "rsp.oracle_gate_fallbacks"
+let c_gate_passes = Metrics.counter metrics "rsp.oracle_gate_passes"
+let count_solve () = Metrics.incr c_solves
+let count_dual () = Metrics.incr c_duals
+let count_narrow_test () = Metrics.incr c_narrow_tests
+let count_final_dp () = Metrics.incr c_final_dps
+let count_gate_fallback () = Metrics.incr c_gate_fallbacks
+let count_gate_pass () = Metrics.incr c_gate_passes
+let solves () = Metrics.value c_solves
+let narrow_tests () = Metrics.value c_narrow_tests
+let gate_fallbacks () = Metrics.value c_gate_fallbacks
+let gate_passes () = Metrics.value c_gate_passes

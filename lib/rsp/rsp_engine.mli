@@ -1,0 +1,108 @@
+(** The pluggable single-path RSP oracle interface.
+
+    Every RSP solver in this library — the exact pseudo-polynomial DP,
+    LARAC, the Lorenz–Raz FPTAS and the Holzmüller FPTAS — is adapted to
+    one signature so the hot guess-evaluation paths ({!Krsp_core.Krsp},
+    {!Krsp_core.Phase1}, {!Krsp_core.Scaling}) and the differential
+    harness can swap implementations freely. {!Oracle} holds the
+    registry, the [KRSP_RSP_ORACLE] process default and the
+    certificate-gated dispatch. *)
+
+(** One shared result record for every engine (previously each solver
+    declared its own copy). [cost]/[delay] are the path's true sums at
+    the graph's weights, never scaled or approximate values. *)
+type result = {
+  path : Krsp_graph.Path.t;
+  cost : int;
+  delay : int;
+}
+
+val of_path : Krsp_graph.Digraph.t -> Krsp_graph.Path.t -> result
+(** Evaluate a path at the graph's true weights. *)
+
+(** What an engine must provide. [exact] engines ignore [?epsilon] and
+    promise optimal answers; approximate engines return a feasible path
+    with cost ≤ (1+ε)·OPT (LARAC is the exception: feasible but with no
+    a-priori ratio — callers that need the guarantee must gate it).
+    Both directions answer [None] exactly: a [None] means no path
+    satisfies the bound at all, regardless of ε. *)
+module type S = sig
+  val name : string
+
+  val exact : bool
+  (** [true] when [solve] returns the optimum (ε ignored). *)
+
+  val solve :
+    ?tier:Krsp_numeric.Numeric.tier ->
+    ?epsilon:float ->
+    Krsp_graph.Digraph.t ->
+    src:Krsp_graph.Digraph.vertex ->
+    dst:Krsp_graph.Digraph.vertex ->
+    delay_bound:int ->
+    result option
+  (** Min-cost path with delay ≤ [delay_bound]. *)
+
+  val min_delay_within_cost :
+    ?tier:Krsp_numeric.Numeric.tier ->
+    ?epsilon:float ->
+    Krsp_graph.Digraph.t ->
+    src:Krsp_graph.Digraph.vertex ->
+    dst:Krsp_graph.Digraph.vertex ->
+    cost_budget:int ->
+    result option
+  (** The dual direction: min-delay path with cost ≤ [cost_budget]. *)
+end
+
+val default_epsilon : float
+(** The ε approximate engines assume when [?epsilon] is omitted (0.25 —
+    a 1.25·OPT answer satisfies every consumer contract in the tree). *)
+
+val swap_roles : Krsp_graph.Digraph.t -> Krsp_graph.Digraph.t
+(** The graph with cost and delay swapped on every edge. All edges are
+    kept, so edge ids coincide with the original's — a solver run on the
+    swapped graph returns paths directly meaningful on the original. *)
+
+val dual_via_swap :
+  (?tier:Krsp_numeric.Numeric.tier ->
+  ?epsilon:float ->
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  delay_bound:int ->
+  result option) ->
+  ?tier:Krsp_numeric.Numeric.tier ->
+  ?epsilon:float ->
+  Krsp_graph.Digraph.t ->
+  src:Krsp_graph.Digraph.vertex ->
+  dst:Krsp_graph.Digraph.vertex ->
+  cost_budget:int ->
+  result option
+(** Derive [min_delay_within_cost] from a primal [solve] by running it on
+    {!swap_roles} and re-evaluating the returned path at the original
+    weights. Preserves the primal's guarantee with the roles exchanged:
+    delay ≤ (1+ε)·(min delay within budget), cost ≤ [cost_budget]. *)
+
+(** {1 Observability}
+
+    One process-global registry for the oracle layer, exported into
+    krspd STATS next to the solver/checker/numeric registries.
+    [rsp.oracle_solves] / [rsp.oracle_duals] — dispatched primal/dual
+    oracle calls; [rsp.oracle_narrow_tests] — Holzmüller interval
+    narrowing tests; [rsp.oracle_final_dps] — final cost-scaled DP runs;
+    [rsp.oracle_gate_fallbacks] — answers the certificate gate rejected
+    (invalid/over-bound/ambiguous (1+ε) band), re-solved by the exact
+    DP; [rsp.oracle_gate_passes] — answers the gate accepted as-is. *)
+
+val metrics : Krsp_util.Metrics.t
+
+val count_solve : unit -> unit
+val count_dual : unit -> unit
+val count_narrow_test : unit -> unit
+val count_final_dp : unit -> unit
+val count_gate_fallback : unit -> unit
+val count_gate_pass : unit -> unit
+
+val solves : unit -> int
+val narrow_tests : unit -> int
+val gate_fallbacks : unit -> int
+val gate_passes : unit -> int

@@ -14,10 +14,17 @@ type config = {
   solver : Krsp.engine;
   max_iterations : int;
   numeric : Krsp_numeric.Numeric.tier option;
+  rsp_oracle : Krsp_rsp.Oracle.kind option;
 }
 
 let default_config =
-  { cache_capacity = 1024; solver = Krsp.Dp; max_iterations = 2_000; numeric = None }
+  {
+    cache_capacity = 1024;
+    solver = Krsp.Dp;
+    max_iterations = 2_000;
+    numeric = None;
+    rsp_oracle = None;
+  }
 
 (* cache key: (s, t, k, D, ε, topology generation) *)
 type key = int * int * int * int * float option * int
@@ -193,14 +200,15 @@ let do_solve t ~src ~dst ~k ~delay_bound ~epsilon t0 =
               Result.map
                 (fun (sol, stats) -> (sol, stats.Krsp.warm_started))
                 (Krsp.solve inst ~engine:t.cfg.solver ?numeric:t.cfg.numeric
-                   ~max_iterations:t.cfg.max_iterations ?warm_start ~pool:t.pool ())
+                   ?rsp_oracle:t.cfg.rsp_oracle ~max_iterations:t.cfg.max_iterations
+                   ?warm_start ~pool:t.pool ())
             | Some eps ->
               Result.map
                 (fun r ->
                   (r.Krsp_core.Scaling.solution, r.Krsp_core.Scaling.stats.Krsp.warm_started))
                 (Krsp_core.Scaling.solve inst ~epsilon1:eps ~epsilon2:eps ~engine:t.cfg.solver
-                   ?numeric:t.cfg.numeric ~max_iterations:t.cfg.max_iterations ?warm_start
-                   ~pool:t.pool ())
+                   ?numeric:t.cfg.numeric ?rsp_oracle:t.cfg.rsp_oracle
+                   ~max_iterations:t.cfg.max_iterations ?warm_start ~pool:t.pool ())
           in
           fun () ->
             match outcome with
@@ -337,6 +345,7 @@ let local_kv t =
 let stats_kv t =
   local_kv t
   @ Metrics.to_kv Krsp.metrics
+  @ Metrics.to_kv Krsp_rsp.Rsp_engine.metrics
   @ Metrics.to_kv Krsp_check.Check.metrics
   @ Metrics.to_kv Krsp_numeric.Numeric.metrics
   @ [ ("topology.n", string_of_int (G.n t.base)); ("topology.m", string_of_int (G.m t.base)) ]

@@ -54,6 +54,11 @@ type config = {
       (** numeric tier for every solve this engine runs; [None] (default)
           defers to {!Krsp_numeric.Numeric.default}, i.e. the
           [KRSP_NUMERIC] / [--numeric] process-wide policy *)
+  rsp_oracle : Krsp_rsp.Oracle.kind option;
+      (** RSP oracle behind the k=1 fast path of every solve this engine
+          runs; [None] (default) defers to {!Krsp_rsp.Oracle.default},
+          i.e. the [KRSP_RSP_ORACLE] / [--rsp-oracle] process-wide
+          policy *)
 }
 
 val default_config : config

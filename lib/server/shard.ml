@@ -349,6 +349,7 @@ let stats_kv t =
       int_kv "cache.capacity" (sum (fun e -> snd (Engine.cache_occupancy e)))
     ]
   @ Metrics.to_kv Krsp_core.Krsp.metrics
+  @ Metrics.to_kv Krsp_rsp.Rsp_engine.metrics
   @ Metrics.to_kv Krsp_check.Check.metrics
   @ Metrics.to_kv Krsp_numeric.Numeric.metrics
 

@@ -731,11 +731,17 @@ let test_figure1_naive_blows_up () =
 let test_zigzag_iterations () =
   let levels = 8 in
   let t = Hard.zigzag ~levels in
-  let sol, stats = expect_ok (Krsp.solve t ~guess_steps:0 ()) in
+  (* with the k=1 oracle short-circuit disabled, the legacy repair loop runs:
+     each iteration upgrades exactly one segment by (cost +1, delay −2) *)
+  let sol, stats = expect_ok (Krsp.solve t ~k1_oracle:false ~guess_steps:0 ()) in
   Alcotest.(check bool) "feasible" true (Instance.is_feasible t sol);
-  (* each iteration upgrades exactly one segment by (cost +1, delay −2) *)
   Alcotest.(check int) "iterations = ceil(levels/2)" ((levels + 1) / 2) stats.Krsp.iterations;
-  Alcotest.(check int) "cost = upgrades" ((levels + 1) / 2) sol.Instance.cost
+  Alcotest.(check int) "cost = upgrades" ((levels + 1) / 2) sol.Instance.cost;
+  (* the k=1 fast path reaches the same optimum with zero repair iterations *)
+  let sol', stats' = expect_ok (Krsp.solve t ~rsp_oracle:Krsp_rsp.Oracle.Dp ()) in
+  Alcotest.(check int) "fast path optimal" ((levels + 1) / 2) sol'.Instance.cost;
+  Alcotest.(check int) "fast path skips repair" 0 stats'.Krsp.iterations;
+  Alcotest.(check int) "fast path: one guess" 1 stats'.Krsp.guesses_tried
 
 let test_baselines_diamond () =
   let t = diamond_instance ~delay_bound:8 ~k:2 in

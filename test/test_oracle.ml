@@ -1,0 +1,273 @@
+(* The pluggable RSP oracle layer: every Oracle.kind against the exact DP
+   (feasibility agreement, (1+ε) cost ratio, Check.certify on each answer),
+   the Holzmüller FPTAS ratio against brute force, the single-table
+   min_budget_for_delay against a scan of budget DPs, the certificate-gated
+   within_cost verdict, and the committed corpus replayed under every
+   oracle through the differential harness. *)
+
+module G = Krsp_graph.Digraph
+module Path = Krsp_graph.Path
+module Rsp_dp = Krsp_rsp.Rsp_dp
+module Rsp_engine = Krsp_rsp.Rsp_engine
+module Oracle = Krsp_rsp.Oracle
+module Holzmuller = Krsp_rsp.Holzmuller
+module Instance = Krsp_core.Instance
+module Check = Krsp_check.Check
+module X = Krsp_util.Xoshiro
+
+let random_graph rng ~n ~p ~cmax ~dmax =
+  let g = G.create ~n () in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && X.float rng 1.0 < p then
+        ignore
+          (G.add_edge g ~src:u ~dst:v ~cost:(X.int_in rng 0 cmax)
+             ~delay:(X.int_in rng 0 dmax))
+    done
+  done;
+  g
+
+(* brute-force RSP: enumerate all simple paths *)
+let brute g ~src ~dst ~delay_bound =
+  let best = ref None in
+  let rec dfs cost delay visited v =
+    if delay <= delay_bound then begin
+      if v = dst then begin
+        match !best with
+        | None -> best := Some cost
+        | Some b -> if cost < b then best := Some cost
+      end
+      else
+        G.iter_out g v (fun e ->
+            let w = G.dst g e in
+            if not (List.mem w visited) then
+              dfs (cost + G.cost g e) (delay + G.delay g e) (w :: visited) w)
+    end
+  in
+  dfs 0 0 [ src ] src;
+  !best
+
+let diamond () =
+  let g = G.create ~n:4 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:1 ~dst:3 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:0 ~dst:2 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:2 ~dst:3 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:0 ~dst:3 ~cost:10 ~delay:5);
+  g
+
+let eps = Rsp_engine.default_epsilon
+
+(* Holzmüller keeps the Lorenz–Raz contract: cost ≤ (1+ε)·OPT, delay ≤ D *)
+let holzmuller_ratio_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"holzmuller: cost <= (1+eps)·OPT, delay <= D" ~count:60
+       QCheck2.Gen.(pair int (int_range 1 8))
+       (fun (seed, eps10) ->
+         let rng = X.create ~seed in
+         let epsilon = float_of_int eps10 /. 10. in
+         let n = 3 + X.int rng 5 in
+         let g = random_graph rng ~n ~p:0.5 ~cmax:30 ~dmax:8 in
+         let delay_bound = X.int rng 25 in
+         let opt = brute g ~src:0 ~dst:(n - 1) ~delay_bound in
+         match (Holzmuller.solve g ~src:0 ~dst:(n - 1) ~delay_bound ~epsilon, opt) with
+         | None, None -> true
+         | Some r, Some o ->
+           r.Rsp_engine.delay <= delay_bound
+           && Path.is_valid g ~src:0 ~dst:(n - 1) r.Rsp_engine.path
+           && float_of_int r.Rsp_engine.cost <= ((1. +. epsilon) *. float_of_int o) +. 1e-9
+         | _, _ -> false))
+
+(* every oracle: same feasibility verdict as the exact DP, a Check.certify
+   certificate on its answer, and (ratio-carrying oracles) cost within
+   (1+ε) of the optimum *)
+let oracle_agreement_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"oracles: agree with dp, certified, within ratio" ~count:40
+       QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let n = 3 + X.int rng 5 in
+         let g = random_graph rng ~n ~p:0.5 ~cmax:20 ~dmax:8 in
+         let delay_bound = X.int rng 25 in
+         let src = 0 and dst = n - 1 in
+         let dp = Rsp_dp.solve g ~src ~dst ~delay_bound in
+         List.for_all
+           (fun kind ->
+             match (Oracle.solve ~kind g ~src ~dst ~delay_bound, dp) with
+             | None, None -> true
+             | Some r, Some (opt, _) ->
+               let certified =
+                 let inst = Instance.create g ~src ~dst ~k:1 ~delay_bound in
+                 let sol = Instance.solution_of_paths inst [ r.Rsp_engine.path ] in
+                 Check.ok (Check.certify ~level:Check.Structural inst sol)
+               in
+               Path.is_valid g ~src ~dst r.Rsp_engine.path
+               && r.Rsp_engine.delay <= delay_bound
+               && r.Rsp_engine.cost = Path.cost g r.Rsp_engine.path
+               && r.Rsp_engine.cost >= opt
+               && certified
+               && ((not (Oracle.has_ratio kind))
+                  || float_of_int r.Rsp_engine.cost
+                     <= ((1. +. eps) *. float_of_int opt) +. 1e-9)
+             | _ -> false)
+           Oracle.all))
+
+(* the dual direction through every oracle: a within-budget witness whose
+   delay is within (1+ε) of the exact dual optimum for ratio oracles *)
+let oracle_dual_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"oracles: dual within budget" ~count:40 QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let n = 3 + X.int rng 5 in
+         let g = random_graph rng ~n ~p:0.5 ~cmax:8 ~dmax:8 in
+         let cost_budget = X.int rng 25 in
+         let src = 0 and dst = n - 1 in
+         let exact =
+           Rsp_dp.min_delay_within_cost g ~weight:(G.cost g) ~src ~dst ~budget:cost_budget
+         in
+         List.for_all
+           (fun kind ->
+             match (Oracle.min_delay_within_cost ~kind g ~src ~dst ~cost_budget, exact) with
+             | None, None -> true
+             | Some r, Some _ ->
+               Path.is_valid g ~src ~dst r.Rsp_engine.path
+               && r.Rsp_engine.cost <= cost_budget
+             | _ -> false)
+           Oracle.all))
+
+(* one dual-DP table scanned upward = a binary search over budget DPs *)
+let min_budget_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"min_budget_for_delay matches budget scan" ~count:60
+       QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let n = 3 + X.int rng 5 in
+         let g = random_graph rng ~n ~p:0.5 ~cmax:6 ~dmax:6 in
+         let delay_bound = X.int rng 15 in
+         let budget = X.int rng 30 in
+         let src = 0 and dst = n - 1 in
+         let weight = G.cost g in
+         let by_scan =
+           let rec go b =
+             if b > budget then None
+             else begin
+               match Rsp_dp.min_delay_within_cost g ~weight ~src ~dst ~budget:b with
+               | Some (d, _) when d <= delay_bound -> Some b
+               | _ -> go (b + 1)
+             end
+           in
+           go 0
+         in
+         match (Rsp_dp.min_budget_for_delay g ~weight ~src ~dst ~budget ~delay_bound, by_scan)
+         with
+         | None, None -> true
+         | Some (d, p), Some b' ->
+           (* the returned witness lives in the scan's minimal budget layer *)
+           d = Path.delay g p
+           && d <= delay_bound
+           && Path.is_valid g ~src ~dst p
+           && Path.cost g p <= b'
+         | _ -> false))
+
+(* the gated feasibility test must return the EXACT verdict under every
+   oracle, with a witness satisfying both bounds *)
+let within_cost_exact_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"within_cost: exact verdict under every oracle" ~count:40
+       QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let n = 3 + X.int rng 5 in
+         let g = random_graph rng ~n ~p:0.5 ~cmax:10 ~dmax:8 in
+         let delay_bound = X.int rng 20 in
+         let cost_budget = X.int rng 15 in
+         let src = 0 and dst = n - 1 in
+         let truth =
+           match Rsp_dp.solve g ~src ~dst ~delay_bound with
+           | Some (c, _) -> c <= cost_budget
+           | None -> false
+         in
+         List.for_all
+           (fun kind ->
+             match Oracle.within_cost ~kind g ~src ~dst ~delay_bound ~cost_budget with
+             | Some r ->
+               truth
+               && r.Rsp_engine.cost <= cost_budget
+               && r.Rsp_engine.delay <= delay_bound
+               && Path.is_valid g ~src ~dst r.Rsp_engine.path
+             | None -> not truth)
+           Oracle.all))
+
+let test_registry () =
+  List.iter
+    (fun kind ->
+      match Oracle.of_string (Oracle.to_string kind) with
+      | Ok k -> Alcotest.(check bool) (Oracle.to_string kind) true (k = kind)
+      | Error msg -> Alcotest.fail msg)
+    Oracle.all;
+  (match Oracle.of_string "no-such-oracle" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus oracle name accepted");
+  (* each engine reports the name the registry knows it by *)
+  List.iter
+    (fun kind ->
+      let module E = (val Oracle.engine kind) in
+      Alcotest.(check string) "engine name" (Oracle.to_string kind) E.name)
+    Oracle.all;
+  let module E = (val Oracle.engine Oracle.Dp) in
+  Alcotest.(check bool) "dp exact" true E.exact
+
+let test_counters_move () =
+  let g = diamond () in
+  let solves0 = Rsp_engine.solves () in
+  let narrow0 = Rsp_engine.narrow_tests () in
+  (match Oracle.solve ~kind:Oracle.Holzmuller g ~src:0 ~dst:3 ~delay_bound:4 with
+  | Some r -> Alcotest.(check int) "diamond tight optimum" 4 r.Rsp_engine.cost
+  | None -> Alcotest.fail "feasible");
+  Alcotest.(check bool) "solve counted" true (Rsp_engine.solves () > solves0);
+  (* the diamond gap is closed by LARAC seeding or one narrowing round;
+     either way the counter must never run away *)
+  Alcotest.(check bool) "narrow tests bounded" true (Rsp_engine.narrow_tests () - narrow0 <= 64)
+
+let test_narrowing_runs () =
+  (* Lagrangian-gap gadget: OPT = 100 (the dear fast edge). The cheap edge
+     is only just infeasible (delay 11 vs bound 10) while the dear edge is
+     far inside the bound, so the dual crossing sits at 100·1/11 and
+     LARAC's lower bound is ⌊100/11⌋ = 9: ub = 100 > 8·9 on entry and the
+     interval-narrowing loop must actually fire before the final DP *)
+  let g = G.create ~n:2 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:100 ~delay:0);
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:0 ~delay:11);
+  let narrow0 = Rsp_engine.narrow_tests () in
+  (match Holzmuller.solve g ~src:0 ~dst:1 ~delay_bound:10 ~epsilon:0.25 with
+  | Some r -> Alcotest.(check int) "optimal" 100 r.Rsp_engine.cost
+  | None -> Alcotest.fail "feasible");
+  Alcotest.(check bool) "narrowing fired" true (Rsp_engine.narrow_tests () > narrow0)
+
+(* replay the committed corpus through the differential oracle axis: zero
+   disagreements under every oracle *)
+let test_corpus_all_oracles () =
+  let dir = if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus" in
+  let entries = Krsp_check.Corpus.load_dir dir in
+  Alcotest.(check bool) "corpus present" true (List.length entries >= 3);
+  List.iter
+    (fun (name, inst) ->
+      match Krsp_check.Differential.oracles inst with
+      | [] -> ()
+      | mismatches ->
+        Alcotest.fail (Printf.sprintf "%s:\n%s" name (String.concat "\n" mismatches)))
+    entries
+
+let suites =
+  [ ( "rsp-oracle",
+      [ Alcotest.test_case "registry roundtrip" `Quick test_registry;
+        Alcotest.test_case "counters move" `Quick test_counters_move;
+        Alcotest.test_case "narrowing loop fires on a duality gap" `Quick test_narrowing_runs;
+        Alcotest.test_case "corpus replay under all oracles" `Quick test_corpus_all_oracles;
+        holzmuller_ratio_prop; oracle_agreement_prop; oracle_dual_prop; min_budget_prop;
+        within_cost_exact_prop
+      ] )
+  ]

@@ -4,6 +4,7 @@
 module G = Krsp_graph.Digraph
 module Path = Krsp_graph.Path
 module Rsp_dp = Krsp_rsp.Rsp_dp
+module Rsp_engine = Krsp_rsp.Rsp_engine
 module Larac = Krsp_rsp.Larac
 module Lorenz_raz = Krsp_rsp.Lorenz_raz
 module X = Krsp_util.Xoshiro
@@ -106,8 +107,10 @@ let test_larac_feasible_and_bounded () =
   let g = diamond () in
   match Larac.solve g ~src:0 ~dst:3 ~delay_bound:4 with
   | Some r ->
-    Alcotest.(check bool) "delay ok" true (r.Larac.delay <= 4);
-    Alcotest.(check bool) "lb <= cost" true (r.Larac.lower_bound <= r.Larac.cost);
+    Alcotest.(check bool) "delay ok" true (r.Larac.best.Rsp_engine.delay <= 4);
+    Alcotest.(check bool)
+      "lb <= cost" true
+      (r.Larac.lower_bound <= r.Larac.best.Rsp_engine.cost);
     (* exact optimum here is 4 *)
     Alcotest.(check bool) "lb <= OPT" true (r.Larac.lower_bound <= 4)
   | None -> Alcotest.fail "feasible"
@@ -121,7 +124,7 @@ let test_larac_unconstrained_exact () =
   let g = diamond () in
   match Larac.solve g ~src:0 ~dst:3 ~delay_bound:100 with
   | Some r ->
-    Alcotest.(check int) "optimal" 2 r.Larac.cost;
+    Alcotest.(check int) "optimal" 2 r.Larac.best.Rsp_engine.cost;
     Alcotest.(check int) "lb tight" 2 r.Larac.lower_bound
   | None -> Alcotest.fail "feasible"
 
@@ -138,9 +141,10 @@ let larac_sound_prop =
          match (Larac.solve g ~src:0 ~dst:(n - 1) ~delay_bound, opt) with
          | None, None -> true
          | Some r, Some o ->
-           r.Larac.delay <= delay_bound
-           && Path.is_valid g ~src:0 ~dst:(n - 1) r.Larac.path
-           && r.Larac.lower_bound <= o && r.Larac.cost >= o
+           r.Larac.best.Rsp_engine.delay <= delay_bound
+           && Path.is_valid g ~src:0 ~dst:(n - 1) r.Larac.best.Rsp_engine.path
+           && r.Larac.lower_bound <= o
+           && r.Larac.best.Rsp_engine.cost >= o
          | _, _ -> false))
 
 let fptas_ratio_prop =
