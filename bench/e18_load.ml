@@ -34,7 +34,10 @@ module Protocol = Krsp_server.Protocol
 module Metrics = Krsp_util.Metrics
 
 let smoke = Sys.getenv_opt "KRSP_BENCH_SMOKE" <> None
-let now () = Unix.gettimeofday ()
+
+(* monotonic: latency-from-scheduled-arrival must not jump with wall-clock
+   adjustments mid-run *)
+let now () = Krsp_util.Timer.now_ms () /. 1000.
 
 (* serving config, as in E14: cap the pathological guess-search tail so
    per-request latency stays bounded — a daemon would run the same cap *)
@@ -120,7 +123,8 @@ let classify t reply =
   | Ok (Protocol.Err (Protocol.Overload _)) ->
     (* sheds are front outcomes, never completions *)
     Metrics.incr t.c_errors
-  | Ok (Protocol.Pong | Protocol.Stats_dump _) -> Metrics.incr t.c_ok
+  | Ok (Protocol.Pong | Protocol.Stats_dump _ | Protocol.Trace_json _ | Protocol.Traced _) ->
+    Metrics.incr t.c_ok
   | Ok (Protocol.Err _) | Error _ -> Metrics.incr t.c_errors);
   Metrics.incr t.c_done
 

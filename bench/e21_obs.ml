@@ -1,0 +1,225 @@
+(* E21 — observability overhead and fidelity.
+
+   Replays one seeded query trace through a single-shard fleet (the same
+   submit-path krspd serves) under each tracing policy — off, slow:<ms>,
+   sample:<N>, all — and measures the per-policy wall clock of the
+   identical work. Self-checking on both axes:
+
+   fidelity — under [all] every request leaves spans in the rings and the
+   Chrome export validates (via the same Trace.Json checker the CLI's
+   trace-validate uses); under [off] the rings stay empty; under
+   [sample:N] the kept-trace count sits strictly between the two; and the
+   solver's answers (cost, delay, paths) are bit-identical across
+   policies — tracing must observe, never perturb;
+
+   overhead — [all] must stay within 15% of [off], and a repeat [off] leg
+   must land within 2% of the first (the off-cost proxy: the policy-off
+   instrumentation is a single pattern match, so two off legs differ only
+   by machine noise — there is no uninstrumented binary to diff against).
+   Policies are interleaved round-robin within each rep, after one
+   unmeasured warmup replay, so slow machine-speed drift (page-cache
+   warming, thermal) hits every policy equally instead of biasing whole
+   blocks. The percentage asserts are binding in full mode only; smoke
+   (CI) runs the fidelity checks at tiny sizes where wall-clock ratios
+   are noise.
+
+   The collected numbers are exposed through {!json} so bench/main.ml can
+   emit BENCH_e21.json for perf tracking across PRs. *)
+
+open Common
+module Shard = Krsp_server.Shard
+module Engine = Krsp_server.Engine
+module Protocol = Krsp_server.Protocol
+module Trace = Krsp_obs.Trace
+
+let smoke = Sys.getenv_opt "KRSP_BENCH_SMOKE" <> None
+let wrong = ref 0
+
+let flag_wrong what =
+  incr wrong;
+  Printf.printf "!! WRONG: %s\n" what
+
+let config = { Engine.default_config with Engine.max_iterations = 300 }
+
+(* --- JSON accumulation (emitted by bench/main.ml as BENCH_e21.json) ----------- *)
+
+type row = { policy : string; ms : float; overhead_pct : float; events : int }
+
+let rows : row list ref = ref []
+let off_repeat_pct = ref nan
+
+let json () =
+  let fields =
+    List.map
+      (fun r ->
+        Printf.sprintf
+          "    {\"policy\": %S, \"ms\": %.3f, \"overhead_pct\": %.2f, \"events\": %d}"
+          r.policy r.ms r.overhead_pct r.events)
+      (List.rev !rows)
+  in
+  String.concat "\n"
+    [ "{";
+      "  \"experiment\": \"e21\",";
+      Printf.sprintf "  \"smoke\": %b," smoke;
+      Printf.sprintf "  \"wrong_answers\": %d," !wrong;
+      Printf.sprintf "  \"off_repeat_pct\": %.2f," !off_repeat_pct;
+      "  \"policies\": [";
+      String.concat ",\n" fields;
+      "  ]";
+      "}"; ""
+    ]
+
+(* --- trace replay --------------------------------------------------------------- *)
+
+let make_queries rng g ~count =
+  Array.init count (fun _ ->
+      match Krsp_gen.Instgen.instance rng g { Krsp_gen.Instgen.k = 2; tightness = 0.9 } with
+      | Some t ->
+        Printf.sprintf "SOLVE %d %d %d %d" t.Instance.src t.Instance.dst t.Instance.k
+          t.Instance.delay_bound
+      | None -> "PING")
+
+(* one full replay on a fresh fleet: every policy sees identical work —
+   same queries, same cold caches — so the wall clocks are comparable and
+   the answers must agree verbatim *)
+let replay g queries =
+  let fleet = Shard.create ~config ~shards:1 (G.copy g) in
+  Fun.protect
+    ~finally:(fun () -> Shard.shutdown fleet)
+    (fun () ->
+      let t0 = Timer.now_ms () in
+      let replies = Array.map (Shard.handle_line fleet) queries in
+      (Timer.now_ms () -. t0, replies))
+
+(* the answer fields that must not depend on the tracing policy: everything
+   except the measured ms *)
+let answer_key reply =
+  match Protocol.parse_response reply with
+  | Ok (Protocol.Solution { cost; delay; paths; source; ms = _ }) ->
+    let source =
+      match source with
+      | Protocol.Cold -> "cold"
+      | Protocol.Cache_hit -> "cache"
+      | Protocol.Warm_start -> "warm"
+    in
+    Printf.sprintf "SOLUTION %d %d %s %s" cost delay
+      (String.concat ";" (List.map (fun p -> String.concat "," (List.map string_of_int p)) paths))
+      source
+  | Ok _ | Error _ -> reply
+
+let median = Krsp_util.Stats.median
+
+(* --- experiment ----------------------------------------------------------------- *)
+
+let run () =
+  header "E21" "observability — tracing overhead and export fidelity";
+  note "mode: %s\n" (if smoke then "smoke (tiny sizes; fidelity only)" else "full");
+  let rng = X.create ~seed:21 in
+  (* full mode favours many mid-weight solves over few heavy ones: the
+     per-replay wall is then an average over 150 requests, so the
+     off-vs-off drift bound is a statement about tracing, not about the
+     variance of one pathological LP solve *)
+  let n, count, reps = if smoke then (24, 30, 2) else (32, 150, 5) in
+  let g =
+    Krsp_gen.Topology.waxman rng ~n ~alpha:0.9 ~beta:0.3 Krsp_gen.Topology.default_weights
+  in
+  let queries = make_queries rng g ~count in
+  let saved = Trace.policy () in
+  (* the slow:<ms> leg would spray its log lines over the tables; count
+     them instead of printing *)
+  let saved_sink = !Trace.slow_sink in
+  let slow_lines = ref 0 in
+  Trace.slow_sink := (fun _ -> incr slow_lines);
+  (* [all] last: the chrome-export validation below reads the rings as the
+     final replay left them *)
+  let legs =
+    [| ("off", Trace.Off); ("off-repeat", Trace.Off); ("slow:5", Trace.Slow 5.);
+       ("sample:8", Trace.Sample 8); ("all", Trace.All)
+    |]
+  in
+  let walls = Array.map (fun _ -> ref []) legs in
+  let events = Array.make (Array.length legs) 0 in
+  let answers = Array.make (Array.length legs) [||] in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_policy saved;
+      Trace.slow_sink := saved_sink;
+      Trace.clear ())
+    (fun () ->
+      (* one unmeasured warmup replay so first-touch costs (page cache,
+         lazy allocation) are not billed to whichever leg runs first *)
+      Trace.set_policy Trace.Off;
+      ignore (replay g queries);
+      for _ = 1 to reps do
+        Array.iteri
+          (fun i (_, policy) ->
+            Trace.set_policy policy;
+            Trace.clear ();
+            let wall, rs = replay g queries in
+            walls.(i) := wall :: !(walls.(i));
+            events.(i) <- List.length (Trace.events ());
+            answers.(i) <- Array.map answer_key rs)
+          legs
+      done;
+      let med i = median !(walls.(i)) in
+      let off_ms = med 0 and off_events = events.(0) and off_answers = answers.(0) in
+      off_repeat_pct := 100. *. Float.abs (med 1 -. off_ms) /. off_ms;
+      let table =
+        Table.create
+          ~columns:
+            [ ("policy", Table.Left); ("wall ms (med)", Table.Right);
+              ("overhead %", Table.Right); ("ring events", Table.Right)
+            ]
+      in
+      let record name ms events =
+        let pct = 100. *. ((ms /. off_ms) -. 1.) in
+        rows := { policy = name; ms; overhead_pct = pct; events } :: !rows;
+        Table.add_row table
+          [ name; Table.fmt_float ~decimals:2 ms; Table.fmt_float ~decimals:1 pct;
+            string_of_int events
+          ];
+        pct
+      in
+      ignore (record "off" off_ms off_events);
+      let slow_events = events.(2) and slow_answers = answers.(2) in
+      ignore (record "slow:5" (med 2) slow_events);
+      if slow_events > 0 && !slow_lines = 0 then
+        flag_wrong "slow:5 kept traces but emitted no slow-request log lines";
+      let sample_events = events.(3) and sample_answers = answers.(3) in
+      ignore (record "sample:8" (med 3) sample_events);
+      let all_events = events.(4) and all_answers = answers.(4) in
+      let all_pct = record "all" (med 4) all_events in
+      Table.print table;
+      note "off repeat drift: %.1f%%\n" !off_repeat_pct;
+
+      (* fidelity: rings empty when off, populated when all, in between
+         when sampling; the export must validate; answers must agree *)
+      if off_events <> 0 then
+        flag_wrong (Printf.sprintf "policy off left %d event(s) in the rings" off_events);
+      if all_events = 0 then flag_wrong "policy all recorded no events";
+      if sample_events > all_events then
+        flag_wrong
+          (Printf.sprintf "sample:8 kept more events (%d) than all (%d)" sample_events
+             all_events);
+      (match Trace.Json.validate_chrome (Trace.export_chrome ()) with
+      | Ok 0 -> flag_wrong "chrome export has no span events under policy all"
+      | Ok spans -> note "chrome export validates: %d span event(s)\n" spans
+      | Error msg -> flag_wrong ("chrome export does not validate: " ^ msg));
+      List.iter
+        (fun (name, answers) ->
+          if answers <> off_answers then
+            flag_wrong (Printf.sprintf "answers under %s differ from policy off" name))
+        [ ("slow:5", slow_answers); ("sample:8", sample_answers); ("all", all_answers) ];
+
+      (* overhead: binding in full mode only *)
+      if not smoke then begin
+        if all_pct > 15. then
+          flag_wrong (Printf.sprintf "policy all overhead %.1f%% > 15%%" all_pct);
+        if !off_repeat_pct > 2. then
+          flag_wrong (Printf.sprintf "off repeat drift %.1f%% > 2%%" !off_repeat_pct)
+      end);
+  if !wrong > 0 then begin
+    Printf.printf "\nE21 FAILED: %d check(s) failed\n" !wrong;
+    exit 1
+  end
+  else note "\nE21: tracing observes without perturbing; exports validate\n"

@@ -656,6 +656,47 @@ let client_cmd =
     (Cmd.info "client" ~exits ~man ~doc:"Send requests to a running krspd daemon.")
     Term.(const client $ unix_path $ host $ port $ requests)
 
+(* ---- trace-validate --------------------------------------------------------- *)
+
+let trace_validate file =
+  let contents =
+    try
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Printf.eprintf "trace-validate: %s\n" msg;
+      exit exit_parse_io
+  in
+  match Krsp_obs.Trace.Json.validate_chrome contents with
+  | Ok events ->
+    Printf.printf "%s: valid Chrome trace, %d span event(s)\n" file events;
+    0
+  | Error msg ->
+    Printf.eprintf "%s: invalid trace: %s\n" file msg;
+    1
+
+let trace_validate_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A trace file exported by krspd (TRACE verb or SIGUSR2).")
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Checks that $(docv) is loadable Chrome trace-event JSON (a top-level event array \
+         or an object with a $(b,traceEvents) array, every event carrying a string \
+         $(b,ph)/$(b,name) and every complete event numeric $(b,ts)/$(b,dur)) and prints \
+         the span-event count. Exit 0 = valid, 1 = malformed."
+    ]
+  in
+  Cmd.v
+    (Cmd.info "trace-validate" ~exits ~man ~doc:"Validate an exported Chrome trace file.")
+    Term.(const trace_validate $ file)
+
 (* ---- dot -------------------------------------------------------------------- *)
 
 let dot file out =
@@ -688,5 +729,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ generate_cmd; solve_cmd; exact_cmd; compare_cmd; qos_cmd; route_cmd; verify_cmd;
-            fuzz_cmd; client_cmd; dot_cmd
+            fuzz_cmd; client_cmd; trace_validate_cmd; dot_cmd
           ]))

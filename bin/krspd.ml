@@ -1,10 +1,11 @@
 (* krspd — the kRSP query-serving daemon.
 
-   Loads a topology once, then serves SOLVE/QOS/FAIL/RESTORE/STATS/PING
-   requests over a Unix-domain socket, TCP, or stdio (see
+   Loads a topology once, then serves SOLVE/QOS/FAIL/RESTORE/STATS/PING/
+   TRACE requests over a Unix-domain socket, TCP, or stdio (see
    Krsp_server.Protocol for the grammar) from a fleet of engine shards
    (see Krsp_server.Shard). SIGUSR1 dumps the per-shard and aggregated
-   metrics to stderr without disturbing clients; SIGTERM drains the fleet
+   metrics to stderr and SIGUSR2 exports the span rings as a Chrome trace
+   file, both without disturbing clients; SIGTERM drains the fleet
    gracefully and exits 0. *)
 
 open Cmdliner
@@ -13,6 +14,8 @@ module Engine = Krsp_server.Engine
 module Shard = Krsp_server.Shard
 module Server = Krsp_server.Server
 module Metrics = Krsp_util.Metrics
+module Trace = Krsp_obs.Trace
+module Telemetry = Krsp_obs.Telemetry
 
 let graph_file =
   Arg.(
@@ -108,8 +111,39 @@ let domains_arg =
            recommended domain count divided by the shard count. $(docv)=1 disables \
            within-solve parallelism; total domains are roughly shards × $(docv).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"POLICY"
+        ~doc:
+          "Request-tracing policy: $(b,off), $(b,slow:<ms>) (keep and log only requests \
+           slower than the threshold), $(b,sample:<N>) (keep one request in N) or \
+           $(b,all). Kept requests' phase spans accumulate in ring buffers, exported as \
+           Chrome trace-event JSON by the TRACE request or SIGUSR2. Default: \
+           $(b,KRSP_TRACE) when set, else off.")
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-file" ] ~docv:"FILE"
+        ~doc:
+          "Where SIGUSR2 writes the Chrome trace export. Default: \
+           krspd-trace.<pid>.json in the working directory.")
+
+let telemetry_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "telemetry-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve the Prometheus text exposition of the merged metrics registries on \
+           http://127.0.0.1:$(docv)/ (any path; one scrape per connection). 0 picks an \
+           ephemeral port (printed on stderr).")
+
 let run graph_file unix_path tcp_port tcp_host cache_size engine_name numeric rsp_oracle
-    shards queue_bound domains =
+    shards queue_bound domains trace_policy trace_file telemetry_port =
   let g =
     try Io.of_edge_list (Io.read_file graph_file)
     with Failure msg | Sys_error msg ->
@@ -167,32 +201,73 @@ let run graph_file unix_path tcp_port tcp_host cache_size engine_name numeric rs
       | Some w -> w
       | None -> max 1 (Domain.recommended_domain_count () / shards))
   in
+  (match trace_policy with
+  | None -> ()
+  | Some s -> (
+    match Trace.policy_of_string s with
+    | Ok p -> Trace.set_policy p
+    | Error msg ->
+      Printf.eprintf "krspd: --trace: %s\n" msg;
+      exit 3));
   let fleet = Shard.create ~config ~queue_bound ~domains_per_shard ~shards g in
   (match Krsp_check.Hook.install_from_env () with
   | Some level ->
     Printf.eprintf "krspd: KRSP_CERTIFY on — every solve is post-checked (%s)\n%!"
       (match level with Krsp_check.Check.Full -> "full" | Krsp_check.Check.Structural -> "structural")
   | None -> ());
-  Sys.set_signal Sys.sigusr1
-    (Sys.Signal_handle
-       (fun _ ->
-         (* the dump takes the (error-checked) metric locks; if the signal
-            lands inside one of those critical sections, skip this dump
-            rather than let Sys_error escape into the interrupted code.
-            The dump is composed into one string and written with a single
-            call, so per-shard sections never interleave. *)
-         try
-           let s = "--- krspd metrics ---\n" ^ Shard.dump fleet in
-           ignore (Unix.write_substring Unix.stderr s 0 (String.length s))
-         with Sys_error _ | Unix.Unix_error _ -> ()));
+  let telemetry =
+    match telemetry_port with
+    | None -> None
+    | Some port ->
+      let srv = Telemetry.start ~port (fun () -> Shard.prometheus fleet) in
+      Printf.eprintf "krspd: telemetry on http://127.0.0.1:%d/ (pid %d)\n%!"
+        (Telemetry.port srv) (Unix.getpid ());
+      Some srv
+  in
+  (* Signal handlers only flip flags: composing a dump or an export takes
+     locks and allocates, none of which is safe inside a handler. The
+     serving loop's on_tick drains the flags on the front's domain —
+     select wakes on EINTR, so the work runs promptly. *)
+  let want_dump = Atomic.make false in
+  let want_trace_export = Atomic.make false in
+  let trace_file =
+    match trace_file with
+    | Some f -> f
+    | None -> Printf.sprintf "krspd-trace.%d.json" (Unix.getpid ())
+  in
+  let drain_signals () =
+    if Atomic.exchange want_dump false then begin
+      (* one string, one write: per-shard sections never interleave *)
+      let s = "--- krspd metrics ---\n" ^ Shard.dump fleet in
+      try ignore (Unix.write_substring Unix.stderr s 0 (String.length s))
+      with Unix.Unix_error _ -> ()
+    end;
+    if Atomic.exchange want_trace_export false then begin
+      match Engine.trace_response (Some trace_file) with
+      | Krsp_server.Protocol.Traced { file; events } ->
+        Printf.eprintf "krspd: trace exported: %d span(s) -> %s\n%!" events file
+      | resp ->
+        Printf.eprintf "krspd: trace export failed: %s\n%!"
+          (Krsp_server.Protocol.print_response resp)
+    end
+  in
+  (try
+     Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> Atomic.set want_dump true));
+     Sys.set_signal Sys.sigusr2 (Sys.Signal_handle (fun _ -> Atomic.set want_trace_export true))
+   with Invalid_argument _ -> ());
   (* a client hanging up mid-write must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let finish code =
+    (match telemetry with Some srv -> Telemetry.stop srv | None -> ());
+    code
+  in
   match (unix_path, tcp_port) with
   | None, None ->
     (* stdio mode: one session on stdin/stdout, handy for piping and tests *)
-    Server.serve_channels fleet stdin stdout;
+    Server.serve_channels ~on_tick:drain_signals fleet stdin stdout;
     Shard.shutdown fleet;
-    0
+    drain_signals ();
+    finish 0
   | _ ->
     (* SIGTERM → graceful drain: stop accepting, finish every admitted
        request, write the replies, exit 0 *)
@@ -206,11 +281,12 @@ let run graph_file unix_path tcp_port tcp_host cache_size engine_name numeric rs
       | None, Some port -> (Server.Tcp (tcp_host, port), Printf.sprintf "%s:%d" tcp_host port)
       | None, None -> assert false
     in
-    Server.listen_and_serve fleet endpoint ~stop ~on_listen:(fun () ->
+    Server.listen_and_serve fleet endpoint ~stop ~on_tick:drain_signals
+      ~on_listen:(fun () ->
         Printf.eprintf "krspd: serving on %s (pid %d, %d shard(s))\n%!" describe
           (Unix.getpid ()) (Shard.shards fleet));
     Printf.eprintf "krspd: drained, bye\n%!";
-    0
+    finish 0
 
 let cmd =
   let doc = "serve kRSP queries against a long-lived topology" in
@@ -238,6 +314,14 @@ let cmd =
          metrics dump on stderr. SIGTERM drains gracefully: the daemon stops accepting, \
          completes every admitted request, then exits 0.";
       `P
+        "With $(b,--trace) (or KRSP_TRACE) each kept request records phase-attributed spans \
+         (queue wait, prologue, solve rounds, oracle calls, certificate checks). \
+         $(b,TRACE [file]) exports them as Chrome trace-event JSON — inline as a \
+         $(b,TRACE-JSON) response or to a file — and SIGUSR2 does the same to \
+         $(b,--trace-file). Under $(b,slow:<ms>) every kept request additionally emits one \
+         structured slow-request line on stderr. $(b,--telemetry-port) serves the merged \
+         metrics registries as a Prometheus text exposition.";
+      `P
         "With $(b,--domains) > 1 each shard's solver additionally parallelises its cycle \
          searches and guess bisection on a private domain pool (results are identical at \
          any width). Pool counters appear in STATS.";
@@ -253,6 +337,7 @@ let cmd =
     (Cmd.info "krspd" ~version:Bin_version.version ~doc ~man)
     Term.(
       const run $ graph_file $ unix_path $ tcp_port $ tcp_host $ cache_size $ engine_arg
-      $ numeric_arg $ rsp_oracle_arg $ shards_arg $ queue_bound_arg $ domains_arg)
+      $ numeric_arg $ rsp_oracle_arg $ shards_arg $ queue_bound_arg $ domains_arg
+      $ trace_arg $ trace_file_arg $ telemetry_port_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -23,9 +23,19 @@ let c_spec_launched = Metrics.counter metrics "solver.spec_launched"
 let c_spec_hits = Metrics.counter metrics "solver.spec_hits"
 let c_spec_wasted = Metrics.counter metrics "solver.spec_wasted"
 
-let timed h f =
-  let result, ms = Krsp_util.Timer.time_ms f in
-  Metrics.observe h ms;
+module Trace = Krsp_obs.Trace
+
+(* Phase timing feeds the histogram always and, for traced requests, a
+   span too — one clock pair serves both, so tracing adds no extra clock
+   reads to the round. *)
+let timed_span trace h name f =
+  let t0 = Krsp_util.Timer.now_ns () in
+  let result = f () in
+  let t1 = Krsp_util.Timer.now_ns () in
+  Metrics.observe h (Krsp_util.Timer.ns_to_ms (Int64.sub t1 t0));
+  (match trace with
+  | None -> ()
+  | Some ctx -> Trace.record ctx name ~t_start_ns:t0 ~t_end_ns:t1);
   result
 
 type stats = {
@@ -54,7 +64,7 @@ let find_cycle engine ~exhaustive ?numeric ?searcher ?pool res ~ctx ~bound =
   | Dp -> Cycle_search_dp.find res ~ctx ~bound ~exhaustive ?searcher ?pool ()
   | Lp -> Cycle_search_lp.find ?numeric res ~ctx ~bound ~exhaustive ()
 
-let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?numeric
+let improve t ~start ~guess ?trace ?(engine = Dp) ?(exhaustive = false) ?numeric
     ?(max_iterations = 2_000) ?(stall_limit = 40) ?arena ?pool () =
   let g = t.Instance.graph in
   let total_abs_cost = G.fold_edges g ~init:0 ~f:(fun acc e -> acc + abs (G.cost g e)) in
@@ -87,7 +97,7 @@ let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?numeric
       None
     end
     else begin
-      let res = timed h_residual (fun () -> Residual.of_arena arena ~paths) in
+      let res = timed_span trace h_residual "round.residual" (fun () -> Residual.of_arena arena ~paths) in
       let ctx =
         {
           Bicameral.delta_d = t.Instance.delay_bound - sol.Instance.delay;
@@ -96,7 +106,7 @@ let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?numeric
         }
       in
       let cycle =
-        timed h_search (fun () ->
+        timed_span trace h_search "round.search" (fun () ->
             incr searches;
             (* Adaptive searcher reuse: the reusable product covers all 2m
                arena edges — double the cost of the ephemeral active-only
@@ -119,7 +129,7 @@ let improve t ~start ~guess ?(engine = Dp) ?(exhaustive = false) ?numeric
       | None -> None
       | Some cand ->
         let paths' =
-          timed h_augment (fun () ->
+          timed_span trace h_augment "round.augment" (fun () ->
               let edges =
                 Residual.apply_cycle res ~current:(Instance.edge_set sol)
                   ~cycle:cand.Cycle_search_dp.edges
@@ -205,9 +215,9 @@ let repair t ~paths =
 
 let post_solve_hook : (Instance.t -> Instance.solution -> unit) ref = ref (fun _ _ -> ())
 
-let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum) ?numeric
-    ?rsp_oracle ?(k1_oracle = true) ?(max_iterations = 2_000) ?(guess_steps = 12) ?warm_start
-    ?pool () =
+let solve_impl t ?trace ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
+    ?numeric ?rsp_oracle ?(k1_oracle = true) ?(max_iterations = 2_000) ?(guess_steps = 12)
+    ?warm_start ?pool () =
   let pool = match pool with Some p -> p | None -> Krsp_util.Pool.default () in
   if not (Instance.connectivity_ok t) then Error No_k_disjoint_paths
   else begin
@@ -217,23 +227,25 @@ let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
     | Some _ ->
       (* the min-delay solution is feasible: fallback and C_OPT upper bound *)
       let fallback =
-        match Phase1.min_delay t with
-        | Phase1.Start s -> Instance.solution_of_paths t s.Phase1.paths
-        | Phase1.No_k_paths | Phase1.Lp_infeasible -> assert false
+        Trace.with_span trace "solve.min_delay_bound" (fun () ->
+            match Phase1.min_delay t with
+            | Phase1.Start s -> Instance.solution_of_paths t s.Phase1.paths
+            | Phase1.No_k_paths | Phase1.Lp_infeasible -> assert false)
       in
       let warm =
         match warm_start with
         | None -> None
-        | Some prev -> repair t ~paths:prev
+        | Some prev -> Trace.with_span trace "solve.warm_repair" (fun () -> repair t ~paths:prev)
       in
       let start =
         match warm with
         | Some paths -> paths
-        | None -> (
-          match Phase1.run ?numeric ?rsp_oracle phase1 t with
-          | Phase1.Start s -> s.Phase1.paths
-          | Phase1.No_k_paths -> assert false (* connectivity checked above *)
-          | Phase1.Lp_infeasible -> assert false (* dmin <= bound above *))
+        | None ->
+          Trace.with_span trace "solve.phase1" (fun () ->
+              match Phase1.run ?numeric ?rsp_oracle phase1 t with
+              | Phase1.Start s -> s.Phase1.paths
+              | Phase1.No_k_paths -> assert false (* connectivity checked above *)
+              | Phase1.Lp_infeasible -> assert false (* dmin <= bound above *))
       in
       let warm_started = warm <> None in
       let start_sol = Instance.solution_of_paths t start in
@@ -263,7 +275,7 @@ let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
         let src = t.Instance.src and dst = t.Instance.dst in
         let oracle_sol =
           match
-            Krsp_rsp.Oracle.solve ?kind:rsp_oracle ?tier:numeric g ~src ~dst
+            Krsp_rsp.Oracle.solve ?trace ?kind:rsp_oracle ?tier:numeric g ~src ~dst
               ~delay_bound:t.Instance.delay_bound
           with
           | Some r
@@ -274,8 +286,9 @@ let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
           | _ ->
             Krsp_rsp.Rsp_engine.count_gate_fallback ();
             (match
-               Krsp_rsp.Rsp_dp.solve ?tier:numeric g ~src ~dst
-                 ~delay_bound:t.Instance.delay_bound
+               Trace.with_span trace "oracle.gate_fallback" (fun () ->
+                   Krsp_rsp.Rsp_dp.solve ?tier:numeric g ~src ~dst
+                     ~delay_bound:t.Instance.delay_bound)
              with
             | Some (_, p) -> Some (Instance.solution_of_paths t [ p ])
             | None -> None)
@@ -315,9 +328,16 @@ let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
         let best = ref None in
         let iters = ref 0 and t0s = ref 0 and t1s = ref 0 and t2s = ref 0 in
         let tried = ref 0 in
-        let attempt_pure ~arena guess =
-          improve t ~start ~guess ~engine ~exhaustive ?numeric ~max_iterations ~arena
-            ~pool ()
+        (* Span per attempt, speculative ones flagged: a traced flamegraph
+           shows both bisection branches running side by side on their
+           lanes, with the per-round spans nested underneath. *)
+        let attempt_pure ?(spec = false) ~arena guess =
+          Trace.with_span
+            ~args:[ ("guess", string_of_int guess); ("spec", string_of_bool spec) ]
+            trace "solve.guess"
+            (fun () ->
+              improve t ~start ~guess ?trace ~engine ~exhaustive ?numeric ~max_iterations
+                ~arena ~pool ())
         in
         (* Folding an attempt's outcome into the stats and [best] is kept
            separate from running it: speculative attempts are only committed
@@ -353,7 +373,7 @@ let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
             let rs =
               Krsp_util.Pool.parallel_map ~chunk:1 pool
                 (fun (g, spec) ->
-                  attempt_pure ~arena:(if spec then Lazy.force spec_arena else arena) g)
+                  attempt_pure ~spec ~arena:(if spec then Lazy.force spec_arena else arena) g)
                 [| (guess, false); (fg, true) |]
             in
             (rs.(0), Some (fg, rs.(1)))
@@ -433,11 +453,13 @@ let solve_impl t ?(engine = Dp) ?(exhaustive = false) ?(phase1 = Phase1.Min_sum)
 (* Every Ok the pipeline produces — early feasible start, guess-search best,
    min-delay fallback — passes through here, so an installed hook (see
    Krsp_check.Hook) sees every solution this module ever returns. *)
-let solve t ?engine ?exhaustive ?phase1 ?numeric ?rsp_oracle ?k1_oracle ?max_iterations
-    ?guess_steps ?warm_start ?pool () =
+let solve t ?trace ?engine ?exhaustive ?phase1 ?numeric ?rsp_oracle ?k1_oracle
+    ?max_iterations ?guess_steps ?warm_start ?pool () =
   let outcome =
-    solve_impl t ?engine ?exhaustive ?phase1 ?numeric ?rsp_oracle ?k1_oracle ?max_iterations
-      ?guess_steps ?warm_start ?pool ()
+    solve_impl t ?trace ?engine ?exhaustive ?phase1 ?numeric ?rsp_oracle ?k1_oracle
+      ?max_iterations ?guess_steps ?warm_start ?pool ()
   in
-  (match outcome with Ok (sol, _) -> !post_solve_hook t sol | Error _ -> ());
+  (match outcome with
+  | Ok (sol, _) -> Trace.with_span trace "solve.certify" (fun () -> !post_solve_hook t sol)
+  | Error _ -> ());
   outcome

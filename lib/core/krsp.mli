@@ -53,6 +53,7 @@ val improve :
   Instance.t ->
   start:Krsp_graph.Path.t list ->
   guess:int ->
+  ?trace:Krsp_obs.Trace.ctx ->
   ?engine:engine ->
   ?exhaustive:bool ->
   ?numeric:Krsp_numeric.Numeric.tier ->
@@ -101,6 +102,7 @@ val post_solve_hook : (Instance.t -> Instance.solution -> unit) ref
 
 val solve :
   Instance.t ->
+  ?trace:Krsp_obs.Trace.ctx ->
   ?engine:engine ->
   ?exhaustive:bool ->
   ?phase1:Phase1.kind ->
@@ -151,6 +153,15 @@ val solve :
     the tiers may pick different — equally optimal — vertices, so LP-engine
     trajectories can differ; the default DP engine with min-sum phase 1
     touches no LP at all.
+
+    [trace], when given, closes phase-attributed spans into the request's
+    trace context as the solve proceeds: [solve.min_delay_bound],
+    [solve.warm_repair], [solve.phase1], [solve.guess] per bisection
+    attempt (speculative ones flagged [spec=true]), [round.residual] /
+    [round.search] / [round.augment] per cancellation round,
+    [oracle.solve] / [oracle.gate_fallback] around the k=1 oracle path and
+    [solve.certify] around the post-solve hook. Tracing only observes —
+    solver results are bit-for-bit identical with and without it.
 
     [pool] (default {!Krsp_util.Pool.default}, i.e. [KRSP_DOMAINS]-sized)
     parallelises two layers: the DP engine's per-root cycle searches, and

@@ -14,8 +14,8 @@ let scaled_graph g ~theta_cost ~theta_delay =
     (G.filter_map_edges g ~f:(fun e ->
          Some (G.cost g e / theta_cost, G.delay g e / theta_delay)))
 
-let solve t ~epsilon1 ~epsilon2 ?engine ?phase1 ?numeric ?rsp_oracle ?max_iterations
-    ?warm_start ?pool () =
+let solve t ~epsilon1 ~epsilon2 ?trace ?engine ?phase1 ?numeric ?rsp_oracle
+    ?max_iterations ?warm_start ?pool () =
   if epsilon1 <= 0. || epsilon2 <= 0. then
     invalid_arg "Scaling.solve: epsilons must be positive";
   if not (Instance.connectivity_ok t) then Stdlib.Error Krsp.No_k_disjoint_paths
@@ -33,7 +33,9 @@ let solve t ~epsilon1 ~epsilon2 ?engine ?phase1 ?numeric ?rsp_oracle ?max_iterat
          can route k units (capacities vs. simple counting can disagree on
          multigraphs with repeated edges), so an infeasible phase 1 here is
          an input condition to report, not an internal invariant. *)
-      match Phase1.min_delay t with
+      match
+        Krsp_obs.Trace.with_span trace "scaling.cost_bound" (fun () -> Phase1.min_delay t)
+      with
       | Phase1.No_k_paths | Phase1.Lp_infeasible ->
         Stdlib.Error Krsp.No_k_disjoint_paths
       | Phase1.Start s ->
@@ -56,8 +58,8 @@ let solve t ~epsilon1 ~epsilon2 ?engine ?phase1 ?numeric ?rsp_oracle ?max_iterat
             ~delay_bound:scaled_delay_bound
         in
         (match
-           Krsp.solve st ?engine ?phase1 ?numeric ?rsp_oracle ?max_iterations ?warm_start
-             ?pool ()
+           Krsp.solve st ?trace ?engine ?phase1 ?numeric ?rsp_oracle ?max_iterations
+             ?warm_start ?pool ()
          with
         | Stdlib.Error e -> Stdlib.Error e
         | Stdlib.Ok (ssol, stats) ->

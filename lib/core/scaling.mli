@@ -22,6 +22,7 @@ val solve :
   Instance.t ->
   epsilon1:float ->
   epsilon2:float ->
+  ?trace:Krsp_obs.Trace.ctx ->
   ?engine:Krsp.engine ->
   ?phase1:Phase1.kind ->
   ?numeric:Krsp_numeric.Numeric.tier ->
@@ -40,4 +41,6 @@ val solve :
     caveats apply (feasibility kept, cost guarantee waived). [pool] is
     forwarded too (see {!Krsp.solve}). An instance whose phase 1 cannot
     route k disjoint paths reports [Error No_k_disjoint_paths] rather
-    than tripping an internal assertion. *)
+    than tripping an internal assertion. [trace] closes a
+    [scaling.cost_bound] span around the Ĉ-estimating phase 1 run and is
+    forwarded to the inner {!Krsp.solve} (see its span list). *)

@@ -1,0 +1,83 @@
+(* Prometheus text exposition (format 0.0.4) over Metrics registries.
+
+   Renders from Metrics.snapshot so the scrape and the line-protocol STATS
+   reply come from the same per-series locked copies. The 120 internal
+   log-buckets (ratio 2^(1/4)) would make for unwieldy scrape payloads and
+   pointless cardinality, so adjacent groups of 4 are coalesced into 30
+   power-of-two-ratio [le] bounds plus [+Inf] — bucket counts stay exact
+   (cumulative sums of exact counts), only the resolution coarsens, and
+   every series shares the same bounds so PromQL can aggregate across
+   them. *)
+
+module Metrics = Krsp_util.Metrics
+
+let coarsen = 4
+
+(* upper bound of each coarse bucket = upper bound of its last fine bucket *)
+let coarse_bounds =
+  let fine = Metrics.bucket_bounds in
+  let n = (Array.length fine + coarsen - 1) / coarsen in
+  Array.init n (fun i -> fine.(min (Array.length fine - 1) ((i * coarsen) + coarsen - 1)))
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let fmt_bound f = if f = infinity then "+Inf" else fmt_float f
+
+(* [gauges] lets callers expose point-in-time values (queue depths, cache
+   occupancy, generation) that live outside the monotonic registries. *)
+let render ?(namespace = "krsp") ?(gauges = []) (reg : Metrics.t) =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, data) ->
+      let base = sanitize (namespace ^ "_" ^ name) in
+      match (data : Metrics.data) with
+      | Metrics.Counter_data v ->
+        line "# TYPE %s_total counter" base;
+        line "%s_total %d" base v
+      | Metrics.Histogram_data { buckets; total; sum; vmin; vmax } ->
+        (* registry names like [fleet.service_ms] already carry the unit *)
+        let base =
+          if String.length base >= 3 && String.sub base (String.length base - 3) 3 = "_ms"
+          then String.sub base 0 (String.length base - 3)
+          else base
+        in
+        line "# TYPE %s_ms histogram" base;
+        let cumulative = ref 0 in
+        Array.iteri
+          (fun ci bound ->
+            let lo = ci * coarsen in
+            let hi = min (Array.length buckets - 1) (lo + coarsen - 1) in
+            for i = lo to hi do
+              cumulative := !cumulative + buckets.(i)
+            done;
+            line "%s_ms_bucket{le=\"%s\"} %d" base (fmt_bound bound) !cumulative)
+          coarse_bounds;
+        line "%s_ms_bucket{le=\"+Inf\"} %d" base total;
+        line "%s_ms_sum %s" base (fmt_float sum);
+        line "%s_ms_count %d" base total;
+        (* min/max as gauges: scrapers can't recover them from buckets *)
+        if total > 0 then begin
+          line "# TYPE %s_ms_min gauge" base;
+          line "%s_ms_min %s" base (fmt_float vmin);
+          line "# TYPE %s_ms_max gauge" base;
+          line "%s_ms_max %s" base (fmt_float vmax)
+        end)
+    (Metrics.snapshot reg);
+  List.iter
+    (fun (name, v) ->
+      let base = sanitize (namespace ^ "_" ^ name) in
+      line "# TYPE %s gauge" base;
+      line "%s %s" base (fmt_float v))
+    gauges;
+  Buffer.contents b

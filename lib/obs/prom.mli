@@ -1,0 +1,18 @@
+(** Prometheus text exposition (format 0.0.4) over {!Krsp_util.Metrics}.
+
+    Counters render as [<ns>_<name>_total]; histograms as
+    [<ns>_<name>_ms] with 30 shared power-of-two [le] bounds (the 120
+    internal log-buckets coalesced 4:1 — counts stay exact, resolution
+    coarsens), cumulative [_bucket] lines, [_sum], [_count], and [_min]/
+    [_max] gauges. Names are sanitized to [[a-zA-Z0-9_:]]. *)
+
+val render :
+  ?namespace:string (** default ["krsp"] *) ->
+  ?gauges:(string * float) list
+    (** extra point-in-time gauges (queue depths, cache occupancy) *) ->
+  Krsp_util.Metrics.t ->
+  string
+
+val coarse_bounds : float array
+(** The shared coarse [le] bounds in ms (last is [infinity], rendered as
+    [+Inf]). Exposed for tests. *)

@@ -1,0 +1,106 @@
+(* A deliberately tiny scrape endpoint: one listener domain, one request
+   per connection, HTTP/1.0 close-after-reply. Prometheus scrapes are
+   sparse (seconds apart) and the body is built by the supplied thunk on
+   the listener domain, so there is nothing to pool or pipeline. The
+   reply goes out in a single [write] per buffer-full, headers first, so
+   a mid-scrape SIGKILL never leaves a half-headered response parsed as a
+   success. *)
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  domain : unit Domain.t;
+  stopping : bool Atomic.t;
+}
+
+let http_reply body =
+  Printf.sprintf
+    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    (String.length body) body
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Drain the request line + headers so the peer's write isn't RST before
+   it finishes sending; we don't parse — every path serves the scrape. *)
+let drain_request fd =
+  let buf = Bytes.create 1024 in
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec go tail =
+    if Unix.gettimeofday () > deadline then ()
+    else
+      match Unix.select [ fd ] [] [] 0.5 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+          let chunk = tail ^ Bytes.sub_string buf 0 n in
+          let ending =
+            let l = String.length chunk in
+            l >= 4 && String.sub chunk (l - 4) 4 = "\r\n\r\n"
+            || (l >= 2 && String.sub chunk (l - 2) 2 = "\n\n")
+          in
+          if not ending then
+            go (String.sub chunk (max 0 (String.length chunk - 4)) (min 4 (String.length chunk)))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go tail
+        | exception Unix.Unix_error _ -> ())
+  in
+  go ""
+
+let serve_loop t body =
+  while not (Atomic.get t.stopping) do
+    match Unix.accept t.sock with
+    | client, _ ->
+      (try
+         drain_request client;
+         write_all client (http_reply (body ()))
+       with _ -> ());
+      (try Unix.close client with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> () (* stop () closed the socket *)
+  done
+
+let start ?(host = "127.0.0.1") ~port body =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e -> (try Unix.close sock with _ -> ()); raise e);
+  Unix.listen sock 16;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stopping = Atomic.make false in
+  let t_ref = ref None in
+  let domain =
+    Domain.spawn (fun () ->
+        (* t is written before spawn returns control flow here in practice,
+           but be safe: busy-wait-free handshake via the ref *)
+        let rec wait () =
+          match !t_ref with Some t -> t | None -> Domain.cpu_relax (); wait ()
+        in
+        serve_loop (wait ()) body)
+  in
+  let t = { sock; port; domain; stopping } in
+  t_ref := Some t;
+  t
+
+let port t = t.port
+
+let stop t =
+  if not (Atomic.get t.stopping) then begin
+    Atomic.set t.stopping true;
+    (* closing the listen socket makes the blocked accept raise *)
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    Domain.join t.domain
+  end

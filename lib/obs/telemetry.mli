@@ -1,0 +1,20 @@
+(** Minimal HTTP scrape endpoint for the Prometheus exposition.
+
+    One listener domain; every connection gets an HTTP/1.0 [200] with the
+    thunk's output as [text/plain; version=0.0.4] and the connection
+    closed — exactly what a Prometheus scraper needs, and nothing a real
+    HTTP server would add. *)
+
+type t
+
+val start : ?host:string (** default ["127.0.0.1"] *) -> port:int -> (unit -> string) -> t
+(** [start ~port body] binds, listens and spawns the serving domain. The
+    thunk runs on that domain once per scrape, so it must be domain-safe
+    (the {!Prom.render}/[Metrics.snapshot] path is). [port = 0] binds an
+    ephemeral port — read it back with {!port}. Raises [Unix.Unix_error]
+    if the bind fails. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Close the listener and join the serving domain. Idempotent. *)

@@ -1,0 +1,590 @@
+(* Always-on, allocation-light request tracing.
+
+   A trace context is minted where a request enters the system (protocol
+   decode) and threaded — as an [ctx option] — through the layers that do
+   the work: shard admission, the serving engine, Krsp.solve's guess
+   search, the RSP oracles. Each layer closes spans into the context's
+   scratch buffer; when the request finishes, the sampling policy decides
+   whether the whole request's spans are flushed into the per-domain ring
+   buffers (the only place exporters read from) or dropped wholesale.
+   Deciding at the END is what makes [slow:<ms>] possible: you only know
+   a request was slow once it is done.
+
+   Cost model. With the policy [Off], every [ctx] is [None] and every
+   instrumentation point is a single pattern match — no clock read, no
+   allocation. With tracing on, a span costs two monotonic clock reads
+   and one small record pushed under the context's mutex (contended only
+   when a solve's speculative branches close spans concurrently, i.e.
+   almost never). Ring flush is one array store per span on the finishing
+   domain's own single-writer ring.
+
+   Rings are single-writer by construction — only the owning domain
+   pushes — so they carry no lock. Exporters read them from another
+   domain: OCaml's memory model makes a racy read of an immutable-record
+   pointer return a valid (possibly slightly stale) record, never a torn
+   one, and the export path tolerates an off-by-a-few head. *)
+
+module Timer = Krsp_util.Timer
+
+(* ---- sampling policy -------------------------------------------------------- *)
+
+type policy =
+  | Off
+  | Slow of float  (* keep requests slower than this many ms *)
+  | Sample of int  (* keep one request in N *)
+  | All
+
+let policy_to_string = function
+  | Off -> "off"
+  | Slow ms -> Printf.sprintf "slow:%g" ms
+  | Sample n -> Printf.sprintf "sample:%d" n
+  | All -> "all"
+
+let policy_of_string s =
+  let s = String.trim (String.lowercase_ascii s) in
+  let prefixed p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  let suffix p = String.sub s (String.length p) (String.length s - String.length p) in
+  match s with
+  | "off" | "" | "0" | "none" -> Ok Off
+  | "all" | "on" | "1" -> Ok All
+  | _ when prefixed "slow:" -> (
+    match float_of_string_opt (suffix "slow:") with
+    | Some ms when ms >= 0. -> Ok (Slow ms)
+    | _ -> Error (Printf.sprintf "bad slow threshold in %S (want slow:<ms>)" s)
+  )
+  | _ when prefixed "sample:" -> (
+    match int_of_string_opt (suffix "sample:") with
+    | Some n when n >= 1 -> Ok (Sample n)
+    | _ -> Error (Printf.sprintf "bad sample rate in %S (want sample:<N> for 1-in-N)" s)
+  )
+  | _ ->
+    Error
+      (Printf.sprintf "unknown trace policy %S (expected off, slow:<ms>, sample:<N> or all)" s)
+
+(* Mirrors Numeric/Oracle default handling: the env var is read lazily
+   exactly once; [set_policy] wins over the environment. The policy is a
+   plain mutable read on the hot path — a torn read is impossible for an
+   immediate/pointer value and a stale one only delays a policy flip by a
+   request. *)
+let env_policy =
+  lazy
+    (match Sys.getenv_opt "KRSP_TRACE" with
+    | None -> Off
+    | Some s -> (
+      match policy_of_string s with
+      | Ok p -> p
+      | Error msg ->
+        Printf.eprintf "krsp: KRSP_TRACE: %s; tracing off\n%!" msg;
+        Off))
+
+let policy_override : policy option ref = ref None
+let policy () = match !policy_override with Some p -> p | None -> Lazy.force env_policy
+let set_policy p = policy_override := Some p
+let reset_policy () = policy_override := None
+let enabled () = policy () <> Off
+
+let slow_threshold () = match policy () with Slow ms -> Some ms | _ -> None
+
+(* ---- spans ------------------------------------------------------------------ *)
+
+type span = {
+  trace_id : int;
+  name : string;
+  lane : int;  (* domain id the span closed on: one flamegraph lane each *)
+  t_start_ns : int64;
+  t_end_ns : int64;
+  args : (string * string) list;
+}
+
+let dummy_span =
+  { trace_id = 0; name = ""; lane = 0; t_start_ns = 0L; t_end_ns = 0L; args = [] }
+
+(* ---- per-domain ring buffers ------------------------------------------------ *)
+
+module Ring = struct
+  (* Fixed-capacity overwrite-oldest ring. Single writer (the owning
+     domain); readers snapshot without a lock and may observe a bounded
+     amount of skew, which the exporters tolerate. *)
+  type t = {
+    spans : span array;
+    mutable next : int;  (* total pushes mod nothing: monotone *)
+  }
+
+  let create capacity =
+    if capacity < 1 then invalid_arg "Trace.Ring.create: capacity must be >= 1";
+    { spans = Array.make capacity dummy_span; next = 0 }
+
+  let capacity r = Array.length r.spans
+
+  let push r s =
+    r.spans.(r.next mod Array.length r.spans) <- s;
+    r.next <- r.next + 1
+
+  let length r = min r.next (Array.length r.spans)
+
+  (* oldest → newest *)
+  let snapshot r =
+    let cap = Array.length r.spans in
+    let n = r.next in
+    let len = min n cap in
+    List.init len (fun i -> r.spans.((n - len + i) mod cap))
+
+  let clear r = r.next <- 0
+end
+
+let default_ring_capacity = 16_384
+let ring_capacity = ref default_ring_capacity
+
+let rings_mu = Mutex.create ()
+let rings : Ring.t list ref = ref []
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let r = Ring.create !ring_capacity in
+      Mutex.lock rings_mu;
+      rings := r :: !rings;
+      Mutex.unlock rings_mu;
+      r)
+
+let my_ring () = Domain.DLS.get ring_key
+
+(* ---- lane names ------------------------------------------------------------- *)
+
+let lanes_mu = Mutex.create ()
+let lane_names : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let name_lane name =
+  let lane = (Domain.self () :> int) in
+  Mutex.lock lanes_mu;
+  Hashtbl.replace lane_names lane name;
+  Mutex.unlock lanes_mu
+
+let lane_name lane =
+  Mutex.lock lanes_mu;
+  let n = Hashtbl.find_opt lane_names lane in
+  Mutex.unlock lanes_mu;
+  match n with Some s -> s | None -> Printf.sprintf "domain%d" lane
+
+(* ---- trace contexts --------------------------------------------------------- *)
+
+type keep = Always | If_slow of float
+
+type ctx = {
+  id : int;
+  t0_ns : int64;
+  keep : keep;
+  mu : Mutex.t;  (* spans close from pool/worker domains too *)
+  mutable acc : span list;  (* newest first *)
+  mutable count : int;
+  mutable dropped : int;
+  mutable root_args : (string * string) list;  (* newest first *)
+}
+
+(* Cap on spans buffered per request: a pathological zigzag solve can run
+   thousands of cancellation rounds; beyond the cap we count instead of
+   buffer, and the root span reports the loss. *)
+let max_spans_per_request = 16_384
+
+(* one sequence for trace ids AND the 1-in-N sampling decision, so the
+   sample stream is deterministic given the request order *)
+let seq = Atomic.make 1
+
+let id ctx = ctx.id
+
+let make_ctx keep =
+  {
+    id = Atomic.fetch_and_add seq 1;
+    t0_ns = Timer.now_ns ();
+    keep;
+    mu = Mutex.create ();
+    acc = [];
+    count = 0;
+    dropped = 0;
+    root_args = [];
+  }
+
+let start () =
+  match policy () with
+  | Off -> None
+  | All -> Some (make_ctx Always)
+  | Slow ms -> Some (make_ctx (If_slow ms))
+  | Sample n ->
+    (* burn one sequence number per request so "1 in N" means requests,
+       not sampled requests *)
+    let i = Atomic.fetch_and_add seq 1 in
+    if i mod n = 0 then
+      Some
+        {
+          id = i;
+          t0_ns = Timer.now_ns ();
+          keep = Always;
+          mu = Mutex.create ();
+          acc = [];
+          count = 0;
+          dropped = 0;
+          root_args = [];
+        }
+    else None
+
+let record ctx ?(args = []) name ~t_start_ns ~t_end_ns =
+  let s =
+    {
+      trace_id = ctx.id;
+      name;
+      lane = (Domain.self () :> int);
+      t_start_ns;
+      t_end_ns;
+      args;
+    }
+  in
+  Mutex.lock ctx.mu;
+  if ctx.count < max_spans_per_request then begin
+    ctx.acc <- s :: ctx.acc;
+    ctx.count <- ctx.count + 1
+  end
+  else ctx.dropped <- ctx.dropped + 1;
+  Mutex.unlock ctx.mu
+
+let with_span ?args octx name f =
+  match octx with
+  | None -> f ()
+  | Some ctx ->
+    let t0 = Timer.now_ns () in
+    Fun.protect
+      ~finally:(fun () -> record ctx ?args name ~t_start_ns:t0 ~t_end_ns:(Timer.now_ns ()))
+      f
+
+let add_root_arg ctx key value =
+  Mutex.lock ctx.mu;
+  ctx.root_args <- (key, value) :: ctx.root_args;
+  Mutex.unlock ctx.mu
+
+let root_args ctx =
+  Mutex.lock ctx.mu;
+  let a = List.rev ctx.root_args in
+  Mutex.unlock ctx.mu;
+  a
+
+let span_count ctx =
+  Mutex.lock ctx.mu;
+  let n = ctx.count in
+  Mutex.unlock ctx.mu;
+  n
+
+let finish ?(args = []) ctx name =
+  let t1 = Timer.now_ns () in
+  let total_ms = Timer.ns_to_ms (Int64.sub t1 ctx.t0_ns) in
+  let kept =
+    match ctx.keep with Always -> true | If_slow thr -> total_ms >= thr
+  in
+  if kept then begin
+    Mutex.lock ctx.mu;
+    let spans = List.rev ctx.acc in
+    let dropped = ctx.dropped in
+    let extra = List.rev ctx.root_args in
+    ctx.acc <- [];
+    Mutex.unlock ctx.mu;
+    let root =
+      {
+        trace_id = ctx.id;
+        name;
+        lane = (Domain.self () :> int);
+        t_start_ns = ctx.t0_ns;
+        t_end_ns = t1;
+        args =
+          (args @ extra
+          @ if dropped > 0 then [ ("spans_dropped", string_of_int dropped) ] else []);
+      }
+    in
+    (* flush on the finishing domain's own ring: single-writer preserved
+       even though the spans themselves may have closed on other domains
+       (each keeps the lane it ran on for the flamegraph) *)
+    let ring = my_ring () in
+    List.iter (Ring.push ring) spans;
+    Ring.push ring root
+  end;
+  (total_ms, kept)
+
+(* ---- global span store ------------------------------------------------------ *)
+
+let events () =
+  Mutex.lock rings_mu;
+  let rs = !rings in
+  Mutex.unlock rings_mu;
+  List.concat_map Ring.snapshot rs
+  |> List.filter (fun s -> s.name <> "")
+  |> List.sort (fun a b -> Int64.compare a.t_start_ns b.t_start_ns)
+
+let clear () =
+  Mutex.lock rings_mu;
+  let rs = !rings in
+  Mutex.unlock rings_mu;
+  List.iter Ring.clear rs
+
+(* ---- Chrome trace-event JSON export ----------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Perfetto/chrome://tracing format: one object with a "traceEvents"
+   array; "X" complete events with microsecond ts/dur, one tid (lane) per
+   domain, plus "M" thread_name metadata so lanes are labelled. The
+   output is a single line — no newlines — so it can travel inline in the
+   line-oriented wire protocol. *)
+let export_chrome () =
+  let evs = events () in
+  let origin = match evs with [] -> 0L | s :: _ -> s.t_start_ns in
+  let us ns = Int64.to_float (Int64.sub ns origin) /. 1e3 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_char b ',' in
+  let lanes = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace lanes s.lane ()) evs;
+  Hashtbl.iter
+    (fun lane () ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+           lane
+           (json_escape (lane_name lane))))
+    lanes;
+  List.iter
+    (fun s ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\",\"cat\":\"krsp\",\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace\":%d"
+           s.lane (json_escape s.name) (us s.t_start_ns)
+           (Int64.to_float (Int64.sub s.t_end_ns s.t_start_ns) /. 1e3)
+           s.trace_id);
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+        s.args;
+      Buffer.add_string b "}}")
+    evs;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* ---- slow-request log ------------------------------------------------------- *)
+
+(* Composed by the serving layer (it knows cache/donor/oracle context),
+   emitted here with one [write] so concurrent emitters never interleave
+   and the default sink is safe to call from any domain. *)
+let default_slow_sink line =
+  let s = line ^ "\n" in
+  try ignore (Unix.write_substring Unix.stderr s 0 (String.length s))
+  with Unix.Unix_error _ -> ()
+
+let slow_sink : (string -> unit) ref = ref default_slow_sink
+let emit_slow line = !slow_sink line
+
+(* ---- minimal JSON, for validation and tests --------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : (t, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance ()
+          | Some '/' -> Buffer.add_char b '/'; advance ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance ()
+          | Some 't' -> Buffer.add_char b '\t'; advance ()
+          | Some 'b' -> Buffer.add_char b '\b'; advance ()
+          | Some 'f' -> Buffer.add_char b '\012'; advance ()
+          | Some 'u' ->
+            advance ();
+            if !pos + 4 > n then fail "bad \\u escape";
+            let hex = String.sub s !pos 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | None -> fail "bad \\u escape"
+            | Some code ->
+              (* enough for the control characters we emit *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_string b (Printf.sprintf "\\u%s" hex);
+              pos := !pos + 4)
+          | _ -> fail "bad escape");
+          go ()
+        | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((key, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((key, v) :: acc)
+            | _ -> fail "expected , or } in object"
+          in
+          Obj (members [])
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected , or ] in array"
+          in
+          Arr (elements [])
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+
+  let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+  (* Validate a Chrome trace-event payload: top level is either the event
+     array itself or an object carrying "traceEvents"; every event is an
+     object with string "ph" and "name"; "X" events additionally need
+     numeric "ts" and "dur". Returns the number of "X" (span) events. *)
+  let validate_chrome text =
+    match parse text with
+    | Error msg -> Error ("not JSON: " ^ msg)
+    | Ok v -> (
+      let events =
+        match v with
+        | Arr evs -> Ok evs
+        | Obj _ -> (
+          match member "traceEvents" v with
+          | Some (Arr evs) -> Ok evs
+          | _ -> Error "missing traceEvents array")
+        | _ -> Error "top level is neither an array nor an object"
+      in
+      match events with
+      | Error e -> Error e
+      | Ok evs ->
+        let rec check spans = function
+          | [] -> Ok spans
+          | ev :: rest -> (
+            match (member "ph" ev, member "name" ev) with
+            | Some (Str ph), Some (Str _) -> (
+              match ph with
+              | "X" -> (
+                match (member "ts" ev, member "dur" ev) with
+                | Some (Num _), Some (Num _) -> check (spans + 1) rest
+                | _ -> Error "X event without numeric ts/dur")
+              | _ -> check spans rest)
+            | _ -> Error "event without string ph/name")
+        in
+        check 0 evs)
+end

@@ -1,0 +1,166 @@
+(** Always-on, allocation-light request tracing.
+
+    A trace context is minted where a request enters the system and threaded
+    (as a [ctx option]) through every layer that does work on its behalf.
+    Layers close named spans into the context; when the request finishes,
+    the sampling policy decides whether the request's spans are flushed into
+    per-domain ring buffers — where the exporters ({!export_chrome}, the
+    slow-request log) read them — or dropped wholesale. Keeping the
+    keep/drop decision at the end is what makes [slow:<ms>] sampling
+    possible.
+
+    With the policy {!Off} every context is [None] and instrumentation
+    points cost a single pattern match: no clock read, no allocation. *)
+
+(** {1 Sampling policy} *)
+
+type policy =
+  | Off  (** no contexts are minted; tracing is free *)
+  | Slow of float  (** keep only requests slower than this many ms *)
+  | Sample of int  (** keep one request in N (by trace id) *)
+  | All  (** keep every request *)
+
+val policy_of_string : string -> (policy, string) result
+(** Parse [off | slow:<ms> | sample:<N> | all] (the [KRSP_TRACE] syntax). *)
+
+val policy_to_string : policy -> string
+
+val policy : unit -> policy
+(** The active policy: {!set_policy}'s value if called, else [KRSP_TRACE]
+    from the environment (read once, lazily; a malformed value logs a
+    warning and means {!Off}), else {!Off}. *)
+
+val set_policy : policy -> unit
+(** Override the environment; takes effect for subsequently minted
+    contexts. *)
+
+val reset_policy : unit -> unit
+(** Drop the {!set_policy} override, reverting to the environment. *)
+
+val enabled : unit -> bool
+
+val slow_threshold : unit -> float option
+(** The [Slow] threshold in ms, if that is the active policy — the serving
+    layer uses it to decide whether to emit a slow-request log line. *)
+
+(** {1 Spans and contexts} *)
+
+type span = {
+  trace_id : int;
+  name : string;
+  lane : int;  (** domain id the span closed on; one flamegraph lane each *)
+  t_start_ns : int64;  (** monotonic, {!Krsp_util.Timer.now_ns} *)
+  t_end_ns : int64;
+  args : (string * string) list;
+}
+
+type ctx
+(** Per-request span accumulator. Domain-safe: spans may close on pool
+    worker domains while the request's own domain closes others. *)
+
+val start : unit -> ctx option
+(** Mint a context for a new request, or [None] if the policy says this
+    request is not traced ({!Off}, or an unsampled request under
+    {!Sample}). Call once per request, at protocol decode. *)
+
+val id : ctx -> int
+(** The request's trace id (process-unique, monotone). *)
+
+val record : ctx -> ?args:(string * string) list -> string -> t_start_ns:int64 -> t_end_ns:int64 -> unit
+(** Close a span with explicit endpoints — for retroactive spans like
+    queue wait, where the start predates knowing the context survives.
+    Caps at 16384 spans per request; overflow is counted and reported as a
+    [spans_dropped] arg on the root span. *)
+
+val with_span : ?args:(string * string) list -> ctx option -> string -> (unit -> 'a) -> 'a
+(** [with_span octx name f] runs [f] inside a span named [name]. With
+    [octx = None] this is exactly [f ()] — the instrumentation's off-cost.
+    The span closes even if [f] raises. *)
+
+val add_root_arg : ctx -> string -> string -> unit
+(** Attach a key/value to the request's root span (cache source, oracle
+    kind, rounds, …). Later calls with the same key shadow nothing; both
+    appear. *)
+
+val root_args : ctx -> (string * string) list
+(** The root args attached so far, oldest first — the slow-request log
+    reads these. *)
+
+val span_count : ctx -> int
+
+val finish : ?args:(string * string) list -> ctx -> string -> float * bool
+(** [finish ctx name] ends the request: closes the root span (named
+    [name], spanning mint-to-now, carrying [args] plus the accumulated
+    root args) and, if the policy keeps this request, flushes all spans
+    into the calling domain's ring buffer. Returns [(total_ms, kept)].
+    Call exactly once, on the domain that owns the reply. *)
+
+(** {1 Ring buffers} *)
+
+module Ring : sig
+  (** Fixed-capacity overwrite-oldest span ring. Single writer: only the
+      owning domain pushes. Exposed for property tests. *)
+
+  type t
+
+  val create : int -> t
+  val capacity : t -> int
+  val push : t -> span -> unit
+  val length : t -> int
+
+  val snapshot : t -> span list
+  (** Oldest to newest; at most [capacity] spans. *)
+
+  val clear : t -> unit
+end
+
+val events : unit -> span list
+(** Every span currently held in any domain's ring, sorted by start time. *)
+
+val clear : unit -> unit
+(** Empty all rings (exporters usually clear after a successful export). *)
+
+val name_lane : string -> unit
+(** Label the calling domain's lane in exported traces (e.g. ["shard0/w1"]).
+    Unlabelled lanes render as ["domain<id>"]. *)
+
+(** {1 Exporters} *)
+
+val export_chrome : unit -> string
+(** Render {!events} as Chrome trace-event JSON (an object with a
+    ["traceEvents"] array of ["X"] complete events, microsecond
+    timestamps relative to the earliest span, plus ["M"] thread_name
+    metadata per lane). Single-line output, loadable in Perfetto /
+    chrome://tracing. *)
+
+val emit_slow : string -> unit
+(** Emit one slow-request log line through the configured sink. The
+    default sink writes [line ^ "\n"] to stderr with a single [write], so
+    concurrent emitters never interleave. *)
+
+val slow_sink : (string -> unit) ref
+(** Replace to redirect the slow-request log (tests, file sinks). *)
+
+(** {1 Minimal JSON} *)
+
+module Json : sig
+  (** A tiny recursive-descent JSON reader — enough to validate exported
+      traces without a dependency. *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  val member : string -> t -> t option
+
+  val validate_chrome : string -> (int, string) result
+  (** Check that a string is a Chrome trace-event payload (top-level
+      array, or object with a ["traceEvents"] array; every event has
+      string ["ph"]/["name"]; ["X"] events have numeric ["ts"]/["dur"]).
+      Returns the number of ["X"] span events. *)
+end

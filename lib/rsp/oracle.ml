@@ -55,15 +55,24 @@ let default () =
 let set_default k = default_kind := Some k
 let resolve = function Some k -> k | None -> default ()
 
-let solve ?kind ?tier ?epsilon g ~src ~dst ~delay_bound =
-  Rsp_engine.count_solve ();
-  let module E = (val engine (resolve kind)) in
-  E.solve ?tier ?epsilon g ~src ~dst ~delay_bound
+(* Each dispatch closes one span per oracle call — in traced serving the
+   flamegraph shows exactly which engine a solve's time went to. *)
+let span trace kind name f =
+  Krsp_obs.Trace.with_span ~args:[ ("oracle", to_string kind) ] trace name f
 
-let min_delay_within_cost ?kind ?tier ?epsilon g ~src ~dst ~cost_budget =
+let solve ?trace ?kind ?tier ?epsilon g ~src ~dst ~delay_bound =
+  Rsp_engine.count_solve ();
+  let kind = resolve kind in
+  let module E = (val engine kind) in
+  span trace kind "oracle.solve" (fun () ->
+      E.solve ?tier ?epsilon g ~src ~dst ~delay_bound)
+
+let min_delay_within_cost ?trace ?kind ?tier ?epsilon g ~src ~dst ~cost_budget =
   Rsp_engine.count_dual ();
-  let module E = (val engine (resolve kind)) in
-  E.min_delay_within_cost ?tier ?epsilon g ~src ~dst ~cost_budget
+  let kind = resolve kind in
+  let module E = (val engine kind) in
+  span trace kind "oracle.dual" (fun () ->
+      E.min_delay_within_cost ?tier ?epsilon g ~src ~dst ~cost_budget)
 
 (* The certificate-gated budget test. A [None] from any engine is exact
    ("no path meets the delay bound at all"), and an answer within budget is
@@ -73,11 +82,14 @@ let min_delay_within_cost ?kind ?tier ?epsilon g ~src ~dst ~cost_budget =
    be ≤ budget, so the exact DP re-decides (counted as a gate fallback).
    Beyond the band, cost ≤ (1+ε)·OPT forces OPT > budget — a certified
    "no" with no DP run. The float comparison errs toward the fallback. *)
-let within_cost ?kind ?tier ?epsilon g ~src ~dst ~delay_bound ~cost_budget =
+let within_cost ?trace ?kind ?tier ?epsilon g ~src ~dst ~delay_bound ~cost_budget =
   let kind = resolve kind in
   let module E = (val engine kind) in
   Rsp_engine.count_solve ();
-  match E.solve ?tier ?epsilon g ~src ~dst ~delay_bound with
+  match
+    span trace kind "oracle.within_cost" (fun () ->
+        E.solve ?tier ?epsilon g ~src ~dst ~delay_bound)
+  with
   | None -> None
   | Some r when r.Rsp_engine.cost <= cost_budget ->
     Rsp_engine.count_gate_pass ();
@@ -95,7 +107,10 @@ let within_cost ?kind ?tier ?epsilon g ~src ~dst ~delay_bound ~cost_budget =
     if certified_no then None
     else begin
       Rsp_engine.count_gate_fallback ();
-      match Rsp_dp.solve ?tier g ~src ~dst ~delay_bound with
+      match
+        span trace Dp "oracle.gate_fallback" (fun () ->
+            Rsp_dp.solve ?tier g ~src ~dst ~delay_bound)
+      with
       | Some (cost, p) when cost <= cost_budget -> Some (Rsp_engine.of_path g p)
       | _ -> None
     end

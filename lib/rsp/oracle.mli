@@ -36,6 +36,7 @@ val default : unit -> kind
 val set_default : kind -> unit
 
 val solve :
+  ?trace:Krsp_obs.Trace.ctx ->
   ?kind:kind ->
   ?tier:Krsp_numeric.Numeric.tier ->
   ?epsilon:float ->
@@ -45,9 +46,13 @@ val solve :
   delay_bound:int ->
   Rsp_engine.result option
 (** Dispatch a primal solve to [?kind] (default {!default}); counted in
-    [rsp.oracle_solves]. [None] is exact for every engine. *)
+    [rsp.oracle_solves]. [None] is exact for every engine. [trace], here
+    and below, closes one span per oracle call (named [oracle.solve] /
+    [oracle.dual] / [oracle.within_cost], with the engine name as an arg)
+    into the request's trace context. *)
 
 val min_delay_within_cost :
+  ?trace:Krsp_obs.Trace.ctx ->
   ?kind:kind ->
   ?tier:Krsp_numeric.Numeric.tier ->
   ?epsilon:float ->
@@ -59,6 +64,7 @@ val min_delay_within_cost :
 (** Dispatch the dual direction; counted in [rsp.oracle_duals]. *)
 
 val within_cost :
+  ?trace:Krsp_obs.Trace.ctx ->
   ?kind:kind ->
   ?tier:Krsp_numeric.Numeric.tier ->
   ?epsilon:float ->

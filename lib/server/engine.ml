@@ -4,6 +4,8 @@ module Instance = Krsp_core.Instance
 module Krsp = Krsp_core.Krsp
 module Metrics = Krsp_util.Metrics
 module Pool = Krsp_util.Pool
+module Timer = Krsp_util.Timer
+module Trace = Krsp_obs.Trace
 
 let log = Logs.Src.create "krspd.engine" ~doc:"kRSP serving engine"
 
@@ -151,7 +153,8 @@ let entry_uses_any entry dead =
 
 type step = Done of Protocol.response | Deferred of (unit -> unit -> Protocol.response)
 
-let ms_since t0 = (Unix.gettimeofday () -. t0) *. 1000.
+(* monotonic: the reported ms must not jump when NTP steps the wall clock *)
+let ms_since t0 = Timer.now_ms () -. t0
 
 let check_endpoints t ~src ~dst ~k =
   let n = G.n t.base in
@@ -161,7 +164,7 @@ let check_endpoints t ~src ~dst ~k =
   else if k < 1 then Some "k must be >= 1"
   else None
 
-let do_solve t ~src ~dst ~k ~delay_bound ~epsilon t0 =
+let do_solve t ?trace ~src ~dst ~k ~delay_bound ~epsilon t0 =
   match check_endpoints t ~src ~dst ~k with
   | Some msg -> Done (Protocol.Err (Protocol.Bad_request msg))
   | None when delay_bound < 0 -> Done (Protocol.Err (Protocol.Bad_request "delay bound < 0"))
@@ -172,6 +175,7 @@ let do_solve t ~src ~dst ~k ~delay_bound ~epsilon t0 =
     match Cache.find t.cache key with
     | Some entry ->
       Metrics.incr t.c_hits;
+      Option.iter (fun ctx -> Trace.add_root_arg ctx "source" "cache") trace;
       let ms = ms_since t0 in
       Metrics.observe t.h_hit ms;
       Done
@@ -194,22 +198,47 @@ let do_solve t ~src ~dst ~k ~delay_bound ~epsilon t0 =
       in
       Deferred
         (fun () ->
+          let fallbacks0 = Krsp_numeric.Numeric.exact_fallbacks () in
           let outcome =
-            match epsilon with
-            | None ->
-              Result.map
-                (fun (sol, stats) -> (sol, stats.Krsp.warm_started))
-                (Krsp.solve inst ~engine:t.cfg.solver ?numeric:t.cfg.numeric
-                   ?rsp_oracle:t.cfg.rsp_oracle ~max_iterations:t.cfg.max_iterations
-                   ?warm_start ~pool:t.pool ())
-            | Some eps ->
-              Result.map
-                (fun r ->
-                  (r.Krsp_core.Scaling.solution, r.Krsp_core.Scaling.stats.Krsp.warm_started))
-                (Krsp_core.Scaling.solve inst ~epsilon1:eps ~epsilon2:eps ~engine:t.cfg.solver
-                   ?numeric:t.cfg.numeric ?rsp_oracle:t.cfg.rsp_oracle
-                   ~max_iterations:t.cfg.max_iterations ?warm_start ~pool:t.pool ())
+            Trace.with_span trace "solve.job" (fun () ->
+                match epsilon with
+                | None ->
+                  Result.map
+                    (fun (sol, stats) -> (sol, stats))
+                    (Krsp.solve inst ?trace ~engine:t.cfg.solver ?numeric:t.cfg.numeric
+                       ?rsp_oracle:t.cfg.rsp_oracle ~max_iterations:t.cfg.max_iterations
+                       ?warm_start ~pool:t.pool ())
+                | Some eps ->
+                  Result.map
+                    (fun r -> (r.Krsp_core.Scaling.solution, r.Krsp_core.Scaling.stats))
+                    (Krsp_core.Scaling.solve inst ?trace ~epsilon1:eps ~epsilon2:eps
+                       ~engine:t.cfg.solver ?numeric:t.cfg.numeric
+                       ?rsp_oracle:t.cfg.rsp_oracle ~max_iterations:t.cfg.max_iterations
+                       ?warm_start ~pool:t.pool ()))
           in
+          (* root-span attribution for the slow log and the exported trace:
+             what the solve actually did, not what was asked of it *)
+          (match trace with
+          | None -> ()
+          | Some ctx ->
+            Trace.add_root_arg ctx "oracle"
+              (Krsp_rsp.Oracle.to_string
+                 (match t.cfg.rsp_oracle with
+                 | Some k -> k
+                 | None -> Krsp_rsp.Oracle.default ()));
+            Trace.add_root_arg ctx "donor" (string_of_bool (warm_start <> None));
+            let fallbacks = Krsp_numeric.Numeric.exact_fallbacks () - fallbacks0 in
+            if fallbacks > 0 then
+              Trace.add_root_arg ctx "numeric_fallbacks" (string_of_int fallbacks);
+            (match outcome with
+            | Error _ -> Trace.add_root_arg ctx "source" "infeasible"
+            | Ok (_, stats) ->
+              Trace.add_root_arg ctx "source"
+                (if stats.Krsp.warm_started then "warm" else "cold");
+              Trace.add_root_arg ctx "rounds" (string_of_int stats.Krsp.iterations);
+              Trace.add_root_arg ctx "guesses" (string_of_int stats.Krsp.guesses_tried);
+              if stats.Krsp.used_fallback then Trace.add_root_arg ctx "fallback" "true"));
+          let outcome = Result.map (fun (sol, stats) -> (sol, stats.Krsp.warm_started)) outcome in
           fun () ->
             match outcome with
             | Error e ->
@@ -240,7 +269,7 @@ let do_solve t ~src ~dst ~k ~delay_bound ~epsilon t0 =
                   paths = vertex_paths t.base entry.base_paths;
                 }))
 
-let do_qos t ~src ~dst ~k ~per_path_delay t0 =
+let do_qos t ?trace ~src ~dst ~k ~per_path_delay t0 =
   match check_endpoints t ~src ~dst ~k with
   | Some msg -> Done (Protocol.Err (Protocol.Bad_request msg))
   | None when per_path_delay < 0 ->
@@ -250,7 +279,8 @@ let do_qos t ~src ~dst ~k ~per_path_delay t0 =
     Deferred
       (fun () ->
         let result =
-          Krsp_core.Qos_paths.solve live.lgraph ~src ~dst ~k ~per_path_delay ()
+          Trace.with_span trace "solve.job" (fun () ->
+              Krsp_core.Qos_paths.solve live.lgraph ~src ~dst ~k ~per_path_delay ())
         in
         fun () ->
           match result with
@@ -354,24 +384,49 @@ let internal_error exn =
   L.err (fun m -> m "request failed: %s" (Printexc.to_string exn));
   Protocol.Err (Protocol.Internal (Printexc.to_string exn))
 
-let handle_async t request =
+(* TRACE: export every domain's span ring as Chrome trace-event JSON —
+   inline on the reply line, or to a file when a path was given. The rings
+   are process-global, so any engine's answer is the whole fleet's trace.
+   A successful export clears the rings: each TRACE returns the spans
+   accumulated since the previous one. *)
+let trace_response path =
+  let events = List.length (Trace.events ()) in
+  let json = Trace.export_chrome () in
+  match path with
+  | None ->
+    Trace.clear ();
+    Protocol.Trace_json json
+  | Some file -> (
+    match
+      let oc = open_out file in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc json)
+    with
+    | () ->
+      Trace.clear ();
+      Protocol.Traced { file; events }
+    | exception Sys_error msg -> Protocol.Err (Protocol.Internal msg))
+
+let handle_async t ?trace request =
   Metrics.incr t.c_requests;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Timer.now_ms () in
   match
-    match request with
-    | Protocol.Ping -> Done Protocol.Pong
-    | Protocol.Stats -> Done (Protocol.Stats_dump (stats_kv t))
-    | Protocol.Solve { src; dst; k; delay_bound; epsilon } ->
-      do_solve t ~src ~dst ~k ~delay_bound ~epsilon t0
-    | Protocol.Qos { src; dst; k; per_path_delay } -> do_qos t ~src ~dst ~k ~per_path_delay t0
-    | Protocol.Fail { u; v } -> Done (do_fail t ~u ~v)
-    | Protocol.Restore { u; v } -> Done (do_restore t ~u ~v)
+    Trace.with_span trace "engine.prologue" (fun () ->
+        match request with
+        | Protocol.Ping -> Done Protocol.Pong
+        | Protocol.Stats -> Done (Protocol.Stats_dump (stats_kv t))
+        | Protocol.Trace { path } -> Done (trace_response path)
+        | Protocol.Solve { src; dst; k; delay_bound; epsilon } ->
+          do_solve t ?trace ~src ~dst ~k ~delay_bound ~epsilon t0
+        | Protocol.Qos { src; dst; k; per_path_delay } ->
+          do_qos t ?trace ~src ~dst ~k ~per_path_delay t0
+        | Protocol.Fail { u; v } -> Done (do_fail t ~u ~v)
+        | Protocol.Restore { u; v } -> Done (do_restore t ~u ~v))
   with
   | step -> step
   | exception exn -> Done (internal_error exn)
 
-let handle t request =
-  match handle_async t request with
+let handle t ?trace request =
+  match handle_async t ?trace request with
   | Done r -> r
   | Deferred job -> (
     (* run both stages inline, each guarded like the async path would be *)
@@ -379,13 +434,13 @@ let handle t request =
     | commit -> ( match commit () with r -> r | exception exn -> internal_error exn)
     | exception exn -> internal_error exn)
 
-let handle_line_async t line =
+let handle_line_async t ?trace line =
   match Protocol.parse_request line with
   | Error e ->
     Metrics.incr t.c_bad;
     `Reply (Protocol.print_response (Protocol.Err (Protocol.Bad_request (Protocol.describe_parse_error e))))
   | Ok request -> (
-    match handle_async t request with
+    match handle_async t ?trace request with
     | Done r -> `Reply (Protocol.print_response r)
     | Deferred job ->
       `Job

@@ -67,17 +67,24 @@ val create : ?config:config -> ?pool:Krsp_util.Pool.t -> Krsp_graph.Digraph.t ->
 (** [pool] (default {!Krsp_util.Pool.default}) runs the solver's parallel
     layers and carries the deferred jobs of {!handle_line_async}. *)
 
-val handle : t -> Protocol.request -> Protocol.response
+val handle : t -> ?trace:Krsp_obs.Trace.ctx -> Protocol.request -> Protocol.response
 (** Total: never raises; unexpected exceptions become [Error (Internal _)].
     Runs any deferred job inline — the synchronous entry point for tests
-    and the replay benchmark. *)
+    and the replay benchmark. [trace] (here and in the async variants)
+    threads the request's span context through the solve: an
+    [engine.prologue] span covers the pre-job stage, [solve.job] the
+    deferred solve (which threads the context on into
+    {!Krsp_core.Krsp.solve}), and the job annotates the context's root
+    span with [source] (cache/warm/cold/infeasible), [oracle], [donor],
+    [rounds], [guesses] and any [numeric_fallbacks] delta — the facts the
+    slow-request log reports. *)
 
 val handle_line : t -> string -> string
 (** [print_response (handle (parse_request line))], with parse errors
     rendered as [ERR bad-request]. *)
 
 val handle_line_async :
-  t -> string -> [ `Reply of string | `Job of (unit -> unit -> string) ]
+  t -> ?trace:Krsp_obs.Trace.ctx -> string -> [ `Reply of string | `Job of (unit -> unit -> string) ]
 (** The daemon loop's entry point. [`Reply line] is a complete response
     (parse errors, validation errors, cache hits, PING/STATS/FAIL/RESTORE —
     everything that must or can run on the engine's domain). [`Job run]
@@ -107,3 +114,10 @@ val local_kv : t -> (string * string) list
 val stats_kv : t -> (string * string) list
 (** The [STATS] payload: {!local_kv} plus the process-global solver and
     checker registries and the topology dimensions. *)
+
+val trace_response : string option -> Protocol.response
+(** The [TRACE] handler: export the process-global span rings as Chrome
+    trace-event JSON — inline ([Trace_json]) with no path, or written to
+    the file ([Traced], with the exported span count) otherwise. Clears
+    the rings on success; a failed file write answers [ERR internal] and
+    leaves the rings intact. Shared by the engine and the shard front. *)

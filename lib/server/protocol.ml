@@ -5,6 +5,7 @@ type request =
   | Fail of { u : int; v : int }
   | Restore of { u : int; v : int }
   | Stats
+  | Trace of { path : string option }
 
 type parse_error =
   | Empty_line
@@ -34,6 +35,8 @@ type response =
     }
   | Mutated of { generation : int; edges : int }
   | Stats_dump of (string * string) list
+  | Trace_json of string
+  | Traced of { file : string; events : int }
   | Err of server_error
 
 (* ---- requests -------------------------------------------------------------- *)
@@ -61,6 +64,9 @@ let parse_request line =
     | "PING", _ -> arity "0"
     | "STATS", [] -> Ok Stats
     | "STATS", _ -> arity "0"
+    | "TRACE", [] -> Ok (Trace { path = None })
+    | "TRACE", [ p ] -> Ok (Trace { path = Some p })
+    | "TRACE", _ -> arity "0-1"
     | "SOLVE", ([ s; t; k; d ] | [ s; t; k; d; _ ]) ->
       int_field command "src" s @@ fun src ->
       int_field command "dst" t @@ fun dst ->
@@ -92,6 +98,8 @@ let parse_request line =
 let print_request = function
   | Ping -> "PING"
   | Stats -> "STATS"
+  | Trace { path = None } -> "TRACE"
+  | Trace { path = Some p } -> "TRACE " ^ p
   | Solve { src; dst; k; delay_bound; epsilon = None } ->
     Printf.sprintf "SOLVE %d %d %d %d" src dst k delay_bound
   | Solve { src; dst; k; delay_bound; epsilon = Some e } ->
@@ -158,6 +166,10 @@ let print_response = function
   | Mutated { generation; edges } -> Printf.sprintf "MUTATED generation=%d edges=%d" generation edges
   | Stats_dump kvs ->
     List.fold_left (fun acc (k, v) -> acc ^ " " ^ k ^ "=" ^ v) "STATS" kvs
+  (* the exported JSON is compact (no spaces or newlines), so it travels
+     as the single remaining token of the line *)
+  | Trace_json json -> "TRACE-JSON " ^ json
+  | Traced { file; events } -> Printf.sprintf "TRACED file=%s events=%d" file events
   | Err (Bad_request msg) -> append_detail "ERR bad-request" msg
   | Err Infeasible_disjoint -> "ERR infeasible-disjoint"
   | Err (Infeasible_delay d) -> Printf.sprintf "ERR infeasible-delay min=%d" d
@@ -197,6 +209,12 @@ let req_int kvs key =
   | None -> Error (Printf.sprintf "bad integer %s=%s" key v)
 
 let parse_response line =
+  (* TRACE-JSON carries one raw JSON payload: decode by prefix, before
+     any tokenization could misread the payload *)
+  let tj = "TRACE-JSON " in
+  if String.length line > String.length tj && String.sub line 0 (String.length tj) = tj then
+    Ok (Trace_json (String.sub line (String.length tj) (String.length line - String.length tj)))
+  else
   match tokens line with
   | [] -> Error "empty response line"
   | "PONG" :: [] -> Ok Pong
@@ -227,6 +245,11 @@ let parse_response line =
   | "STATS" :: rest ->
     let* kvs = kv_list rest in
     Ok (Stats_dump kvs)
+  | "TRACED" :: rest ->
+    let* kvs = kv_list rest in
+    let* file = require kvs "file" in
+    let* events = req_int kvs "events" in
+    Ok (Traced { file; events })
   | "ERR" :: kind :: rest -> (
     let detail = String.concat " " rest in
     match kind with

@@ -10,6 +10,7 @@
       FAIL <u> <v>
       RESTORE <u> <v>
       STATS
+      TRACE [<path>]
     v}
 
     Responses:
@@ -18,8 +19,16 @@
       SOLUTION cost=<int> delay=<int> source=<cold|cache|warm> ms=<float> paths=<v,v,..;v,v,..>
       MUTATED generation=<int> edges=<int>
       STATS <key>=<value> ...
+      TRACE-JSON <json>
+      TRACED file=<path> events=<int>
       ERR <kind> [detail]
     v}
+
+    [TRACE] exports the span rings as Chrome trace-event JSON
+    (Perfetto-loadable): with no argument the JSON comes back inline as
+    [TRACE-JSON] (the export is compact — no spaces or newlines — so it
+    fits the line protocol); with a path the server writes the file and
+    answers [TRACED]. Rings are cleared after a successful export.
 
     [ERR] kinds are the error taxonomy: [bad-request] (malformed line or
     out-of-range argument, detail is human text), [infeasible-disjoint]
@@ -48,6 +57,7 @@ type request =
   | Fail of { u : int; v : int }
   | Restore of { u : int; v : int }
   | Stats
+  | Trace of { path : string option }
 
 type parse_error =
   | Empty_line
@@ -78,6 +88,8 @@ type response =
     }
   | Mutated of { generation : int; edges : int }
   | Stats_dump of (string * string) list
+  | Trace_json of string  (** the Chrome trace-event JSON, verbatim *)
+  | Traced of { file : string; events : int }
   | Err of server_error
 
 val parse_request : string -> (request, parse_error) result

@@ -8,13 +8,14 @@ let strip_cr line =
   let n = String.length line in
   if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
 
-let serve_channels fleet ic oc =
+let serve_channels ?(on_tick = fun () -> ()) fleet ic oc =
   try
     while true do
       let line = strip_cr (input_line ic) in
       output_string oc (Shard.handle_line fleet line);
       output_char oc '\n';
-      flush oc
+      flush oc;
+      on_tick ()
     done
   with End_of_file -> ()
 
@@ -90,7 +91,8 @@ let bind_endpoint = function
     Unix.bind sock (Unix.ADDR_INET (addr, port));
     sock
 
-let listen_and_serve ?(max_clients = 64) ?(on_listen = fun () -> ()) ?stop fleet endpoint =
+let listen_and_serve ?(max_clients = 64) ?(on_listen = fun () -> ()) ?(on_tick = fun () -> ())
+    ?stop fleet endpoint =
   let stop = match stop with Some r -> r | None -> ref false in
   let sock = bind_endpoint endpoint in
   Unix.listen sock max_clients;
@@ -184,14 +186,18 @@ let listen_and_serve ?(max_clients = 64) ?(on_listen = fun () -> ()) ?stop fleet
       ready
   in
   while not !stop do
+    (* signal flag-and-drain: handlers only set flags; the work (dump
+       writes, trace exports) runs here, on the front's domain *)
+    on_tick ();
     (* an eof'd client's fd would report readable forever: select only on
        clients that may still send requests *)
     let readable = List.filter (fun c -> not c.eof) !clients in
     let fds = sock :: pipe_r :: List.map (fun c -> c.fd) readable in
     match Unix.select fds [] [] (-1.0) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-      (* a signal (SIGTERM sets [stop], SIGUSR1 dumps) woke us: re-check *)
-      ()
+      (* a signal (SIGTERM sets [stop], SIGUSR1/SIGUSR2 set drain flags)
+         woke us: run the tick now, then re-check [stop] *)
+      on_tick ()
     | ready, _, _ ->
       List.iter
         (fun fd ->

@@ -16,12 +16,15 @@ val serve_fd : Shard.t -> Unix.file_descr -> unit
     not shedding). The descriptor is not closed (the caller owns it). This
     is the in-process entry point used by the tests over a socketpair. *)
 
-val serve_channels : Shard.t -> in_channel -> out_channel -> unit
-(** Same loop over stdio-style channels ([krspd] without [--unix]/[--port]). *)
+val serve_channels : ?on_tick:(unit -> unit) -> Shard.t -> in_channel -> out_channel -> unit
+(** Same loop over stdio-style channels ([krspd] without [--unix]/[--port]).
+    [on_tick] (default: no-op) runs after every response — the stdio
+    path's drain point for flags set by signal handlers. *)
 
 val listen_and_serve :
   ?max_clients:int ->
   ?on_listen:(unit -> unit) ->
+  ?on_tick:(unit -> unit) ->
   ?stop:bool ref ->
   Shard.t ->
   endpoint ->
@@ -36,9 +39,14 @@ val listen_and_serve :
     strictly in request order regardless of completion order.
 
     [on_listen] fires once the socket is ready (used to print the
-    address). [stop] (default: a private ref, i.e. serve forever) is
-    polled after every select round and on [EINTR], so a signal handler
-    that sets it (krspd's SIGTERM) triggers a {e graceful drain}: the
+    address). [on_tick] (default: no-op) runs on the front's domain at the
+    top of every select round {e and} immediately on [EINTR] — krspd
+    points it at its signal-flag drain, so async-signal-unsafe work
+    (composing and writing a dump, exporting a trace) happens here rather
+    than inside a handler. [stop] (default: a private ref, i.e. serve
+    forever) is polled after every select round and on [EINTR], so a
+    signal handler that sets it (krspd's SIGTERM) triggers a
+    {e graceful drain}: the
     listening socket closes, every already-admitted request completes on
     its shard and its reply is written, then the function returns.
     Raises on bind/listen failure. *)

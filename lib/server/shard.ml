@@ -18,6 +18,8 @@
 module G = Krsp_graph.Digraph
 module Metrics = Krsp_util.Metrics
 module Pool = Krsp_util.Pool
+module Timer = Krsp_util.Timer
+module Trace = Krsp_obs.Trace
 
 let log = Logs.Src.create "krspd.shard" ~doc:"kRSP shard fleet"
 
@@ -37,7 +39,13 @@ type barrier = {
 }
 
 type task =
-  | Query of { request : Protocol.request; t_enq : float; complete : string -> unit }
+  | Query of {
+      request : Protocol.request;
+      t_enq_ns : int64;  (* monotonic: queue-wait must survive NTP steps *)
+      trace : Trace.ctx option;  (* minted at admission, finished on the shard *)
+      prior_sheds : int;  (* times this (src, dst) was shed before admission *)
+      complete : string -> unit;
+    }
   | Mutation of { request : Protocol.request; barrier : barrier }
 
 type shard = {
@@ -59,6 +67,12 @@ type t = {
   shards : shard array;
   mutable generation : int;  (* front's mirror; written only under barriers *)
   metrics : Metrics.t;  (* front/fleet registry: routing, admission, waits *)
+  (* shed history per (src, dst): read-and-reset at admission so an
+     eventually admitted request's trace and slow-log line report how many
+     times admission control turned it away first. Front-side state, but
+     mutex'd anyway — the sync stdio path may race a test's submit calls. *)
+  sheds_mu : Mutex.t;
+  shed_history : (int * int, int) Hashtbl.t;
   c_routed : Metrics.counter;
   c_shed : Metrics.counter;
   c_mutations : Metrics.counter;
@@ -89,31 +103,76 @@ let default_queue_bound = 64
 
 (* ---- worker ---------------------------------------------------------------- *)
 
-let now () = Unix.gettimeofday ()
-
 let note_depth shard =
   (* caller holds shard.mu *)
   let depth = Queue.length shard.queue in
   let seen = Metrics.value shard.c_max_depth in
   if depth > seen then Metrics.incr ~by:(depth - seen) shard.c_max_depth
 
+let verb = function
+  | Protocol.Ping -> "PING"
+  | Protocol.Solve _ -> "SOLVE"
+  | Protocol.Qos _ -> "QOS"
+  | Protocol.Fail _ -> "FAIL"
+  | Protocol.Restore _ -> "RESTORE"
+  | Protocol.Stats -> "STATS"
+  | Protocol.Trace _ -> "TRACE"
+
+(* The threshold-triggered slow-request log: one line per kept-slow
+   request with everything the on-call needs before opening the trace —
+   what was asked, where it ran, how often it was shed first, and the
+   root-arg attribution the engine recorded (source, oracle, rounds,
+   donor, numeric fallbacks). Composed here, written by Trace.emit_slow
+   with a single write so concurrent shards never interleave lines. *)
+let slow_log ctx ~total_ms ~shard ~prior_sheds ~request =
+  (* "request" is already printed (quoted) below; the root arg copy is for
+     the exported trace *)
+  let args = List.filter (fun (k, _) -> k <> "request") (Trace.root_args ctx) in
+  let b = Buffer.create 160 in
+  Buffer.add_string b
+    (Printf.sprintf "slow-request trace=%d ms=%.3f shard=%d request=%S" (Trace.id ctx)
+       total_ms shard (Protocol.print_request request));
+  if prior_sheds > 0 then Buffer.add_string b (Printf.sprintf " prior_sheds=%d" prior_sheds);
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%s" k v)) args;
+  Buffer.add_string b (Printf.sprintf " spans=%d" (Trace.span_count ctx));
+  Trace.emit_slow (Buffer.contents b)
+
 let run_task t shard task =
   match task with
-  | Query { request; t_enq; complete } ->
-    let t0 = now () in
-    Metrics.observe t.h_wait ((t0 -. t_enq) *. 1000.);
+  | Query { request; t_enq_ns; trace; prior_sheds; complete } ->
+    let t0_ns = Timer.now_ns () in
+    Metrics.observe t.h_wait (Timer.ns_to_ms (Int64.sub t0_ns t_enq_ns));
+    (* retroactive span: the wait started before we knew the request would
+       be traced past admission *)
+    (match trace with
+    | Some ctx -> Trace.record ctx "queue.wait" ~t_start_ns:t_enq_ns ~t_end_ns:t0_ns
+    | None -> ());
     (* Engine.handle is total: unexpected exceptions become ERR internal *)
-    let reply = Protocol.print_response (Engine.handle shard.engine request) in
-    let t1 = now () in
+    let reply = Protocol.print_response (Engine.handle shard.engine ?trace request) in
+    let t1_ns = Timer.now_ns () in
+    let ms = Timer.ns_to_ms (Int64.sub t1_ns t0_ns) in
     Metrics.incr shard.c_served;
-    Metrics.incr ~by:(max 0 (int_of_float ((t1 -. t0) *. 1e6))) shard.c_busy_us;
-    Metrics.observe t.h_service ((t1 -. t0) *. 1000.);
+    Metrics.incr ~by:(max 0 (int_of_float (ms *. 1e3))) shard.c_busy_us;
+    Metrics.observe t.h_service ms;
+    (match trace with
+    | None -> ()
+    | Some ctx ->
+      let args =
+        ("shard", string_of_int shard.index)
+        :: (if prior_sheds > 0 then [ ("prior_sheds", string_of_int prior_sheds) ] else [])
+      in
+      let total_ms, kept = Trace.finish ~args ctx (verb request) in
+      (* under slow:<ms>, "kept" IS "slower than the threshold" — the log
+         line and the exported trace cover exactly the same requests *)
+      if kept && Trace.slow_threshold () <> None then
+        slow_log ctx ~total_ms ~shard:shard.index ~prior_sheds ~request);
     (* a completion hook that raises must not kill the shard *)
     (try complete reply with _ -> ())
   | Mutation { request; barrier } ->
-    let t0 = now () in
+    let t0_ns = Timer.now_ns () in
     let reply = Engine.handle shard.engine request in
-    Metrics.incr ~by:(max 0 (int_of_float ((now () -. t0) *. 1e6))) shard.c_busy_us;
+    let us = Int64.to_int (Int64.div (Int64.sub (Timer.now_ns ()) t0_ns) 1000L) in
+    Metrics.incr ~by:(max 0 us) shard.c_busy_us;
     Mutex.lock barrier.b_mu;
     barrier.b_replies <- (shard.index, reply) :: barrier.b_replies;
     barrier.b_pending <- barrier.b_pending - 1;
@@ -239,6 +298,8 @@ let create ?(config = Engine.default_config) ?(queue_bound = default_queue_bound
             });
       generation = 0;
       metrics;
+      sheds_mu = Mutex.create ();
+      shed_history = Hashtbl.create 64;
       c_routed = Metrics.counter metrics "front.routed";
       c_shed = Metrics.counter metrics "front.shed";
       c_mutations = Metrics.counter metrics "front.mutations";
@@ -249,7 +310,13 @@ let create ?(config = Engine.default_config) ?(queue_bound = default_queue_bound
     }
   in
   Array.iter
-    (fun shard -> shard.domain <- Some (Domain.spawn (fun () -> worker_loop t shard)))
+    (fun shard ->
+      shard.domain <-
+        Some
+          (Domain.spawn (fun () ->
+               (* label this domain's flamegraph lane before serving *)
+               Trace.name_lane (Printf.sprintf "shard%d" shard.index);
+               worker_loop t shard)))
     t.shards;
   L.info (fun m ->
       m "fleet up: %d shard(s), queue bound %d, %d domain(s)/shard" shards queue_bound
@@ -283,6 +350,7 @@ let shutdown t =
 
 let broadcast_mutation t request =
   Metrics.incr t.c_mutations;
+  let trace = Trace.start () in
   let barrier =
     {
       b_mu = Mutex.create ();
@@ -301,12 +369,23 @@ let broadcast_mutation t request =
         Mutex.unlock barrier.b_mu
       end)
     t.shards;
+  let t_wait_ns = Timer.now_ns () in
   Mutex.lock barrier.b_mu;
   while barrier.b_pending > 0 do
     Condition.wait barrier.b_cv barrier.b_mu
   done;
   let replies = barrier.b_replies in
   Mutex.unlock barrier.b_mu;
+  (* the generation barrier is the serving pause every mutation imposes on
+     the whole fleet — the one number a traced FAIL/RESTORE must show *)
+  (match trace with
+  | Some ctx ->
+    Trace.record ctx "barrier.wait" ~t_start_ns:t_wait_ns ~t_end_ns:(Timer.now_ns ());
+    ignore
+      (Trace.finish
+         ~args:[ ("shards", string_of_int (Array.length t.shards)) ]
+         ctx (verb request))
+  | None -> ());
   (* the barrier mutex ordered every shard's engine writes before this
      read: all shards are now at the same generation *)
   t.generation <- Engine.generation t.shards.(0).engine;
@@ -353,6 +432,39 @@ let stats_kv t =
   @ Metrics.to_kv Krsp_check.Check.metrics
   @ Metrics.to_kv Krsp_numeric.Numeric.metrics
 
+(* One registry with the whole process's series: the fleet front's, every
+   shard's engine registry folded in, and the process-global solver /
+   oracle / checker / numeric registries once. Built fresh per call —
+   scrapes are sparse and merge is cheap next to a solve. *)
+let merged_metrics t =
+  let agg = Metrics.create () in
+  Metrics.merge ~into:agg t.metrics;
+  Array.iter (fun s -> Metrics.merge ~into:agg (Engine.metrics s.engine)) t.shards;
+  Metrics.merge ~into:agg Krsp_core.Krsp.metrics;
+  Metrics.merge ~into:agg Krsp_rsp.Rsp_engine.metrics;
+  Metrics.merge ~into:agg Krsp_check.Check.metrics;
+  Metrics.merge ~into:agg Krsp_numeric.Numeric.metrics;
+  agg
+
+let prometheus t =
+  let f = float_of_int in
+  let sum g = Array.fold_left (fun acc s -> acc + g s.engine) 0 t.shards in
+  let cache_sum g = sum (fun e -> g (Engine.cache_stats e)) in
+  let gauges =
+    [ ("fleet.shards", f (Array.length t.shards));
+      ("fleet.generation", f t.generation);
+      ("cache.length", f (sum (fun e -> fst (Engine.cache_occupancy e))));
+      ("cache.capacity", f (sum (fun e -> snd (Engine.cache_occupancy e))));
+      ("cache.hits", f (cache_sum (fun c -> c.Cache.hits)));
+      ("cache.misses", f (cache_sum (fun c -> c.Cache.misses)))
+    ]
+    @ Array.to_list
+        (Array.map
+           (fun s -> (Printf.sprintf "shard%d.queue_depth" s.index, f (queue_depth s)))
+           t.shards)
+  in
+  Krsp_obs.Prom.render ~gauges (merged_metrics t)
+
 let dump t =
   (* one buffer, one writer: per-shard sections can never interleave *)
   let b = Buffer.create 1024 in
@@ -368,6 +480,30 @@ let dump t =
 
 (* ---- the front ------------------------------------------------------------- *)
 
+(* shed-history bookkeeping: bump on shed, read-and-reset on admission *)
+let note_shed t ~src ~dst =
+  Mutex.lock t.sheds_mu;
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.shed_history (src, dst)) in
+  Hashtbl.replace t.shed_history (src, dst) (n + 1);
+  Mutex.unlock t.sheds_mu
+
+let take_sheds t ~src ~dst =
+  Mutex.lock t.sheds_mu;
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.shed_history (src, dst)) in
+  if n > 0 then Hashtbl.remove t.shed_history (src, dst);
+  Mutex.unlock t.sheds_mu;
+  n
+
+(* a query task, with its trace context minted at protocol decode *)
+let query_task t ~src ~dst ~complete request =
+  let trace = Trace.start () in
+  (match trace with
+  | Some ctx ->
+    Trace.add_root_arg ctx "request" (Protocol.print_request request)
+  | None -> ());
+  let prior_sheds = take_sheds t ~src ~dst in
+  Query { request; t_enq_ns = Timer.now_ns (); trace; prior_sheds; complete }
+
 let submit t ~complete line =
   match Protocol.parse_request line with
   | Error e ->
@@ -381,18 +517,24 @@ let submit t ~complete line =
   | Ok Protocol.Stats ->
     Metrics.incr t.c_front;
     Replied (Protocol.print_response (Protocol.Stats_dump (stats_kv t)))
+  | Ok (Protocol.Trace { path }) ->
+    (* rings are process-global, so the front can export without touching
+       any shard; answered inline like STATS *)
+    Metrics.incr t.c_front;
+    Replied (Protocol.print_response (Engine.trace_response path))
   | Ok ((Protocol.Fail _ | Protocol.Restore _) as request) ->
     Replied (Protocol.print_response (broadcast_mutation t request))
   | Ok
       ((Protocol.Solve { src; dst; _ } | Protocol.Qos { src; dst; _ }) as request) ->
     let i = route t ~src ~dst ~generation:t.generation in
     let shard = t.shards.(i) in
-    if try_push shard (Query { request; t_enq = now (); complete }) then begin
+    if try_push shard (query_task t ~src ~dst ~complete request) then begin
       Metrics.incr t.c_routed;
       Queued i
     end
     else begin
       Metrics.incr t.c_shed;
+      note_shed t ~src ~dst;
       Shed { shard = i; retry_after_ms = retry_after_ms t shard }
     end
 
@@ -414,7 +556,7 @@ let handle_line t line =
   match Protocol.parse_request line with
   | Ok ((Protocol.Solve { src; dst; _ } | Protocol.Qos { src; dst; _ }) as request) ->
     let i = route t ~src ~dst ~generation:t.generation in
-    if push_wait t.shards.(i) (Query { request; t_enq = now (); complete }) then begin
+    if push_wait t.shards.(i) (query_task t ~src ~dst ~complete request) then begin
       Metrics.incr t.c_routed;
       Mutex.lock mu;
       while !slot = None do

@@ -18,8 +18,20 @@
     component}: caches are generation-keyed per shard, and cross-generation
     stability is what keeps carried-forward entries (FAIL rekeys unaffected
     entries in place) and warm-start donors co-located with the queries
-    that will want them. [PING]/[STATS] are answered by the front;
+    that will want them. [PING]/[STATS]/[TRACE] are answered by the front;
     malformed lines never reach a shard.
+
+    {2 Tracing}
+
+    Each admitted query mints a {!Krsp_obs.Trace} context at protocol
+    decode (subject to the [KRSP_TRACE] policy) and carries it through the
+    queue to the shard: the worker records the retroactive [queue.wait]
+    span, threads the context through {!Engine.handle} (and from there
+    through the solver), then finishes the root span — named after the
+    verb, annotated with the shard index, the request line, and how many
+    times admission control shed this (src, dst) before it got through —
+    and, under [slow:<ms>], emits the structured slow-request log line for
+    kept requests. Mutations trace their fleet-wide [barrier.wait].
 
     {2 Mutations and the generation barrier}
 
@@ -138,3 +150,14 @@ val dump : t -> string
     one section per shard ({!Engine.local_kv}). Composed into a single
     string by the calling domain precisely so that writing it is one
     [write] — per-shard lines can never interleave. *)
+
+val merged_metrics : t -> Krsp_util.Metrics.t
+(** A fresh registry holding every series the process owns: the fleet
+    front's, each shard's engine registry merged in, and the
+    process-global solver/oracle/checker/numeric registries once. *)
+
+val prometheus : t -> string
+(** The Prometheus text exposition of {!merged_metrics}, plus
+    point-in-time gauges (fleet shape, generation, cache occupancy and
+    hit/miss totals, per-shard queue depths) — the body served by krspd's
+    [--telemetry-port] endpoint. Safe to call from any domain. *)

@@ -140,6 +140,33 @@ let merge ~into src =
               if vmax > d.vmax then d.vmax <- vmax))
     names
 
+type data =
+  | Counter_data of int
+  | Histogram_data of {
+      buckets : int array;
+      total : int;
+      sum : float;
+      vmin : float;
+      vmax : float;
+    }
+
+let bucket_bounds = bounds
+
+let snapshot t =
+  let names = with_lock t.reg_mu (fun () -> List.rev t.order) in
+  List.filter_map
+    (fun name ->
+      match with_lock t.reg_mu (fun () -> Hashtbl.find_opt t.tbl name) with
+      | None -> None
+      | Some (Counter c) -> Some (name, Counter_data (value c))
+      | Some (Histogram h) ->
+        let buckets, total, sum, vmin, vmax =
+          with_lock h.h_mu (fun () ->
+              (Array.copy h.buckets, h.total, h.hsum, h.vmin, h.vmax))
+        in
+        Some (name, Histogram_data { buckets; total; sum; vmin; vmax }))
+    names
+
 let to_kv t =
   let f3 x = Printf.sprintf "%.3f" x in
   let names = with_lock t.reg_mu (fun () -> List.rev t.order) in
@@ -151,6 +178,8 @@ let to_kv t =
         [ (name ^ ".count", string_of_int h.total); (name ^ ".sum_ms", f3 h.hsum);
           (name ^ ".p50", f3 (percentile h 50.)); (name ^ ".p90", f3 (percentile h 90.));
           (name ^ ".p99", f3 (percentile h 99.));
+          (name ^ ".p999", f3 (percentile h 99.9));
+          (name ^ ".min", f3 (if h.total = 0 then 0. else h.vmin));
           (name ^ ".max", f3 (if h.total = 0 then 0. else h.vmax))
         ])
     names

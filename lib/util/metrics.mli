@@ -58,11 +58,31 @@ val merge : into:t -> t -> unit
     sharded server aggregates per-shard engine registries into one fleet
     view. *)
 
+type data =
+  | Counter_data of int
+  | Histogram_data of {
+      buckets : int array;  (** per-bucket counts, indexed like {!bucket_bounds} *)
+      total : int;
+      sum : float;
+      vmin : float;  (** [infinity] when nothing was observed *)
+      vmax : float;
+    }
+
+val bucket_bounds : float array
+(** The shared histogram bucket upper bounds (ms): bucket [i] covers
+    [(bucket_bounds.(i-1), bucket_bounds.(i)]]; the last bound is
+    [infinity]. Do not mutate. *)
+
+val snapshot : t -> (string * data) list
+(** Structured snapshot of every series (each copied under its own lock),
+    in creation order — what the Prometheus exposition renders so its
+    numbers and {!to_kv}'s come from the same registries. *)
+
 val to_kv : t -> (string * string) list
 (** Flat snapshot for line-oriented protocols: counters as
     [name=<int>]; histograms as [name.count], [name.sum_ms], [name.p50],
-    [name.p90], [name.p99], [name.max] (3-decimal floats). Series appear
-    in creation order. *)
+    [name.p90], [name.p99], [name.p999], [name.min], [name.max]
+    (3-decimal floats). Series appear in creation order. *)
 
 val dump : t -> string
 (** Human-readable multi-line rendering of {!to_kv} (one [key value] pair

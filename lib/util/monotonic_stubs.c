@@ -1,0 +1,33 @@
+/* Monotonic clock for Timer: clock_gettime(CLOCK_MONOTONIC) as an
+   unboxed-int64 noalloc external. The wall clock (gettimeofday) steps
+   whenever NTP adjusts it, which corrupts latency observations taken as
+   differences; CLOCK_MONOTONIC only ever moves forward at (approximately)
+   one second per second. The origin is unspecified (boot-ish), so values
+   are only meaningful as differences — exactly how Timer uses them. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+#include <sys/time.h>
+
+int64_t krsp_monotonic_now(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+#endif
+  /* last-resort fallback for platforms without CLOCK_MONOTONIC */
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return (int64_t)tv.tv_sec * 1000000000 + (int64_t)tv.tv_usec * 1000;
+  }
+}
+
+CAMLprim value krsp_monotonic_now_byte(value unit)
+{
+  return caml_copy_int64(krsp_monotonic_now(unit));
+}

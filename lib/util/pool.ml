@@ -21,7 +21,7 @@ type t = {
   busy : Metrics.counter array; (* busy_us by slot; 0 = caller, 1.. = workers *)
 }
 
-let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+let now_us () = Int64.to_int (Int64.div (Timer.now_ns ()) 1000L)
 
 let run_task t ~slot task =
   let t0 = now_us () in

@@ -1,7 +1,20 @@
+(* All timing is monotonic: differences of CLOCK_MONOTONIC readings are
+   immune to NTP steps, which used to corrupt latency observations taken
+   across a wall-clock adjustment. The C stub is noalloc and returns an
+   unboxed int64, so [now_ns] costs a C call and nothing else. *)
+
+external now_ns : unit -> (int64[@unboxed])
+  = "krsp_monotonic_now_byte" "krsp_monotonic_now"
+[@@noalloc]
+
+let now_ms () = Int64.to_float (now_ns ()) /. 1e6
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+
 let time f =
-  let start = Unix.gettimeofday () in
+  let start = now_ns () in
   let result = f () in
-  (result, Unix.gettimeofday () -. start)
+  (result, Int64.to_float (Int64.sub (now_ns ()) start) /. 1e9)
 
 let time_ms f =
   let result, seconds = time f in

@@ -1,9 +1,25 @@
-(** Wall-clock timing for coarse experiment measurements (the fine-grained
-    micro-benchmarks use bechamel instead). *)
+(** Monotonic timing for latency measurements and span timestamps.
+
+    Readings come from [clock_gettime(CLOCK_MONOTONIC)] (via a tiny C
+    stub — this OCaml's [Unix] does not expose it), so differences are
+    immune to NTP steps and wall-clock adjustments, which used to corrupt
+    latency observations. The clock's origin is unspecified: values are
+    meaningful only as differences, never as dates. *)
+
+val now_ns : unit -> int64
+(** Monotonic nanoseconds since an arbitrary origin. Allocation-free
+    (unboxed external) — cheap enough for per-span timestamps on serving
+    hot paths. *)
+
+val now_ms : unit -> float
+(** [now_ns] in (fractional) milliseconds. *)
+
+val ns_to_ms : int64 -> float
+(** Convert a nanosecond difference to milliseconds. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
-    wall-clock seconds. *)
+    monotonic seconds. *)
 
 val time_ms : (unit -> 'a) -> 'a * float
 (** Like {!time} but in milliseconds. *)

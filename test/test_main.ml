@@ -12,4 +12,4 @@ let () =
    @ Test_extras.suites @ Test_variants.suites @ Test_invariants.suites
    @ Test_scaling_large.suites @ Test_milp.suites @ Test_route.suites
    @ Test_server.suites @ Test_parallel.suites @ Test_check.suites @ Test_numeric.suites
-   @ Test_oracle.suites)
+   @ Test_oracle.suites @ Test_obs.suites)

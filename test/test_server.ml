@@ -539,6 +539,52 @@ let test_serve_fd_socketpair () =
   | _ -> Alcotest.fail "wrong response count")
 (* close_in above closed client_fd's descriptor; nothing left to release *)
 
+(* a traced session: under KRSP_TRACE=all-equivalent policy, a SOLVE leaves
+   spans in the rings and the TRACE verb exports them — inline as a
+   TRACE-JSON line that validates, and the export clears the rings so a
+   second TRACE is empty *)
+let test_serve_fd_trace () =
+  let module Trace = Krsp_obs.Trace in
+  let saved = Trace.policy () in
+  Trace.set_policy Trace.All;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_policy saved;
+      Trace.clear ())
+    (fun () ->
+      Trace.clear ();
+      let client_fd, server_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let requests = [ "SOLVE 0 3 2 30"; "TRACE"; "TRACE" ] in
+      let payload = String.concat "\n" requests ^ "\n" in
+      ignore (Unix.write_substring client_fd payload 0 (String.length payload));
+      Unix.shutdown client_fd Unix.SHUTDOWN_SEND;
+      let shards = match Shard.env_shards () with Some n -> n | None -> 1 in
+      let fleet = Shard.create ~shards (diamond ()) in
+      Server.serve_fd fleet server_fd;
+      Shard.shutdown fleet;
+      Unix.close server_fd;
+      let ic = Unix.in_channel_of_descr client_fd in
+      let responses = List.map (fun _ -> input_line ic) requests in
+      close_in ic;
+      match responses with
+      | [ solution; traced; empty ] ->
+        (match Protocol.parse_response solution with
+        | Ok (Protocol.Solution _) -> ()
+        | _ -> Alcotest.failf "solution: unexpected %s" solution);
+        (match Protocol.parse_response traced with
+        | Ok (Protocol.Trace_json json) -> (
+          match Trace.Json.validate_chrome json with
+          | Ok n -> Alcotest.(check bool) "exported spans" true (n > 0)
+          | Error msg -> Alcotest.failf "export does not validate: %s" msg)
+        | _ -> Alcotest.failf "traced: unexpected %s" traced);
+        (match Protocol.parse_response empty with
+        | Ok (Protocol.Trace_json json) -> (
+          match Trace.Json.validate_chrome json with
+          | Ok n -> Alcotest.(check int) "rings cleared by the export" 0 n
+          | Error msg -> Alcotest.failf "empty export does not validate: %s" msg)
+        | _ -> Alcotest.failf "empty: unexpected %s" empty)
+      | _ -> Alcotest.fail "wrong response count")
+
 (* --- metrics ----------------------------------------------------------------- *)
 
 let test_metrics () =
@@ -620,7 +666,9 @@ let suites =
         Alcotest.test_case "graceful drain" `Quick test_drain_completes_queued
       ] );
     ( "server.daemon",
-      [ Alcotest.test_case "socketpair session" `Quick test_serve_fd_socketpair ] );
+      [ Alcotest.test_case "socketpair session" `Quick test_serve_fd_socketpair;
+        Alcotest.test_case "traced session exports spans" `Quick test_serve_fd_trace
+      ] );
     ( "server.metrics",
       [ Alcotest.test_case "counters and histograms" `Quick test_metrics;
         Alcotest.test_case "merge" `Quick test_metrics_merge
