@@ -12,7 +12,8 @@ let experiments =
     ("e10", E10_lp_bound.run); ("e11", E11_phase1.run); ("e12", E12_policy.run);
     ("e13", E13_isp_case.run); ("e14", E14_serving.run); ("e15", E15_substrate.run);
     ("e16", E16_parallel.run); ("e17", E17_certify.run); ("e18", E18_load.run);
-    ("e19", E19_numeric.run); ("e20", E20_oracles.run); ("e21", E21_obs.run)
+    ("e19", E19_numeric.run); ("e20", E20_oracles.run); ("e21", E21_obs.run);
+    ("e22", E22_churn.run)
   ]
 
 let () =
@@ -42,4 +43,10 @@ let () =
     output_string oc (E21_obs.json ());
     close_out oc;
     Printf.printf "\nwrote BENCH_e21.json\n"
+  end;
+  if List.mem "e22" requested then begin
+    let oc = open_out "BENCH_e22.json" in
+    output_string oc (E22_churn.json ());
+    close_out oc;
+    Printf.printf "\nwrote BENCH_e22.json\n"
   end

@@ -498,26 +498,53 @@ let verify_cmd =
 
 (* ---- fuzz -------------------------------------------------------------------- *)
 
-let fuzz seed count inject level corpus max_failures numeric rsp_oracle =
+let fuzz seed count churn inject level corpus max_failures numeric rsp_oracle =
   apply_numeric numeric;
   apply_rsp_oracle rsp_oracle;
-  let inject =
-    match Krsp_check.Fuzz.inject_of_string inject with
-    | Some i -> i
-    | None ->
-      Printf.eprintf "fuzz: unknown --inject %S (clean, share-edge, drop-edge, tamper-cost)\n"
-        inject;
-      exit exit_parse_io
-  in
-  let outcome =
-    Krsp_check.Fuzz.run ~level:(parse_level level) ~inject ~count ~max_failures
-      ?corpus_dir:corpus ~log:print_endline ~seed ()
-  in
-  if outcome.Krsp_check.Fuzz.failures = [] then 0 else 1
+  if churn then begin
+    let inject =
+      match Krsp_check.Fuzz.churn_inject_of_string inject with
+      | Some i -> i
+      | None ->
+        Printf.eprintf "fuzz: unknown --churn --inject %S (clean, stale-entry)\n" inject;
+        exit exit_parse_io
+    in
+    let outcome =
+      Krsp_check.Fuzz.run_churn ~level:(parse_level level) ~inject ~count ~max_failures
+        ?corpus_dir:corpus ~log:print_endline ~seed ()
+    in
+    if outcome.Krsp_check.Fuzz.churn_failures = [] then 0 else 1
+  end
+  else begin
+    let inject =
+      match Krsp_check.Fuzz.inject_of_string inject with
+      | Some i -> i
+      | None ->
+        Printf.eprintf "fuzz: unknown --inject %S (clean, share-edge, drop-edge, tamper-cost)\n"
+          inject;
+        exit exit_parse_io
+    in
+    let outcome =
+      Krsp_check.Fuzz.run ~level:(parse_level level) ~inject ~count ~max_failures
+        ?corpus_dir:corpus ~log:print_endline ~seed ()
+    in
+    if outcome.Krsp_check.Fuzz.failures = [] then 0 else 1
+  end
 
 let fuzz_cmd =
   let count =
     Arg.(value & opt int 50 & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of cases.")
+  in
+  let churn =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:
+            "Fuzz churn traces instead of single instances: each case generates a base \
+             graph plus an interleaved schedule of solves and mutation batches \
+             (insert/delete/re-weight), replayed incremental-overlay vs full-refreeze at \
+             pool widths 1 and 4 with every witness certified. Shrunk disagreements are \
+             saved as $(b,.churn) files.")
   in
   let inject =
     Arg.(
@@ -525,8 +552,11 @@ let fuzz_cmd =
       & info [ "inject" ] ~docv:"MODE"
           ~doc:
             "Plant a bug by mutating the solver's output before certification: $(b,clean) \
-             (no mutation), $(b,share-edge), $(b,drop-edge), $(b,tamper-cost). Non-clean \
-             sweeps are expected to fail — they test the harness itself.")
+             (no mutation), $(b,share-edge), $(b,drop-edge), $(b,tamper-cost). With \
+             $(b,--churn) the modes are $(b,clean) and $(b,stale-entry) (serve cached \
+             solutions across mutations without invalidation — the staleness the serving \
+             engine must never exhibit). Non-clean sweeps are expected to fail — they test \
+             the harness itself.")
   in
   let corpus =
     Arg.(
@@ -552,7 +582,7 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~exits ~man ~doc:"Seeded deterministic fuzzing with shrinking.")
     Term.(
-      const fuzz $ seed_arg $ count $ inject $ level_arg $ corpus $ max_failures
+      const fuzz $ seed_arg $ count $ churn $ inject $ level_arg $ corpus $ max_failures
       $ numeric_arg $ rsp_oracle_arg)
 
 (* ---- client ------------------------------------------------------------------ *)

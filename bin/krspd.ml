@@ -132,6 +132,31 @@ let trace_file_arg =
           "Where SIGUSR2 writes the Chrome trace export. Default: \
            krspd-trace.<pid>.json in the working directory.")
 
+let topology_arg =
+  Arg.(
+    value
+    & opt string "overlay"
+    & info [ "topology" ] ~docv:"MODE"
+        ~doc:
+          "How mutations (FAIL/RESTORE/MUTATE) reach the solver's adjacency view: \
+           $(b,overlay) (default; patch the last full CSR through a delta overlay, \
+           compacting when the patch outgrows its budget) or $(b,refreeze) (rebuild the \
+           full view on every mutation — the baseline the churn suite compares against). \
+           Both produce bit-identical views; only the cost of absorbing churn differs. \
+           Counters appear in STATS as topo.*.")
+
+let invalidation_arg =
+  Arg.(
+    value
+    & opt string "scoped"
+    & info [ "invalidation" ] ~docv:"POLICY"
+        ~doc:
+          "Cache invalidation on restrictive mutations (FAIL, del, non-decreasing \
+           re-weights): $(b,scoped) (default; drop only entries whose cached solution \
+           touches a mutated edge, via the edge-to-key reverse index) or $(b,full) (flush \
+           the whole cache on every mutation). Expansive mutations (RESTORE, ins, weight \
+           decreases) always flush fully — they can improve any query.")
+
 let telemetry_port_arg =
   Arg.(
     value
@@ -143,7 +168,7 @@ let telemetry_port_arg =
            ephemeral port (printed on stderr).")
 
 let run graph_file unix_path tcp_port tcp_host cache_size engine_name numeric rsp_oracle
-    shards queue_bound domains trace_policy trace_file telemetry_port =
+    shards queue_bound domains trace_policy trace_file topology invalidation telemetry_port =
   let g =
     try Io.of_edge_list (Io.read_file graph_file)
     with Failure msg | Sys_error msg ->
@@ -179,6 +204,22 @@ let run graph_file unix_path tcp_port tcp_host cache_size engine_name numeric rs
         Printf.eprintf "krspd: --rsp-oracle: %s\n" msg;
         exit 3)
   in
+  let overlay_views =
+    match topology with
+    | "overlay" -> true
+    | "refreeze" -> false
+    | s ->
+      Printf.eprintf "krspd: --topology: unknown mode %S (want overlay or refreeze)\n" s;
+      exit 3
+  in
+  let scoped_invalidation =
+    match invalidation with
+    | "scoped" -> true
+    | "full" -> false
+    | s ->
+      Printf.eprintf "krspd: --invalidation: unknown policy %S (want scoped or full)\n" s;
+      exit 3
+  in
   let config =
     {
       Engine.default_config with
@@ -186,6 +227,8 @@ let run graph_file unix_path tcp_port tcp_host cache_size engine_name numeric rs
       solver;
       numeric;
       rsp_oracle;
+      overlay_views;
+      scoped_invalidation;
     }
   in
   let shards =
@@ -294,9 +337,9 @@ let cmd =
     [ `S Manpage.s_description;
       `P
         "Loads the topology once and answers line-oriented requests: SOLVE src dst k D [eps], \
-         QOS src dst k D, FAIL u v, RESTORE u v, STATS, PING. Responses are single lines \
-         (SOLUTION/MUTATED/STATS/PONG/ERR). Without $(b,--unix) or $(b,--port) the daemon \
-         serves a single session on stdin/stdout.";
+         QOS src dst k D, FAIL u v, RESTORE u v, MUTATE op.., STATS, PING. Responses are \
+         single lines (SOLUTION/MUTATED/STATS/PONG/ERR). Without $(b,--unix) or $(b,--port) \
+         the daemon serves a single session on stdin/stdout.";
       `P
         "With $(b,--shards) N (or KRSP_SHARDS) the daemon runs N engine shards, each with a \
          private solution cache, topology view and solver pool, fed by bounded admission \
@@ -308,11 +351,15 @@ let cmd =
          retry. STATS and SIGUSR1 report both the fleet-aggregated view and per-shard \
          queue depths, busy time and caches.";
       `P
-        "Solutions are cached (LRU, keyed by query and topology generation); FAIL/RESTORE \
-         invalidate only affected entries, and repeated queries after a failure are re-solved \
-         from the previous solution (warm start) instead of from scratch. Send SIGUSR1 for a \
-         metrics dump on stderr. SIGTERM drains gracefully: the daemon stops accepting, \
-         completes every admitted request, then exits 0.";
+        "The topology is fully dynamic: FAIL/RESTORE down and revive links, and \
+         $(b,MUTATE ins:u:v:c:d del:u:v rew:u:v:c:d ..) applies a batched edit under a \
+         single generation bump. Mutations reach the solver through delta-overlay CSR \
+         patching ($(b,--topology)), solutions are cached (LRU) with churn-scoped \
+         invalidation ($(b,--invalidation)), and repeated queries after a mutation are \
+         re-solved from the previous solution (warm start, with single-link damage \
+         repaired incrementally) instead of from scratch. Send SIGUSR1 for a metrics dump \
+         on stderr. SIGTERM drains gracefully: the daemon stops accepting, completes every \
+         admitted request, then exits 0.";
       `P
         "With $(b,--trace) (or KRSP_TRACE) each kept request records phase-attributed spans \
          (queue wait, prologue, solve rounds, oracle calls, certificate checks). \
@@ -338,6 +385,6 @@ let cmd =
     Term.(
       const run $ graph_file $ unix_path $ tcp_port $ tcp_host $ cache_size $ engine_arg
       $ numeric_arg $ rsp_oracle_arg $ shards_arg $ queue_bound_arg $ domains_arg
-      $ trace_arg $ trace_file_arg $ telemetry_port_arg)
+      $ trace_arg $ trace_file_arg $ topology_arg $ invalidation_arg $ telemetry_port_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,3 +1,4 @@
+module G = Krsp_graph.Digraph
 module Instance = Krsp_core.Instance
 module Krsp = Krsp_core.Krsp
 module Pool = Krsp_util.Pool
@@ -212,6 +213,107 @@ let metamorphic ?transforms inst =
           in
           miss_cert @ miss_mapped @ miss_factor @ miss_bracket)
       transforms
+
+(* ---- churn: incremental topology vs full refreeze ------------------------- *)
+
+type mutation =
+  | M_del of int
+  | M_restore of int
+  | M_ins of { u : int; v : int; cost : int; delay : int }
+  | M_rew of { edge : int; cost : int; delay : int }
+
+type churn_op =
+  | C_solve of { src : int; dst : int; k : int; delay_bound : int }
+  | C_batch of mutation list
+
+(* Out-of-range / no-op mutations are skipped rather than rejected: a
+   shrunk trace stays replayable after edges it references are gone, and
+   both replicas skip identically so their edge ids never diverge. *)
+let apply_mutation g = function
+  | M_del e -> if e >= 0 && e < G.m g && G.alive g e then G.remove_edge g e
+  | M_restore e -> if e >= 0 && e < G.m g && not (G.alive g e) then G.unremove_edge g e
+  | M_ins { u; v; cost; delay } ->
+    if u >= 0 && u < G.n g && v >= 0 && v < G.n g && u <> v && cost >= 0 && delay >= 0 then
+      ignore (G.add_edge g ~src:u ~dst:v ~cost ~delay)
+  | M_rew { edge; cost; delay } ->
+    if edge >= 0 && edge < G.m g && cost >= 0 && delay >= 0 then begin
+      G.set_cost g edge cost;
+      G.set_delay g edge delay
+    end
+
+let churn ?(level = Check.Structural) ?(w1 = 1) ?(w2 = 4) base trace =
+  (* two replicas of the same mutating topology: [inc] absorbs mutations
+     through the delta overlay (compacting on its default budget), [full]
+     rebuilds the whole CSR before every solve — the two strategies the
+     engine's --topology flag selects between. Mutations are applied to
+     both in lockstep, so edge ids stay aligned and any disagreement is
+     the view's fault, not the trace's. *)
+  let inc = G.copy base in
+  let full = G.copy base in
+  G.set_compaction_threshold full 0.;
+  let step = ref 0 in
+  let mismatches = ref [] in
+  let note msgs = mismatches := !mismatches @ msgs in
+  List.iter
+    (fun op ->
+      incr step;
+      match op with
+      | C_batch ms ->
+        List.iter
+          (fun m ->
+            apply_mutation inc m;
+            apply_mutation full m)
+          ms
+      | C_solve { src; dst; k; delay_bound } ->
+        if src >= 0 && src < G.n inc && dst >= 0 && dst < G.n inc && src <> dst && k >= 1
+           && delay_bound >= 0
+        then begin
+          ignore (G.freeze inc);
+          ignore (G.rebuild full);
+          let ii = Instance.create inc ~src ~dst ~k ~delay_bound in
+          let fi = Instance.create full ~src ~dst ~k ~delay_bound in
+          List.iter
+            (fun w ->
+              let axis = Printf.sprintf "churn/step-%d/width-%d" !step w in
+              let a = Krsp.solve ii ~pool:(pool_of w) () in
+              let b = Krsp.solve fi ~pool:(pool_of w) () in
+              (* certify the refreeze side against its own graph: the two
+                 graphs are weight-identical by construction, but each
+                 witness should be judged on the topology it was solved
+                 against *)
+              (match (a, b) with
+              | Ok (sa, _), Ok (sb, _) ->
+                note (certified ~level ~what:(axis ^ "/incremental") ii sa);
+                note (certified ~level ~what:(axis ^ "/refreeze") fi sb);
+                if canon sa <> canon sb then
+                  note
+                    [ Printf.sprintf
+                        "%s: not bit-identical: incremental gives cost=%d delay=%d, refreeze \
+                         gives cost=%d delay=%d"
+                        axis sa.Instance.cost sa.Instance.delay sb.Instance.cost
+                        sb.Instance.delay
+                    ]
+              | Error ea, Error eb ->
+                (if ea <> eb then
+                   note
+                     [ Printf.sprintf "%s: incremental says %s but refreeze says %s" axis
+                         (describe_error ea) (describe_error eb)
+                     ]);
+                note (audited ~what:(axis ^ "/incremental") ii ea)
+              | Ok _, Error e ->
+                note
+                  [ Printf.sprintf "%s: incremental solved but refreeze reports %s" axis
+                      (describe_error e)
+                  ]
+              | Error e, Ok _ ->
+                note
+                  [ Printf.sprintf "%s: refreeze solved but incremental reports %s" axis
+                      (describe_error e)
+                  ]))
+            [ w1; w2 ]
+        end)
+    trace;
+  !mismatches
 
 let all ?(level = Check.Structural) inst =
   engines ~level inst @ widths ~level inst @ oracles ~level inst @ warm_cold ~level inst

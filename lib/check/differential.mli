@@ -23,6 +23,15 @@
     instance, and the cost accounting must match the transformation's
     factor exactly.
 
+    {!churn} adds the dynamic-topology axis: an interleaved mutate/solve
+    trace is replayed against two replicas of the same mutating graph —
+    one absorbing mutations through the delta-overlay freeze path, one
+    forced to fully rebuild its CSR view before every solve. The overlay
+    is specified to be bit-indistinguishable from a refreeze, so at every
+    solve step the two replicas must agree {e bit-identically} (cost,
+    delay and the path multiset), at both pool widths, and each witness
+    must certify against the topology it was solved against.
+
     Every function returns the list of mismatches found ([[]] = all
     equivalent); a mismatch message names the axis and the witness. *)
 
@@ -33,6 +42,34 @@ val widths : ?w1:int -> ?w2:int -> ?level:Check.level -> Instance.t -> string li
 val oracles : ?level:Check.level -> ?epsilon:float -> Instance.t -> string list
 val warm_cold : ?level:Check.level -> Instance.t -> string list
 val metamorphic : ?transforms:Transform.t list -> Instance.t -> string list
+
+(** One edit of a churn trace. Edge-id-based ops ([M_del], [M_restore],
+    [M_rew]) referencing an out-of-range id, a dead edge (for [M_del]) or
+    a live one (for [M_restore]) are skipped, as are invalid [M_ins]
+    endpoints — so shrunk traces remain replayable and both replicas
+    always apply exactly the same effective edits. *)
+type mutation =
+  | M_del of int  (** tombstone a live edge *)
+  | M_restore of int  (** revive a tombstoned edge *)
+  | M_ins of { u : int; v : int; cost : int; delay : int }
+  | M_rew of { edge : int; cost : int; delay : int }
+
+type churn_op =
+  | C_solve of { src : int; dst : int; k : int; delay_bound : int }
+  | C_batch of mutation list  (** applied as one batch, like one MUTATE line *)
+
+val apply_mutation : Krsp_graph.Digraph.t -> mutation -> unit
+(** The replay semantics of one {!mutation} (shared with the fuzz
+    harness's single-replica modes). *)
+
+val churn :
+  ?level:Check.level -> ?w1:int -> ?w2:int -> Krsp_graph.Digraph.t -> churn_op list -> string list
+(** [churn base trace] copies [base] twice and replays [trace]:
+    [C_batch] mutates both replicas in lockstep, [C_solve] freezes the
+    incremental replica (delta overlay), rebuilds the refreeze replica,
+    solves on both at widths [w1] (default 1) and [w2] (default 4) and
+    compares as described above. Solve steps with invalid parameters are
+    skipped. *)
 
 val all : ?level:Check.level -> Instance.t -> string list
 (** Engines, widths (1 vs 4), oracles, warm/cold and the four standard

@@ -37,10 +37,10 @@ type outcome = {
 let case_rng ~seed ~case =
   Xoshiro.create ~seed:((seed * 1_000_003) lxor (case * 8_191) land max_int)
 
-(* Small dense-ish DAG-leaning instances: forward backbone 0→1→…→n-1 plus
+(* Small dense-ish DAG-leaning graphs: forward backbone 0→1→…→n-1 plus
    random extra edges (occasionally backward, so cycles appear too). Small
    weights keep the LP audit cheap and shrunk repros readable. *)
-let gen_instance rng ~inject =
+let gen_graph rng =
   let n = Xoshiro.int_in rng 4 8 in
   let g = G.create ~n () in
   for v = 0 to n - 2 do
@@ -55,6 +55,11 @@ let gen_instance rng ~inject =
       let u, v = if Xoshiro.int rng 5 = 0 then (v, u) else (min u v, max u v) in
       ignore (G.add_edge g ~src:u ~dst:v ~cost:(Xoshiro.int rng 9) ~delay:(Xoshiro.int rng 6))
   done;
+  g
+
+let gen_instance rng ~inject =
+  let g = gen_graph rng in
+  let n = G.n g in
   let k = match inject with Clean -> Xoshiro.int_in rng 1 3 | _ -> Xoshiro.int_in rng 2 3 in
   let probe = Instance.create g ~src:0 ~dst:(n - 1) ~k ~delay_bound:(G.total_delay g + 1) in
   let delay_bound =
@@ -232,4 +237,218 @@ let run ?(level = Check.Full) ?(inject = Clean) ?(count = 50) ?(max_failures = 3
        outcome.solved outcome.infeasible
        (List.length outcome.failures)
        (if List.length outcome.failures = 1 then "" else "s"));
+  outcome
+
+(* ---- churn fuzzing --------------------------------------------------------- *)
+
+type churn_inject = Churn_clean | Stale_entry
+
+let churn_inject_to_string = function Churn_clean -> "clean" | Stale_entry -> "stale-entry"
+
+let churn_inject_of_string = function
+  | "clean" -> Some Churn_clean
+  | "stale-entry" -> Some Stale_entry
+  | _ -> None
+
+type churn_failure = {
+  trace_case : int;
+  reason : string;
+  graph : G.t;
+  trace : Differential.churn_op list;
+  ops_before_shrink : int;
+}
+
+type churn_outcome = {
+  traces : int;
+  churn_solves : int;
+  churn_mutations : int;
+  churn_failures : churn_failure list;
+}
+
+(* ids may overshoot the current edge count (by the +2 slack and because
+   earlier dels shrink the live set): Differential.apply_mutation skips
+   ineffective ops, which is exactly the idempotent-replay semantics the
+   MUTATE verb has *)
+let gen_mutation rng g =
+  let m = max 1 (G.m g) and n = G.n g in
+  match Xoshiro.int rng 4 with
+  | 0 -> Differential.M_del (Xoshiro.int rng (m + 2))
+  | 1 -> Differential.M_restore (Xoshiro.int rng (m + 2))
+  | 2 ->
+    let u = Xoshiro.int rng n and v = Xoshiro.int rng n in
+    Differential.M_ins { u; v; cost = Xoshiro.int rng 9; delay = Xoshiro.int rng 6 }
+  | _ ->
+    Differential.M_rew
+      { edge = Xoshiro.int rng (m + 2); cost = Xoshiro.int rng 9; delay = Xoshiro.int rng 6 }
+
+(* solve steps lean on the backbone endpoints so successive solves repeat
+   the same query across mutations — the schedule shape that exercises
+   caches, donors and overlay reuse; occasional random pairs cover the
+   rest of the plane *)
+let gen_trace rng g =
+  let n = G.n g in
+  let len = Xoshiro.int_in rng 6 12 in
+  (* delay bounds are quantized to a handful of values so the schedule
+     revisits the same (s, t, k, D) keys across mutations — the repeats
+     are what exercises caches and stale-entry detection *)
+  let total = G.total_delay g in
+  let bounds = [| total + 1; max 1 (total / 2); max 1 (total / 4) |] in
+  List.init len (fun _ ->
+      if Xoshiro.int rng 5 < 3 then begin
+        let src, dst =
+          if Xoshiro.int rng 4 = 0 then (Xoshiro.int rng n, Xoshiro.int rng n) else (0, n - 1)
+        in
+        Differential.C_solve
+          {
+            src;
+            dst;
+            k = Xoshiro.int_in rng 1 2;
+            delay_bound = bounds.(Xoshiro.int rng (Array.length bounds));
+          }
+      end
+      else
+        Differential.C_batch
+          (List.init (Xoshiro.int_in rng 1 3) (fun _ -> gen_mutation rng g)))
+
+(* The stale-entry planted bug: replay the trace against one mutating
+   replica with a query cache that is never invalidated, and serve every
+   hit as-is. The harness must catch the staleness — a served entry is
+   re-certified against the {e current} topology, so a cached path through
+   a deleted edge or a re-weighted sum fails its certificate. A failure
+   here is the harness working. *)
+let stale_replay ~level base trace =
+  let g = G.copy base in
+  let cache = Hashtbl.create 16 in
+  let msgs = ref [] in
+  let step = ref 0 in
+  List.iter
+    (fun op ->
+      incr step;
+      match op with
+      | Differential.C_batch ms -> List.iter (Differential.apply_mutation g) ms
+      | Differential.C_solve { src; dst; k; delay_bound } ->
+        if
+          src >= 0 && src < G.n g && dst >= 0 && dst < G.n g && src <> dst && k >= 1
+          && delay_bound >= 0
+        then begin
+          ignore (G.freeze g);
+          let inst = Instance.create g ~src ~dst ~k ~delay_bound in
+          let key = (src, dst, k, delay_bound) in
+          match Hashtbl.find_opt cache key with
+          | Some sol ->
+            let cert = Check.certify ~level inst sol in
+            if not (Check.ok cert) then
+              msgs :=
+                Printf.sprintf "churn/step-%d: stale cache entry served:\n%s" !step
+                  (Check.to_string cert)
+                :: !msgs
+          | None -> (
+            match Krsp.solve inst () with
+            | Ok (sol, _) -> Hashtbl.replace cache key sol
+            | Error _ -> ())
+        end)
+    trace;
+  List.rev !msgs
+
+let run_churn_trace ~level ~inject g trace =
+  match inject with
+  | Churn_clean -> Differential.churn ~level g trace
+  | Stale_entry -> stale_replay ~level g trace
+
+(* greedy first-improvement, like the instance shrinker: drop whole trace
+   ops to a fixpoint, then single mutations out of surviving batches *)
+let shrink_trace still_fails trace =
+  let drop_nth l n = List.filteri (fun i _ -> i <> n) l in
+  let rec op_pass trace =
+    let rec try_from i =
+      if i >= List.length trace then trace
+      else
+        let cand = drop_nth trace i in
+        if still_fails cand then op_pass cand else try_from (i + 1)
+    in
+    try_from 0
+  in
+  let rec elem_pass trace =
+    let rec try_at i =
+      if i >= List.length trace then trace
+      else
+        match List.nth trace i with
+        | Differential.C_batch ms when List.length ms > 1 ->
+          let rec try_elem j =
+            if j >= List.length ms then try_at (i + 1)
+            else
+              let cand =
+                List.mapi
+                  (fun idx op ->
+                    if idx = i then Differential.C_batch (drop_nth ms j) else op)
+                  trace
+              in
+              if still_fails cand then elem_pass cand else try_elem (j + 1)
+          in
+          try_elem 0
+        | _ -> try_at (i + 1)
+    in
+    try_at 0
+  in
+  elem_pass (op_pass trace)
+
+let run_churn ?(level = Check.Structural) ?(inject = Churn_clean) ?(count = 30)
+    ?(max_failures = 3) ?corpus_dir ?(log = fun _ -> ()) ~seed () =
+  let solves = ref 0 and mutations = ref 0 and failures = ref [] in
+  (match corpus_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  let case = ref 0 in
+  while !case < count && List.length !failures < max_failures do
+    let c = !case in
+    incr case;
+    (* decouple the churn stream from the instance-fuzz stream: the same
+       seed must not make the two modes correlated *)
+    let rng = case_rng ~seed ~case:(c + 1_000_000) in
+    let g = gen_graph rng in
+    let trace = gen_trace rng g in
+    List.iter
+      (function
+        | Differential.C_solve _ -> incr solves
+        | Differential.C_batch ms -> mutations := !mutations + List.length ms)
+      trace;
+    match run_churn_trace ~level ~inject g trace with
+    | [] -> ()
+    | first :: _ ->
+      let ops_before_shrink = List.length trace in
+      let still_fails trace' = run_churn_trace ~level ~inject g trace' <> [] in
+      let repro = shrink_trace still_fails trace in
+      let reason =
+        match run_churn_trace ~level ~inject g repro with
+        | r :: _ -> r
+        | [] -> first (* unreachable: shrink preserves failure *)
+      in
+      log
+        (Printf.sprintf "churn trace %d FAILED (%d ops, shrunk from %d):\n%s" c
+           (List.length repro) ops_before_shrink reason);
+      (match corpus_dir with
+      | Some dir ->
+        let file = Printf.sprintf "seed%d-case%d.churn" seed c in
+        let comment =
+          Printf.sprintf "churn repro: seed=%d case=%d inject=%s\n%s" seed c
+            (churn_inject_to_string inject) reason
+        in
+        Corpus.save_churn (Filename.concat dir file) ~comment (g, repro);
+        log (Printf.sprintf "  saved %s" (Filename.concat dir file))
+      | None -> ());
+      failures := { trace_case = c; reason; graph = g; trace = repro; ops_before_shrink } :: !failures
+  done;
+  let outcome =
+    {
+      traces = !case;
+      churn_solves = !solves;
+      churn_mutations = !mutations;
+      churn_failures = List.rev !failures;
+    }
+  in
+  log
+    (Printf.sprintf "churn fuzz: %d traces (%d solve steps, %d mutations), %d failure%s"
+       outcome.traces outcome.churn_solves outcome.churn_mutations
+       (List.length outcome.churn_failures)
+       (if List.length outcome.churn_failures = 1 then "" else "s"));
   outcome

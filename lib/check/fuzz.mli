@@ -67,3 +67,60 @@ val run :
     failures. When [corpus_dir] is given, each repro is saved there as
     [seed<seed>-case<case>.krsp] (directory created if missing). [log]
     receives one line per failure and a summary line. *)
+
+(** {2 Churn fuzzing}
+
+    The dynamic-topology analogue: each case generates a small base graph
+    plus an interleaved trace of solve steps and mutation batches, then
+    replays it through {!Differential.churn} — incremental delta-overlay
+    freezes versus full refreezes, pool widths 1 and 4, every witness
+    certified. Failing traces are shrunk (whole ops first, then single
+    mutations out of batches, re-running the identical replay after every
+    candidate) and optionally saved as [.churn] corpus files
+    ({!Corpus.save_churn}). Deterministic in the seed, like {!run}.
+
+    [?inject:Stale_entry] plants the serving bug this PR's machinery
+    exists to prevent: the trace is replayed against one mutating replica
+    with a query cache that is {e never} invalidated, and every cache hit
+    is served as-is, then re-certified against the current topology. A
+    certification failure means the harness caught the stale entry — so a
+    stale-entry sweep is expected to fail, testing the staleness detection
+    itself (the CI fuzz legs run one and require a non-zero exit). *)
+
+type churn_inject = Churn_clean | Stale_entry
+
+val churn_inject_of_string : string -> churn_inject option
+(** Recognises ["clean"] and ["stale-entry"]. *)
+
+val churn_inject_to_string : churn_inject -> string
+
+type churn_failure = {
+  trace_case : int;  (** trace index within the run *)
+  reason : string;  (** first mismatch, with witnesses *)
+  graph : Krsp_graph.Digraph.t;  (** the base graph of the shrunk repro *)
+  trace : Differential.churn_op list;  (** shrunk trace *)
+  ops_before_shrink : int;
+}
+
+type churn_outcome = {
+  traces : int;
+  churn_solves : int;  (** solve steps generated across all traces *)
+  churn_mutations : int;  (** single mutations generated across all traces *)
+  churn_failures : churn_failure list;  (** in trace order; empty = clean run *)
+}
+
+val run_churn :
+  ?level:Check.level ->
+  ?inject:churn_inject ->
+  ?count:int ->
+  ?max_failures:int ->
+  ?corpus_dir:string ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  unit ->
+  churn_outcome
+(** [run_churn ~seed ()] replays [count] (default 30) churn traces at
+    [level] (default {!Check.Structural} — each trace already multiplies
+    into 2 replicas × 2 widths per solve step). Stops early after
+    [max_failures] (default 3) shrunk failures; repros are saved to
+    [corpus_dir] as [seed<seed>-case<case>.churn] when given. *)

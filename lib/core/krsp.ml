@@ -23,6 +23,13 @@ let c_spec_launched = Metrics.counter metrics "solver.spec_launched"
 let c_spec_hits = Metrics.counter metrics "solver.spec_hits"
 let c_spec_wasted = Metrics.counter metrics "solver.spec_wasted"
 
+(* Warm-repair accounting: single = the Bhandari one-augmentation path
+   re-routed the lone damaged path, fallback = a single-event repair had
+   to drop to the full Suurballe re-route (negative residual cycle or an
+   undecomposable difference). *)
+let c_repair_single = Metrics.counter metrics "solver.repair_single_hits"
+let c_repair_single_fallback = Metrics.counter metrics "solver.repair_single_fallbacks"
+
 module Trace = Krsp_obs.Trace
 
 (* Phase timing feeds the histogram always and, for traced requests, a
@@ -149,6 +156,76 @@ let improve t ~start ~guess ?trace ?(engine = Dp) ?(exhaustive = false) ?numeric
   in
   loop start 0 0 0 0
 
+(* Bhandari/Suurballe single-event repair: with k-1 surviving disjoint
+   paths, the k-th costs one shortest-path run in the residual where every
+   surviving edge is reversed with its weight negated — no graph copy, no
+   k-commodity flow. The reversed arcs are negative, so the search is a
+   Bellman-Ford over the live edges; the symmetric difference of the
+   survivors with the found s→t walk is k disjoint paths again (the
+   classic disjoint-pair recipe, SNIPPETS.md's Bhandari template). The
+   survivors need not be a min-cost (k-1)-flow, so the residual may hold
+   a negative cycle — detected and answered with [None] (the caller falls
+   back to the full re-route); the result is best-effort on weight either
+   way, exactly like every warm repair. *)
+let bhandari t ~used ~weight =
+  let g = t.Instance.graph in
+  let n = G.n g in
+  let src = t.Instance.src and dst = t.Instance.dst in
+  let dist = Array.make n max_int in
+  let par = Array.make n (-1) in
+  let par_rev = Array.make n false in
+  dist.(src) <- 0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  let neg_cycle = ref false in
+  while !changed && not !neg_cycle do
+    changed := false;
+    incr rounds;
+    G.iter_edges g (fun e ->
+        let rev = Hashtbl.mem used e in
+        let u = if rev then G.dst g e else G.src g e in
+        if dist.(u) < max_int then begin
+          let v = if rev then G.src g e else G.dst g e in
+          let w = if rev then -weight e else weight e in
+          if dist.(u) + w < dist.(v) then begin
+            dist.(v) <- dist.(u) + w;
+            par.(v) <- e;
+            par_rev.(v) <- rev;
+            changed := true
+          end
+        end);
+    if !rounds > n then neg_cycle := true
+  done;
+  if !neg_cycle || dist.(dst) = max_int then None
+  else begin
+    (* walk the parent arcs dst→src, folding the symmetric difference *)
+    let in_sol = Hashtbl.copy used in
+    let ok = ref true in
+    let steps = ref 0 in
+    let v = ref dst in
+    while !ok && !v <> src do
+      incr steps;
+      let e = if !steps > G.m g + 1 then -1 else par.(!v) in
+      if e < 0 then ok := false
+      else if par_rev.(!v) then begin
+        Hashtbl.remove in_sol e;
+        v := G.dst g e
+      end
+      else begin
+        Hashtbl.replace in_sol e ();
+        v := G.src g e
+      end
+    done;
+    if not !ok then None
+    else begin
+      let edges = Hashtbl.fold (fun e () acc -> e :: acc) in_sol [] in
+      let paths, cycles =
+        Krsp_graph.Walk.decompose_st g ~src ~dst ~k:t.Instance.k edges
+      in
+      if cycles = [] && Instance.is_structurally_valid t paths then Some paths else None
+    end
+  end
+
 let repair t ~paths =
   let g = t.Instance.graph in
   let m = G.m g in
@@ -195,22 +272,44 @@ let repair t ~paths =
     in
     let total_delay all = List.fold_left (fun acc p -> acc + Path.delay g p) 0 all in
     let feasible all = total_delay all <= t.Instance.delay_bound in
+    let best_by_delay a b =
+      match (a, b) with
+      | Some x, Some y -> Some (if total_delay x <= total_delay y then x else y)
+      | (Some _ as s), None | None, (Some _ as s) -> s
+      | None, None -> None
+    in
+    (* the dominant churn case — exactly one damaged path — is repaired
+       incrementally: one Bellman-Ford in the survivors' residual instead
+       of a filtered graph copy plus a [missing]-flow Suurballe run *)
+    let single weight = if missing = 1 then bhandari t ~used ~weight else None in
     (* cost-first: the cheapest completion, kept when it meets the bound.
        Cost is delay-oblivious though, so on tight budgets it can land far
        over D and leave the resumed cancellation more work than a cold
        solve — then re-route for delay instead (a feasible start returns
        from the solve immediately), or failing both, hand cancellation the
        start that is closer to feasibility. *)
-    match reroute (G.cost g) with
-    | Some cheap when feasible cheap -> Some cheap
-    | cheap -> (
-      match reroute (G.delay g) with
-      | Some fast when feasible fast -> Some fast
-      | fast -> (
-        match (cheap, fast) with
-        | Some a, Some b -> Some (if total_delay a <= total_delay b then a else b)
-        | (Some _ as s), None | None, (Some _ as s) -> s
-        | None, None -> None))
+    match single (G.cost g) with
+    | Some r when feasible r ->
+      Metrics.incr c_repair_single;
+      Some r
+    | s_cost -> (
+      match single (G.delay g) with
+      | Some r when feasible r ->
+        Metrics.incr c_repair_single;
+        Some r
+      | s_delay ->
+        if missing = 1 then Metrics.incr c_repair_single_fallback;
+        let full =
+          match reroute (G.cost g) with
+          | Some cheap when feasible cheap -> Some cheap
+          | cheap -> (
+            match reroute (G.delay g) with
+            | Some fast when feasible fast -> Some fast
+            | fast -> best_by_delay cheap fast)
+        in
+        (match full with
+        | Some r when feasible r -> Some r
+        | full -> best_by_delay (best_by_delay s_cost s_delay) full))
   end
 
 let post_solve_hook : (Instance.t -> Instance.solution -> unit) ref = ref (fun _ _ -> ())

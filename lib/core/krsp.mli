@@ -47,7 +47,10 @@ val metrics : Krsp_util.Metrics.t
     residual (mask) construction, bicameral cycle search and
     ⊕-augmentation; counters [solver.spec_launched], [solver.spec_hits]
     and [solver.spec_wasted] account for the parallel guess search's
-    speculative attempts. Exported by krspd's [STATS]. Domain-safe. *)
+    speculative attempts, [solver.repair_single_hits] /
+    [solver.repair_single_fallbacks] for {!repair}'s incremental
+    single-event (Bhandari) path. Exported by krspd's [STATS].
+    Domain-safe. *)
 
 val improve :
   Instance.t ->
@@ -81,17 +84,25 @@ val improve :
 val repair :
   Instance.t -> paths:Krsp_graph.Path.t list -> Krsp_graph.Path.t list option
 (** Warm-start repair. Keeps the paths of [paths] that are still valid
-    disjoint [src→dst] paths of the instance graph (damaged paths — e.g.
-    ones referencing edges that no longer exist, encoded as negative ids —
-    are dropped), then re-routes the missing [k - kept] paths with a
-    Suurballe run on the graph minus the kept paths' edges: min-cost
-    first, and when that completion busts the delay bound, min-delay (a
-    delay-feasible start lets {!solve} return without any cancellation);
-    if both completions are infeasible the lower-delay one is returned as
-    the cancellation start. [None] when the remainder graph cannot carry
-    the missing paths (the greedy keep-set may block routes that a joint
-    re-route would find, so [None] does not prove infeasibility — callers
-    fall back to a cold solve). *)
+    disjoint [src→dst] paths of the instance graph (damaged paths — ones
+    referencing edges that no longer exist, were tombstoned by
+    [Digraph.remove_edge], or are encoded as negative ids — are dropped),
+    then re-routes the missing [k - kept] paths: min-cost first, and when
+    that completion busts the delay bound, min-delay (a delay-feasible
+    start lets {!solve} return without any cancellation); if both
+    completions are infeasible the lower-delay one is returned as the
+    cancellation start.
+
+    When exactly one path is damaged — the dominant case under
+    single-link churn — the re-route is {e incremental}: one
+    Bellman-Ford in the Bhandari residual (surviving paths' edges
+    reversed with negated weights) followed by a symmetric difference,
+    touching no graph copy at all. A negative residual cycle or an
+    undecomposable difference drops to the general path: a Suurballe run
+    on the graph minus the kept paths' edges. [None] when the remainder
+    graph cannot carry the missing paths (the greedy keep-set may block
+    routes that a joint re-route would find, so [None] does not prove
+    infeasibility — callers fall back to a cold solve). *)
 
 val post_solve_hook : (Instance.t -> Instance.solution -> unit) ref
 (** Fired by {!solve} with every solution it returns (all [Ok] paths: early

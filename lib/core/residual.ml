@@ -39,30 +39,38 @@ let build g ~paths =
    over it) survives every cancellation round untouched. *)
 type arena = {
   a_graph : G.t;
+  a_base : G.t; (* the base graph, for tombstone lookups in of_arena *)
   a_base_edge : int array; (* length 2m: doubled id -> base id (= id/2) *)
   a_is_reversed : bool array; (* doubled id -> is it the reversed copy (= id odd) *)
   a_active : bool array; (* length 2m, refilled by of_arena *)
   a_on_path : bool array; (* length m, scratch *)
 }
 
+(* The doubled graph covers every allocated base id — tombstoned edges
+   included — because the [2e]/[2e+1] addressing must stay aligned with
+   the base graph's id space. A dead base edge simply has both its copies
+   forced inactive by [of_arena], so no cycle search (they all honour the
+   mask) can ever traverse it. *)
 let arena g =
   let m = G.m g in
   let dg = G.create ~expected_edges:(max (2 * m) 1) ~n:(G.n g) () in
   let base_edge = Array.make (max (2 * m) 1) (-1) in
   let is_reversed = Array.make (max (2 * m) 1) false in
-  G.iter_edges g (fun e ->
-      let u = G.src g e and w = G.dst g e in
-      let c = G.cost g e and d = G.delay g e in
-      let fwd = G.add_edge dg ~src:u ~dst:w ~cost:c ~delay:d in
-      let bwd = G.add_edge dg ~src:w ~dst:u ~cost:(-c) ~delay:(-d) in
-      assert (fwd = 2 * e && bwd = (2 * e) + 1);
-      base_edge.(fwd) <- e;
-      base_edge.(bwd) <- e;
-      is_reversed.(bwd) <- true);
+  for e = 0 to m - 1 do
+    let u = G.src g e and w = G.dst g e in
+    let c = G.cost g e and d = G.delay g e in
+    let fwd = G.add_edge dg ~src:u ~dst:w ~cost:c ~delay:d in
+    let bwd = G.add_edge dg ~src:w ~dst:u ~cost:(-c) ~delay:(-d) in
+    assert (fwd = 2 * e && bwd = (2 * e) + 1);
+    base_edge.(fwd) <- e;
+    base_edge.(bwd) <- e;
+    is_reversed.(bwd) <- true
+  done;
   (* the whole point: freeze once, every round reuses this CSR view *)
   ignore (G.freeze dg);
   {
     a_graph = dg;
+    a_base = g;
     a_base_edge = base_edge;
     a_is_reversed = is_reversed;
     a_active = Array.make (max (2 * m) 1) false;
@@ -79,8 +87,9 @@ let of_arena a ~paths =
          a.a_on_path.(e) <- true))
     paths;
   for e = 0 to m - 1 do
-    a.a_active.(2 * e) <- not a.a_on_path.(e);
-    a.a_active.((2 * e) + 1) <- a.a_on_path.(e)
+    let live = G.alive a.a_base e in
+    a.a_active.(2 * e) <- live && not a.a_on_path.(e);
+    a.a_active.((2 * e) + 1) <- live && a.a_on_path.(e)
   done;
   {
     graph = a.a_graph;

@@ -13,11 +13,28 @@
     {!freeze} additionally builds a {!type-view} — a CSR (compressed sparse
     row) snapshot holding both directions as flat [int array]s — which every
     hot traversal in the repository runs on. The snapshot is cached inside
-    the graph and keyed by a generation counter: {!add_edge} and
-    {!add_vertex} bump the generation, so the next {!freeze} rebuilds in
-    O(n + m), while repeated freezes of an unchanged graph are O(1).
+    the graph and keyed by a generation counter: {!add_edge},
+    {!add_vertex}, {!remove_edge} and {!unremove_edge} bump the
+    generation, so the next {!freeze} rebuilds, while repeated freezes of
+    an unchanged graph are O(1).
     {!set_cost} / {!set_delay} do {e not} invalidate — views read weights
-    through the live arrays; only adjacency is frozen. *)
+    through the live arrays; only adjacency is frozen.
+
+    {2 Dynamic topology}
+
+    Edges can be tombstoned in place by {!remove_edge} (and revived by
+    {!unremove_edge}): ids never shift, every iteration primitive simply
+    skips dead edges. A {!freeze} after a small mutation batch does not
+    pay O(n + m): it returns a {e delta overlay} — the last full CSR
+    build plus override rows for just the vertices whose adjacency
+    changed — which is indistinguishable, edge id for edge id, from a
+    full re-freeze (the same ascending per-vertex edge order, the same
+    live-weight read-through). Once the pending patch exceeds
+    {!set_compaction_threshold}'s fraction of the live edge set (default
+    1/8), the next freeze {e compacts}: a fresh full build absorbs the
+    patch. {!rebuild} forces that full build; {!topo_stats} counts
+    both freeze flavours, compactions and patch sizes for the serving
+    layer's [topo.*] telemetry. *)
 
 type t
 
@@ -39,15 +56,35 @@ val add_edge : t -> src:vertex -> dst:vertex -> cost:int -> delay:int -> edge
 (** Appends an edge and returns its id. Raises [Invalid_argument] if either
     endpoint is out of range. Invalidates frozen views. *)
 
+val remove_edge : t -> edge -> unit
+(** Tombstones an edge: its id stays allocated (weights and endpoints
+    remain readable) but every traversal, view build and edge iteration
+    skips it from now on. Raises [Invalid_argument] if the edge is
+    already removed. Invalidates frozen views. *)
+
+val unremove_edge : t -> edge -> unit
+(** Revives a tombstoned edge in place — it reappears exactly where a
+    fresh freeze would put it (ascending id order within its rows).
+    Raises [Invalid_argument] if the edge is alive. Invalidates frozen
+    views. *)
+
+val alive : t -> edge -> bool
+(** [false] iff the edge is currently tombstoned. *)
+
 val n : t -> int
 (** Number of vertices. *)
 
 val m : t -> int
-(** Number of edges. *)
+(** Number of allocated edge ids, dead ones included — the validity bound
+    for edge ids, {e not} the live count. *)
+
+val m_alive : t -> int
+(** Number of live (non-tombstoned) edges. *)
 
 val generation : t -> int
 (** Adjacency generation counter: increases on every {!add_edge} /
-    {!add_vertex}. A frozen view is current iff its generation matches. *)
+    {!add_vertex} / {!remove_edge} / {!unremove_edge}. A frozen view is
+    current iff its generation matches. *)
 
 val src : t -> edge -> vertex
 val dst : t -> edge -> vertex
@@ -58,7 +95,7 @@ val set_cost : t -> edge -> int -> unit
 val set_delay : t -> edge -> int -> unit
 
 val out_edges : t -> vertex -> edge list
-(** Edges leaving [v], in unspecified order. *)
+(** Live edges leaving [v], in unspecified order. *)
 
 val in_edges : t -> vertex -> edge list
 
@@ -86,8 +123,34 @@ type view
     [Invalid_argument]. *)
 
 val freeze : t -> view
-(** Build (or fetch the cached) CSR snapshot: O(n + m) when stale, O(1)
-    when the graph has not gained edges or vertices since the last call. *)
+(** Build (or fetch the cached) CSR snapshot: O(1) when the adjacency is
+    unchanged since the last call, O(patch + n) when the pending mutation
+    batch fits the overlay budget (a delta-overlay view over the last
+    full build), O(n + m) otherwise (a full build, which also absorbs —
+    {e compacts} — any pending patch). Whichever path runs, the result
+    iterates identically. *)
+
+val rebuild : t -> view
+(** Like {!freeze} but never answers with an overlay: forces (or fetches)
+    a full CSR build. The refreeze baseline the overlay path is measured
+    against, and the compaction entry point. *)
+
+val set_compaction_threshold : t -> float -> unit
+(** Overlay budget as a fraction of the live edge count (default 0.125):
+    a pending patch larger than [frac · m_alive] makes the next {!freeze}
+    compact into a full build. [0.] (or negative) disables overlays
+    entirely — every stale freeze is a full rebuild. *)
+
+type topo_stats = {
+  full_freezes : int;  (** full CSR builds (initial builds and compactions) *)
+  overlay_freezes : int;  (** freezes answered with a delta overlay *)
+  compactions : int;  (** full builds that absorbed a pending patch *)
+  patched_edges : int;  (** cumulative patch sizes over all overlay freezes *)
+  patch_pending : int;  (** mutations not yet absorbed by a full build *)
+  removed_edges : int;  (** currently tombstoned edges *)
+}
+
+val topo_stats : t -> topo_stats
 
 val is_frozen : t -> bool
 (** [true] iff the cached snapshot matches the current generation, i.e.
@@ -102,6 +165,12 @@ module View : sig
   (** [true] while the underlying graph has not been mutated since the
       freeze. Stale views remain safe to use — they just describe the old
       adjacency. *)
+
+  val is_overlay : view -> bool
+  (** [true] iff this view is a delta overlay over an older full build.
+      Behaviourally irrelevant — every accessor answers identically — and
+      exposed only so tests and benches can assert which freeze path
+      ran. *)
 
   val src : view -> edge -> vertex
   val dst : view -> edge -> vertex
@@ -138,7 +207,7 @@ module View : sig
 end
 
 val edges : t -> edge list
-(** All edge ids in increasing order. *)
+(** All live edge ids in increasing order. *)
 
 val total_cost : t -> int
 (** Sum of all edge costs ([Σ c(e)] in the paper's complexity bounds). *)

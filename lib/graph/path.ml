@@ -26,7 +26,10 @@ let is_valid g ~src ~dst p =
       | [] | [ _ ] -> true
       | e1 :: (e2 :: _ as rest) -> G.dst g e1 = G.src g e2 && chained rest
     in
-    G.src g first = src && target g p = dst && chained p
+    (* a path through a tombstoned edge does not exist in the current
+       topology — stale warm-start donors and cache entries fail here *)
+    List.for_all (fun e -> G.alive g e) p
+    && G.src g first = src && target g p = dst && chained p
 
 let is_simple g p =
   let vs = vertices g p in

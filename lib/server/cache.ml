@@ -65,6 +65,8 @@ let find t key =
 
 let mem t key = Hashtbl.mem t.tbl key
 
+let peek t key = Option.map (fun node -> node.value) (Hashtbl.find_opt t.tbl key)
+
 let drop t node =
   unlink t node;
   Hashtbl.remove t.tbl node.key

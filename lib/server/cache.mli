@@ -21,6 +21,11 @@ val find : ('k, 'v) t -> 'k -> 'v option
 val mem : ('k, 'v) t -> 'k -> bool
 (** Like {!find} but without touching recency or the hit/miss counters. *)
 
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** {!find} without the side effects: no promotion, no hit/miss counting.
+    For maintenance scans — e.g. the engine's edge→key invalidation-index
+    cleanup — that must not perturb the serving statistics. *)
+
 val add : ('k, 'v) t -> 'k -> 'v -> unit
 (** Inserts or replaces as most-recently-used; evicts the least-recently
     used entry when over capacity (counted as an eviction). *)

@@ -17,6 +17,8 @@ type config = {
   max_iterations : int;
   numeric : Krsp_numeric.Numeric.tier option;
   rsp_oracle : Krsp_rsp.Oracle.kind option;
+  overlay_views : bool;
+  scoped_invalidation : bool;
 }
 
 let default_config =
@@ -26,30 +28,33 @@ let default_config =
     max_iterations = 2_000;
     numeric = None;
     rsp_oracle = None;
+    overlay_views = true;
+    scoped_invalidation = true;
   }
 
-(* cache key: (s, t, k, D, ε, topology generation) *)
-type key = int * int * int * int * float option * int
+(* cache key: (s, t, k, D, ε) — edge ids are stable across mutations (the
+   live graph mutates in place, tombstoning instead of renumbering), so
+   the key no longer carries the topology generation; the invalidation
+   policy below is what keeps every reachable entry current *)
+type key = int * int * int * int * float option
 
-(* cached/donated solutions carry base-graph edge ids so they survive
-   re-numbering of the live view across generations *)
 type entry = { e_cost : int; e_delay : int; base_paths : int list list }
 
-type live = {
-  lgraph : G.t;
-  to_base : int array;  (** live edge id → base edge id *)
-  of_base : int array;  (** base edge id → live edge id, -1 when down *)
-}
-
 type t = {
-  base : G.t;
+  graph : G.t;  (** the live topology, mutated in place by FAIL/RESTORE/MUTATE *)
   cfg : config;
   pool : Pool.t;
-  failed : bool array;  (** by base edge id *)
+  failed : (int, unit) Hashtbl.t;  (** edges downed by FAIL (restorable) *)
   mutable generation : int;
-  mutable live : live option;  (** memoized per generation *)
   cache : (key, entry) Cache.t;
-  donors : (int * int * int * int * float option, entry) Hashtbl.t;
+  (* reverse index edge → cached keys whose solution uses that edge: what
+     makes invalidation O(touching entries) instead of O(cache). Stale
+     pairs (evicted or re-solved entries) are cleaned lazily at
+     invalidation time and swept wholesale when the index outgrows the
+     cache. *)
+  edge_index : (int, (key, unit) Hashtbl.t) Hashtbl.t;
+  mutable indexed_pairs : int;
+  donors : (key, entry) Hashtbl.t;
   metrics : Metrics.t;
   (* hot-path handles *)
   c_requests : Metrics.counter;
@@ -59,6 +64,13 @@ type t = {
   c_infeasible : Metrics.counter;
   c_mutations : Metrics.counter;
   c_bad : Metrics.counter;
+  c_mutate_batches : Metrics.counter;
+  c_mutated_edges : Metrics.counter;
+  c_scoped_invalidations : Metrics.counter;
+  c_full_invalidations : Metrics.counter;
+  c_invalidated_entries : Metrics.counter;
+  c_stale_hits : Metrics.counter;
+  c_index_sweeps : Metrics.counter;
   h_cold : Metrics.histogram;
   h_warm : Metrics.histogram;
   h_hit : Metrics.histogram;
@@ -67,14 +79,20 @@ type t = {
 
 let create ?(config = default_config) ?pool base =
   let metrics = Metrics.create () in
+  (* private copy: the engine mutates its topology in place, the caller's
+     graph must stay untouched (shards already hand in copies; this makes
+     direct Engine.create safe too) *)
+  let graph = G.copy base in
+  if not config.overlay_views then G.set_compaction_threshold graph 0.;
   {
-    base;
+    graph;
     cfg = config;
     pool = (match pool with Some p -> p | None -> Pool.default ());
-    failed = Array.make (G.m base) false;
+    failed = Hashtbl.create 16;
     generation = 0;
-    live = None;
     cache = Cache.create ~capacity:config.cache_capacity;
+    edge_index = Hashtbl.create 64;
+    indexed_pairs = 0;
     donors = Hashtbl.create 64;
     metrics;
     c_requests = Metrics.counter metrics "requests_total";
@@ -84,6 +102,13 @@ let create ?(config = default_config) ?pool base =
     c_infeasible = Metrics.counter metrics "solve_infeasible";
     c_mutations = Metrics.counter metrics "topology_mutations";
     c_bad = Metrics.counter metrics "bad_requests";
+    c_mutate_batches = Metrics.counter metrics "topo.mutate_batches";
+    c_mutated_edges = Metrics.counter metrics "topo.mutated_edges";
+    c_scoped_invalidations = Metrics.counter metrics "topo.scoped_invalidations";
+    c_full_invalidations = Metrics.counter metrics "topo.full_invalidations";
+    c_invalidated_entries = Metrics.counter metrics "topo.invalidated_entries";
+    c_stale_hits = Metrics.counter metrics "topo.stale_hits_dropped";
+    c_index_sweeps = Metrics.counter metrics "topo.index_sweeps";
     h_cold = Metrics.histogram metrics "cold_ms";
     h_warm = Metrics.histogram metrics "warm_ms";
     h_hit = Metrics.histogram metrics "cache_hit_ms";
@@ -92,42 +117,104 @@ let create ?(config = default_config) ?pool base =
 
 let generation t = t.generation
 let pool t = t.pool
-
-let failed_edges t =
-  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.failed
-
+let failed_edges t = Hashtbl.length t.failed
 let metrics t = t.metrics
+let live_graph t = t.graph
 
-let live_view t =
-  match t.live with
-  | Some l -> l
-  | None ->
-    let lgraph, of_base =
-      G.filter_map_edges t.base ~f:(fun e ->
-          if t.failed.(e) then None else Some (G.cost t.base e, G.delay t.base e))
-    in
-    let to_base = Array.make (G.m lgraph) (-1) in
-    Array.iteri (fun b l -> if l >= 0 then to_base.(l) <- b) of_base;
-    (* the live graph is immutable until the next FAIL/RESTORE drops it:
-       freeze now so every solve on this generation shares one CSR view *)
-    ignore (G.freeze lgraph);
-    let l = { lgraph; to_base; of_base } in
-    t.live <- Some l;
-    l
+(* The solve-facing adjacency snapshot of the current topology: the
+   overlay path patches the last full CSR in O(changes), the refreeze
+   baseline rebuilds O(n + m) — bit-identical iteration either way. *)
+let live_view t = if t.cfg.overlay_views then G.freeze t.graph else G.rebuild t.graph
 
-(* the vertex rendering of a solution is generation-independent: base and
-   live graphs share vertex ids *)
 let vertex_paths g paths = List.map (fun p -> Path.vertices g p) paths
 
-let entry_of_solution live (sol : Instance.solution) =
-  {
-    e_cost = sol.Instance.cost;
-    e_delay = sol.Instance.delay;
-    base_paths = List.map (List.map (fun e -> live.to_base.(e))) sol.Instance.paths;
-  }
+let entry_of_solution (sol : Instance.solution) =
+  { e_cost = sol.Instance.cost; e_delay = sol.Instance.delay; base_paths = sol.Instance.paths }
 
-let entry_uses_any entry dead =
-  List.exists (List.exists (fun e -> List.mem e dead)) entry.base_paths
+let entry_uses entry e = List.exists (List.exists (fun e' -> e' = e)) entry.base_paths
+
+(* entry is valid verbatim on the current topology: all path edges alive
+   and the recorded sums matching the current weights *)
+let entry_current t entry =
+  List.for_all (List.for_all (fun e -> e >= 0 && e < G.m t.graph && G.alive t.graph e))
+    entry.base_paths
+  && List.fold_left (fun acc p -> acc + Path.cost t.graph p) 0 entry.base_paths = entry.e_cost
+  && List.fold_left (fun acc p -> acc + Path.delay t.graph p) 0 entry.base_paths = entry.e_delay
+
+(* ---- edge → cached-keys invalidation index --------------------------------- *)
+
+let index_add t key entry =
+  List.iter
+    (List.iter (fun e ->
+         let tbl =
+           match Hashtbl.find_opt t.edge_index e with
+           | Some tbl -> tbl
+           | None ->
+             let tbl = Hashtbl.create 4 in
+             Hashtbl.add t.edge_index e tbl;
+             tbl
+         in
+         if not (Hashtbl.mem tbl key) then begin
+           Hashtbl.replace tbl key ();
+           t.indexed_pairs <- t.indexed_pairs + 1
+         end))
+    entry.base_paths
+
+let index_reset t =
+  Hashtbl.reset t.edge_index;
+  t.indexed_pairs <- 0
+
+(* Evictions and re-solves leave dead pairs behind; once they dominate,
+   rebuild the index from the cache in one pass. *)
+let index_maybe_sweep t =
+  if t.indexed_pairs > 1024 && t.indexed_pairs > 16 * max 1 (Cache.length t.cache) then begin
+    Metrics.incr t.c_index_sweeps;
+    index_reset t;
+    Cache.fold t.cache ~init:() ~f:(fun () key entry -> index_add t key entry)
+  end
+
+(* drop exactly the entries whose cached solution touches a mutated edge *)
+let scoped_invalidate t ~edges =
+  Metrics.incr t.c_scoped_invalidations;
+  let dropped = ref 0 in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt t.edge_index e with
+      | None -> ()
+      | Some keys ->
+        Hashtbl.remove t.edge_index e;
+        t.indexed_pairs <- t.indexed_pairs - Hashtbl.length keys;
+        Hashtbl.iter
+          (fun key () ->
+            match Cache.peek t.cache key with
+            | Some entry when entry_uses entry e ->
+              Cache.remove t.cache key;
+              incr dropped
+            | _ -> ())
+          keys)
+    edges;
+  Metrics.incr ~by:!dropped t.c_invalidated_entries;
+  index_maybe_sweep t;
+  !dropped
+
+let full_invalidate t ~reset_donors =
+  Metrics.incr t.c_full_invalidations;
+  let dropped = Cache.filter_inplace t.cache ~f:(fun _ _ -> false) in
+  index_reset t;
+  if reset_donors then Hashtbl.reset t.donors;
+  Metrics.incr ~by:dropped t.c_invalidated_entries;
+  dropped
+
+(* Restrictive mutations (edges down, weights up) leave every untouched
+   entry valid verbatim, so only touching entries are dropped — unless
+   scoped invalidation is configured off, in which case everything goes.
+   Expansive mutations (edges back/new, weights down) can improve any
+   query, so the whole cache and the warm-start donors go regardless. *)
+let invalidate_restrictive t ~edges =
+  if t.cfg.scoped_invalidation then scoped_invalidate t ~edges
+  else full_invalidate t ~reset_donors:false
+
+let invalidate_expansive t = full_invalidate t ~reset_donors:true
 
 (* ---- request handlers ------------------------------------------------------ *)
 
@@ -137,19 +224,22 @@ let entry_uses_any entry dead =
    - the {e prologue} (always main domain) validates, consults the cache
      and snapshots everything the solve needs — the frozen live view, the
      instance, the warm-start donor, the topology generation;
-   - a [Deferred] {e job} is safe to run on any domain: it only touches
-     the snapshot (the live graph is immutable once built — FAIL/RESTORE
-     just drop the memo and build a new one) and the domain-safe metrics
-     inside the solver;
+   - a [Deferred] {e job} is safe to run on any domain: it reads the live
+     graph and its frozen view, plus the domain-safe metrics inside the
+     solver;
    - the job returns a {e commit} closure that must run back on the main
      domain: it is the only stage that writes engine state (cache, donors,
      serving metrics), which keeps every mutation single-writer without a
      single lock in the engine.
 
-   Cache/donor inserts are skipped when the topology generation moved
-   while the job was in flight — the computed solution is still returned
-   to the client (it answers the request as posed), but it must not be
-   carried into a generation it was not solved against. *)
+   The live graph mutates in place, so topology mutations (FAIL / RESTORE
+   / MUTATE) must be serialised with in-flight jobs: they must only run
+   when no deferred job is outstanding. Every driver in the repository
+   already guarantees this — the shard fleet drains each shard's FIFO in
+   order on one worker domain, and the synchronous [handle] runs its job
+   inline — and the generation commit-guard below additionally drops
+   cache/donor inserts if a mutation was interleaved anyway (the computed
+   solution is still returned: it answers the request as posed). *)
 
 type step = Done of Protocol.response | Deferred of (unit -> unit -> Protocol.response)
 
@@ -157,7 +247,7 @@ type step = Done of Protocol.response | Deferred of (unit -> unit -> Protocol.re
 let ms_since t0 = Timer.now_ms () -. t0
 
 let check_endpoints t ~src ~dst ~k =
-  let n = G.n t.base in
+  let n = G.n t.graph in
   if src < 0 || src >= n then Some (Printf.sprintf "src %d out of range [0, %d)" src n)
   else if dst < 0 || dst >= n then Some (Printf.sprintf "dst %d out of range [0, %d)" dst n)
   else if src = dst then Some "src = dst"
@@ -171,8 +261,20 @@ let do_solve t ?trace ~src ~dst ~k ~delay_bound ~epsilon t0 =
   | None when (match epsilon with Some e -> e <= 0. | None -> false) ->
     Done (Protocol.Err (Protocol.Bad_request "eps must be > 0"))
   | None -> (
-    let key = (src, dst, k, delay_bound, epsilon, t.generation) in
-    match Cache.find t.cache key with
+    let key = (src, dst, k, delay_bound, epsilon) in
+    let hit =
+      match Cache.find t.cache key with
+      | Some entry when entry_current t entry -> Some entry
+      | Some _ ->
+        (* belt and braces: the invalidation policy should make this
+           unreachable, and the churn suite asserts the counter stays 0 —
+           but a stale entry must never be served either way *)
+        Metrics.incr t.c_stale_hits;
+        Cache.remove t.cache key;
+        None
+      | None -> None
+    in
+    match hit with
     | Some entry ->
       Metrics.incr t.c_hits;
       Option.iter (fun ctx -> Trace.add_root_arg ctx "source" "cache") trace;
@@ -185,16 +287,14 @@ let do_solve t ?trace ~src ~dst ~k ~delay_bound ~epsilon t0 =
              delay = entry.e_delay;
              source = Protocol.Cache_hit;
              ms;
-             paths = vertex_paths t.base entry.base_paths;
+             paths = vertex_paths t.graph entry.base_paths;
            })
     | None ->
-      let live = live_view t in
+      ignore (live_view t);
       let gen = t.generation in
-      let inst = Instance.create live.lgraph ~src ~dst ~k ~delay_bound in
+      let inst = Instance.create t.graph ~src ~dst ~k ~delay_bound in
       let warm_start =
-        Option.map
-          (fun donor -> List.map (List.map (fun e -> live.of_base.(e))) donor.base_paths)
-          (Hashtbl.find_opt t.donors (src, dst, k, delay_bound, epsilon))
+        Option.map (fun donor -> donor.base_paths) (Hashtbl.find_opt t.donors key)
       in
       Deferred
         (fun () ->
@@ -245,10 +345,11 @@ let do_solve t ?trace ~src ~dst ~k ~delay_bound ~epsilon t0 =
               Metrics.incr t.c_infeasible;
               Protocol.Err (Protocol.error_of_outcome e)
             | Ok (sol, warm_started) ->
-              let entry = entry_of_solution live sol in
+              let entry = entry_of_solution sol in
               if t.generation = gen then begin
                 Cache.add t.cache key entry;
-                Hashtbl.replace t.donors (src, dst, k, delay_bound, epsilon) entry
+                index_add t key entry;
+                Hashtbl.replace t.donors key entry
               end;
               let source = if warm_started then Protocol.Warm_start else Protocol.Cold in
               let ms = ms_since t0 in
@@ -266,7 +367,7 @@ let do_solve t ?trace ~src ~dst ~k ~delay_bound ~epsilon t0 =
                   delay = entry.e_delay;
                   source;
                   ms;
-                  paths = vertex_paths t.base entry.base_paths;
+                  paths = vertex_paths t.graph entry.base_paths;
                 }))
 
 let do_qos t ?trace ~src ~dst ~k ~per_path_delay t0 =
@@ -275,12 +376,12 @@ let do_qos t ?trace ~src ~dst ~k ~per_path_delay t0 =
   | None when per_path_delay < 0 ->
     Done (Protocol.Err (Protocol.Bad_request "per-path delay < 0"))
   | None ->
-    let live = live_view t in
+    ignore (live_view t);
     Deferred
       (fun () ->
         let result =
           Trace.with_span trace "solve.job" (fun () ->
-              Krsp_core.Qos_paths.solve live.lgraph ~src ~dst ~k ~per_path_delay ())
+              Krsp_core.Qos_paths.solve t.graph ~src ~dst ~k ~per_path_delay ())
         in
         fun () ->
           match result with
@@ -299,68 +400,165 @@ let do_qos t ?trace ~src ~dst ~k ~per_path_delay t0 =
                 delay = sol.Instance.delay;
                 source = Protocol.Cold;
                 ms;
-                paths = vertex_paths live.lgraph sol.Instance.paths;
+                paths = vertex_paths t.graph sol.Instance.paths;
               })
 
-let link_edges t ~u ~v ~state =
-  (* base edges between u and v, either direction, currently in [state] *)
-  G.fold_edges t.base ~init:[] ~f:(fun acc e ->
-      let s = G.src t.base e and d = G.dst t.base e in
-      if ((s = u && d = v) || (s = v && d = u)) && t.failed.(e) = state then e :: acc else acc)
+(* live edges between u and v, either direction *)
+let link_edges t ~u ~v =
+  List.filter (fun e -> G.dst t.graph e = v) (G.out_edges t.graph u)
+  @ List.filter (fun e -> G.dst t.graph e = u) (G.out_edges t.graph v)
+
+(* FAILed edges between u and v, either direction *)
+let failed_link_edges t ~u ~v =
+  Hashtbl.fold
+    (fun e () acc ->
+      let s = G.src t.graph e and d = G.dst t.graph e in
+      if (s = u && d = v) || (s = v && d = u) then e :: acc else acc)
+    t.failed []
 
 let bump_generation t =
   t.generation <- t.generation + 1;
-  t.live <- None;
   Metrics.incr t.c_mutations
 
-let do_fail t ~u ~v =
-  let n = G.n t.base in
+let do_fail t ?trace ~u ~v () =
+  Trace.with_span trace "topo.fail" @@ fun () ->
+  let n = G.n t.graph in
   if u < 0 || u >= n || v < 0 || v >= n then
     Protocol.Err (Protocol.Bad_request "vertex out of range")
   else begin
-    match link_edges t ~u ~v ~state:false with
+    match link_edges t ~u ~v with
     | [] -> Protocol.Err Protocol.No_such_link
     | dead ->
-      List.iter (fun e -> t.failed.(e) <- true) dead;
+      List.iter
+        (fun e ->
+          G.remove_edge t.graph e;
+          Hashtbl.replace t.failed e ())
+        dead;
       bump_generation t;
       (* invalidate only the affected entries; carry the rest forward *)
-      let dropped =
-        Cache.filter_inplace t.cache ~f:(fun _ entry -> not (entry_uses_any entry dead))
-      in
-      Cache.rekey t.cache ~f:(fun (s, d, k, db, eps, _) -> (s, d, k, db, eps, t.generation));
+      let dropped = invalidate_restrictive t ~edges:dead in
       L.info (fun m ->
           m "FAIL %d %d: %d edge(s) down, %d cache entr(ies) invalidated, generation %d" u v
             (List.length dead) dropped t.generation);
       Protocol.Mutated { generation = t.generation; edges = List.length dead }
   end
 
-let do_restore t ~u ~v =
-  let n = G.n t.base in
+let do_restore t ?trace ~u ~v () =
+  Trace.with_span trace "topo.restore" @@ fun () ->
+  let n = G.n t.graph in
   if u < 0 || u >= n || v < 0 || v >= n then
     Protocol.Err (Protocol.Bad_request "vertex out of range")
   else begin
-    match link_edges t ~u ~v ~state:true with
+    match failed_link_edges t ~u ~v with
     | [] -> Protocol.Err Protocol.No_such_link
     | back ->
-      List.iter (fun e -> t.failed.(e) <- false) back;
+      List.iter
+        (fun e ->
+          G.unremove_edge t.graph e;
+          Hashtbl.remove t.failed e)
+        back;
       bump_generation t;
       (* a restored edge can improve any solution: every entry is affected *)
-      let dropped = Cache.filter_inplace t.cache ~f:(fun _ _ -> false) in
-      Hashtbl.reset t.donors;
+      let dropped = invalidate_expansive t in
       L.info (fun m ->
           m "RESTORE %d %d: %d edge(s) back, %d cache entr(ies) invalidated, generation %d" u v
             (List.length back) dropped t.generation);
       Protocol.Mutated { generation = t.generation; edges = List.length back }
   end
 
+(* MUTATE: one batched topology edit under a single generation bump.
+   Validation first (the whole line is applied or rejected), then the
+   sequential application classifies the batch: restrictive ops (del,
+   weight increases) only ever worsen queries that touch them — scoped
+   invalidation; any expansive op (ins, a weight decrease) can improve
+   anything — full flush plus donor reset, exactly RESTORE's rule. *)
+let do_mutate t ?trace ~ops () =
+  Trace.with_span trace "topo.mutate" @@ fun () ->
+  let n = G.n t.graph in
+  let bad = ref None in
+  List.iter
+    (fun op ->
+      if !bad = None then
+        let check_uv u v =
+          if u < 0 || u >= n || v < 0 || v >= n then
+            bad := Some "vertex out of range"
+        in
+        match op with
+        | Protocol.Ins { u; v; cost; delay } ->
+          check_uv u v;
+          if !bad = None && (cost < 0 || delay < 0) then
+            bad := Some "edge weights must be >= 0"
+        | Protocol.Del { u; v } -> check_uv u v
+        | Protocol.Rew { u; v; cost; delay } ->
+          check_uv u v;
+          if !bad = None && (cost < 0 || delay < 0) then
+            bad := Some "edge weights must be >= 0")
+    ops;
+  match !bad with
+  | Some msg -> Protocol.Err (Protocol.Bad_request msg)
+  | None ->
+    let affected = ref 0 in
+    let restrictive_edges = ref [] in
+    let expansive = ref false in
+    let directed_live u v = List.filter (fun e -> G.dst t.graph e = v) (G.out_edges t.graph u) in
+    List.iter
+      (fun op ->
+        match op with
+        | Protocol.Ins { u; v; cost; delay } ->
+          ignore (G.add_edge t.graph ~src:u ~dst:v ~cost ~delay);
+          expansive := true;
+          incr affected
+        | Protocol.Del { u; v } ->
+          List.iter
+            (fun e ->
+              G.remove_edge t.graph e;
+              restrictive_edges := e :: !restrictive_edges;
+              incr affected)
+            (directed_live u v)
+        | Protocol.Rew { u; v; cost; delay } ->
+          List.iter
+            (fun e ->
+              let c0 = G.cost t.graph e and d0 = G.delay t.graph e in
+              if cost <> c0 || delay <> d0 then begin
+                G.set_cost t.graph e cost;
+                G.set_delay t.graph e delay;
+                incr affected;
+                if cost >= c0 && delay >= d0 then
+                  restrictive_edges := e :: !restrictive_edges
+                else expansive := true
+              end)
+            (directed_live u v))
+      ops;
+    Metrics.incr t.c_mutate_batches;
+    Metrics.incr ~by:!affected t.c_mutated_edges;
+    let dropped =
+      if !affected = 0 then 0
+      else begin
+        bump_generation t;
+        Trace.with_span trace "topo.invalidate" @@ fun () ->
+        if !expansive then invalidate_expansive t
+        else invalidate_restrictive t ~edges:!restrictive_edges
+      end
+    in
+    L.info (fun m ->
+        m "MUTATE: %d op(s), %d edge(s) affected, %d cache entr(ies) invalidated, generation %d"
+          (List.length ops) !affected dropped t.generation);
+    Protocol.Mutated { generation = t.generation; edges = !affected }
+
 let cache_stats t = Cache.stats t.cache
 let cache_occupancy t = (Cache.length t.cache, Cache.capacity t.cache)
+
+let fold_cache t ~init ~f =
+  Cache.fold t.cache ~init ~f:(fun acc (src, dst, k, delay_bound, epsilon) entry ->
+      f acc ~src ~dst ~k ~delay_bound ~epsilon ~cost:entry.e_cost ~delay:entry.e_delay
+        ~paths:entry.base_paths)
 
 (* series owned by this engine instance only — what a fleet aggregates
    per shard (the process-global solver/checker registries would be
    counted once per shard if they were included here) *)
 let local_kv t =
   let c = Cache.stats t.cache in
+  let ts = G.topo_stats t.graph in
   Metrics.to_kv t.metrics
   @ Pool.to_kv t.pool
   @ [ ("cache.hits", string_of_int c.Cache.hits); ("cache.misses", string_of_int c.Cache.misses);
@@ -369,7 +567,14 @@ let local_kv t =
       ("cache.length", string_of_int (Cache.length t.cache));
       ("cache.capacity", string_of_int (Cache.capacity t.cache));
       ("generation", string_of_int t.generation);
-      ("failed_edges", string_of_int (failed_edges t))
+      ("failed_edges", string_of_int (failed_edges t));
+      ("topo.full_freezes", string_of_int ts.G.full_freezes);
+      ("topo.overlay_freezes", string_of_int ts.G.overlay_freezes);
+      ("topo.compactions", string_of_int ts.G.compactions);
+      ("topo.patched_edges", string_of_int ts.G.patched_edges);
+      ("topo.patch_pending", string_of_int ts.G.patch_pending);
+      ("topo.removed_edges", string_of_int ts.G.removed_edges);
+      ("topo.index_pairs", string_of_int t.indexed_pairs)
     ]
 
 let stats_kv t =
@@ -378,7 +583,8 @@ let stats_kv t =
   @ Metrics.to_kv Krsp_rsp.Rsp_engine.metrics
   @ Metrics.to_kv Krsp_check.Check.metrics
   @ Metrics.to_kv Krsp_numeric.Numeric.metrics
-  @ [ ("topology.n", string_of_int (G.n t.base)); ("topology.m", string_of_int (G.m t.base)) ]
+  @ [ ("topology.n", string_of_int (G.n t.graph)); ("topology.m", string_of_int (G.m t.graph));
+      ("topology.m_alive", string_of_int (G.m_alive t.graph)) ]
 
 let internal_error exn =
   L.err (fun m -> m "request failed: %s" (Printexc.to_string exn));
@@ -419,8 +625,9 @@ let handle_async t ?trace request =
           do_solve t ?trace ~src ~dst ~k ~delay_bound ~epsilon t0
         | Protocol.Qos { src; dst; k; per_path_delay } ->
           do_qos t ?trace ~src ~dst ~k ~per_path_delay t0
-        | Protocol.Fail { u; v } -> Done (do_fail t ~u ~v)
-        | Protocol.Restore { u; v } -> Done (do_restore t ~u ~v))
+        | Protocol.Fail { u; v } -> Done (do_fail t ?trace ~u ~v ())
+        | Protocol.Restore { u; v } -> Done (do_restore t ?trace ~u ~v ())
+        | Protocol.Mutate { ops } -> Done (do_mutate t ?trace ~ops ()))
   with
   | step -> step
   | exception exn -> Done (internal_error exn)

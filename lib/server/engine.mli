@@ -1,48 +1,83 @@
-(** The socket-free serving core of krspd: one loaded topology, a
-    generation-stamped live view under link failures, the LRU solution
-    cache, warm-start re-solves, and the metrics registry.
+(** The socket-free serving core of krspd: one live topology under
+    batched mutation, delta-overlay adjacency views, the LRU solution
+    cache with churn-scoped invalidation, warm-start re-solves, and the
+    metrics registry.
 
     The daemon's socket loop, the in-process tests and the replay
     benchmark all drive the same {!handle} function, so everything
     observable about serving lives here.
 
-    {2 Topology generations}
+    {2 Dynamic topology}
 
-    The engine owns an immutable base graph. [FAIL u v] marks every live
-    edge between [u] and [v] (both directions) as down and bumps the
-    {e generation}; [RESTORE u v] brings them back and bumps it again.
-    Solves run on the live subgraph (failed edges filtered out); cached
-    solutions are keyed by [(s, t, k, D, ε, generation)].
+    The engine owns a private, {e mutable} copy of the loaded graph.
+    [FAIL u v] tombstones every live edge between [u] and [v] (both
+    directions) and remembers them as restorable; [RESTORE u v] revives
+    exactly those. [MUTATE] applies a batch of inserts / deletes /
+    re-weights in one step ([del] is permanent — it does not join the
+    restorable set). Every mutation that affects at least one edge bumps
+    the topology {e generation}.
+
+    Edge ids are stable across all of this (removal tombstones, it never
+    renumbers), so cached solutions are keyed by [(s, t, k, D, ε)] alone
+    and carry real edge ids of the live graph — no per-generation
+    re-keying or id translation.
+
+    Solves run against {!Krsp_graph.Digraph.freeze} of the live graph:
+    with [overlay_views] on (the default) that is the delta-overlay path —
+    O(changed vertices) patching of the last full CSR, compacted once the
+    patch outgrows its budget; with it off every mutation forces a full
+    O(n + m) refreeze ({!Krsp_graph.Digraph.rebuild}), which is the
+    differential baseline the churn suite compares against. The two are
+    bit-indistinguishable to every consumer of the view.
 
     {2 Cache invalidation rule}
 
-    On [FAIL], an entry is {e affected} iff its solution uses a newly
-    failed edge: affected entries are invalidated, unaffected ones are
-    re-keyed to the new generation (their paths are untouched, so they
-    remain valid verbatim). On [RESTORE] every entry is affected — a
-    restored edge can lower the optimal cost of any query — so the whole
-    cache is invalidated (entries would still be {e feasible}, but serving
-    them would silently forfeit solution quality).
+    {e Restrictive} mutations — [FAIL], [del], re-weights that do not
+    decrease either weight — can only worsen solutions that touch the
+    mutated edges, so invalidation is {e scoped}: a reverse index
+    edge → cached keys drops exactly the entries whose solution uses a
+    mutated edge, and every other entry is carried forward verbatim.
+    {e Expansive} mutations — [RESTORE], [ins], any weight decrease — can
+    improve the optimum of any query, so the whole cache and the
+    warm-start donors are flushed (stale entries would still be feasible,
+    but serving them would silently forfeit solution quality). Setting
+    [scoped_invalidation = false] degrades restrictive mutations to the
+    same full flush — the churn benchmark's baseline.
+
+    Independently of the policy, a cache hit is served only after a
+    staleness guard re-verifies the entry against the current topology
+    (all path edges alive, recorded cost/delay sums matching the live
+    weights); a failed guard drops the entry, counts
+    [topo.stale_hits_dropped] and falls through to a fresh solve. The
+    churn suite asserts that counter stays zero.
 
     {2 Warm starts}
 
     Independently of the cache, the engine remembers the last solution per
-    [(s, t, k, D, ε)] (any generation). A cache miss with such a donor
-    re-solves via {!Krsp_core.Krsp.solve}[ ~warm_start]: surviving paths
-    are kept, damaged ones re-routed by Suurballe, and bicameral
-    cancellation resumes — skipping phase 1. Donors are dropped on
-    [RESTORE] for the same quality reason as cache entries.
+    [(s, t, k, D, ε)]. A cache miss with such a donor re-solves via
+    {!Krsp_core.Krsp.solve}[ ~warm_start]: surviving paths are kept,
+    damaged ones re-routed (single-edge damage by the incremental Bhandari
+    repair, worse damage by Suurballe), and bicameral cancellation
+    resumes. Donors are dropped on expansive mutations for the same
+    quality reason as cache entries; tombstoned donor edges are harmless —
+    the repair path discards dead edges.
 
     {2 Offloading solves to a domain pool}
 
     {!handle_line_async} splits a request into a main-domain {e prologue}
-    (validation, cache lookup, live-view snapshot), an optional pool-safe
-    {e job} (the solve itself, pure over the frozen snapshot) and a
-    main-domain {e commit} (cache/donor/metric writes). The engine itself
-    is single-writer and lock-free: only the socket loop's domain ever
-    mutates it, jobs read immutable snapshots, and cache inserts are
-    skipped when the topology generation moved while a job was in
-    flight. *)
+    (validation, cache lookup + staleness guard, live-view snapshot), an
+    optional pool-safe {e job} (the solve itself, over the frozen view)
+    and a main-domain {e commit} (cache/donor/metric writes). The engine
+    itself is single-writer and lock-free: only the socket loop's domain
+    ever mutates it, and cache inserts are skipped when the topology
+    generation moved while a job was in flight.
+
+    Because the live graph now mutates in place, topology mutations must
+    be {e serialised} with deferred jobs: a mutation may only run when no
+    job is in flight on this engine. Every driver in the repository
+    guarantees this by construction — the shard fleet drains each shard's
+    FIFO in order on a single worker domain, and the synchronous {!handle}
+    runs jobs inline. *)
 
 type t
 
@@ -59,13 +94,23 @@ type config = {
           runs; [None] (default) defers to {!Krsp_rsp.Oracle.default},
           i.e. the [KRSP_RSP_ORACLE] / [--rsp-oracle] process-wide
           policy *)
+  overlay_views : bool;
+      (** [true] (default): mutations patch the last full CSR through the
+          delta overlay; [false]: every freeze is a full rebuild — the
+          refreeze baseline of the churn benchmark *)
+  scoped_invalidation : bool;
+      (** [true] (default): restrictive mutations drop only the cache
+          entries touching a mutated edge (via the edge → key reverse
+          index); [false]: every mutation flushes the whole cache *)
 }
 
 val default_config : config
 
 val create : ?config:config -> ?pool:Krsp_util.Pool.t -> Krsp_graph.Digraph.t -> t
-(** [pool] (default {!Krsp_util.Pool.default}) runs the solver's parallel
-    layers and carries the deferred jobs of {!handle_line_async}. *)
+(** Takes a private {!Krsp_graph.Digraph.copy} of the graph — the
+    caller's graph is never mutated. [pool] (default
+    {!Krsp_util.Pool.default}) runs the solver's parallel layers and
+    carries the deferred jobs of {!handle_line_async}. *)
 
 val handle : t -> ?trace:Krsp_obs.Trace.ctx -> Protocol.request -> Protocol.response
 (** Total: never raises; unexpected exceptions become [Error (Internal _)].
@@ -74,10 +119,12 @@ val handle : t -> ?trace:Krsp_obs.Trace.ctx -> Protocol.request -> Protocol.resp
     threads the request's span context through the solve: an
     [engine.prologue] span covers the pre-job stage, [solve.job] the
     deferred solve (which threads the context on into
-    {!Krsp_core.Krsp.solve}), and the job annotates the context's root
-    span with [source] (cache/warm/cold/infeasible), [oracle], [donor],
-    [rounds], [guesses] and any [numeric_fallbacks] delta — the facts the
-    slow-request log reports. *)
+    {!Krsp_core.Krsp.solve}), mutations get [topo.fail] / [topo.restore] /
+    [topo.mutate] (the latter with a nested [topo.invalidate]), and the
+    job annotates the context's root span with [source]
+    (cache/warm/cold/infeasible), [oracle], [donor], [rounds], [guesses]
+    and any [numeric_fallbacks] delta — the facts the slow-request log
+    reports. *)
 
 val handle_line : t -> string -> string
 (** [print_response (handle (parse_request line))], with parse errors
@@ -86,34 +133,66 @@ val handle_line : t -> string -> string
 val handle_line_async :
   t -> ?trace:Krsp_obs.Trace.ctx -> string -> [ `Reply of string | `Job of (unit -> unit -> string) ]
 (** The daemon loop's entry point. [`Reply line] is a complete response
-    (parse errors, validation errors, cache hits, PING/STATS/FAIL/RESTORE —
-    everything that must or can run on the engine's domain). [`Job run]
-    defers a solve: [run ()] may execute on any domain (it only reads the
-    frozen snapshot taken in the prologue) and yields a commit closure
-    that must be called back on the engine's domain to write the cache and
-    metrics and produce the response line. Both closures are total. *)
+    (parse errors, validation errors, cache hits, PING/STATS and all
+    topology mutations — everything that must or can run on the engine's
+    domain). [`Job run] defers a solve: [run ()] may execute on any domain
+    (it only reads the frozen snapshot taken in the prologue) and yields a
+    commit closure that must be called back on the engine's domain to
+    write the cache and metrics and produce the response line. Both
+    closures are total. *)
 
 val generation : t -> int
+
 val failed_edges : t -> int
+(** Edges currently down by [FAIL] (i.e. restorable — permanent [MUTATE]
+    deletions are not counted here). *)
 
 val metrics : t -> Krsp_util.Metrics.t
 val pool : t -> Krsp_util.Pool.t
 
+val live_graph : t -> Krsp_graph.Digraph.t
+(** The engine's live topology, mutations applied — the reference the
+    churn tests certify cached solutions against. Callers must not mutate
+    it. *)
+
+val fold_cache :
+  t ->
+  init:'a ->
+  f:
+    ('a ->
+    src:int ->
+    dst:int ->
+    k:int ->
+    delay_bound:int ->
+    epsilon:float option ->
+    cost:int ->
+    delay:int ->
+    paths:int list list ->
+    'a) ->
+  'a
+(** Folds over every cached solution (most-recently-used first) with its
+    key and its edge-id paths — what the staleness property test replays
+    against {!live_graph} after a mutation batch. *)
+
 val cache_stats : t -> Cache.stats
+
 val cache_occupancy : t -> int * int
 (** [(length, capacity)] of the solution cache. *)
 
 val local_kv : t -> (string * string) list
 (** The engine-instance-owned slice of {!stats_kv}: this engine's metrics
-    registry, its pool counters, cache hit/miss/eviction/invalidation and
-    occupancy, generation and failed-edge count — and nothing from the
-    process-global solver/checker registries. This is what {!Shard}
-    aggregates per shard (globals would otherwise be counted once per
-    shard). *)
+    registry (including the [topo.*] mutation/invalidation counters), its
+    pool counters, cache hit/miss/eviction/invalidation and occupancy,
+    generation and failed-edge count, and the live graph's
+    {!Krsp_graph.Digraph.topo_stats} (freeze/overlay/compaction counters,
+    pending patch size) — and nothing from the process-global
+    solver/checker registries. This is what {!Shard} aggregates per shard
+    (globals would otherwise be counted once per shard). *)
 
 val stats_kv : t -> (string * string) list
 (** The [STATS] payload: {!local_kv} plus the process-global solver and
-    checker registries and the topology dimensions. *)
+    checker registries and the topology dimensions (including
+    [topology.m_alive]). *)
 
 val trace_response : string option -> Protocol.response
 (** The [TRACE] handler: export the process-global span rings as Chrome

@@ -1,9 +1,15 @@
+type mutate_op =
+  | Ins of { u : int; v : int; cost : int; delay : int }
+  | Del of { u : int; v : int }
+  | Rew of { u : int; v : int; cost : int; delay : int }
+
 type request =
   | Ping
   | Solve of { src : int; dst : int; k : int; delay_bound : int; epsilon : float option }
   | Qos of { src : int; dst : int; k : int; per_path_delay : int }
   | Fail of { u : int; v : int }
   | Restore of { u : int; v : int }
+  | Mutate of { ops : mutate_op list }
   | Stats
   | Trace of { path : string option }
 
@@ -13,6 +19,7 @@ type parse_error =
   | Wrong_arity of { command : string; expected : string; got : int }
   | Bad_int of { command : string; field : string; value : string }
   | Bad_float of { command : string; field : string; value : string }
+  | Bad_op of { command : string; value : string }
 
 type source = Cold | Cache_hit | Warm_start
 
@@ -93,7 +100,39 @@ let parse_request line =
       int_field command "u" a @@ fun u ->
       int_field command "v" b @@ fun v -> Ok (Restore { u; v })
     | "RESTORE", _ -> arity "2"
+    | "MUTATE", [] -> arity "1+"
+    | "MUTATE", ops ->
+      (* each op is one colon-separated token: ins:u:v:c:d | del:u:v |
+         rew:u:v:c:d — a batch is applied atomically under one generation
+         bump, so the whole line either parses or is rejected *)
+      let parse_op tok k =
+        match String.split_on_char ':' tok with
+        | [ "ins"; u; v; c; d ] ->
+          int_field command "ins.u" u @@ fun u ->
+          int_field command "ins.v" v @@ fun v ->
+          int_field command "ins.cost" c @@ fun cost ->
+          int_field command "ins.delay" d @@ fun delay -> k (Ins { u; v; cost; delay })
+        | [ "del"; u; v ] ->
+          int_field command "del.u" u @@ fun u ->
+          int_field command "del.v" v @@ fun v -> k (Del { u; v })
+        | [ "rew"; u; v; c; d ] ->
+          int_field command "rew.u" u @@ fun u ->
+          int_field command "rew.v" v @@ fun v ->
+          int_field command "rew.cost" c @@ fun cost ->
+          int_field command "rew.delay" d @@ fun delay -> k (Rew { u; v; cost; delay })
+        | _ -> Error (Bad_op { command; value = tok })
+      in
+      let rec parse_ops acc = function
+        | [] -> Ok (Mutate { ops = List.rev acc })
+        | tok :: rest -> parse_op tok @@ fun op -> parse_ops (op :: acc) rest
+      in
+      parse_ops [] ops
     | _ -> Error (Unknown_command command))
+
+let string_of_mutate_op = function
+  | Ins { u; v; cost; delay } -> Printf.sprintf "ins:%d:%d:%d:%d" u v cost delay
+  | Del { u; v } -> Printf.sprintf "del:%d:%d" u v
+  | Rew { u; v; cost; delay } -> Printf.sprintf "rew:%d:%d:%d:%d" u v cost delay
 
 let print_request = function
   | Ping -> "PING"
@@ -107,6 +146,8 @@ let print_request = function
   | Qos { src; dst; k; per_path_delay } -> Printf.sprintf "QOS %d %d %d %d" src dst k per_path_delay
   | Fail { u; v } -> Printf.sprintf "FAIL %d %d" u v
   | Restore { u; v } -> Printf.sprintf "RESTORE %d %d" u v
+  | Mutate { ops } ->
+    "MUTATE " ^ String.concat " " (List.map string_of_mutate_op ops)
 
 let describe_parse_error = function
   | Empty_line -> "empty request line"
@@ -117,6 +158,8 @@ let describe_parse_error = function
     Printf.sprintf "%s: %s must be an integer, got %s" command field value
   | Bad_float { command; field; value } ->
     Printf.sprintf "%s: %s must be a number, got %s" command field value
+  | Bad_op { command; value } ->
+    Printf.sprintf "%s: bad op %S (ins:u:v:c:d | del:u:v | rew:u:v:c:d)" command value
 
 (* ---- responses ------------------------------------------------------------- *)
 

@@ -9,9 +9,20 @@
       QOS <src> <dst> <k> <per-path-D>
       FAIL <u> <v>
       RESTORE <u> <v>
+      MUTATE <op> [<op> ...]      op := ins:<u>:<v>:<c>:<d> | del:<u>:<v> | rew:<u>:<v>:<c>:<d>
       STATS
       TRACE [<path>]
     v}
+
+    [MUTATE] is the batched topology-mutation verb of the dynamic
+    topology engine: [ins] adds a fresh [u→v] edge with the given cost
+    and delay, [del] tombstones every live [u→v] edge (directed; a
+    deletion is permanent — unlike [FAIL] there is no matching restore),
+    [rew] re-weights every live [u→v] edge. The whole batch is applied
+    under a single generation bump and answered with one [MUTATED] line
+    whose [edges] counts the edges affected; [del]/[rew] matching no
+    live edge affect zero edges rather than erroring, so replaying a
+    churn schedule is idempotent.
 
     Responses:
     {v
@@ -50,12 +61,18 @@
     [parse (print x) = Ok x] on every value whose strings contain no
     spaces/newlines (qcheck-verified in [test_server.ml]). *)
 
+type mutate_op =
+  | Ins of { u : int; v : int; cost : int; delay : int }
+  | Del of { u : int; v : int }
+  | Rew of { u : int; v : int; cost : int; delay : int }
+
 type request =
   | Ping
   | Solve of { src : int; dst : int; k : int; delay_bound : int; epsilon : float option }
   | Qos of { src : int; dst : int; k : int; per_path_delay : int }
   | Fail of { u : int; v : int }
   | Restore of { u : int; v : int }
+  | Mutate of { ops : mutate_op list }
   | Stats
   | Trace of { path : string option }
 
@@ -65,6 +82,7 @@ type parse_error =
   | Wrong_arity of { command : string; expected : string; got : int }
   | Bad_int of { command : string; field : string; value : string }
   | Bad_float of { command : string; field : string; value : string }
+  | Bad_op of { command : string; value : string }
 
 type source = Cold | Cache_hit | Warm_start
 

@@ -115,6 +115,7 @@ let verb = function
   | Protocol.Qos _ -> "QOS"
   | Protocol.Fail _ -> "FAIL"
   | Protocol.Restore _ -> "RESTORE"
+  | Protocol.Mutate _ -> "MUTATE"
   | Protocol.Stats -> "STATS"
   | Protocol.Trace _ -> "TRACE"
 
@@ -522,7 +523,7 @@ let submit t ~complete line =
        any shard; answered inline like STATS *)
     Metrics.incr t.c_front;
     Replied (Protocol.print_response (Engine.trace_response path))
-  | Ok ((Protocol.Fail _ | Protocol.Restore _) as request) ->
+  | Ok ((Protocol.Fail _ | Protocol.Restore _ | Protocol.Mutate _) as request) ->
     Replied (Protocol.print_response (broadcast_mutation t request))
   | Ok
       ((Protocol.Solve { src; dst; _ } | Protocol.Qos { src; dst; _ }) as request) ->

@@ -252,6 +252,74 @@ let test_corpus_replay () =
         | Error msg -> Alcotest.fail (Printf.sprintf "%s: %s" name msg)))
     entries
 
+(* --- churn traces (.churn corpus + differential replay) ----------------------- *)
+
+let churn_fixture () =
+  (* the diamond plus a pier edge, with a trace hitting every mutation kind *)
+  let g = G.create ~n:4 () in
+  ignore (G.add_edge g ~src:0 ~dst:1 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:1 ~dst:3 ~cost:1 ~delay:10);
+  ignore (G.add_edge g ~src:0 ~dst:2 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:2 ~dst:3 ~cost:2 ~delay:1);
+  ignore (G.add_edge g ~src:0 ~dst:3 ~cost:10 ~delay:5);
+  let trace =
+    [ Differential.C_solve { src = 0; dst = 3; k = 2; delay_bound = 30 };
+      Differential.C_batch [ Differential.M_del 4 ];
+      Differential.C_solve { src = 0; dst = 3; k = 2; delay_bound = 30 };
+      Differential.C_batch
+        [ Differential.M_restore 4;
+          Differential.M_rew { edge = 0; cost = 1; delay = 2 };
+          Differential.M_ins { u = 0; v = 3; cost = 3; delay = 3 }
+        ];
+      Differential.C_solve { src = 0; dst = 3; k = 3; delay_bound = 30 }
+    ]
+  in
+  (g, trace)
+
+let test_churn_roundtrip () =
+  let t = churn_fixture () in
+  let s = Corpus.churn_to_string ~comment:"round\ntrip" t in
+  let t' = Corpus.churn_of_string s in
+  (* the serialisation is canonical: reserialising reproduces it byte for byte *)
+  Alcotest.(check string) "byte-identical reserialisation" (Corpus.churn_to_string t)
+    (Corpus.churn_to_string t');
+  let g, trace = t and g', trace' = t' in
+  Alcotest.(check int) "n" (G.n g) (G.n g');
+  Alcotest.(check int) "m" (G.m g) (G.m g');
+  Alcotest.(check int) "trace length" (List.length trace) (List.length trace')
+
+let test_churn_malformed () =
+  let fails s =
+    match Corpus.churn_of_string s with
+    | exception Failure _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "no trace lines" true (fails "n 2\ne 0 1 1 1\n");
+  Alcotest.(check bool) "bad mutation token" true
+    (fails "n 2\ne 0 1 1 1\ns 0 1 1 5\nm zap:0\n");
+  Alcotest.(check bool) "truncated ins" true
+    (fails "n 2\ne 0 1 1 1\ns 0 1 1 5\nm ins:0:1:2\n");
+  Alcotest.(check bool) "malformed solve line" true (fails "n 2\ne 0 1 1 1\ns 0 1\n")
+
+(* the hand-written fixture replays with zero disagreements: overlay freezes
+   against full rebuilds, widths 1 and 4, every witness certified *)
+let test_churn_differential_diamond () =
+  let g, trace = churn_fixture () in
+  Alcotest.(check (list string)) "no mismatches" [] (Differential.churn g trace)
+
+(* every committed .churn trace must replay with zero incremental-vs-refreeze
+   disagreements — the regression replay for shrunk churn repros *)
+let test_churn_corpus_replay () =
+  let dir = if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus" in
+  let entries = Corpus.load_churn_dir dir in
+  Alcotest.(check bool) "churn corpus present" true (List.length entries >= 2);
+  List.iter
+    (fun (name, (g, trace)) ->
+      match Differential.churn g trace with
+      | [] -> ()
+      | ms -> Alcotest.fail (Printf.sprintf "%s: %s" name (String.concat "; " ms)))
+    entries
+
 (* --- metamorphic transformations --------------------------------------------- *)
 
 let test_transform_shapes () =
@@ -486,6 +554,52 @@ let test_fuzz_deterministic () =
       Alcotest.(check string) "same reason" fa.Fuzz.reason fb.Fuzz.reason)
     a.Fuzz.failures b.Fuzz.failures
 
+(* --- churn fuzzing: clean sweeps, the planted stale-entry bug ------------------ *)
+
+let test_fuzz_churn_clean () =
+  let o = Fuzz.run_churn ~seed:2026 ~count:15 () in
+  Alcotest.(check int) "no disagreements" 0 (List.length o.Fuzz.churn_failures);
+  Alcotest.(check int) "all traces ran" 15 o.Fuzz.traces;
+  Alcotest.(check bool) "traces mix solves and mutations" true
+    (o.Fuzz.churn_solves > 0 && o.Fuzz.churn_mutations > 0)
+
+let test_fuzz_churn_stale_entry_caught () =
+  (* a never-invalidated cache must be caught by re-certifying hits against
+     the current topology — the harness-catches-the-bug path for staleness *)
+  let o = Fuzz.run_churn ~seed:2026 ~inject:Fuzz.Stale_entry ~count:15 ~max_failures:2 () in
+  Alcotest.(check bool) "stale entries caught" true (o.Fuzz.churn_failures <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trace %d names the stale entry" f.Fuzz.trace_case)
+        true
+        (contains f.Fuzz.reason "stale");
+      Alcotest.(check bool)
+        (Printf.sprintf "trace %d shrunk (%d ops before)" f.Fuzz.trace_case
+           f.Fuzz.ops_before_shrink)
+        true
+        (List.length f.Fuzz.trace <= f.Fuzz.ops_before_shrink))
+    o.Fuzz.churn_failures
+
+let test_fuzz_churn_deterministic () =
+  let run () =
+    Fuzz.run_churn ~seed:2026 ~inject:Fuzz.Stale_entry ~count:15 ~max_failures:2 ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same trace count" a.Fuzz.traces b.Fuzz.traces;
+  Alcotest.(check int) "same failure count"
+    (List.length a.Fuzz.churn_failures)
+    (List.length b.Fuzz.churn_failures);
+  Alcotest.(check bool) "failures found" true (a.Fuzz.churn_failures <> []);
+  List.iter2
+    (fun fa fb ->
+      Alcotest.(check int) "same trace case" fa.Fuzz.trace_case fb.Fuzz.trace_case;
+      Alcotest.(check string) "byte-identical repro"
+        (Corpus.churn_to_string (fa.Fuzz.graph, fa.Fuzz.trace))
+        (Corpus.churn_to_string (fb.Fuzz.graph, fb.Fuzz.trace));
+      Alcotest.(check string) "same reason" fa.Fuzz.reason fb.Fuzz.reason)
+    a.Fuzz.churn_failures b.Fuzz.churn_failures
+
 (* --- the KRSP_CERTIFY hook ---------------------------------------------------- *)
 
 let test_hook () =
@@ -530,6 +644,13 @@ let suites =
         Alcotest.test_case "malformed inputs" `Quick test_corpus_malformed;
         Alcotest.test_case "replay committed corpus" `Quick test_corpus_replay
       ] );
+    ( "check.churn",
+      [ Alcotest.test_case "churn roundtrip" `Quick test_churn_roundtrip;
+        Alcotest.test_case "malformed churn inputs" `Quick test_churn_malformed;
+        Alcotest.test_case "diamond churn differential" `Quick
+          test_churn_differential_diamond;
+        Alcotest.test_case "replay committed churn corpus" `Quick test_churn_corpus_replay
+      ] );
     ( "check.metamorphic",
       [ Alcotest.test_case "transform shapes" `Quick test_transform_shapes;
         Alcotest.test_case "map back on the diamond" `Quick test_transform_map_back;
@@ -550,7 +671,12 @@ let suites =
       [ Alcotest.test_case "clean sweep" `Quick test_fuzz_clean;
         Alcotest.test_case "planted bugs caught and shrunk" `Quick
           test_fuzz_planted_bugs_caught;
-        Alcotest.test_case "deterministic repros" `Quick test_fuzz_deterministic
+        Alcotest.test_case "deterministic repros" `Quick test_fuzz_deterministic;
+        Alcotest.test_case "churn clean sweep" `Quick test_fuzz_churn_clean;
+        Alcotest.test_case "stale cache entries caught" `Quick
+          test_fuzz_churn_stale_entry_caught;
+        Alcotest.test_case "deterministic churn repros" `Quick
+          test_fuzz_churn_deterministic
       ] );
     ("check.hook", [ Alcotest.test_case "certify hook" `Quick test_hook ])
   ]

@@ -234,6 +234,138 @@ let csr_matches_lists_prop =
          check_view ();
          !ok))
 
+(* tentpole property: after any interleaved script of inserts, deletes,
+   revives, re-weights and vertex additions, the overlay freeze is
+   bit-indistinguishable from a from-scratch full build — identical edge
+   sequences (ids and weights) per vertex in both directions, identical
+   spans, degrees and restrict sub-views — at every compaction regime,
+   including runs that cross compaction boundaries mid-script *)
+let overlay_equals_refreeze_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"overlay freeze = full refreeze under churn" ~count:150
+       QCheck2.Gen.int
+       (fun seed ->
+         let rng = X.create ~seed in
+         let g = G.create ~expected_edges:8 ~n:(2 + X.int rng 4) () in
+         (* 0 = overlays disabled (always compact), 8 = effectively never
+            compact, the rest straddle the boundary *)
+         let frac = [| 0.; 0.05; 0.125; 0.5; 8. |].(X.int rng 5) in
+         G.set_compaction_threshold g frac;
+         let ok = ref true in
+         let out_row v u =
+           let acc = ref [] in
+           V.iter_out v u (fun e ->
+               acc := (e, V.src v e, V.dst v e, V.cost v e, V.delay v e) :: !acc);
+           List.rev !acc
+         in
+         let in_row v u =
+           let acc = ref [] in
+           V.iter_in v u (fun e ->
+               acc := (e, V.src v e, V.dst v e, V.cost v e, V.delay v e) :: !acc);
+           List.rev !acc
+         in
+         let span_row v u =
+           let lo, hi = V.out_span v u in
+           List.init (hi - lo) (fun i -> V.out_entry v (lo + i))
+         in
+         let same_view va vb =
+           ok := !ok && V.n va = V.n vb && V.m va = V.m vb;
+           for u = 0 to V.n va - 1 do
+             ok :=
+               !ok
+               && out_row va u = out_row vb u
+               && in_row va u = in_row vb u
+               && V.out_degree va u = V.out_degree vb u
+               && V.in_degree va u = V.in_degree vb u
+               (* the span/entry cursor must agree with the iterator on
+                  both sides, whatever representation each one uses *)
+               && span_row va u = List.map (fun (e, _, _, _, _) -> e) (out_row va u)
+               && span_row vb u = List.map (fun (e, _, _, _, _) -> e) (out_row vb u)
+           done
+         in
+         let check () =
+           let va = G.freeze g in
+           let vb = G.rebuild (G.copy g) in
+           ok := !ok && V.valid va;
+           same_view va vb;
+           let keep e = e land 1 = 0 in
+           same_view (V.restrict va ~keep) (V.restrict vb ~keep)
+         in
+         for _ = 1 to 30 do
+           let n = G.n g and m = G.m g in
+           match X.int rng 10 with
+           | 0 | 1 | 2 ->
+             let u = X.int rng n and v = X.int rng n in
+             ignore (G.add_edge g ~src:u ~dst:v ~cost:(X.int rng 9) ~delay:(X.int rng 9))
+           | 3 | 4 ->
+             if m > 0 then begin
+               let e = X.int rng m in
+               if G.alive g e then G.remove_edge g e
+             end
+           | 5 ->
+             if m > 0 then begin
+               let e = X.int rng m in
+               if not (G.alive g e) then G.unremove_edge g e
+             end
+           | 6 ->
+             if m > 0 then begin
+               let e = X.int rng m in
+               G.set_cost g e (X.int rng 9);
+               G.set_delay g e (X.int rng 9)
+             end
+           | 7 -> ignore (G.add_vertex g)
+           | _ -> check ()
+         done;
+         check ();
+         !ok))
+
+(* deterministic companions to the property: the counters and the alive
+   bookkeeping the property does not pin down *)
+let test_remove_unremove () =
+  let g, e01, e13, e02, _, e03 = diamond () in
+  Alcotest.(check int) "all alive" (G.m g) (G.m_alive g);
+  G.remove_edge g e01;
+  Alcotest.(check bool) "dead" false (G.alive g e01);
+  Alcotest.(check int) "m stable" 5 (G.m g);
+  Alcotest.(check int) "m_alive drops" 4 (G.m_alive g);
+  Alcotest.(check (list int)) "out 0 skips dead" (List.sort compare [ e02; e03 ])
+    (List.sort compare (G.out_edges g 0));
+  Alcotest.check_raises "double remove rejected"
+    (Invalid_argument "Digraph.remove_edge: edge already removed") (fun () ->
+      G.remove_edge g e01);
+  G.unremove_edge g e01;
+  Alcotest.(check bool) "back" true (G.alive g e01);
+  Alcotest.(check int) "m_alive restored" 5 (G.m_alive g);
+  Alcotest.check_raises "unremove of live edge rejected"
+    (Invalid_argument "Digraph.unremove_edge: edge is not removed") (fun () ->
+      G.unremove_edge g e13)
+
+let test_topo_stats_counters () =
+  let g = G.create ~n:4 () in
+  for v = 0 to 2 do
+    ignore (G.add_edge g ~src:v ~dst:(v + 1) ~cost:1 ~delay:1)
+  done;
+  ignore (G.freeze g);
+  let s0 = G.topo_stats g in
+  Alcotest.(check int) "first freeze is full" 1 s0.G.full_freezes;
+  (* a small patch goes through the overlay path... *)
+  G.remove_edge g 0;
+  ignore (G.freeze g);
+  let s1 = G.topo_stats g in
+  Alcotest.(check int) "overlay freeze counted" 1 s1.G.overlay_freezes;
+  Alcotest.(check int) "patched edge counted" 1 s1.G.patched_edges;
+  (* the overlay keeps carrying its patch over the base until a
+     compaction folds it in *)
+  Alcotest.(check int) "patch still pending over base" 1 s1.G.patch_pending;
+  Alcotest.(check int) "removed edges tracked" 1 s1.G.removed_edges;
+  (* ...and with compaction forced, the next mutation re-freezes fully *)
+  G.set_compaction_threshold g 0.;
+  G.unremove_edge g 0;
+  ignore (G.freeze g);
+  let s2 = G.topo_stats g in
+  Alcotest.(check int) "compaction counted" (s1.G.compactions + 1) s2.G.compactions;
+  Alcotest.(check int) "second full freeze" 2 s2.G.full_freezes
+
 (* --- Path --------------------------------------------------------------- *)
 
 let test_path_accessors () =
@@ -603,6 +735,11 @@ let suites =
         Alcotest.test_case "copy does not share snapshot" `Quick test_copy_csr_isolated;
         Alcotest.test_case "restrict" `Quick test_view_restrict;
         csr_matches_lists_prop
+      ] );
+    ( "dynamic-topology",
+      [ Alcotest.test_case "remove/unremove bookkeeping" `Quick test_remove_unremove;
+        Alcotest.test_case "topo_stats counters" `Quick test_topo_stats_counters;
+        overlay_equals_refreeze_prop
       ] );
     ( "path",
       [ Alcotest.test_case "accessors" `Quick test_path_accessors;

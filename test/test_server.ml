@@ -49,7 +49,21 @@ let gen_request =
       (let* u = gen_small and* v = gen_small in
        return (Protocol.Fail { u; v }));
       (let* u = gen_small and* v = gen_small in
-       return (Protocol.Restore { u; v }))
+       return (Protocol.Restore { u; v }));
+      (let* ops =
+         list_size (int_range 1 4)
+           (oneof
+              [ (let* u = gen_small and* v = gen_small and* cost = gen_small
+                 and* delay = gen_small in
+                 return (Protocol.Ins { u; v; cost; delay }));
+                (let* u = gen_small and* v = gen_small in
+                 return (Protocol.Del { u; v }));
+                (let* u = gen_small and* v = gen_small and* cost = gen_small
+                 and* delay = gen_small in
+                 return (Protocol.Rew { u; v; cost; delay }))
+              ])
+       in
+       return (Protocol.Mutate { ops }))
     ]
 
 let gen_word =
@@ -123,6 +137,30 @@ let test_overload_codec () =
     (Result.is_error (Protocol.parse_response "ERR overload"));
   Alcotest.(check bool) "parse rejects bad hint" true
     (Result.is_error (Protocol.parse_response "ERR overload retry-after-ms=soon"))
+
+let test_mutate_codec () =
+  let r =
+    Protocol.Mutate
+      { ops =
+          [ Protocol.Ins { u = 0; v = 3; cost = 4; delay = 2 }; Protocol.Del { u = 1; v = 2 };
+            Protocol.Rew { u = 0; v = 1; cost = 7; delay = 1 }
+          ]
+      }
+  in
+  Alcotest.(check string) "print" "MUTATE ins:0:3:4:2 del:1:2 rew:0:1:7:1"
+    (Protocol.print_request r);
+  Alcotest.(check bool) "roundtrip" true (Protocol.parse_request (Protocol.print_request r) = Ok r);
+  (* one bad token rejects the whole line — batches are atomic *)
+  Alcotest.(check bool) "bad op tag" true
+    (Protocol.parse_request "MUTATE zap:1:2"
+    = Error (Protocol.Bad_op { command = "MUTATE"; value = "zap:1:2" }));
+  Alcotest.(check bool) "truncated ins" true
+    (Protocol.parse_request "MUTATE ins:1:2:3"
+    = Error (Protocol.Bad_op { command = "MUTATE"; value = "ins:1:2:3" }));
+  Alcotest.(check bool) "bad int inside op" true
+    (match Protocol.parse_request "MUTATE del:one:2" with
+    | Error (Protocol.Bad_int _) -> true
+    | _ -> false)
 
 (* --- cache ------------------------------------------------------------------ *)
 
@@ -285,6 +323,151 @@ let test_engine_epsilon_and_qos () =
       (Engine.handle engine (Protocol.Qos { src = 0; dst = 3; k = 2; per_path_delay = 15 }))
   in
   Alcotest.(check bool) "qos total within k*D" true (qos_delay <= 2 * 15)
+
+(* --- engine MUTATE and churn-scoped invalidation ------------------------------ *)
+
+let test_engine_mutate () =
+  let engine = Engine.create (diamond ()) in
+  ignore (expect_solution "cold" (Engine.handle engine (solve_req ~src:0 ~dst:3 ~k:2 ~d:30)));
+  (* deleting the direct edge is restrictive; the cached optimum does not
+     touch it, so scoped invalidation keeps the entry — still a cache hit
+     even though the generation moved (cache keys are generation-free) *)
+  (match Engine.handle engine (Protocol.Mutate { ops = [ Protocol.Del { u = 0; v = 3 } ] }) with
+  | Protocol.Mutated { generation = 1; edges = 1 } -> ()
+  | other -> Alcotest.failf "MUTATE del: got %s" (Protocol.print_response other));
+  let _, _, source1, _ =
+    expect_solution "survives" (Engine.handle engine (solve_req ~src:0 ~dst:3 ~k:2 ~d:30))
+  in
+  Alcotest.(check bool) "untouched entry survives scoped invalidation" true
+    (source1 = Protocol.Cache_hit);
+  (* a non-decreasing reweight of a used edge drops exactly that entry *)
+  (match
+     Engine.handle engine
+       (Protocol.Mutate { ops = [ Protocol.Rew { u = 0; v = 1; cost = 5; delay = 10 } ] })
+   with
+  | Protocol.Mutated { generation = 2; edges = 1 } -> ()
+  | other -> Alcotest.failf "MUTATE rew: got %s" (Protocol.print_response other));
+  let cost2, _, source2, _ =
+    expect_solution "re-solve" (Engine.handle engine (solve_req ~src:0 ~dst:3 ~k:2 ~d:30))
+  in
+  Alcotest.(check bool) "touched entry dropped" true (source2 <> Protocol.Cache_hit);
+  Alcotest.(check int) "re-solve sees the new weight" 10 cost2;
+  (* a zero-match op affects nothing and does not move the generation *)
+  (match Engine.handle engine (Protocol.Mutate { ops = [ Protocol.Del { u = 1; v = 2 } ] }) with
+  | Protocol.Mutated { generation = 2; edges = 0 } -> ()
+  | other -> Alcotest.failf "MUTATE no-op: got %s" (Protocol.print_response other));
+  (* an insert is expansive: a cheaper route may exist anywhere, so the
+     whole cache flushes and the next solve finds the new edge *)
+  (match
+     Engine.handle engine
+       (Protocol.Mutate { ops = [ Protocol.Ins { u = 0; v = 3; cost = 1; delay = 1 } ] })
+   with
+  | Protocol.Mutated { generation = 3; edges = 1 } -> ()
+  | other -> Alcotest.failf "MUTATE ins: got %s" (Protocol.print_response other));
+  let cost3, _, source3, _ =
+    expect_solution "post-ins" (Engine.handle engine (solve_req ~src:0 ~dst:3 ~k:2 ~d:30))
+  in
+  Alcotest.(check bool) "expansive mutation flushes the cache" true
+    (source3 = Protocol.Cold);
+  Alcotest.(check int) "new edge used" 5 cost3;
+  (* an invalid op rejects the whole batch atomically — nothing applied *)
+  (match
+     Engine.handle engine
+       (Protocol.Mutate
+          { ops =
+              [ Protocol.Del { u = 0; v = 1 }; Protocol.Ins { u = 0; v = 99; cost = 1; delay = 1 } ]
+          })
+   with
+  | Protocol.Err (Protocol.Bad_request _) -> ()
+  | other -> Alcotest.failf "invalid batch: got %s" (Protocol.print_response other));
+  Alcotest.(check int) "generation unchanged after rejected batch" 3
+    (Engine.generation engine);
+  let cost4, _, _, _ =
+    expect_solution "after reject" (Engine.handle engine (solve_req ~src:0 ~dst:3 ~k:2 ~d:30))
+  in
+  Alcotest.(check int) "topology unchanged after rejected batch" 5 cost4
+
+(* The staleness property (the churn suite's serving-side contract): drive a
+   single engine through a seeded interleaving of solves and mutation
+   batches; after EVERY batch, every entry still cached must certify against
+   the current topology — all edges alive, cost/delay sums matching the live
+   weights — and by the end the stale-hit guard must never have fired
+   (invalidation was precise, the guard is defence in depth). *)
+
+let assert_cache_current name engine =
+  let g = Engine.live_graph engine in
+  Engine.fold_cache engine ~init:0
+    ~f:(fun
+        acc ~src:_ ~dst:_ ~k:_ ~delay_bound:_ ~epsilon:_ ~cost ~delay ~paths ->
+      let c = ref 0 and d = ref 0 in
+      List.iter
+        (List.iter (fun e ->
+             if e < 0 || e >= G.m g then
+               Alcotest.failf "%s: cached path uses out-of-range edge %d" name e;
+             if not (G.alive g e) then
+               Alcotest.failf "%s: cached path uses tombstoned edge %d" name e;
+             c := !c + G.cost g e;
+             d := !d + G.delay g e))
+        paths;
+      if !c <> cost || !d <> delay then
+        Alcotest.failf "%s: cached sums (%d, %d) diverge from live topology (%d, %d)" name
+          cost delay !c !d;
+      acc + 1)
+
+let test_no_stale_cache_hits () =
+  let module X = Krsp_util.Xoshiro in
+  let rng = X.create ~seed:2026 in
+  let n = 8 in
+  let g = G.create ~n () in
+  for v = 0 to n - 2 do
+    ignore (G.add_edge g ~src:v ~dst:(v + 1) ~cost:(1 + X.int rng 6) ~delay:(1 + X.int rng 4))
+  done;
+  for _ = 1 to 3 * n do
+    let u = X.int rng n and v = X.int rng n in
+    if u <> v then
+      ignore
+        (G.add_edge g ~src:(min u v) ~dst:(max u v) ~cost:(1 + X.int rng 6)
+           ~delay:(1 + X.int rng 4))
+  done;
+  let engine = Engine.create g in
+  (* few distinct bounds so cache keys repeat and hits actually happen *)
+  let total = G.total_delay g in
+  let bounds = [| total + 1; max 1 (total / 2); max 1 (total / 4) |] in
+  let entries_seen = ref 0 and hits_possible = ref 0 in
+  for step = 1 to 200 do
+    if X.int rng 5 < 3 then begin
+      let src, dst =
+        if X.int rng 4 = 0 then
+          let u = X.int rng n and v = X.int rng n in
+          if u = v then (0, n - 1) else (min u v, max u v)
+        else (0, n - 1)
+      in
+      let k = 1 + X.int rng 2 in
+      let d = bounds.(X.int rng (Array.length bounds)) in
+      incr hits_possible;
+      ignore (Engine.handle engine (Protocol.Solve { src; dst; k; delay_bound = d; epsilon = None }))
+    end
+    else begin
+      let op _ =
+        let u = X.int rng n and v = X.int rng n in
+        let u, v = if u = v then (u, (u + 1) mod n) else (min u v, max u v) in
+        match X.int rng 3 with
+        | 0 -> Protocol.Del { u; v }
+        | 1 -> Protocol.Ins { u; v; cost = 1 + X.int rng 6; delay = 1 + X.int rng 4 }
+        | _ -> Protocol.Rew { u; v; cost = 1 + X.int rng 6; delay = 1 + X.int rng 4 }
+      in
+      let ops = List.init (1 + X.int rng 3) op in
+      (match Engine.handle engine (Protocol.Mutate { ops }) with
+      | Protocol.Mutated _ -> ()
+      | other -> Alcotest.failf "MUTATE: got %s" (Protocol.print_response other));
+      entries_seen :=
+        !entries_seen + assert_cache_current (Printf.sprintf "step %d" step) engine
+    end
+  done;
+  Alcotest.(check bool) "the churn exercised the cache" true
+    (!hits_possible > 0 && !entries_seen > 0);
+  Alcotest.(check int) "stale-hit guard never fired" 0
+    (Metrics.value (Metrics.counter (Engine.metrics engine) "topo.stale_hits_dropped"))
 
 (* --- shard fleet ------------------------------------------------------------- *)
 
@@ -486,6 +669,48 @@ let test_drain_completes_queued () =
   | Ok (Protocol.Err (Protocol.Overload _)) -> ()
   | _ -> Alcotest.fail "post-drain handle_line must answer ERR overload"
 
+(* MUTATE rides the same generation barrier as FAIL/RESTORE: broadcast to
+   every shard, all replicas in lockstep. A fleet serving through delta
+   overlays and a fleet that fully refreezes on every solve must converge to
+   identical reply streams — the overlay is invisible on the wire. *)
+let test_fleet_mutate_convergence () =
+  let refreeze_cfg = { Engine.default_config with Engine.overlay_views = false } in
+  let overlay = Shard.create ~shards:4 (diamond ()) in
+  let refreeze = Shard.create ~config:refreeze_cfg ~shards:4 (diamond ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      Shard.shutdown overlay;
+      Shard.shutdown refreeze)
+    (fun () ->
+      (* solve timings differ run to run; everything else must be identical *)
+      let normalize line =
+        match Protocol.parse_response line with
+        | Ok (Protocol.Solution { cost; delay; source; ms = _; paths }) ->
+          Protocol.print_response (Protocol.Solution { cost; delay; source; ms = 0.; paths })
+        | _ -> line
+      in
+      List.iter
+        (fun line ->
+          let a = normalize (Shard.handle_line overlay line)
+          and b = normalize (Shard.handle_line refreeze line) in
+          Alcotest.(check string) line a b)
+        [ "SOLVE 0 3 2 30";
+          "SOLVE 0 3 2 30";
+          "MUTATE del:0:3";
+          "SOLVE 0 3 2 30";
+          "MUTATE ins:0:3:10:5 rew:0:1:1:2";
+          "SOLVE 0 3 2 30";
+          "SOLVE 0 3 3 30";
+          "MUTATE del:0:1 del:1:3";
+          "SOLVE 0 3 2 30";
+          "MUTATE ins:0:1:1:10 ins:1:3:1:10";
+          "SOLVE 0 3 3 30";
+          "SOLVE 1 3 1 30"
+        ];
+      Alcotest.(check int) "generations agree" (Shard.generation overlay)
+        (Shard.generation refreeze);
+      Alcotest.(check bool) "generation moved" true (Shard.generation overlay > 0))
+
 (* --- daemon loop over a socketpair ------------------------------------------ *)
 
 let test_serve_fd_socketpair () =
@@ -644,7 +869,8 @@ let suites =
   [ ( "server.protocol",
       [ request_roundtrip; response_roundtrip;
         Alcotest.test_case "parse error taxonomy" `Quick test_parse_errors;
-        Alcotest.test_case "overload codec" `Quick test_overload_codec
+        Alcotest.test_case "overload codec" `Quick test_overload_codec;
+        Alcotest.test_case "mutate codec" `Quick test_mutate_codec
       ] );
     ( "server.cache",
       [ Alcotest.test_case "lru eviction and counters" `Quick test_cache_lru;
@@ -657,13 +883,19 @@ let suites =
     ( "server.engine",
       [ Alcotest.test_case "solve/fail/re-solve lifecycle" `Quick test_engine_lifecycle;
         Alcotest.test_case "request validation" `Quick test_engine_validation;
-        Alcotest.test_case "epsilon and qos requests" `Quick test_engine_epsilon_and_qos
+        Alcotest.test_case "epsilon and qos requests" `Quick test_engine_epsilon_and_qos;
+        Alcotest.test_case "mutate batches and scoped invalidation" `Quick
+          test_engine_mutate;
+        Alcotest.test_case "no stale cache hits under churn" `Quick
+          test_no_stale_cache_hits
       ] );
     ( "server.fleet",
       [ Alcotest.test_case "router determinism" `Quick test_router_determinism;
         Alcotest.test_case "generation barrier" `Quick test_generation_barrier;
         Alcotest.test_case "overload shedding" `Quick test_overload_shedding;
-        Alcotest.test_case "graceful drain" `Quick test_drain_completes_queued
+        Alcotest.test_case "graceful drain" `Quick test_drain_completes_queued;
+        Alcotest.test_case "overlay and refreeze fleets converge" `Quick
+          test_fleet_mutate_convergence
       ] );
     ( "server.daemon",
       [ Alcotest.test_case "socketpair session" `Quick test_serve_fd_socketpair;
